@@ -1,0 +1,72 @@
+#include "bench_common.hpp"
+
+#include <stdexcept>
+
+namespace simgen::bench {
+
+FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
+                              const FlowConfig& config) {
+  FlowMetrics metrics;
+  metrics.benchmark = network.name();
+  metrics.strategy = strategy;
+
+  sim::Simulator simulator(network);
+  sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
+
+  sim::RandomSimOptions random_options;
+  random_options.max_rounds = config.random_rounds;
+  random_options.seed = config.seed;
+  sim::run_random_simulation(simulator, classes, random_options);
+  metrics.cost_after_random = classes.cost();
+
+  core::GuidedSimOptions guided;
+  guided.strategy = strategy;
+  guided.iterations = config.guided_iterations;
+  guided.seed = config.seed;
+  guided.max_targets_per_class = config.max_targets_per_class;
+  const core::GuidedSimResult guided_result =
+      core::run_guided_simulation(simulator, classes, guided);
+  metrics.cost = classes.cost();
+  metrics.sim_seconds = guided_result.runtime_seconds;
+
+  if (config.run_sweep) {
+    sweep::SweepOptions sweep_options;
+    sweep_options.seed = config.seed;
+    sweep_options.conflict_limit = config.sat_conflict_limit;
+    sweep::Sweeper sweeper(network, sweep_options);
+    const sweep::SweepResult sweep_result = sweeper.run(classes, simulator);
+    metrics.sat_calls = sweep_result.sat_calls;
+    metrics.sat_seconds = sweep_result.sat_seconds;
+    metrics.proven = sweep_result.proven_equivalent;
+    metrics.disproven = sweep_result.disproven;
+    metrics.unresolved = sweep_result.unresolved;
+  }
+  return metrics;
+}
+
+net::Network prepare_benchmark(const std::string& name) {
+  const benchgen::CircuitSpec* spec = benchgen::find_benchmark(name);
+  if (spec == nullptr) throw std::invalid_argument("unknown benchmark " + name);
+  return benchgen::generate_mapped(*spec);
+}
+
+net::Network prepare_stacked(const benchgen::StackedSpec& spec,
+                             double gate_scale) {
+  const benchgen::CircuitSpec* base = benchgen::find_benchmark(std::string(spec.base));
+  if (base == nullptr)
+    throw std::invalid_argument("unknown benchmark " + std::string(spec.base));
+  benchgen::CircuitSpec scaled = *base;
+  scaled.num_gates = std::max<unsigned>(
+      64, static_cast<unsigned>(static_cast<double>(base->num_gates) * gate_scale));
+  net::Network network = mapping::map_to_luts(
+      aig::put_on_top(benchgen::generate_circuit(scaled), spec.copies));
+  network.set_name(std::string(spec.base) + "x" + std::to_string(spec.copies));
+  return network;
+}
+
+double ratio(double value, double baseline) {
+  if (baseline == 0.0) return value == 0.0 ? 1.0 : 0.0;
+  return value / baseline;
+}
+
+}  // namespace simgen::bench

@@ -1,0 +1,65 @@
+/// \file bench_common.hpp
+/// \brief Shared driver code for the experiment harnesses (one binary per
+/// paper table/figure; see DESIGN.md section 4 for the experiment index).
+///
+/// Every harness runs the paper's Figure 2 flow: generate + 6-LUT-map a
+/// named benchmark, one round of random simulation, N iterations of a
+/// guided strategy, then (optionally) SAT sweeping to fixpoint, with the
+/// paper's metrics recorded: Eq. 5 cost, simulation runtime, SAT calls,
+/// SAT time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simgen_all.hpp"
+
+namespace simgen::bench {
+
+/// Metrics of one (benchmark, strategy) flow run.
+struct FlowMetrics {
+  std::string benchmark;
+  core::Strategy strategy = core::Strategy::kRevS;
+  std::uint64_t cost_after_random = 0;
+  std::uint64_t cost = 0;          ///< Eq. 5 cost after the guided phase.
+  double sim_seconds = 0.0;        ///< Guided-simulation runtime.
+  std::uint64_t sat_calls = 0;     ///< Sweeping SAT calls (if swept).
+  double sat_seconds = 0.0;        ///< Time inside the SAT solver.
+  std::uint64_t proven = 0;
+  std::uint64_t disproven = 0;
+  std::uint64_t unresolved = 0;  ///< Conflict-limited pairs (if capped).
+};
+
+struct FlowConfig {
+  std::size_t random_rounds = 1;     ///< Paper Section 6.2: one round.
+  std::size_t guided_iterations = 20;
+  bool run_sweep = false;
+  std::uint64_t seed = 1;
+  /// Per-class OUTgold target cap forwarded to the guided phase (0 =
+  /// whole class). The large stacked circuits use a small cap to bound
+  /// vector-generation time; see DESIGN.md.
+  std::size_t max_targets_per_class = 0;
+  /// Per-call conflict budget for sweeping SAT calls (0 = unlimited).
+  /// The harnesses cap pathological proofs so a single hard miter cannot
+  /// dominate a 42-benchmark sweep; unresolved pairs are counted.
+  std::uint64_t sat_conflict_limit = 0;
+};
+
+/// Runs the flow for one strategy on a prepared LUT network.
+FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
+                              const FlowConfig& config);
+
+/// Generates and 6-LUT-maps a suite benchmark by name (throws on unknown).
+net::Network prepare_benchmark(const std::string& name);
+
+/// Generates, stacks (putontop), and maps a stacked-suite entry.
+/// \p gate_scale shrinks the base circuit's gate budget before stacking
+/// (the experiment harnesses use 0.6 to keep the 9-entry sweep at
+/// laptop runtimes; the stack heights stay exactly the paper's).
+net::Network prepare_stacked(const benchgen::StackedSpec& spec,
+                             double gate_scale = 1.0);
+
+/// Ratio helper: a/b with the paper's convention that 0/0 compares equal.
+double ratio(double value, double baseline);
+
+}  // namespace simgen::bench

@@ -1,0 +1,79 @@
+/// \file fig5_per_benchmark.cpp
+/// \brief Regenerates paper Figure 5: per-benchmark normalized difference
+/// of cost, simulation runtime, SAT calls, and SAT runtime of SimGen
+/// (AI+DC+MFFC) with respect to reverse simulation.
+///
+/// Output is one row per benchmark with the four normalized series the
+/// figure plots as bars: value/RevS for each metric (1.0 = parity,
+/// < 1.0 = SimGen better). A trailing CSV block makes replotting easy.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace simgen;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double cost = 1.0, sim = 1.0, calls = 1.0, sat = 1.0;
+};
+
+// Tiny ASCII bar for terminal reading: 20 chars = ratio 2.0.
+std::string bar(double ratio) {
+  const int width = std::min(20, static_cast<int>(ratio * 10.0 + 0.5));
+  std::string out(static_cast<std::size_t>(std::max(0, width)), '#');
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+  std::printf("Figure 5: SimGen vs RevS, normalized per benchmark\n");
+  std::printf("(ratio < 1.0 means SimGen better; '|' marks parity at 1.0)\n\n");
+
+  for (const benchgen::CircuitSpec& spec : benchgen::benchmark_suite()) {
+    const net::Network network = bench::prepare_benchmark(spec.name);
+    bench::FlowConfig config;
+    config.run_sweep = true;
+    const bench::FlowMetrics revs =
+        bench::run_strategy_flow(network, core::Strategy::kRevS, config);
+    const bench::FlowMetrics sgen =
+        bench::run_strategy_flow(network, core::Strategy::kAiDcMffc, config);
+
+    Row row;
+    row.name = spec.name;
+    row.cost = bench::ratio(static_cast<double>(sgen.cost),
+                            static_cast<double>(revs.cost));
+    row.sim = bench::ratio(sgen.sim_seconds, revs.sim_seconds);
+    row.calls = bench::ratio(static_cast<double>(sgen.sat_calls),
+                             static_cast<double>(revs.sat_calls));
+    row.sat = bench::ratio(sgen.sat_seconds, revs.sat_seconds);
+    rows.push_back(row);
+
+    std::printf("%-10s cost %6.3f %-20s\n", row.name.c_str(), row.cost,
+                bar(row.cost).c_str());
+    std::printf("%-10s sim  %6.2f\n", "", row.sim);
+    std::printf("%-10s call %6.3f %-20s\n", "", row.calls, bar(row.calls).c_str());
+    std::printf("%-10s sat  %6.3f %-20s\n", "", row.sat, bar(row.sat).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n==== Figure 5 data (CSV) ====\n");
+  std::printf("benchmark,cost_ratio,sim_runtime_ratio,sat_calls_ratio,sat_time_ratio\n");
+  double gm_cost = 0, gm_calls = 0, gm_sat = 0;
+  for (const Row& row : rows) {
+    std::printf("%s,%.4f,%.4f,%.4f,%.4f\n", row.name.c_str(), row.cost, row.sim,
+                row.calls, row.sat);
+    gm_cost += row.cost;
+    gm_calls += row.calls;
+    gm_sat += row.sat;
+  }
+  const double n = static_cast<double>(rows.size());
+  std::printf("\nmeans: cost %.3f, sat_calls %.3f, sat_time %.3f (RevS = 1.0)\n",
+              gm_cost / n, gm_calls / n, gm_sat / n);
+  return 0;
+}

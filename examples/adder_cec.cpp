@@ -1,0 +1,90 @@
+/// \file adder_cec.cpp
+/// \brief The textbook CEC exercise: prove a ripple-carry adder and a
+/// carry-select adder equivalent — or catch a planted bug.
+///
+/// Usage:
+///   ./adder_cec [width]          (default 12)
+///   ./adder_cec [width] --bug    (flip one gate and show the witness)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simgen_all.hpp"
+
+using namespace simgen;
+
+int main(int argc, char** argv) {
+  const unsigned width =
+      argc > 1 ? static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10)) : 12;
+  const bool plant_bug = argc > 2 && std::strcmp(argv[2], "--bug") == 0;
+
+  const aig::Aig rca = benchgen::build_ripple_carry_adder(width);
+  aig::Aig csa = benchgen::build_carry_select_adder(width, 4);
+  std::printf("ripple-carry : %zu AND nodes, depth %u\n", rca.num_ands(),
+              rca.depth());
+  std::printf("carry-select : %zu AND nodes, depth %u\n", csa.num_ands(),
+              csa.depth());
+
+  net::Network a = mapping::map_to_luts(rca);
+  net::Network b = mapping::map_to_luts(csa);
+
+  if (plant_bug) {
+    // Rebuild b with one LUT truth-table bit flipped: a single-minterm
+    // bug, the classic hard case for random simulation.
+    net::Network buggy("csa_buggy");
+    std::vector<net::NodeId> map(b.num_nodes());
+    bool flipped = false;
+    b.for_each_node([&](net::NodeId id) {
+      const auto& node = b.node(id);
+      switch (node.kind) {
+        case net::NodeKind::kPi: map[id] = buggy.add_pi(node.name); break;
+        case net::NodeKind::kConstant:
+          map[id] = buggy.add_constant(node.constant_value);
+          break;
+        case net::NodeKind::kPo:
+          map[id] = buggy.add_po(map[node.fanins[0]], node.name);
+          break;
+        case net::NodeKind::kLut: {
+          std::vector<net::NodeId> fanins;
+          for (const net::NodeId fanin : node.fanins)
+            fanins.push_back(map[fanin]);
+          tt::TruthTable function = node.function;
+          if (!flipped && node.fanins.size() >= 4) {
+            function.set_bit(function.num_bits() - 1,
+                             !function.get_bit(function.num_bits() - 1));
+            flipped = true;
+          }
+          map[id] = buggy.add_lut(fanins, function);
+          break;
+        }
+      }
+    });
+    b = std::move(buggy);
+    std::printf("planted a single-minterm bug in one carry-select LUT\n");
+  }
+
+  std::printf("\nchecking equivalence (%zu vs %zu LUTs)...\n", a.num_luts(),
+              b.num_luts());
+  const sweep::CecResult result = sweep::check_equivalence(a, b, {});
+  if (result.equivalent) {
+    std::printf("EQUIVALENT: %zu outputs proven, %llu internal pairs proven "
+                "equivalent, %llu sweep SAT calls, %.1f ms total\n",
+                result.outputs_proven,
+                static_cast<unsigned long long>(result.sweep_stats.proven_equivalent),
+                static_cast<unsigned long long>(result.sweep_stats.sat_calls),
+                result.total_seconds * 1e3);
+  } else {
+    std::printf("NOT EQUIVALENT. Counterexample:\n  a=");
+    std::uint64_t va = 0, vb = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      if (result.counterexample[i]) va |= 1ull << i;
+      if (result.counterexample[width + i]) vb |= 1ull << i;
+    }
+    const bool cin = result.counterexample[2 * width];
+    std::printf("%llu b=%llu cin=%d  (expected sum %llu)\n",
+                static_cast<unsigned long long>(va),
+                static_cast<unsigned long long>(vb), cin ? 1 : 0,
+                static_cast<unsigned long long>(va + vb + (cin ? 1 : 0)));
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simgen::aig {
+
+Lit Aig::add_pi(std::string name) {
+  if (num_ands() != 0)
+    throw std::logic_error("Aig::add_pi: all PIs must be added before AND nodes");
+  const auto node = static_cast<std::uint32_t>(num_nodes());
+  fanin0_.push_back(0);
+  fanin1_.push_back(0);
+  ++num_pis_;
+  pi_nodes_.push_back(node);
+  pi_names_.push_back(std::move(name));
+  levels_.clear();
+  return make_lit(node, false);
+}
+
+Lit Aig::and2(Lit a, Lit b) {
+  if (lit_node(a) >= num_nodes() || lit_node(b) >= num_nodes())
+    throw std::invalid_argument("Aig::and2: fanin literal out of range");
+  // Constant folding and the trivial-operand rules.
+  if (a > b) std::swap(a, b);
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  // Structural hashing.
+  const auto key = std::make_pair(a, b);
+  if (const auto it = strash_.find(key); it != strash_.end())
+    return make_lit(it->second, false);
+  const auto node = static_cast<std::uint32_t>(num_nodes());
+  fanin0_.push_back(a);
+  fanin1_.push_back(b);
+  strash_.emplace(key, node);
+  levels_.clear();
+  return make_lit(node, false);
+}
+
+void Aig::add_po(Lit lit, std::string name) {
+  if (lit_node(lit) >= num_nodes())
+    throw std::invalid_argument("Aig::add_po: literal out of range");
+  pos_.push_back(lit);
+  po_names_.push_back(std::move(name));
+}
+
+unsigned Aig::level(std::uint32_t node) const {
+  if (levels_.size() != num_nodes()) {
+    levels_.assign(num_nodes(), 0);
+    for (std::uint32_t n = static_cast<std::uint32_t>(num_pis_) + 1; n < num_nodes(); ++n)
+      levels_[n] = 1 + std::max(levels_[lit_node(fanin0_[n])],
+                                levels_[lit_node(fanin1_[n])]);
+  }
+  return levels_[node];
+}
+
+unsigned Aig::depth() const {
+  unsigned result = 0;
+  for (Lit po : pos_) result = std::max(result, level(lit_node(po)));
+  return result;
+}
+
+std::vector<std::uint64_t> Aig::simulate_words(
+    std::span<const std::uint64_t> pi_words) const {
+  if (pi_words.size() != num_pis_)
+    throw std::invalid_argument("Aig::simulate_words: wrong PI word count");
+  std::vector<std::uint64_t> values(num_nodes(), 0);
+  for (std::size_t i = 0; i < num_pis_; ++i) values[pi_nodes_[i]] = pi_words[i];
+  const auto lit_value = [&](Lit lit) {
+    const std::uint64_t v = values[lit_node(lit)];
+    return lit_complemented(lit) ? ~v : v;
+  };
+  for_each_and([&](std::uint32_t node) {
+    values[node] = lit_value(fanin0_[node]) & lit_value(fanin1_[node]);
+  });
+  std::vector<std::uint64_t> out;
+  out.reserve(pos_.size());
+  for (Lit po : pos_) out.push_back(lit_value(po));
+  return out;
+}
+
+void Aig::check_invariants() const {
+  for (std::uint32_t node = static_cast<std::uint32_t>(num_pis_) + 1;
+       node < num_nodes(); ++node) {
+    if (lit_node(fanin0_[node]) >= node || lit_node(fanin1_[node]) >= node)
+      throw std::logic_error("Aig: fanin not topologically earlier");
+    if (fanin0_[node] > fanin1_[node])
+      throw std::logic_error("Aig: fanins not normalized");
+  }
+  for (Lit po : pos_)
+    if (lit_node(po) >= num_nodes()) throw std::logic_error("Aig: dangling PO");
+}
+
+}  // namespace simgen::aig

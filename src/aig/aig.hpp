@@ -1,0 +1,147 @@
+/// \file aig.hpp
+/// \brief And-Inverter Graphs with structural hashing.
+///
+/// The AIG is the substrate the benchmark generator emits and the LUT
+/// mapper consumes, mirroring the paper's methodology: benchmarks enter as
+/// gate-level netlists (here: generated AIGs), are mapped to 6-LUTs
+/// ("if -K 6" in ABC), and the LUT network is what the sweeping flow and
+/// SimGen operate on. The stacking transform of Section 6.4 (&putontop)
+/// also operates at the AIG level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simgen::aig {
+
+/// Literal: 2*node + complement bit. Node 0 is the constant-false source,
+/// so literal 0 is constant 0 and literal 1 is constant 1.
+using Lit = std::uint32_t;
+
+inline constexpr Lit kLitFalse = 0;
+inline constexpr Lit kLitTrue = 1;
+
+[[nodiscard]] constexpr Lit make_lit(std::uint32_t node, bool complemented) noexcept {
+  return (node << 1) | static_cast<Lit>(complemented);
+}
+[[nodiscard]] constexpr std::uint32_t lit_node(Lit lit) noexcept { return lit >> 1; }
+[[nodiscard]] constexpr bool lit_complemented(Lit lit) noexcept { return lit & 1u; }
+[[nodiscard]] constexpr Lit lit_not(Lit lit) noexcept { return lit ^ 1u; }
+
+/// Structurally hashed AIG.
+///
+/// Nodes are indexed densely: node 0 is the constant, PIs follow, then AND
+/// nodes in creation (topological) order. `and2` performs constant folding,
+/// the trivial-operand rules, and structural hashing, so building the same
+/// expression twice yields the same literal — this is what creates honest
+/// work for SAT sweeping when the benchmark generator injects redundancy
+/// that strashing alone cannot see (e.g. De Morgan-rewritten duplicates).
+class Aig {
+ public:
+  Aig() = default;
+  explicit Aig(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a primary input; returns its (positive) literal.
+  Lit add_pi(std::string name = {});
+
+  /// AND of two literals with folding and strashing.
+  Lit and2(Lit a, Lit b);
+
+  // Derived connectives, all built from and2/lit_not.
+  Lit or2(Lit a, Lit b) { return lit_not(and2(lit_not(a), lit_not(b))); }
+  Lit nand2(Lit a, Lit b) { return lit_not(and2(a, b)); }
+  Lit nor2(Lit a, Lit b) { return and2(lit_not(a), lit_not(b)); }
+  Lit xor2(Lit a, Lit b) {
+    return lit_not(and2(lit_not(and2(a, lit_not(b))), lit_not(and2(lit_not(a), b))));
+  }
+  Lit xnor2(Lit a, Lit b) { return lit_not(xor2(a, b)); }
+  /// if s then t else e.
+  Lit mux(Lit s, Lit t, Lit e) {
+    return lit_not(and2(lit_not(and2(s, t)), lit_not(and2(lit_not(s), e))));
+  }
+  Lit maj3(Lit a, Lit b, Lit c) {
+    return or2(and2(a, b), or2(and2(a, c), and2(b, c)));
+  }
+
+  /// Registers \p lit as a primary output.
+  void add_po(Lit lit, std::string name = {});
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return fanin0_.size(); }
+  [[nodiscard]] std::size_t num_pis() const noexcept { return num_pis_; }
+  [[nodiscard]] std::size_t num_pos() const noexcept { return pos_.size(); }
+  [[nodiscard]] std::size_t num_ands() const noexcept {
+    return num_nodes() - 1 - num_pis_;
+  }
+
+  /// Literal of the i-th primary input.
+  [[nodiscard]] Lit pi_lit(std::size_t index) const { return make_lit(pi_nodes_[index], false); }
+  /// Literal of the i-th primary output.
+  [[nodiscard]] Lit po_lit(std::size_t index) const { return pos_[index]; }
+
+  [[nodiscard]] bool is_pi(std::uint32_t node) const noexcept {
+    return node >= 1 && node <= num_pis_;
+  }
+  [[nodiscard]] bool is_and(std::uint32_t node) const noexcept {
+    return node > num_pis_ && node < num_nodes();
+  }
+  [[nodiscard]] bool is_constant(std::uint32_t node) const noexcept { return node == 0; }
+
+  /// Fanin literals of an AND node.
+  [[nodiscard]] Lit fanin0(std::uint32_t node) const { return fanin0_[node]; }
+  [[nodiscard]] Lit fanin1(std::uint32_t node) const { return fanin1_[node]; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& pi_name(std::size_t index) const {
+    return pi_names_[index];
+  }
+  [[nodiscard]] const std::string& po_name(std::size_t index) const {
+    return po_names_[index];
+  }
+
+  /// Logic level of a node (PIs and the constant are level 0).
+  [[nodiscard]] unsigned level(std::uint32_t node) const;
+  [[nodiscard]] unsigned depth() const;
+
+  /// Calls fn(node) for every AND node in topological order.
+  template <typename Fn>
+  void for_each_and(Fn&& fn) const {
+    for (std::uint32_t node = static_cast<std::uint32_t>(num_pis_) + 1;
+         node < num_nodes(); ++node)
+      fn(node);
+  }
+
+  /// Word-parallel simulation: \p pi_words[i] supplies 64 patterns for
+  /// input i; returns one word per PO. Used to cross-check transforms.
+  [[nodiscard]] std::vector<std::uint64_t> simulate_words(
+      std::span<const std::uint64_t> pi_words) const;
+
+  /// Structural invariant check; throws std::logic_error on breach.
+  void check_invariants() const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<Lit, Lit>& p) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+
+  std::string name_;
+  // Node storage: parallel arrays indexed by node id. Entries for the
+  // constant and PIs are unused sentinels.
+  std::vector<Lit> fanin0_{0};
+  std::vector<Lit> fanin1_{0};
+  std::size_t num_pis_ = 0;
+  std::vector<std::uint32_t> pi_nodes_;
+  std::vector<Lit> pos_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<std::pair<Lit, Lit>, std::uint32_t, PairHash> strash_;
+  mutable std::vector<unsigned> levels_;
+};
+
+}  // namespace simgen::aig

@@ -1,0 +1,45 @@
+#include "aig/aig_to_network.hpp"
+
+#include <array>
+
+namespace simgen::aig {
+
+net::Network to_network(const Aig& aig) {
+  net::Network network(aig.name());
+  std::vector<net::NodeId> node_map(aig.num_nodes(), net::kNullNode);
+
+  for (std::size_t i = 0; i < aig.num_pis(); ++i)
+    node_map[lit_node(aig.pi_lit(i))] = network.add_pi(aig.pi_name(i));
+
+  aig.for_each_and([&](std::uint32_t node) {
+    const Lit f0 = aig.fanin0(node);
+    const Lit f1 = aig.fanin1(node);
+    // AND with fanin complement bits folded into the 2-LUT function:
+    // f = (x0 ^ c0) & (x1 ^ c1).
+    auto in0 = tt::TruthTable::projection(2, 0);
+    auto in1 = tt::TruthTable::projection(2, 1);
+    if (lit_complemented(f0)) in0 = ~in0;
+    if (lit_complemented(f1)) in1 = ~in1;
+    const std::array<net::NodeId, 2> fanins{node_map[lit_node(f0)],
+                                            node_map[lit_node(f1)]};
+    node_map[node] = network.add_lut(fanins, in0 & in1);
+  });
+
+  for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po_lit(i);
+    net::NodeId driver;
+    if (lit_node(po) == 0) {
+      driver = network.add_constant(lit_complemented(po));
+    } else {
+      driver = node_map[lit_node(po)];
+      if (lit_complemented(po)) {
+        const std::array<net::NodeId, 1> fanin{driver};
+        driver = network.add_lut(fanin, tt::TruthTable::not_gate());
+      }
+    }
+    network.add_po(driver, aig.po_name(i));
+  }
+  return network;
+}
+
+}  // namespace simgen::aig

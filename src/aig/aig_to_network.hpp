@@ -1,0 +1,20 @@
+/// \file aig_to_network.hpp
+/// \brief Direct AIG -> LUT-network conversion (one 2-LUT per AND).
+///
+/// This is the unmapped reference translation: it preserves the AIG
+/// structure exactly, with inverters folded into 2-input LUT functions.
+/// The LUT mapper (src/mapping) is the production path; this conversion
+/// exists for testing (a mapped network must be equivalent to this one)
+/// and for flows that want to sweep the raw AIG.
+#pragma once
+
+#include "aig/aig.hpp"
+#include "network/network.hpp"
+
+namespace simgen::aig {
+
+/// Converts \p aig into a network of 2-input LUTs. PO complement bits are
+/// absorbed into inverter LUTs where needed.
+[[nodiscard]] net::Network to_network(const Aig& aig);
+
+}  // namespace simgen::aig

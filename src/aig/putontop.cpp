@@ -1,0 +1,67 @@
+#include "aig/putontop.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace simgen::aig {
+
+Aig put_on_top(const Aig& base, unsigned copies) {
+  if (copies == 0) throw std::invalid_argument("put_on_top: copies must be >= 1");
+  if (base.num_pis() == 0 || base.num_pos() == 0)
+    throw std::invalid_argument("put_on_top: base must have PIs and POs");
+
+  const std::size_t npi = base.num_pis();
+  const std::size_t npo = base.num_pos();
+  const std::size_t fresh_per_copy = npi > npo ? npi - npo : 0;
+
+  Aig stack(base.name() + "_x" + std::to_string(copies));
+
+  // Our AIG requires all PIs before the first AND node, so pre-create the
+  // whole PI pool: the bottom copy's inputs plus the shortfall of every
+  // upper copy.
+  std::vector<Lit> pi_pool;
+  const std::size_t total_pis = npi + (copies - 1) * fresh_per_copy;
+  pi_pool.reserve(total_pis);
+  for (std::size_t i = 0; i < total_pis; ++i)
+    pi_pool.push_back(stack.add_pi("pi" + std::to_string(i)));
+  std::size_t next_fresh = npi;
+
+  std::vector<Lit> prev_pos;  // PO literals of the copy below.
+  for (unsigned copy = 0; copy < copies; ++copy) {
+    // Wire up this copy's inputs.
+    std::vector<Lit> inputs(npi);
+    if (copy == 0) {
+      for (std::size_t i = 0; i < npi; ++i) inputs[i] = pi_pool[i];
+    } else {
+      const std::size_t reused = std::min(npi, npo);
+      for (std::size_t i = 0; i < reused; ++i) inputs[i] = prev_pos[i];
+      for (std::size_t i = reused; i < npi; ++i) inputs[i] = pi_pool[next_fresh++];
+      // Surplus bottom POs that feed nothing above become stack POs.
+      for (std::size_t i = reused; i < npo; ++i)
+        stack.add_po(prev_pos[i],
+                     "po_c" + std::to_string(copy - 1) + "_" + std::to_string(i));
+    }
+
+    // Replicate the AND nodes; lit_map translates base literals.
+    std::vector<Lit> lit_map(base.num_nodes(), kLitFalse);
+    for (std::size_t i = 0; i < npi; ++i) lit_map[lit_node(base.pi_lit(i))] = inputs[i];
+    const auto translate = [&](Lit lit) {
+      const Lit mapped = lit_map[lit_node(lit)];
+      return lit_complemented(lit) ? lit_not(mapped) : mapped;
+    };
+    base.for_each_and([&](std::uint32_t node) {
+      lit_map[node] = stack.and2(translate(base.fanin0(node)),
+                                 translate(base.fanin1(node)));
+    });
+
+    prev_pos.assign(npo, kLitFalse);
+    for (std::size_t i = 0; i < npo; ++i) prev_pos[i] = translate(base.po_lit(i));
+  }
+
+  for (std::size_t i = 0; i < npo; ++i)
+    stack.add_po(prev_pos[i], "po_top_" + std::to_string(i));
+  return stack;
+}
+
+}  // namespace simgen::aig

@@ -1,0 +1,20 @@
+/// \file putontop.hpp
+/// \brief Network stacking (ABC's &putontop), paper Section 6.4.
+///
+/// To study SimGen's behaviour at prolonged SAT runtimes, the paper grows
+/// each benchmark by stacking copies of itself: the POs of a bottom copy
+/// drive the PIs of the copy above it. Where the counts differ, surplus
+/// bottom POs become POs of the stack and surplus top PIs become fresh
+/// stack PIs.
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace simgen::aig {
+
+/// Stacks \p copies instances of \p base (copies >= 1). The result's name
+/// is "<base>_x<copies>". Structural hashing is re-applied while copying,
+/// so the stack is a well-formed AIG.
+[[nodiscard]] Aig put_on_top(const Aig& base, unsigned copies);
+
+}  // namespace simgen::aig

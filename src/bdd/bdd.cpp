@@ -1,0 +1,143 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace simgen::bdd {
+
+std::size_t BddManager::KeyHash::operator()(const Key& key) const noexcept {
+  std::uint64_t h = util::splitmix64(key.var);
+  h = util::splitmix64(h ^ key.low);
+  h = util::splitmix64(h ^ key.high);
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t BddManager::IteKeyHash::operator()(const IteKey& key) const noexcept {
+  std::uint64_t h = util::splitmix64(key.f);
+  h = util::splitmix64(h ^ key.g);
+  h = util::splitmix64(h ^ key.h);
+  return static_cast<std::size_t>(h);
+}
+
+BddManager::BddManager(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars),
+      node_limit_(node_limit == 0 ? (std::size_t{1} << 31) : node_limit) {
+  // Constants live at an imaginary level below every variable.
+  nodes_.push_back(Node{num_vars_, kFalse, kFalse});  // kFalse
+  nodes_.push_back(Node{num_vars_, kTrue, kTrue});    // kTrue
+  var_nodes_.assign(num_vars_, kFalse);
+}
+
+NodeRef BddManager::variable(unsigned var) {
+  if (var >= num_vars_) throw std::invalid_argument("BddManager: var out of range");
+  if (var_nodes_[var] == kFalse)
+    var_nodes_[var] = make_node(var, kFalse, kTrue);
+  return var_nodes_[var];
+}
+
+NodeRef BddManager::make_node(unsigned var, NodeRef low, NodeRef high) {
+  if (low == high) return low;  // reduction rule
+  const Key key{var, low, high};
+  if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw BddLimitExceeded{};
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+NodeRef BddManager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end())
+    return it->second;
+
+  const unsigned top =
+      std::min({nodes_[f].var, nodes_[g].var, nodes_[h].var});
+  const auto cofactor = [&](NodeRef x, bool positive) {
+    if (nodes_[x].var != top) return x;
+    return positive ? nodes_[x].high : nodes_[x].low;
+  };
+  const NodeRef low = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const NodeRef high = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const NodeRef result = make_node(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+bool BddManager::evaluate(NodeRef f, std::uint64_t input_bits) const {
+  while (f != kFalse && f != kTrue) {
+    const Node& node = nodes_[f];
+    f = ((input_bits >> node.var) & 1u) ? node.high : node.low;
+  }
+  return f == kTrue;
+}
+
+double BddManager::sat_count(NodeRef f) {
+  // p(f) = fraction of assignments satisfying f; memoized per ref.
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) {
+    double total = 1.0;
+    for (unsigned i = 0; i < num_vars_; ++i) total *= 2.0;
+    return total;
+  }
+  const std::function<double(NodeRef)> probability = [&](NodeRef x) -> double {
+    if (x == kFalse) return 0.0;
+    if (x == kTrue) return 1.0;
+    if (const auto it = count_cache_.find(x); it != count_cache_.end())
+      return it->second;
+    const double p =
+        0.5 * probability(nodes_[x].low) + 0.5 * probability(nodes_[x].high);
+    count_cache_.emplace(x, p);
+    return p;
+  };
+  double total = probability(f);
+  for (unsigned i = 0; i < num_vars_; ++i) total *= 2.0;
+  return total;
+}
+
+std::uint64_t BddManager::one_sat(NodeRef f) const {
+  if (f == kFalse)
+    throw std::invalid_argument("BddManager::one_sat: function is constant 0");
+  std::uint64_t assignment = 0;
+  while (f != kTrue) {
+    const Node& node = nodes_[f];
+    // In a reduced BDD every internal node reaches kTrue through at least
+    // one branch; prefer the high branch when it is live.
+    if (node.high != kFalse) {
+      assignment |= std::uint64_t{1} << node.var;
+      f = node.high;
+    } else {
+      f = node.low;
+    }
+  }
+  return assignment;
+}
+
+std::size_t BddManager::dag_size(NodeRef f) const {
+  if (f == kFalse || f == kTrue) return 0;
+  std::vector<NodeRef> stack{f};
+  std::unordered_map<NodeRef, bool> seen;
+  seen.emplace(f, true);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const NodeRef node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const NodeRef child : {nodes_[node].low, nodes_[node].high}) {
+      if (child == kFalse || child == kTrue) continue;
+      if (seen.emplace(child, true).second) stack.push_back(child);
+    }
+  }
+  return count;
+}
+
+}  // namespace simgen::bdd

@@ -1,0 +1,68 @@
+/// \file network_bdd.hpp
+/// \brief LUT-network to BDD construction and BDD-based equivalence
+/// checking — the pre-SAT verification flow of the paper's Section 2.2.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "network/network.hpp"
+
+namespace simgen::bdd {
+
+/// Builds BDDs for network nodes on demand. By default PI i maps to BDD
+/// variable i; \p pi_to_var overrides the order (the decisive knob for
+/// BDD size — e.g. interleaving operand bits keeps adder BDDs linear
+/// where the block order is exponential). Construction is memoized per
+/// node; a BddLimitExceeded escape from the manager aborts the build
+/// (the classical BDD failure mode).
+class NetworkBdds {
+ public:
+  NetworkBdds(BddManager& manager, const net::Network& network,
+              std::span<const unsigned> pi_to_var = {});
+
+  /// BDD of \p node's function in terms of the PIs.
+  NodeRef build(net::NodeId node);
+
+  [[nodiscard]] BddManager& manager() noexcept { return manager_; }
+
+ private:
+  BddManager& manager_;
+  const net::Network& network_;
+  std::vector<unsigned> pi_to_var_;
+  std::vector<NodeRef> cache_;
+  std::vector<bool> built_;
+};
+
+struct BddCecResult {
+  bool equivalent = false;
+  bool completed = false;  ///< False if the node limit was exceeded.
+  std::vector<bool> counterexample;
+  std::size_t peak_nodes = 0;  ///< Manager size after the check.
+};
+
+/// BDD-based CEC of two networks with matching interfaces: builds the
+/// output BDDs under the shared PI order and compares refs (canonical).
+/// \p node_limit bounds the manager; on blow-up the result reports
+/// completed = false instead of consuming unbounded memory.
+/// \p pi_to_var optionally reorders the variables (shared by both sides).
+[[nodiscard]] BddCecResult bdd_check_equivalence(
+    const net::Network& a, const net::Network& b,
+    std::size_t node_limit = 1u << 22, std::span<const unsigned> pi_to_var = {});
+
+/// An interleaved order for dual-operand arithmetic interfaces
+/// (a0,b0,a1,b1,...): maps PI i < 2*width to the interleaved slot and any
+/// trailing PIs (carry-in etc.) to the top. The order that keeps adder
+/// and comparator BDDs linear.
+[[nodiscard]] std::vector<unsigned> interleaved_order(std::size_t num_pis,
+                                                      unsigned width);
+
+/// BDD verdict for a single candidate node pair inside one network:
+/// true = functionally equivalent. std::nullopt if the limit is hit.
+[[nodiscard]] std::optional<bool> bdd_check_pair(const net::Network& network,
+                                                 net::NodeId x, net::NodeId y,
+                                                 std::size_t node_limit = 1u << 22);
+
+}  // namespace simgen::bdd

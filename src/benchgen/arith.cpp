@@ -1,0 +1,181 @@
+#include "benchgen/arith.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace simgen::benchgen {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+struct FullAdder {
+  Lit sum;
+  Lit carry;
+};
+
+FullAdder full_adder(Aig& graph, Lit a, Lit b, Lit cin) {
+  const Lit ab = graph.xor2(a, b);
+  return FullAdder{graph.xor2(ab, cin),
+                   graph.or2(graph.and2(a, b), graph.and2(ab, cin))};
+}
+
+struct AdderInputs {
+  std::vector<Lit> a, b;
+  Lit cin;
+};
+
+AdderInputs add_adder_inputs(Aig& graph, unsigned width) {
+  AdderInputs in;
+  for (unsigned i = 0; i < width; ++i)
+    in.a.push_back(graph.add_pi("a" + std::to_string(i)));
+  for (unsigned i = 0; i < width; ++i)
+    in.b.push_back(graph.add_pi("b" + std::to_string(i)));
+  in.cin = graph.add_pi("cin");
+  return in;
+}
+
+/// Ripple chain over given inputs starting from \p carry; returns sums
+/// and the final carry.
+std::pair<std::vector<Lit>, Lit> ripple(Aig& graph, const std::vector<Lit>& a,
+                                        const std::vector<Lit>& b, Lit carry) {
+  std::vector<Lit> sums;
+  sums.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FullAdder fa = full_adder(graph, a[i], b[i], carry);
+    sums.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  return {std::move(sums), carry};
+}
+
+void check_width(unsigned width) {
+  if (width == 0) throw std::invalid_argument("arith: width must be positive");
+}
+
+}  // namespace
+
+Aig build_ripple_carry_adder(unsigned width) {
+  check_width(width);
+  Aig graph("rca" + std::to_string(width));
+  const AdderInputs in = add_adder_inputs(graph, width);
+  const auto [sums, cout] = ripple(graph, in.a, in.b, in.cin);
+  for (unsigned i = 0; i < width; ++i)
+    graph.add_po(sums[i], "sum" + std::to_string(i));
+  graph.add_po(cout, "cout");
+  return graph;
+}
+
+Aig build_carry_select_adder(unsigned width, unsigned block_width) {
+  check_width(width);
+  if (block_width == 0)
+    throw std::invalid_argument("arith: block width must be positive");
+  Aig graph("csa" + std::to_string(width));
+  const AdderInputs in = add_adder_inputs(graph, width);
+
+  std::vector<Lit> sums;
+  Lit carry = in.cin;
+  for (unsigned base = 0; base < width; base += block_width) {
+    const unsigned end = std::min(base + block_width, width);
+    const std::vector<Lit> block_a(in.a.begin() + base, in.a.begin() + end);
+    const std::vector<Lit> block_b(in.b.begin() + base, in.b.begin() + end);
+    // Compute the block for both possible incoming carries, then select.
+    const auto [sums0, carry0] = ripple(graph, block_a, block_b, aig::kLitFalse);
+    const auto [sums1, carry1] = ripple(graph, block_a, block_b, aig::kLitTrue);
+    for (std::size_t i = 0; i < sums0.size(); ++i)
+      sums.push_back(graph.mux(carry, sums1[i], sums0[i]));
+    carry = graph.mux(carry, carry1, carry0);
+  }
+  for (unsigned i = 0; i < width; ++i)
+    graph.add_po(sums[i], "sum" + std::to_string(i));
+  graph.add_po(carry, "cout");
+  return graph;
+}
+
+Aig build_array_multiplier(unsigned width) {
+  check_width(width);
+  Aig graph("mul" + std::to_string(width));
+  std::vector<Lit> a, b;
+  for (unsigned i = 0; i < width; ++i)
+    a.push_back(graph.add_pi("a" + std::to_string(i)));
+  for (unsigned i = 0; i < width; ++i)
+    b.push_back(graph.add_pi("b" + std::to_string(i)));
+
+  // Accumulate partial products row by row with ripple additions.
+  // acc holds product bits [row .. row+width-1] plus a carry chain.
+  std::vector<Lit> product(2 * width, aig::kLitFalse);
+  std::vector<Lit> acc(width, aig::kLitFalse);  // running upper bits
+  for (unsigned row = 0; row < width; ++row) {
+    // Partial product row: a[i] & b[row].
+    Lit carry = aig::kLitFalse;
+    std::vector<Lit> next(width, aig::kLitFalse);
+    for (unsigned i = 0; i < width; ++i) {
+      const Lit pp = graph.and2(a[i], b[row]);
+      const FullAdder fa = full_adder(graph, acc[i], pp, carry);
+      if (i == 0)
+        product[row] = fa.sum;
+      else
+        next[i - 1] = fa.sum;
+      carry = fa.carry;
+    }
+    next[width - 1] = carry;
+    acc = std::move(next);
+  }
+  for (unsigned i = 0; i < width; ++i) product[width + i] = acc[i];
+  for (unsigned i = 0; i < 2 * width; ++i)
+    graph.add_po(product[i], "p" + std::to_string(i));
+  return graph;
+}
+
+Aig build_comparator(unsigned width) {
+  check_width(width);
+  Aig graph("cmp" + std::to_string(width));
+  std::vector<Lit> a, b;
+  for (unsigned i = 0; i < width; ++i)
+    a.push_back(graph.add_pi("a" + std::to_string(i)));
+  for (unsigned i = 0; i < width; ++i)
+    b.push_back(graph.add_pi("b" + std::to_string(i)));
+
+  // MSB-first scan: lt/gt latch at the first differing bit.
+  Lit lt = aig::kLitFalse;
+  Lit gt = aig::kLitFalse;
+  Lit eq = aig::kLitTrue;
+  for (unsigned i = width; i-- > 0;) {
+    const Lit ai = a[i];
+    const Lit bi = b[i];
+    lt = graph.or2(lt, graph.and2(eq, graph.and2(aig::lit_not(ai), bi)));
+    gt = graph.or2(gt, graph.and2(eq, graph.and2(ai, aig::lit_not(bi))));
+    eq = graph.and2(eq, graph.xnor2(ai, bi));
+  }
+  graph.add_po(lt, "lt");
+  graph.add_po(eq, "eq");
+  graph.add_po(gt, "gt");
+  return graph;
+}
+
+Aig build_popcount(unsigned width) {
+  check_width(width);
+  Aig graph("popcount" + std::to_string(width));
+  std::vector<Lit> inputs;
+  for (unsigned i = 0; i < width; ++i)
+    inputs.push_back(graph.add_pi("x" + std::to_string(i)));
+
+  // Binary counter accumulation: add each input into a ripple counter.
+  unsigned bits = 1;
+  while ((1u << bits) < width + 1) ++bits;
+  std::vector<Lit> count(bits, aig::kLitFalse);
+  for (const Lit input : inputs) {
+    Lit carry = input;
+    for (unsigned i = 0; i < bits && carry != aig::kLitFalse; ++i) {
+      const Lit sum = graph.xor2(count[i], carry);
+      carry = graph.and2(count[i], carry);
+      count[i] = sum;
+    }
+  }
+  for (unsigned i = 0; i < bits; ++i)
+    graph.add_po(count[i], "c" + std::to_string(i));
+  return graph;
+}
+
+}  // namespace simgen::benchgen

@@ -1,0 +1,93 @@
+#include "benchgen/suite.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "aig/putontop.hpp"
+
+namespace simgen::benchgen {
+namespace {
+
+using enum CircuitStyle;
+
+// Interface widths follow the original circuits (large ITC'99/EPFL
+// interfaces are scaled down proportionally); gate counts are scaled to
+// laptop runtimes. Styles: MCNC PLA-derived circuits are kRandomLogic,
+// EPFL arithmetic is kArithmetic, ITC'99 and the EPFL control circuits
+// are kControl.
+// Arithmetic circuits are kept smaller than the control/PLA ones: their
+// xor/majority-dominated miters are the classic worst case for CDCL (the
+// paper's log2 row shows the same effect at 1.4e6 ms of SAT time).
+const std::vector<CircuitSpec> kSuite = {
+    {"alu4", 14, 8, 700, kRandomLogic, 0.06, 0.11, 0},
+    {"apex1", 45, 45, 900, kRandomLogic, 0.06, 0.11, 0},
+    {"apex2", 38, 3, 800, kRandomLogic, 0.07, 0.12, 0},
+    {"apex3", 54, 50, 900, kRandomLogic, 0.06, 0.11, 0},
+    {"apex4", 9, 19, 1200, kRandomLogic, 0.05, 0.10, 0},
+    {"apex5", 114, 88, 700, kRandomLogic, 0.06, 0.11, 0},
+    {"cordic", 23, 2, 600, kArithmetic, 0.06, 0.11, 0},
+    {"cps", 24, 109, 700, kRandomLogic, 0.07, 0.12, 0},
+    {"dalu", 75, 16, 600, kControl, 0.06, 0.11, 0},
+    {"des", 180, 170, 1400, kControl, 0.05, 0.10, 0},
+    {"e64", 65, 65, 400, kRandomLogic, 0.06, 0.11, 0},
+    {"ex1010", 10, 10, 1700, kRandomLogic, 0.05, 0.10, 0},
+    {"ex5p", 8, 63, 700, kRandomLogic, 0.06, 0.11, 0},
+    {"i10", 160, 140, 1000, kControl, 0.06, 0.11, 0},
+    {"k2", 45, 45, 700, kRandomLogic, 0.06, 0.11, 0},
+    {"misex3", 14, 14, 800, kRandomLogic, 0.06, 0.11, 0},
+    {"misex3c", 14, 14, 500, kRandomLogic, 0.06, 0.11, 0},
+    {"pdc", 16, 40, 1500, kRandomLogic, 0.05, 0.10, 0},
+    {"seq", 41, 35, 900, kRandomLogic, 0.06, 0.11, 0},
+    {"spla", 16, 46, 1300, kRandomLogic, 0.05, 0.10, 0},
+    {"table3", 14, 14, 800, kRandomLogic, 0.06, 0.11, 0},
+    {"table5", 17, 15, 800, kRandomLogic, 0.06, 0.11, 0},
+    {"sin", 24, 25, 1000, kArithmetic, 0.05, 0.10, 0},
+    {"square", 64, 127, 900, kArithmetic, 0.05, 0.10, 0},
+    {"arbiter", 128, 65, 2400, kControl, 0.05, 0.10, 0},
+    {"dec", 8, 256, 400, kRandomLogic, 0.08, 0.12, 0},
+    {"m_ctrl", 180, 160, 3200, kControl, 0.05, 0.10, 0},
+    {"priority", 128, 8, 600, kControl, 0.07, 0.11, 0},
+    {"voter", 120, 1, 1100, kArithmetic, 0.05, 0.10, 0},
+    {"log2", 32, 32, 1300, kArithmetic, 0.05, 0.10, 0},
+    {"b14_C", 90, 90, 1500, kControl, 0.05, 0.10, 0},
+    {"b14_C2", 90, 90, 1400, kControl, 0.05, 0.10, 0},
+    {"b15_C", 120, 120, 2400, kControl, 0.05, 0.10, 0},
+    {"b15_C2", 120, 120, 2300, kControl, 0.05, 0.10, 0},
+    {"b17_C", 200, 200, 4200, kControl, 0.04, 0.10, 0},
+    {"b17_C2", 200, 200, 4000, kControl, 0.04, 0.10, 0},
+    {"b20_C", 120, 120, 2700, kControl, 0.05, 0.10, 0},
+    {"b20_C2", 120, 120, 2600, kControl, 0.05, 0.10, 0},
+    {"b21_C", 120, 120, 2700, kControl, 0.05, 0.10, 0},
+    {"b21_C2", 120, 120, 2600, kControl, 0.05, 0.10, 0},
+    {"b22_C", 150, 150, 3400, kControl, 0.05, 0.10, 0},
+    {"b22_C2", 150, 150, 3300, kControl, 0.05, 0.10, 0},
+};
+
+// Paper Table 2 (bottom): stacked benchmarks with their copy counts.
+const std::vector<StackedSpec> kStacked = {
+    {"alu4", 15},   {"square", 7},  {"arbiter", 15}, {"b15_C2", 8},
+    {"b17_C", 5},   {"b17_C2", 5},  {"b20_C2", 8},   {"b21_C2", 8},
+    {"b22_C", 6},
+};
+
+}  // namespace
+
+std::span<const CircuitSpec> benchmark_suite() { return kSuite; }
+
+const CircuitSpec* find_benchmark(std::string_view name) {
+  for (const CircuitSpec& spec : kSuite)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+std::span<const StackedSpec> stacked_suite() { return kStacked; }
+
+aig::Aig generate_stacked(const StackedSpec& spec) {
+  const CircuitSpec* base = find_benchmark(spec.base);
+  if (base == nullptr)
+    throw std::invalid_argument("generate_stacked: unknown benchmark " +
+                                std::string(spec.base));
+  return aig::put_on_top(generate_circuit(*base), spec.copies);
+}
+
+}  // namespace simgen::benchgen

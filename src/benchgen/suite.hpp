@@ -1,0 +1,35 @@
+/// \file suite.hpp
+/// \brief The 42-benchmark evaluation suite and the stacked variants.
+///
+/// Names follow the paper's Table 2 (VTR / MCNC, EPFL, ITC'99). Interface
+/// widths and styles are modeled on the original circuits; node counts are
+/// scaled to laptop runtimes (see DESIGN.md, substitutions). Seeds derive
+/// from the names, so the whole evaluation is reproducible bit-for-bit.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "benchgen/generator.hpp"
+
+namespace simgen::benchgen {
+
+/// All 42 benchmark specs, in the paper's Table 2 order.
+[[nodiscard]] std::span<const CircuitSpec> benchmark_suite();
+
+/// Looks up a spec by name; nullptr if unknown.
+[[nodiscard]] const CircuitSpec* find_benchmark(std::string_view name);
+
+/// A benchmark stacked on itself (paper Section 6.4, ABC &putontop).
+struct StackedSpec {
+  std::string_view base;  ///< Name of the base benchmark.
+  unsigned copies = 1;    ///< Number of stacked instances.
+};
+
+/// The 9 stacked configurations of Table 2 (bottom), e.g. alu4 x 15.
+[[nodiscard]] std::span<const StackedSpec> stacked_suite();
+
+/// Generates the stacked AIG for one StackedSpec.
+[[nodiscard]] aig::Aig generate_stacked(const StackedSpec& spec);
+
+}  // namespace simgen::benchgen

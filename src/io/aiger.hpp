@@ -1,0 +1,32 @@
+/// \file aiger.hpp
+/// \brief AIGER reader/writer (ASCII "aag" and binary "aig" formats).
+///
+/// AIGER is the de-facto exchange format for AIGs (used by ABC and the
+/// hardware model-checking community). Only the combinational subset is
+/// supported; latches are rejected. The binary format uses the standard
+/// delta/varint encoding of the AIGER 1.9 specification.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace simgen::io {
+
+/// Reads either format, dispatching on the "aag"/"aig" magic.
+[[nodiscard]] aig::Aig read_aiger(std::istream& in);
+[[nodiscard]] aig::Aig read_aiger_file(const std::string& path);
+[[nodiscard]] aig::Aig read_aiger_string(const std::string& text);
+
+/// Writes the ASCII (aag) format.
+void write_aiger_ascii(const aig::Aig& graph, std::ostream& out);
+/// Writes the binary (aig) format.
+void write_aiger_binary(const aig::Aig& graph, std::ostream& out);
+
+void write_aiger_file(const aig::Aig& graph, const std::string& path,
+                      bool binary = true);
+[[nodiscard]] std::string write_aiger_string(const aig::Aig& graph,
+                                             bool binary = false);
+
+}  // namespace simgen::io

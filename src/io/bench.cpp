@@ -1,0 +1,307 @@
+#include "io/bench.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/isop.hpp"
+
+namespace simgen::io {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("bench:" + std::to_string(line) + ": " + message);
+}
+
+std::string trim(std::string s) {
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  s.erase(s.begin(), std::find_if(s.begin(), s.end(), not_space));
+  s.erase(std::find_if(s.rbegin(), s.rend(), not_space).base(), s.end());
+  return s;
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+struct GateDef {
+  std::string kind;                 // normalized gate name
+  std::vector<std::string> inputs;  // operand signal names
+  std::size_t line_number = 0;
+};
+
+tt::TruthTable gate_table(const GateDef& gate) {
+  const auto arity = static_cast<unsigned>(gate.inputs.size());
+  const auto check_arity = [&](unsigned expected) {
+    if (arity != expected)
+      fail(gate.line_number, gate.kind + " expects " + std::to_string(expected) +
+                                 " inputs, got " + std::to_string(arity));
+  };
+  if (gate.kind == "AND") return tt::TruthTable::and_gate(arity);
+  if (gate.kind == "OR") return tt::TruthTable::or_gate(arity);
+  if (gate.kind == "NAND") return tt::TruthTable::nand_gate(arity);
+  if (gate.kind == "NOR") return tt::TruthTable::nor_gate(arity);
+  if (gate.kind == "XOR") return tt::TruthTable::xor_gate(arity);
+  if (gate.kind == "XNOR") return ~tt::TruthTable::xor_gate(arity);
+  if (gate.kind == "NOT") {
+    check_arity(1);
+    return tt::TruthTable::not_gate();
+  }
+  if (gate.kind == "BUF" || gate.kind == "BUFF") {
+    check_arity(1);
+    return tt::TruthTable::buffer();
+  }
+  if (gate.kind == "MUX") {
+    check_arity(3);
+    // BENCH MUX(s, a, b): s ? b : a per ISCAS convention (select first).
+    const auto s = tt::TruthTable::projection(3, 0);
+    const auto a = tt::TruthTable::projection(3, 1);
+    const auto b = tt::TruthTable::projection(3, 2);
+    return (s & b) | (~s & a);
+  }
+  if (gate.kind == "DFF")
+    fail(gate.line_number, "sequential element DFF is not supported");
+  fail(gate.line_number, "unknown gate " + gate.kind);
+}
+
+}  // namespace
+
+net::Network read_bench(std::istream& in) {
+  net::Network network("bench");
+  std::unordered_map<std::string, net::NodeId> signal_map;
+  std::unordered_map<std::string, GateDef> definitions;
+  std::vector<std::string> outputs;
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto open = line.find('(');
+    const auto close = line.rfind(')');
+    if (const auto eq = line.find('='); eq != std::string::npos) {
+      // Gate assignment: out = KIND(a, b, ...)
+      if (open == std::string::npos || close == std::string::npos || open > close)
+        fail(line_number, "malformed gate line");
+      GateDef gate;
+      gate.kind = upper(trim(line.substr(eq + 1, open - eq - 1)));
+      gate.line_number = line_number;
+      std::string args = line.substr(open + 1, close - open - 1);
+      std::istringstream arg_stream(args);
+      std::string arg;
+      while (std::getline(arg_stream, arg, ',')) {
+        arg = trim(arg);
+        if (arg.empty()) fail(line_number, "empty gate operand");
+        gate.inputs.push_back(arg);
+      }
+      const std::string target = trim(line.substr(0, eq));
+      if (definitions.contains(target))
+        fail(line_number, "signal defined twice: " + target);
+      definitions.emplace(target, std::move(gate));
+    } else if (open != std::string::npos && close != std::string::npos) {
+      const std::string kind = upper(trim(line.substr(0, open)));
+      const std::string name = trim(line.substr(open + 1, close - open - 1));
+      if (kind == "INPUT") {
+        if (signal_map.contains(name)) fail(line_number, "duplicate input " + name);
+        signal_map.emplace(name, network.add_pi(name));
+      } else if (kind == "OUTPUT") {
+        outputs.push_back(name);
+      } else {
+        fail(line_number, "unknown directive " + kind);
+      }
+    } else {
+      fail(line_number, "unparseable line");
+    }
+  }
+
+  enum class State : std::uint8_t { kUntouched, kInProgress, kDone };
+  std::unordered_map<std::string, State> state;
+  const std::function<net::NodeId(const std::string&)> build =
+      [&](const std::string& name) -> net::NodeId {
+    if (const auto it = signal_map.find(name); it != signal_map.end()) return it->second;
+    const auto def = definitions.find(name);
+    if (def == definitions.end())
+      throw std::runtime_error("bench: undefined signal " + name);
+    if (state[name] == State::kInProgress)
+      fail(def->second.line_number, "combinational cycle through " + name);
+    state[name] = State::kInProgress;
+    std::vector<net::NodeId> fanins;
+    for (const std::string& input : def->second.inputs) fanins.push_back(build(input));
+    const net::NodeId id = network.add_lut(fanins, gate_table(def->second), name);
+    state[name] = State::kDone;
+    signal_map.emplace(name, id);
+    return id;
+  };
+
+  for (const std::string& output : outputs) network.add_po(build(output), output);
+  network.check_invariants();
+  return network;
+}
+
+net::Network read_bench_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("bench: cannot open " + path);
+  return read_bench(file);
+}
+
+net::Network read_bench_string(const std::string& text) {
+  std::istringstream stream(text);
+  return read_bench(stream);
+}
+
+namespace {
+
+std::string signal_name(const net::Network& network, net::NodeId id) {
+  const auto& node = network.node(id);
+  if (!node.name.empty()) return node.name;
+  return "n" + std::to_string(id);
+}
+
+}  // namespace
+
+void write_bench(const net::Network& network, std::ostream& out) {
+  for (net::NodeId pi : network.pis())
+    out << "INPUT(" << signal_name(network, pi) << ")\n";
+  std::vector<std::string> po_names;
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    std::string name = network.node(network.pos()[i]).name;
+    if (name.empty()) name = "po" + std::to_string(i);
+    po_names.push_back(name);
+    out << "OUTPUT(" << name << ")\n";
+  }
+
+  std::size_t aux_counter = 0;
+  const auto aux_name = [&] { return "aux" + std::to_string(aux_counter++); };
+
+  // Emits `target = KIND(operands...)`, splitting into a balanced tree of
+  // at-most-8-input gates (readers bound gate arity by the truth-table
+  // limit; ISOP covers of 6-LUTs can exceed it).
+  constexpr std::size_t kMaxGateArity = 8;
+  const std::function<void(const std::string&, const char*,
+                           std::vector<std::string>)>
+      emit_tree = [&](const std::string& target, const char* kind,
+                      std::vector<std::string> operands) {
+        while (operands.size() > kMaxGateArity) {
+          std::vector<std::string> next;
+          for (std::size_t i = 0; i < operands.size(); i += kMaxGateArity) {
+            const std::size_t end = std::min(i + kMaxGateArity, operands.size());
+            if (end - i == 1) {
+              next.push_back(operands[i]);
+              continue;
+            }
+            const std::string chunk = aux_name();
+            out << chunk << " = " << kind << "(";
+            for (std::size_t k = i; k < end; ++k)
+              out << (k > i ? ", " : "") << operands[k];
+            out << ")\n";
+            next.push_back(chunk);
+          }
+          operands = std::move(next);
+        }
+        if (operands.size() == 1) {
+          out << target << " = BUFF(" << operands[0] << ")\n";
+          return;
+        }
+        out << target << " = " << kind << "(";
+        for (std::size_t i = 0; i < operands.size(); ++i)
+          out << (i ? ", " : "") << operands[i];
+        out << ")\n";
+      };
+
+  network.for_each_node([&](net::NodeId id) {
+    if (!network.is_lut(id)) return;
+    const auto& node = network.node(id);
+    const std::string name = signal_name(network, id);
+    const auto fanin_name = [&](unsigned v) {
+      return signal_name(network, node.fanins[v]);
+    };
+    const auto num_vars = static_cast<unsigned>(node.fanins.size());
+
+    // Fast path: functions that are single BENCH gates.
+    if (node.function == tt::TruthTable::and_gate(num_vars)) {
+      out << name << " = AND(";
+    } else if (node.function == tt::TruthTable::or_gate(num_vars)) {
+      out << name << " = OR(";
+    } else if (node.function == tt::TruthTable::xor_gate(num_vars)) {
+      out << name << " = XOR(";
+    } else if (node.function == tt::TruthTable::nand_gate(num_vars)) {
+      out << name << " = NAND(";
+    } else if (node.function == tt::TruthTable::nor_gate(num_vars)) {
+      out << name << " = NOR(";
+    } else if (num_vars == 1 && node.function == tt::TruthTable::not_gate()) {
+      out << name << " = NOT(";
+    } else if (num_vars == 1 && node.function == tt::TruthTable::buffer()) {
+      out << name << " = BUFF(";
+    } else {
+      // General LUT: two-level decomposition of the ISOP. Inverters are
+      // emitted on demand per (node, literal) use.
+      std::vector<std::string> product_names;
+      for (const tt::Cube& cube : tt::isop(node.function).cubes) {
+        std::vector<std::string> literal_names;
+        for (unsigned v = 0; v < num_vars; ++v) {
+          if (!cube.has_literal(v)) continue;
+          if (cube.literal_value(v)) {
+            literal_names.push_back(fanin_name(v));
+          } else {
+            const std::string inv = aux_name();
+            out << inv << " = NOT(" << fanin_name(v) << ")\n";
+            literal_names.push_back(inv);
+          }
+        }
+        if (literal_names.empty()) {
+          // Tautological cube: the function is constant 1; emit as
+          // OR(x, NOT(x)) over the first fanin for lack of constants.
+          const std::string inv = aux_name();
+          out << inv << " = NOT(" << fanin_name(0) << ")\n";
+          const std::string one = aux_name();
+          out << one << " = OR(" << fanin_name(0) << ", " << inv << ")\n";
+          product_names.push_back(one);
+          continue;
+        }
+        if (literal_names.size() == 1) {
+          product_names.push_back(literal_names[0]);
+        } else {
+          const std::string product = aux_name();
+          emit_tree(product, "AND", literal_names);
+          product_names.push_back(product);
+        }
+      }
+      if (product_names.empty()) {
+        // Constant 0: AND(x, NOT(x)).
+        const std::string inv = aux_name();
+        out << inv << " = NOT(" << fanin_name(0) << ")\n";
+        out << name << " = AND(" << fanin_name(0) << ", " << inv << ")\n";
+        return;
+      }
+      emit_tree(name, "OR", product_names);
+      return;
+    }
+    for (unsigned v = 0; v < num_vars; ++v) out << (v ? ", " : "") << fanin_name(v);
+    out << ")\n";
+  });
+
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const net::NodeId driver = network.fanins(network.pos()[i])[0];
+    const std::string driver_name = signal_name(network, driver);
+    if (driver_name != po_names[i])
+      out << po_names[i] << " = BUFF(" << driver_name << ")\n";
+  }
+}
+
+std::string write_bench_string(const net::Network& network) {
+  std::ostringstream stream;
+  write_bench(network, stream);
+  return stream.str();
+}
+
+}  // namespace simgen::io

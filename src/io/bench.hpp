@@ -1,0 +1,27 @@
+/// \file bench.hpp
+/// \brief Reader for the ISCAS/ITC BENCH netlist format.
+///
+/// BENCH is the format the ITC'99 benchmarks (used in the paper's
+/// evaluation) are commonly distributed in: INPUT(x), OUTPUT(y), and
+/// gate assignments y = AND(a, b, ...). Gates are converted to LUT nodes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace simgen::io {
+
+/// Parses a combinational BENCH netlist. Supported gates: AND, OR, NAND,
+/// NOR, XOR, XNOR, NOT, BUF/BUFF; DFF is rejected (combinational only).
+[[nodiscard]] net::Network read_bench(std::istream& in);
+[[nodiscard]] net::Network read_bench_file(const std::string& path);
+[[nodiscard]] net::Network read_bench_string(const std::string& text);
+
+/// Writes a network as BENCH. LUT functions that are not simple gates are
+/// decomposed into their ISOP as a two-level AND/OR/NOT structure.
+void write_bench(const net::Network& network, std::ostream& out);
+[[nodiscard]] std::string write_bench_string(const net::Network& network);
+
+}  // namespace simgen::io

@@ -1,0 +1,286 @@
+#include "io/blif.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/isop.hpp"
+
+namespace simgen::io {
+namespace {
+
+struct NamesEntry {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::pair<std::string, char>> cubes;  // (pattern, output char)
+  std::size_t line_number = 0;
+};
+
+struct BlifDocument {
+  std::string model;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NamesEntry> names;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("blif:" + std::to_string(line) + ": " + message);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+BlifDocument parse_document(std::istream& in) {
+  BlifDocument doc;
+  NamesEntry* current = nullptr;
+  std::string raw;
+  std::size_t line_number = 0;
+  bool ended = false;
+
+  // Reads one logical line, folding trailing-backslash continuations and
+  // stripping comments.
+  const auto next_logical_line = [&](std::string& out_line) -> bool {
+    out_line.clear();
+    while (std::getline(in, raw)) {
+      ++line_number;
+      if (const auto hash = raw.find('#'); hash != std::string::npos)
+        raw.erase(hash);
+      while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' || raw.back() == '\t'))
+        raw.pop_back();
+      if (!raw.empty() && raw.back() == '\\') {
+        raw.pop_back();
+        out_line += raw + " ";
+        continue;
+      }
+      out_line += raw;
+      if (!tokenize(out_line).empty()) return true;
+      out_line.clear();
+    }
+    return !out_line.empty();
+  };
+
+  std::string line;
+  while (next_logical_line(line)) {
+    if (ended) fail(line_number, "content after .end");
+    const auto tokens = tokenize(line);
+    const std::string& head = tokens.front();
+    if (head == ".model") {
+      if (!doc.model.empty()) fail(line_number, "multiple .model directives");
+      doc.model = tokens.size() > 1 ? tokens[1] : "unnamed";
+      current = nullptr;
+    } else if (head == ".inputs") {
+      doc.inputs.insert(doc.inputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".outputs") {
+      doc.outputs.insert(doc.outputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".names") {
+      if (tokens.size() < 2) fail(line_number, ".names needs an output signal");
+      NamesEntry entry;
+      entry.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+      entry.output = tokens.back();
+      entry.line_number = line_number;
+      doc.names.push_back(std::move(entry));
+      current = &doc.names.back();
+    } else if (head == ".end") {
+      ended = true;
+      current = nullptr;
+    } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
+      fail(line_number, "unsupported construct: " + head);
+    } else if (head[0] == '.') {
+      // Silently ignore benign extensions (.default_input_arrival etc.).
+      current = nullptr;
+    } else {
+      if (current == nullptr) fail(line_number, "cube line outside .names");
+      if (current->inputs.empty()) {
+        if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1"))
+          fail(line_number, "constant .names expects a single 0/1 line");
+        current->cubes.emplace_back("", tokens[0][0]);
+      } else {
+        if (tokens.size() != 2) fail(line_number, "cube line must be <pattern> <value>");
+        if (tokens[0].size() != current->inputs.size())
+          fail(line_number, "cube pattern width mismatch");
+        if (tokens[1] != "0" && tokens[1] != "1")
+          fail(line_number, "cube output must be 0 or 1");
+        current->cubes.emplace_back(tokens[0], tokens[1][0]);
+      }
+    }
+  }
+  if (doc.model.empty() && doc.inputs.empty() && doc.names.empty())
+    throw std::runtime_error("blif: empty input");
+  return doc;
+}
+
+tt::TruthTable cover_to_table(const NamesEntry& entry) {
+  const auto num_vars = static_cast<unsigned>(entry.inputs.size());
+  if (num_vars > tt::kMaxVars)
+    fail(entry.line_number, ".names with more inputs than supported");
+  if (entry.cubes.empty()) return tt::TruthTable::constant(num_vars, false);
+
+  const char plane = entry.cubes.front().second;
+  tt::TruthTable acc = tt::TruthTable::constant(num_vars, false);
+  for (const auto& [pattern, value] : entry.cubes) {
+    if (value != plane)
+      fail(entry.line_number, "mixed ON/OFF cube planes are not supported");
+    tt::Cube cube;
+    for (unsigned v = 0; v < num_vars; ++v) {
+      const char c = pattern[v];
+      if (c == '1')
+        cube.set_literal(v, true);
+      else if (c == '0')
+        cube.set_literal(v, false);
+      else if (c != '-')
+        fail(entry.line_number, "invalid cube character");
+    }
+    acc |= cube.to_truth_table(num_vars);
+  }
+  return plane == '1' ? acc : ~acc;
+}
+
+}  // namespace
+
+net::Network read_blif(std::istream& in) {
+  const BlifDocument doc = parse_document(in);
+  net::Network network(doc.model);
+
+  std::unordered_map<std::string, net::NodeId> signal_map;
+  for (const std::string& name : doc.inputs) {
+    if (signal_map.contains(name))
+      throw std::runtime_error("blif: duplicate input " + name);
+    signal_map.emplace(name, network.add_pi(name));
+  }
+
+  std::unordered_map<std::string, const NamesEntry*> definition;
+  for (const NamesEntry& entry : doc.names) {
+    if (definition.contains(entry.output) || signal_map.contains(entry.output))
+      fail(entry.line_number, "signal defined twice: " + entry.output);
+    definition.emplace(entry.output, &entry);
+  }
+
+  // Recursive elaboration in dependency order with cycle detection.
+  enum class State : std::uint8_t { kUntouched, kInProgress, kDone };
+  std::unordered_map<std::string, State> state;
+  const std::function<net::NodeId(const std::string&)> build =
+      [&](const std::string& name) -> net::NodeId {
+    if (const auto it = signal_map.find(name); it != signal_map.end()) return it->second;
+    const auto def = definition.find(name);
+    if (def == definition.end())
+      throw std::runtime_error("blif: undefined signal " + name);
+    if (state[name] == State::kInProgress)
+      fail(def->second->line_number, "combinational cycle through " + name);
+    state[name] = State::kInProgress;
+    std::vector<net::NodeId> fanins;
+    fanins.reserve(def->second->inputs.size());
+    for (const std::string& input : def->second->inputs) fanins.push_back(build(input));
+    tt::TruthTable function = cover_to_table(*def->second);
+    net::NodeId id;
+    if (fanins.empty()) {
+      id = network.add_constant(function.get_bit(0));
+    } else {
+      id = network.add_lut(fanins, std::move(function), name);
+    }
+    state[name] = State::kDone;
+    signal_map.emplace(name, id);
+    return id;
+  };
+
+  for (const std::string& output : doc.outputs)
+    network.add_po(build(output), output);
+  network.check_invariants();
+  return network;
+}
+
+net::Network read_blif_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("blif: cannot open " + path);
+  return read_blif(file);
+}
+
+net::Network read_blif_string(const std::string& text) {
+  std::istringstream stream(text);
+  return read_blif(stream);
+}
+
+namespace {
+
+std::string signal_name(const net::Network& network, net::NodeId id) {
+  const auto& node = network.node(id);
+  if (!node.name.empty()) return node.name;
+  return "n" + std::to_string(id);
+}
+
+}  // namespace
+
+void write_blif(const net::Network& network, std::ostream& out) {
+  out << ".model " << (network.name().empty() ? "simgen" : network.name()) << "\n";
+  out << ".inputs";
+  for (net::NodeId pi : network.pis()) out << ' ' << signal_name(network, pi);
+  out << "\n.outputs";
+  std::vector<std::string> po_names;
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const net::NodeId po = network.pos()[i];
+    std::string name = network.node(po).name;
+    if (name.empty()) name = "po" + std::to_string(i);
+    po_names.push_back(name);
+    out << ' ' << name;
+  }
+  out << "\n";
+
+  network.for_each_node([&](net::NodeId id) {
+    if (network.is_constant(id)) {
+      out << ".names " << signal_name(network, id) << "\n";
+      if (network.node(id).constant_value) out << "1\n";
+      return;
+    }
+    if (!network.is_lut(id)) return;
+    out << ".names";
+    for (net::NodeId fanin : network.fanins(id)) out << ' ' << signal_name(network, fanin);
+    out << ' ' << signal_name(network, id) << "\n";
+    const auto num_vars = static_cast<unsigned>(network.fanins(id).size());
+    const auto& function = network.node(id).function;
+    if (function.is_const0()) return;  // empty cover == constant 0
+    if (function.is_const1()) {
+      // Tautology: a single all-DC cube.
+      out << std::string(num_vars, '-') << " 1\n";
+      return;
+    }
+    for (const tt::Cube& cube : tt::isop(function).cubes) {
+      std::string pattern(num_vars, '-');
+      for (unsigned v = 0; v < num_vars; ++v)
+        if (cube.has_literal(v)) pattern[v] = cube.literal_value(v) ? '1' : '0';
+      out << pattern << " 1\n";
+    }
+  });
+
+  // POs are emitted as buffers so each .outputs name is defined even when
+  // it differs from (or aliases) the driver's signal name.
+  for (std::size_t i = 0; i < network.num_pos(); ++i) {
+    const net::NodeId driver = network.fanins(network.pos()[i])[0];
+    const std::string driver_name = signal_name(network, driver);
+    if (driver_name == po_names[i]) continue;
+    out << ".names " << driver_name << ' ' << po_names[i] << "\n1 1\n";
+  }
+  out << ".end\n";
+}
+
+void write_blif_file(const net::Network& network, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("blif: cannot open " + path + " for writing");
+  write_blif(network, file);
+}
+
+std::string write_blif_string(const net::Network& network) {
+  std::ostringstream stream;
+  write_blif(network, stream);
+  return stream.str();
+}
+
+}  // namespace simgen::io

@@ -1,0 +1,31 @@
+/// \file blif.hpp
+/// \brief BLIF reader/writer for LUT networks.
+///
+/// BLIF is the interchange format for LUT-mapped circuits (ABC, VTR, SIS).
+/// Supporting it lets downstream users run the sweeping flow and SimGen on
+/// their own mapped benchmarks. Only the combinational subset is handled:
+/// .model/.inputs/.outputs/.names/.end; latches are rejected with a clear
+/// error.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace simgen::io {
+
+/// Parses a combinational BLIF model into a Network.
+/// Throws std::runtime_error with a line-numbered message on malformed
+/// input or unsupported constructs (.latch, .subckt, multiple models).
+[[nodiscard]] net::Network read_blif(std::istream& in);
+[[nodiscard]] net::Network read_blif_file(const std::string& path);
+[[nodiscard]] net::Network read_blif_string(const std::string& text);
+
+/// Writes \p network as a BLIF model; LUT functions are emitted as their
+/// irredundant ON-set covers (or the "0" convention for constant-0).
+void write_blif(const net::Network& network, std::ostream& out);
+void write_blif_file(const net::Network& network, const std::string& path);
+[[nodiscard]] std::string write_blif_string(const net::Network& network);
+
+}  // namespace simgen::io

@@ -1,0 +1,33 @@
+/// \file verilog.hpp
+/// \brief Structural Verilog writer for LUT networks.
+///
+/// Emits a synthesizable gate-level module (one continuous assignment per
+/// LUT, written as the ISOP sum-of-products of its function) so swept or
+/// reduced networks can be handed back to standard RTL tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace simgen::io {
+
+/// Writes \p network as a Verilog module. Signal names are sanitized to
+/// legal identifiers; unnamed signals get n<id> / po<i> defaults.
+void write_verilog(const net::Network& network, std::ostream& out);
+void write_verilog_file(const net::Network& network, const std::string& path);
+[[nodiscard]] std::string write_verilog_string(const net::Network& network);
+
+/// Parses the structural subset this library writes: one module with
+/// scalar input/output/wire declarations and continuous assignments whose
+/// right-hand sides are sums of products of (optionally ~-negated)
+/// identifiers, or the constants 1'b0 / 1'b1. Enough for round-tripping
+/// swept netlists and for reading netlists written by similar tools.
+/// Throws std::runtime_error with a line-numbered message on anything
+/// outside the subset (always-blocks, instances, vectors, ...).
+[[nodiscard]] net::Network read_verilog(std::istream& in);
+[[nodiscard]] net::Network read_verilog_file(const std::string& path);
+[[nodiscard]] net::Network read_verilog_string(const std::string& text);
+
+}  // namespace simgen::io

@@ -1,0 +1,90 @@
+/// \file cuts.hpp
+/// \brief K-feasible cut enumeration on AIGs (priority cuts).
+///
+/// A cut of node n is a set of at most K nodes ("leaves") such that every
+/// path from a PI to n passes through a leaf; the cone between the leaves
+/// and n can then be implemented as one K-input LUT. Cut enumeration with
+/// per-node priority lists is the standard engine behind ABC's "if -K 6"
+/// mapper, which the paper's methodology applies to every benchmark.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simgen::mapping {
+
+/// Maximum supported cut size (LUT input count).
+inline constexpr unsigned kMaxCutSize = 8;
+
+/// Mapping objective: what "best cut" means.
+enum class MapObjective : std::uint8_t {
+  kDepth,  ///< Minimize arrival level (then size) — timing-driven.
+  kArea,   ///< Minimize area flow (then depth) — area-driven.
+};
+
+/// One cut: sorted leaf set plus the root's function over the leaves.
+struct Cut {
+  std::array<std::uint32_t, kMaxCutSize> leaves{};
+  std::uint8_t size = 0;
+  std::uint32_t signature = 0;  ///< Hash-OR of leaves for fast domination tests.
+  tt::TruthTable function{0};   ///< Root function; variable i = leaves[i].
+  unsigned depth = 0;           ///< Arrival level if this cut is chosen.
+  double area_flow = 0.0;       ///< Estimated LUTs/output charged to this cut.
+
+  [[nodiscard]] std::uint32_t leaf(unsigned index) const { return leaves[index]; }
+
+  /// True iff this cut's leaf set is a subset of \p other's (then `other`
+  /// is dominated and can be discarded).
+  [[nodiscard]] bool subset_of(const Cut& other) const noexcept;
+};
+
+struct CutEnumerationOptions {
+  unsigned cut_size = 6;       ///< K.
+  unsigned cuts_per_node = 8;  ///< Priority-list length (plus trivial cut).
+  MapObjective objective = MapObjective::kDepth;
+};
+
+/// Enumerates priority cuts for every node of \p aig. Index into the
+/// result with the AIG node id; PIs carry only their trivial cut.
+class CutSet {
+ public:
+  CutSet(const aig::Aig& graph, const CutEnumerationOptions& options);
+
+  [[nodiscard]] const std::vector<Cut>& cuts_of(std::uint32_t node) const {
+    return cuts_[node];
+  }
+  /// The cut chosen by depth-oriented mapping (filled by the mapper).
+  [[nodiscard]] const CutEnumerationOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const aig::Aig& graph() const noexcept { return graph_; }
+
+  /// Arrival level of \p node under best-cut selection.
+  [[nodiscard]] unsigned arrival(std::uint32_t node) const { return arrival_[node]; }
+  /// Index of the depth-optimal cut of \p node within cuts_of(node).
+  [[nodiscard]] std::size_t best_cut(std::uint32_t node) const { return best_[node]; }
+
+ private:
+  void enumerate();
+
+  const aig::Aig& graph_;
+  CutEnumerationOptions options_;
+  std::vector<std::vector<Cut>> cuts_;
+  std::vector<unsigned> arrival_;
+  std::vector<std::size_t> best_;
+};
+
+/// Merges two cuts; returns false if the union exceeds \p max_size.
+/// On success fills \p out's leaves/size/signature (not the function).
+[[nodiscard]] bool merge_cuts(const Cut& a, const Cut& b, unsigned max_size, Cut& out);
+
+/// Re-expresses \p function (over \p from leaves) in terms of \p to leaves
+/// (a superset). Exposed for tests.
+[[nodiscard]] tt::TruthTable expand_cut_function(
+    const tt::TruthTable& function, const Cut& from, const Cut& to);
+
+}  // namespace simgen::mapping

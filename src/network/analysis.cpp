@@ -1,0 +1,115 @@
+#include "network/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace simgen::net {
+namespace {
+
+// Iterative post-order DFS over fanins. Appends newly visited nodes to
+// `out`; `visited` persists across roots for the multi-root overload.
+void dfs_from(const Network& network, NodeId root, std::vector<bool>& visited,
+              std::vector<NodeId>& out) {
+  if (visited[root]) return;
+  // Stack entries: (node, next fanin index to expand).
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited[root] = true;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto fanins = network.fanins(node);
+    if (next < fanins.size()) {
+      const NodeId fanin = fanins[next++];
+      if (!visited[fanin]) {
+        visited[fanin] = true;
+        stack.emplace_back(fanin, 0);
+      }
+    } else {
+      out.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> fanin_cone_dfs(const Network& network, NodeId root) {
+  return fanin_cone_dfs(network, std::span(&root, 1));
+}
+
+std::vector<NodeId> fanin_cone_dfs(const Network& network,
+                                   std::span<const NodeId> roots) {
+  std::vector<bool> visited(network.num_nodes(), false);
+  std::vector<NodeId> out;
+  for (NodeId root : roots) dfs_from(network, root, visited, out);
+  return out;
+}
+
+std::vector<NodeId> cone_pis(const Network& network, NodeId root) {
+  std::vector<NodeId> result;
+  for (NodeId node : fanin_cone_dfs(network, root))
+    if (network.is_pi(node)) result.push_back(node);
+  return result;
+}
+
+std::vector<NodeId> fanout_cone(const Network& network, NodeId root) {
+  std::vector<bool> reached(network.num_nodes(), false);
+  reached[root] = true;
+  std::vector<NodeId> result{root};
+  // Fanouts always have larger ids, so one forward sweep suffices.
+  for (NodeId id = root; id < network.num_nodes(); ++id) {
+    if (!reached[id]) continue;
+    for (NodeId fanout : network.fanouts(id)) {
+      if (!reached[fanout]) {
+        reached[fanout] = true;
+        result.push_back(fanout);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool in_fanin_cone(const Network& network, NodeId root, NodeId node) {
+  if (node > root) return false;
+  const auto cone = fanin_cone_dfs(network, root);
+  return std::find(cone.begin(), cone.end(), node) != cone.end();
+}
+
+NetworkStats compute_stats(const Network& network) {
+  NetworkStats stats;
+  stats.num_pis = network.num_pis();
+  stats.num_pos = network.num_pos();
+  stats.num_luts = network.num_luts();
+  stats.depth = network.depth();
+  std::size_t fanin_total = 0;
+  std::size_t fanout_total = 0;
+  std::size_t fanout_nodes = 0;
+  network.for_each_node([&](NodeId id) {
+    if (network.is_lut(id)) fanin_total += network.fanins(id).size();
+    if (!network.is_po(id)) {
+      fanout_total += network.fanouts(id).size();
+      ++fanout_nodes;
+      stats.max_fanout =
+          std::max<unsigned>(stats.max_fanout,
+                             static_cast<unsigned>(network.fanouts(id).size()));
+    }
+  });
+  if (stats.num_luts > 0)
+    stats.avg_fanin = static_cast<double>(fanin_total) / static_cast<double>(stats.num_luts);
+  if (fanout_nodes > 0)
+    stats.avg_fanout = static_cast<double>(fanout_total) / static_cast<double>(fanout_nodes);
+  return stats;
+}
+
+std::string to_string(const NetworkStats& stats) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "pis=%zu pos=%zu luts=%zu depth=%u avg_fanin=%.2f "
+                "avg_fanout=%.2f max_fanout=%u",
+                stats.num_pis, stats.num_pos, stats.num_luts, stats.depth,
+                stats.avg_fanin, stats.avg_fanout, stats.max_fanout);
+  return buffer;
+}
+
+}  // namespace simgen::net

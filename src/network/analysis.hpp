@@ -1,0 +1,50 @@
+/// \file analysis.hpp
+/// \brief Structural queries over networks: cones, DFS orders, statistics.
+///
+/// These are the graph traversals Algorithm 1 of the paper relies on:
+/// `fanin_cone_dfs` is its `dfs(targetNode)` (the listDfs variable), and
+/// `cone_pis` supplies the PI set the `PIsSet` loop condition checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace simgen::net {
+
+/// Nodes of the transitive fanin cone of \p root (root included), in DFS
+/// post-order from the root, i.e. fanins appear before their readers.
+[[nodiscard]] std::vector<NodeId> fanin_cone_dfs(const Network& network, NodeId root);
+
+/// Like fanin_cone_dfs but for several roots at once (deduplicated).
+[[nodiscard]] std::vector<NodeId> fanin_cone_dfs(const Network& network,
+                                                 std::span<const NodeId> roots);
+
+/// Primary inputs reachable in the fanin cone of \p root.
+[[nodiscard]] std::vector<NodeId> cone_pis(const Network& network, NodeId root);
+
+/// Nodes of the transitive fanout cone of \p root (root included), in
+/// topological (increasing id) order.
+[[nodiscard]] std::vector<NodeId> fanout_cone(const Network& network, NodeId root);
+
+/// True iff \p node lies in the transitive fanin cone of \p root.
+[[nodiscard]] bool in_fanin_cone(const Network& network, NodeId root, NodeId node);
+
+/// Summary statistics used by the benches and examples.
+struct NetworkStats {
+  std::size_t num_pis = 0;
+  std::size_t num_pos = 0;
+  std::size_t num_luts = 0;
+  unsigned depth = 0;
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;
+  unsigned max_fanout = 0;
+};
+
+[[nodiscard]] NetworkStats compute_stats(const Network& network);
+
+/// One-line human-readable rendering of the stats.
+[[nodiscard]] std::string to_string(const NetworkStats& stats);
+
+}  // namespace simgen::net

@@ -1,0 +1,66 @@
+#include "network/mffc.hpp"
+
+#include <algorithm>
+
+namespace simgen::net {
+
+MffcInfo compute_mffc(const Network& network, NodeId root) {
+  MffcInfo info;
+  info.root = root;
+  if (!network.is_lut(root)) return info;  // PIs/constants/POs: empty MFFC.
+
+  // Dereference simulation: a fanin joins the cone when all of its fanouts
+  // are already inside, i.e. its external reference count drops to zero.
+  std::vector<std::uint32_t> refs(network.num_nodes(), 0);
+  std::vector<bool> member(network.num_nodes(), false);
+  info.members.push_back(root);
+  member[root] = true;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    for (NodeId fanin : network.fanins(node)) {
+      if (!network.is_lut(fanin)) continue;
+      if (member[fanin]) continue;
+      if (refs[fanin] == 0)
+        refs[fanin] = static_cast<std::uint32_t>(network.fanouts(fanin).size());
+      if (--refs[fanin] == 0) {
+        member[fanin] = true;
+        info.members.push_back(fanin);
+        stack.push_back(fanin);
+      }
+    }
+  }
+  std::sort(info.members.begin(), info.members.end());
+
+  // Leaves: members none of whose fanins is a member (the first cone nodes
+  // on any PI-to-cone path, per the paper's cone terminology).
+  for (NodeId node : info.members) {
+    bool has_member_fanin = false;
+    for (NodeId fanin : network.fanins(node)) {
+      if (member[fanin]) {
+        has_member_fanin = true;
+        break;
+      }
+    }
+    if (!has_member_fanin) info.leaves.push_back(node);
+  }
+
+  // Equation 2: average distance from each leaf to the cone output.
+  if (!info.leaves.empty()) {
+    const unsigned root_level = network.level(root);
+    double total = 0.0;
+    for (NodeId leaf : info.leaves)
+      total += static_cast<double>(root_level - network.level(leaf));
+    info.depth = total / static_cast<double>(info.leaves.size());
+  }
+  return info;
+}
+
+double MffcDepthCache::depth(NodeId node) const {
+  double& slot = depth_[node];
+  if (slot == kUnknown) slot = compute_mffc(network_, node).depth;
+  return slot;
+}
+
+}  // namespace simgen::net

@@ -1,0 +1,144 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simgen::net {
+
+NodeId Network::add_pi(std::string name) {
+  Node node;
+  node.kind = NodeKind::kPi;
+  node.name = std::move(name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  pis_.push_back(id);
+  levels_valid_ = false;
+  return id;
+}
+
+NodeId Network::add_constant(bool value) {
+  NodeId& cached = const_node_[value ? 1 : 0];
+  if (cached != kNullNode) return cached;
+  Node node;
+  node.kind = NodeKind::kConstant;
+  node.constant_value = value;
+  cached = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  levels_valid_ = false;
+  return cached;
+}
+
+NodeId Network::add_lut(std::span<const NodeId> fanins, tt::TruthTable function,
+                        std::string name) {
+  if (function.num_vars() != fanins.size())
+    throw std::invalid_argument("Network::add_lut: arity mismatch");
+  for (NodeId fanin : fanins) {
+    if (fanin >= nodes_.size())
+      throw std::invalid_argument("Network::add_lut: fanin does not exist");
+    if (nodes_[fanin].kind == NodeKind::kPo)
+      throw std::invalid_argument("Network::add_lut: PO cannot be a fanin");
+  }
+  Node node;
+  node.kind = NodeKind::kLut;
+  node.fanins.assign(fanins.begin(), fanins.end());
+  node.function = std::move(function);
+  node.name = std::move(name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  for (NodeId fanin : fanins) nodes_[fanin].fanouts.push_back(id);
+  ++num_luts_;
+  levels_valid_ = false;
+  return id;
+}
+
+NodeId Network::add_po(NodeId driver, std::string name) {
+  if (driver >= nodes_.size())
+    throw std::invalid_argument("Network::add_po: driver does not exist");
+  if (nodes_[driver].kind == NodeKind::kPo)
+    throw std::invalid_argument("Network::add_po: PO cannot drive a PO");
+  Node node;
+  node.kind = NodeKind::kPo;
+  node.fanins.push_back(driver);
+  node.name = std::move(name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[driver].fanouts.push_back(id);
+  pos_.push_back(id);
+  levels_valid_ = false;
+  return id;
+}
+
+std::size_t Network::fanin_index(NodeId id, NodeId fanin) const {
+  const auto& list = nodes_[id].fanins;
+  const auto it = std::find(list.begin(), list.end(), fanin);
+  return it == list.end() ? kNullNode : static_cast<std::size_t>(it - list.begin());
+}
+
+unsigned Network::level(NodeId id) const {
+  ensure_levels();
+  return levels_[id];
+}
+
+unsigned Network::depth() const {
+  unsigned result = 0;
+  for (NodeId po : pos_) result = std::max(result, level(po));
+  return result;
+}
+
+std::vector<NodeId> Network::topological_order() const {
+  std::vector<NodeId> order(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) order[id] = id;
+  return order;
+}
+
+void Network::ensure_levels() const {
+  if (levels_valid_) return;
+  levels_.assign(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    unsigned lev = 0;
+    for (NodeId fanin : node.fanins) lev = std::max(lev, levels_[fanin] + 1);
+    // POs are transparent name points: they sit at their driver's level.
+    if (node.kind == NodeKind::kPo) lev = node.fanins.empty() ? 0 : levels_[node.fanins[0]];
+    levels_[id] = lev;
+  }
+  levels_valid_ = true;
+}
+
+void Network::check_invariants() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    switch (node.kind) {
+      case NodeKind::kPi:
+      case NodeKind::kConstant:
+        if (!node.fanins.empty())
+          throw std::logic_error("source node has fanins");
+        break;
+      case NodeKind::kPo:
+        if (node.fanins.size() != 1)
+          throw std::logic_error("PO must have exactly one fanin");
+        if (!node.fanouts.empty())
+          throw std::logic_error("PO has fanouts");
+        break;
+      case NodeKind::kLut:
+        if (node.function.num_vars() != node.fanins.size())
+          throw std::logic_error("LUT arity mismatch");
+        break;
+    }
+    for (NodeId fanin : node.fanins) {
+      if (fanin >= id) throw std::logic_error("fanin not topologically earlier");
+      const auto& outs = nodes_[fanin].fanouts;
+      if (std::count(outs.begin(), outs.end(), id) !=
+          std::count(node.fanins.begin(), node.fanins.end(), fanin))
+        throw std::logic_error("fanin/fanout asymmetry");
+    }
+    for (NodeId fanout : node.fanouts) {
+      if (fanout <= id) throw std::logic_error("fanout not topologically later");
+      const auto& ins = nodes_[fanout].fanins;
+      if (std::find(ins.begin(), ins.end(), id) == ins.end())
+        throw std::logic_error("fanout does not list this node as fanin");
+    }
+  }
+}
+
+}  // namespace simgen::net

@@ -1,0 +1,142 @@
+/// \file network.hpp
+/// \brief Generic K-LUT Boolean network (DAG of truth-table nodes).
+///
+/// This is the circuit representation the whole library operates on: the
+/// LUT mapper produces it, the simulator evaluates it, SimGen propagates
+/// values through it, and the CNF encoder translates it for the SAT
+/// solver. It matches the paper's model (Section 2.1): a DAG whose nodes
+/// compute single-output Boolean functions, with distinguished primary
+/// inputs (no fanins) and primary outputs (no fanouts).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace simgen::net {
+
+/// Dense node identifier; also the index into all per-node side arrays.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNullNode = std::numeric_limits<NodeId>::max();
+
+enum class NodeKind : std::uint8_t {
+  kConstant,  ///< Constant 0 or 1; no fanins.
+  kPi,        ///< Primary input; no fanins.
+  kLut,       ///< Internal node with a truth table over its fanins.
+  kPo,        ///< Primary output; single fanin, identity function.
+};
+
+/// One network node. Plain data; invariants are maintained by Network.
+struct Node {
+  NodeKind kind = NodeKind::kLut;
+  bool constant_value = false;            ///< Only for kConstant.
+  std::vector<NodeId> fanins;             ///< Ordered; inputs of `function`.
+  std::vector<NodeId> fanouts;            ///< Unordered readers.
+  tt::TruthTable function{0};             ///< Only for kLut.
+  std::string name;                       ///< Optional (I/O names, debug).
+};
+
+/// Append-only LUT network.
+///
+/// Nodes are created in topological order by construction (fanins must
+/// exist before the node), which keeps levelization and simulation a
+/// single forward pass. The class deliberately has no in-place rewriting:
+/// transformations (mapping, stacking) build new networks.
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a primary input and returns its id.
+  NodeId add_pi(std::string name = {});
+
+  /// Adds (or reuses) the constant node with the given value.
+  NodeId add_constant(bool value);
+
+  /// Adds an internal node computing \p function over \p fanins.
+  /// \p function.num_vars() must equal fanins.size(); every fanin must be
+  /// an existing non-PO node.
+  NodeId add_lut(std::span<const NodeId> fanins, tt::TruthTable function,
+                 std::string name = {});
+
+  /// Adds a primary output reading \p driver.
+  NodeId add_po(NodeId driver, std::string name = {});
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_pis() const noexcept { return pis_.size(); }
+  [[nodiscard]] std::size_t num_pos() const noexcept { return pos_.size(); }
+  /// Number of internal LUT nodes.
+  [[nodiscard]] std::size_t num_luts() const noexcept { return num_luts_; }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+  [[nodiscard]] std::span<const NodeId> pis() const noexcept { return pis_; }
+  [[nodiscard]] std::span<const NodeId> pos() const noexcept { return pos_; }
+
+  [[nodiscard]] bool is_pi(NodeId id) const { return nodes_[id].kind == NodeKind::kPi; }
+  [[nodiscard]] bool is_po(NodeId id) const { return nodes_[id].kind == NodeKind::kPo; }
+  [[nodiscard]] bool is_lut(NodeId id) const { return nodes_[id].kind == NodeKind::kLut; }
+  [[nodiscard]] bool is_constant(NodeId id) const {
+    return nodes_[id].kind == NodeKind::kConstant;
+  }
+
+  [[nodiscard]] std::span<const NodeId> fanins(NodeId id) const {
+    return nodes_[id].fanins;
+  }
+  [[nodiscard]] std::span<const NodeId> fanouts(NodeId id) const {
+    return nodes_[id].fanouts;
+  }
+
+  /// Index of \p fanin within node \p id's fanin list; kNullNode if absent.
+  [[nodiscard]] std::size_t fanin_index(NodeId id, NodeId fanin) const;
+
+  /// Logic level: PIs and constants are level 0; any other node is one
+  /// more than its deepest fanin. Computed lazily and cached; adding nodes
+  /// invalidates the cache.
+  [[nodiscard]] unsigned level(NodeId id) const;
+
+  /// Depth of the network: maximum PO level.
+  [[nodiscard]] unsigned depth() const;
+
+  /// All node ids in creation order, which is a valid topological order.
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Network name (benchmark name for generated circuits).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Calls \p fn(NodeId) for every node in creation (topological) order.
+  template <typename Fn>
+  void for_each_node(Fn&& fn) const {
+    for (NodeId id = 0; id < nodes_.size(); ++id) fn(id);
+  }
+
+  /// Calls \p fn(NodeId) for every internal LUT node in topological order.
+  template <typename Fn>
+  void for_each_lut(Fn&& fn) const {
+    for (NodeId id = 0; id < nodes_.size(); ++id)
+      if (nodes_[id].kind == NodeKind::kLut) fn(id);
+  }
+
+  /// Validates structural invariants (acyclicity by construction, fanin /
+  /// fanout symmetry, arity agreement); throws std::logic_error on breach.
+  void check_invariants() const;
+
+ private:
+  void ensure_levels() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> pis_;
+  std::vector<NodeId> pos_;
+  NodeId const_node_[2] = {kNullNode, kNullNode};
+  std::size_t num_luts_ = 0;
+
+  mutable std::vector<unsigned> levels_;
+  mutable bool levels_valid_ = false;
+};
+
+}  // namespace simgen::net

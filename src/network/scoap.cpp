@@ -1,0 +1,61 @@
+#include "network/scoap.hpp"
+
+#include <algorithm>
+
+#include "tt/isop.hpp"
+
+namespace simgen::net {
+namespace {
+
+constexpr std::uint32_t kInf = ScoapCosts::kUncontrollable;
+
+/// Cheapest row of \p cover: each literal demands its fanin's CC1 or CC0.
+std::uint32_t cover_cost(const tt::Cover& cover, const Network& network,
+                         NodeId node, const ScoapCosts& costs) {
+  const auto fanins = network.fanins(node);
+  std::uint32_t best = kInf;
+  for (const tt::Cube& cube : cover.cubes) {
+    std::uint64_t row_cost = 1;  // the node itself
+    for (unsigned v = 0; v < fanins.size(); ++v) {
+      if (!cube.has_literal(v)) continue;
+      row_cost += costs.cost(fanins[v], cube.literal_value(v));
+    }
+    best = std::min<std::uint64_t>(best, std::min<std::uint64_t>(row_cost, kInf));
+  }
+  return best;
+}
+
+}  // namespace
+
+ScoapCosts compute_scoap(const Network& network) {
+  ScoapCosts costs;
+  costs.cc0.assign(network.num_nodes(), kInf);
+  costs.cc1.assign(network.num_nodes(), kInf);
+
+  network.for_each_node([&](NodeId id) {
+    const Node& node = network.node(id);
+    switch (node.kind) {
+      case NodeKind::kPi:
+        costs.cc0[id] = 1;
+        costs.cc1[id] = 1;
+        break;
+      case NodeKind::kConstant:
+        costs.cc0[id] = node.constant_value ? kInf : 0;
+        costs.cc1[id] = node.constant_value ? 0 : kInf;
+        break;
+      case NodeKind::kPo:
+        costs.cc0[id] = costs.cc0[node.fanins[0]];
+        costs.cc1[id] = costs.cc1[node.fanins[0]];
+        break;
+      case NodeKind::kLut: {
+        const tt::RowSet rows = tt::compute_rows(node.function);
+        costs.cc1[id] = cover_cost(rows.on, network, id, costs);
+        costs.cc0[id] = cover_cost(rows.off, network, id, costs);
+        break;
+      }
+    }
+  });
+  return costs;
+}
+
+}  // namespace simgen::net

@@ -1,0 +1,43 @@
+/// \file scoap.hpp
+/// \brief SCOAP-style controllability analysis.
+///
+/// The classic testability measure from the ATPG literature the paper
+/// draws on: CC0(n)/CC1(n) estimate how many input assignments it takes
+/// to drive node n to 0/1. The gate-type rules of the original SCOAP are
+/// generalized to arbitrary LUTs through their ISOP rows: driving the
+/// node to v costs one plus the cheapest row of the v-plane, where a row
+/// costs the sum of the controllabilities its literals demand.
+///
+/// SimGen uses these costs as an extension decision heuristic (pick rows
+/// whose literals are easy to justify, see DecisionStrategy::
+/// kDontCareScoap) and they are independently useful for test-point
+/// analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace simgen::net {
+
+/// Controllability-to-0 / to-1 per node; kUncontrollable marks values a
+/// node can never take (e.g. CC1 of a constant-0 node).
+struct ScoapCosts {
+  static constexpr std::uint32_t kUncontrollable = 1u << 30;
+
+  std::vector<std::uint32_t> cc0;
+  std::vector<std::uint32_t> cc1;
+
+  /// Cost of driving \p node to \p value.
+  [[nodiscard]] std::uint32_t cost(NodeId node, bool value) const {
+    return value ? cc1[node] : cc0[node];
+  }
+};
+
+/// Computes CC0/CC1 for every node in one topological pass.
+/// PIs cost 1 for either value; constants cost 0 for their value and
+/// kUncontrollable for the other.
+[[nodiscard]] ScoapCosts compute_scoap(const Network& network);
+
+}  // namespace simgen::net

@@ -1,0 +1,86 @@
+#include "sat/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simgen::sat {
+
+DimacsProblem read_dimacs(std::istream& in) {
+  DimacsProblem problem;
+  bool header_seen = false;
+  std::vector<Lit> clause;
+  std::string token;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    if (line[0] == 'p') {
+      std::string p, cnf;
+      std::size_t vars = 0, clauses = 0;
+      if (!(fields >> p >> cnf >> vars >> clauses) || cnf != "cnf")
+        throw std::runtime_error("dimacs: malformed problem line");
+      if (header_seen) throw std::runtime_error("dimacs: duplicate problem line");
+      header_seen = true;
+      problem.num_vars = vars;
+      problem.clauses.reserve(clauses);
+      continue;
+    }
+    if (!header_seen)
+      throw std::runtime_error("dimacs: clause before problem line");
+    long long value = 0;
+    while (fields >> value) {
+      if (value == 0) {
+        problem.clauses.push_back(clause);
+        clause.clear();
+        continue;
+      }
+      const auto var = static_cast<std::size_t>(value > 0 ? value : -value) - 1;
+      if (var >= problem.num_vars)
+        throw std::runtime_error("dimacs: literal exceeds declared variables");
+      clause.push_back(Lit(static_cast<Var>(var), value < 0));
+    }
+  }
+  if (!header_seen) throw std::runtime_error("dimacs: missing problem line");
+  if (!clause.empty())
+    throw std::runtime_error("dimacs: unterminated final clause");
+  return problem;
+}
+
+DimacsProblem read_dimacs_string(const std::string& text) {
+  std::istringstream stream(text);
+  return read_dimacs(stream);
+}
+
+DimacsProblem read_dimacs_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("dimacs: cannot open " + path);
+  return read_dimacs(file);
+}
+
+bool load_problem(Solver& solver, const DimacsProblem& problem) {
+  while (solver.num_vars() < problem.num_vars) solver.new_var();
+  bool ok = true;
+  for (const auto& clause : problem.clauses)
+    ok = solver.add_clause(clause) && ok;
+  return ok;
+}
+
+void write_dimacs(const DimacsProblem& problem, std::ostream& out) {
+  out << "p cnf " << problem.num_vars << ' ' << problem.clauses.size() << "\n";
+  for (const auto& clause : problem.clauses) {
+    for (const Lit lit : clause)
+      out << (lit.negated() ? -static_cast<long long>(lit.var()) - 1
+                            : static_cast<long long>(lit.var()) + 1)
+          << ' ';
+    out << "0\n";
+  }
+}
+
+std::string write_dimacs_string(const DimacsProblem& problem) {
+  std::ostringstream stream;
+  write_dimacs(problem, stream);
+  return stream.str();
+}
+
+}  // namespace simgen::sat

@@ -1,0 +1,40 @@
+/// \file dimacs.hpp
+/// \brief DIMACS CNF import/export for the SAT solver.
+///
+/// Lets the bundled CDCL solver be used (and cross-checked against other
+/// solvers) on standard .cnf files, and lets sweeping obligations be
+/// dumped for external analysis: CnfEncoder + dump_dimacs turns any cone
+/// equivalence query into a portable benchmark.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace simgen::sat {
+
+/// A parsed DIMACS problem (clauses over variables 0..num_vars-1; the
+/// file's 1-based literals are converted to Lit encoding).
+struct DimacsProblem {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+/// Parses DIMACS CNF ("c" comments, "p cnf V C" header, clauses
+/// terminated by 0). Tolerates a clause count that disagrees with the
+/// header; throws std::runtime_error on structural errors.
+[[nodiscard]] DimacsProblem read_dimacs(std::istream& in);
+[[nodiscard]] DimacsProblem read_dimacs_string(const std::string& text);
+[[nodiscard]] DimacsProblem read_dimacs_file(const std::string& path);
+
+/// Loads a parsed problem into \p solver (creating variables as needed);
+/// returns false if the problem is already unsatisfiable at level 0.
+bool load_problem(Solver& solver, const DimacsProblem& problem);
+
+/// Writes clauses in DIMACS format.
+void write_dimacs(const DimacsProblem& problem, std::ostream& out);
+[[nodiscard]] std::string write_dimacs_string(const DimacsProblem& problem);
+
+}  // namespace simgen::sat

@@ -1,0 +1,480 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace simgen::sat {
+namespace {
+
+// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+constexpr std::uint64_t kRestartBase = 100;
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var var = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::kUndef);
+  phase_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  heap_position_.push_back(kNotInHeap);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(var);
+  return var;
+}
+
+Solver::ClauseRef Solver::alloc_clause(std::vector<Lit> literals, bool learnt) {
+  ClauseRef ref;
+  if (!free_list_.empty()) {
+    ref = free_list_.back();
+    free_list_.pop_back();
+    clauses_[ref].lits = std::move(literals);
+    clauses_[ref].activity = 0.0;
+    clauses_[ref].learnt = learnt;
+    clauses_[ref].deleted = false;
+  } else {
+    ref = static_cast<ClauseRef>(clauses_.size());
+    clauses_.push_back(Clause{std::move(literals), 0.0, learnt, false});
+  }
+  (learnt ? learnt_clauses_ : problem_clauses_).push_back(ref);
+  return ref;
+}
+
+void Solver::free_clause(ClauseRef ref) {
+  clauses_[ref].deleted = true;
+  clauses_[ref].lits.clear();
+  clauses_[ref].lits.shrink_to_fit();
+  free_list_.push_back(ref);
+}
+
+void Solver::attach_clause(ClauseRef ref) {
+  const auto& lits = clauses_[ref].lits;
+  assert(lits.size() >= 2);
+  watches_[(~lits[0]).code()].push_back(Watcher{ref, lits[1]});
+  watches_[(~lits[1]).code()].push_back(Watcher{ref, lits[0]});
+}
+
+void Solver::detach_clause(ClauseRef ref) {
+  const auto& lits = clauses_[ref].lits;
+  for (int w = 0; w < 2; ++w) {
+    auto& list = watches_[(~lits[w]).code()];
+    const auto it = std::find_if(list.begin(), list.end(),
+                                 [&](const Watcher& watcher) { return watcher.clause == ref; });
+    assert(it != list.end());
+    *it = list.back();
+    list.pop_back();
+  }
+}
+
+bool Solver::add_clause(std::span<const Lit> literals) {
+  if (!ok_) return false;
+  backtrack(0);
+
+  // Normalize: sort, drop duplicates and level-0 false literals, detect
+  // tautologies and level-0 satisfied clauses.
+  std::vector<Lit> lits(literals.begin(), literals.end());
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> cleaned;
+  cleaned.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit lit = lits[i];
+    if (i > 0 && lit == lits[i - 1]) continue;
+    if (i > 0 && lit == ~lits[i - 1]) return true;  // tautology
+    const LBool lit_value = value(lit);
+    if (lit_value == LBool::kTrue) return true;  // satisfied at level 0
+    if (lit_value == LBool::kFalse) continue;    // falsified at level 0
+    cleaned.push_back(lit);
+  }
+
+  if (cleaned.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    enqueue(cleaned[0], kNoReason);
+    ok_ = (propagate() == kNoReason);
+    return ok_;
+  }
+  attach_clause(alloc_clause(std::move(cleaned), /*learnt=*/false));
+  return true;
+}
+
+void Solver::enqueue(Lit lit, ClauseRef reason) {
+  assert(value(lit) == LBool::kUndef);
+  assigns_[lit.var()] = lit.negated() ? LBool::kFalse : LBool::kTrue;
+  level_[lit.var()] = decision_level();
+  reason_[lit.var()] = reason;
+  trail_.push_back(lit);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[p.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const Watcher watcher = watch_list[i];
+      // Blocker shortcut: clause already satisfied.
+      if (value(watcher.blocker) == LBool::kTrue) {
+        watch_list[keep++] = watcher;
+        continue;
+      }
+      Clause& clause = clauses_[watcher.clause];
+      auto& lits = clause.lits;
+      // Put the falsified literal at position 1.
+      const Lit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_lit);
+      // First watch satisfied?
+      if (lits[0] != watcher.blocker && value(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = Watcher{watcher.clause, lits[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).code()].push_back(Watcher{watcher.clause, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      watch_list[keep++] = watcher;
+      if (value(lits[0]) == LBool::kFalse) {
+        // Conflict: salvage the remaining watchers and report.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k)
+          watch_list[keep++] = watch_list[k];
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return watcher.clause;
+      }
+      enqueue(lits[0], watcher.clause);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt_out,
+                     unsigned& backtrack_level) {
+  learnt_out.clear();
+  learnt_out.push_back(Lit{});  // slot for the asserting literal
+  unsigned counter = 0;
+  Lit p{};
+  bool p_valid = false;
+  std::size_t trail_index = trail_.size();
+
+  ClauseRef reason = conflict;
+  do {
+    assert(reason != kNoReason);
+    Clause& clause = clauses_[reason];
+    if (clause.learnt) bump_clause(clause);
+    // Skip lits[0] on the follow-up iterations: it is the literal p whose
+    // reason we are expanding.
+    for (std::size_t i = p_valid ? 1 : 0; i < clause.lits.size(); ++i) {
+      const Lit q = clause.lits[i];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = true;
+      analyze_clear_.push_back(q);
+      bump_var(q.var());
+      if (level_[q.var()] >= decision_level()) {
+        ++counter;
+      } else {
+        learnt_out.push_back(q);
+      }
+    }
+    // Next literal on the trail that participates in the conflict.
+    while (!seen_[trail_[trail_index - 1].var()]) --trail_index;
+    p = trail_[--trail_index];
+    p_valid = true;
+    seen_[p.var()] = false;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt_out[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt_out.size(); ++i)
+    abstract_levels |= 1u << (level_[learnt_out[i].var()] & 31u);
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt_out.size(); ++i) {
+    if (reason_[learnt_out[i].var()] == kNoReason ||
+        !literal_redundant(learnt_out[i], abstract_levels))
+      learnt_out[kept++] = learnt_out[i];
+  }
+  learnt_out.resize(kept);
+
+  // Compute the backtrack level and move its literal to position 1.
+  if (learnt_out.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_index = 1;
+    for (std::size_t i = 2; i < learnt_out.size(); ++i)
+      if (level_[learnt_out[i].var()] > level_[learnt_out[max_index].var()])
+        max_index = i;
+    std::swap(learnt_out[1], learnt_out[max_index]);
+    backtrack_level = level_[learnt_out[1].var()];
+  }
+
+  for (Lit lit : analyze_clear_) seen_[lit.var()] = false;
+  analyze_clear_.clear();
+}
+
+bool Solver::literal_redundant(Lit lit, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(lit);
+  const std::size_t clear_mark = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit current = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    assert(reason_[current.var()] != kNoReason);
+    const Clause& clause = clauses_[reason_[current.var()]];
+    for (std::size_t i = 1; i < clause.lits.size(); ++i) {
+      const Lit q = clause.lits[i];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      if (reason_[q.var()] == kNoReason ||
+          ((1u << (level_[q.var()] & 31u)) & abstract_levels) == 0) {
+        // Cannot be resolved away: undo the marks added by this check.
+        for (std::size_t k = clear_mark; k < analyze_clear_.size(); ++k)
+          seen_[analyze_clear_[k].var()] = false;
+        analyze_clear_.resize(clear_mark);
+        return false;
+      }
+      seen_[q.var()] = true;
+      analyze_clear_.push_back(q);
+      analyze_stack_.push_back(q);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack(unsigned target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t lim = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i-- > lim;) {
+    const Var var = trail_[i].var();
+    phase_[var] = assigns_[var] == LBool::kTrue;
+    assigns_[var] = LBool::kUndef;
+    reason_[var] = kNoReason;
+    if (!heap_contains(var)) heap_insert(var);
+  }
+  trail_.resize(lim);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch_literal() {
+  while (!heap_.empty()) {
+    const Var var = heap_pop();
+    if (assigns_[var] == LBool::kUndef) return Lit(var, !phase_[var]);
+  }
+  return Lit::from_code(~std::uint32_t{0} - 1);  // sentinel: all assigned
+}
+
+void Solver::reduce_learnt_db() {
+  // Delete the least active half of learnt clauses, sparing reasons of
+  // current assignments and binary clauses.
+  std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
+            [&](ClauseRef a, ClauseRef b) {
+              return clauses_[a].activity < clauses_[b].activity;
+            });
+  const auto is_locked = [&](ClauseRef ref) {
+    const auto& lits = clauses_[ref].lits;
+    return value(lits[0]) == LBool::kTrue && reason_[lits[0].var()] == ref;
+  };
+  std::size_t kept = 0;
+  const std::size_t target_deletions = learnt_clauses_.size() / 2;
+  std::size_t deleted = 0;
+  for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
+    const ClauseRef ref = learnt_clauses_[i];
+    if (deleted < target_deletions && clauses_[ref].lits.size() > 2 &&
+        !is_locked(ref)) {
+      detach_clause(ref);
+      free_clause(ref);
+      ++deleted;
+      ++stats_.deleted_clauses;
+    } else {
+      learnt_clauses_[kept++] = ref;
+    }
+  }
+  learnt_clauses_.resize(kept);
+}
+
+void Solver::bump_var(Var var) {
+  activity_[var] += var_activity_increment_;
+  if (activity_[var] > 1e100) {
+    for (auto& activity : activity_) activity *= 1e-100;
+    var_activity_increment_ *= 1e-100;
+  }
+  if (heap_contains(var)) heap_sift_up(heap_position_[var]);
+}
+
+void Solver::bump_clause(Clause& clause) {
+  clause.activity += clause_activity_increment_;
+  if (clause.activity > 1e20) {
+    for (ClauseRef ref : learnt_clauses_) clauses_[ref].activity *= 1e-20;
+    clause_activity_increment_ *= 1e-20;
+  }
+}
+
+void Solver::heap_insert(Var var) {
+  heap_position_[var] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(var);
+  heap_sift_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_position_[top] = kNotInHeap;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_position_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t index) {
+  const Var var = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[index] = heap_[parent];
+    heap_position_[heap_[index]] = static_cast<std::uint32_t>(index);
+    index = parent;
+  }
+  heap_[index] = var;
+  heap_position_[var] = static_cast<std::uint32_t>(index);
+}
+
+void Solver::heap_sift_down(std::size_t index) {
+  const Var var = heap_[index];
+  while (true) {
+    std::size_t child = 2 * index + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]])
+      ++child;
+    if (activity_[heap_[child]] <= activity_[var]) break;
+    heap_[index] = heap_[child];
+    heap_position_[heap_[index]] = static_cast<std::uint32_t>(index);
+    index = child;
+  }
+  heap_[index] = var;
+  heap_position_[var] = static_cast<std::uint32_t>(index);
+}
+
+Result Solver::search() {
+  std::uint64_t restart_count = 0;
+  std::uint64_t conflicts_until_restart = kRestartBase * luby(restart_count);
+  std::uint64_t conflicts_since_restart = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_solve_;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) return Result::kUnsat;
+
+      unsigned backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      // Never undo assumption levels beyond what the learnt clause allows:
+      // backtrack_level may land inside the assumption prefix, which is
+      // fine — assumptions are re-enqueued by the decision loop below.
+      backtrack(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const ClauseRef ref = alloc_clause(learnt, /*learnt=*/true);
+        attach_clause(ref);
+        bump_clause(clauses_[ref]);
+        enqueue(learnt[0], ref);
+      }
+      ++stats_.learned_clauses;
+      decay_var_activity();
+      decay_clause_activity();
+      continue;
+    }
+
+    // No conflict.
+    if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_)
+      return Result::kUnknown;
+    if (conflicts_since_restart >= conflicts_until_restart) {
+      ++stats_.restarts;
+      ++restart_count;
+      conflicts_since_restart = 0;
+      conflicts_until_restart = kRestartBase * luby(restart_count);
+      backtrack(0);
+      continue;
+    }
+    if (decision_level() == 0 && learnt_clauses_.size() >= max_learnt_)
+      reduce_learnt_db();
+
+    // Establish assumptions first, one decision level each.
+    if (decision_level() < assumptions_.size()) {
+      const Lit assumption = assumptions_[decision_level()];
+      const LBool assumption_value = value(assumption);
+      if (assumption_value == LBool::kFalse) return Result::kUnsat;
+      trail_lim_.push_back(trail_.size());
+      if (assumption_value == LBool::kUndef) enqueue(assumption, kNoReason);
+      continue;
+    }
+
+    const Lit branch = pick_branch_literal();
+    if (branch.code() == ~std::uint32_t{0} - 1) return Result::kSat;
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue(branch, kNoReason);
+  }
+}
+
+Result Solver::solve(std::span<const Lit> assumptions) {
+  ++stats_.solve_calls;
+  if (!ok_) return Result::kUnsat;
+  backtrack(0);
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  conflicts_this_solve_ = 0;
+  max_learnt_ = std::max<std::size_t>(1000, problem_clauses_.size() / 3);
+
+  const Result result = search();
+  if (result == Result::kSat) {
+    model_.assign(num_vars(), false);
+    for (Var var = 0; var < num_vars(); ++var)
+      model_[var] = assigns_[var] == LBool::kUndef ? phase_[var]
+                                                   : assigns_[var] == LBool::kTrue;
+  }
+  backtrack(0);
+  return result;
+}
+
+}  // namespace simgen::sat

@@ -1,0 +1,201 @@
+/// \file solver.hpp
+/// \brief CDCL SAT solver (MiniSat-lineage architecture).
+///
+/// The verification tool of the sweeping flow (paper Figure 2). Features:
+/// two-watched-literal propagation, first-UIP conflict analysis with
+/// clause minimization, VSIDS branching with phase saving, Luby restarts,
+/// activity-based learned-clause deletion, and incremental solving under
+/// assumptions — the mode SAT sweeping uses to test one candidate pair of
+/// nodes per call while keeping all previously loaded cone clauses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace simgen::sat {
+
+/// Variable index, 0-based.
+using Var = std::uint32_t;
+
+/// Literal: 2*var + sign (sign 1 = negated).
+class Lit {
+ public:
+  constexpr Lit() = default;
+  constexpr Lit(Var var, bool negated) noexcept
+      : code_((var << 1) | static_cast<std::uint32_t>(negated)) {}
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept { return code_ & 1u; }
+  [[nodiscard]] constexpr Lit operator~() const noexcept { return from_code(code_ ^ 1u); }
+  [[nodiscard]] constexpr std::uint32_t code() const noexcept { return code_; }
+
+  static constexpr Lit from_code(std::uint32_t code) noexcept {
+    Lit lit;
+    lit.code_ = code;
+    return lit;
+  }
+
+  constexpr bool operator==(const Lit&) const noexcept = default;
+
+ private:
+  std::uint32_t code_ = 0;
+};
+
+/// Positive literal of \p var.
+[[nodiscard]] constexpr Lit pos(Var var) noexcept { return Lit(var, false); }
+/// Negative literal of \p var.
+[[nodiscard]] constexpr Lit neg(Var var) noexcept { return Lit(var, true); }
+
+enum class Result : std::uint8_t { kSat, kUnsat, kUnknown };
+
+/// Runtime counters, exposed for the paper's SAT-calls / SAT-time tables.
+struct SolverStats {
+  std::uint64_t solve_calls = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+};
+
+/// Incremental CDCL solver.
+class Solver {
+ public:
+  Solver();
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+  [[nodiscard]] std::size_t num_vars() const noexcept { return assigns_.size(); }
+
+  /// Adds a clause (permanently). Returns false if the solver is already
+  /// in an unsatisfiable state at level 0 (the clause set is then UNSAT
+  /// regardless of assumptions).
+  bool add_clause(std::span<const Lit> literals);
+  bool add_clause(std::initializer_list<Lit> literals) {
+    return add_clause(std::span<const Lit>(literals.begin(), literals.size()));
+  }
+
+  /// Solves under \p assumptions. kUnknown is returned only if a conflict
+  /// limit is set and exhausted.
+  Result solve(std::span<const Lit> assumptions = {});
+  Result solve(std::initializer_list<Lit> assumptions) {
+    return solve(std::span<const Lit>(assumptions.begin(), assumptions.size()));
+  }
+
+  /// Model access after kSat.
+  [[nodiscard]] bool model_value(Var var) const { return model_[var]; }
+  [[nodiscard]] bool model_value(Lit lit) const {
+    return model_[lit.var()] != lit.negated();
+  }
+
+  /// True if the clause set is UNSAT independent of assumptions.
+  [[nodiscard]] bool in_conflict() const noexcept { return !ok_; }
+
+  /// 0 disables the limit (default).
+  void set_conflict_limit(std::uint64_t limit) noexcept { conflict_limit_ = limit; }
+
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = ~ClauseRef{0};
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    ClauseRef clause = kNoReason;
+    Lit blocker;  ///< Satisfied blocker shortcut.
+  };
+
+  enum class LBool : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  [[nodiscard]] LBool value(Lit lit) const noexcept {
+    const LBool v = assigns_[lit.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return (v == LBool::kTrue) != lit.negated() ? LBool::kTrue : LBool::kFalse;
+  }
+
+  [[nodiscard]] unsigned decision_level() const noexcept {
+    return static_cast<unsigned>(trail_lim_.size());
+  }
+
+  ClauseRef alloc_clause(std::vector<Lit> literals, bool learnt);
+  void free_clause(ClauseRef ref);
+  void attach_clause(ClauseRef ref);
+  void detach_clause(ClauseRef ref);
+
+  void enqueue(Lit lit, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt_out, unsigned& backtrack_level);
+  [[nodiscard]] bool literal_redundant(Lit lit, std::uint32_t abstract_levels);
+  void backtrack(unsigned level);
+  Lit pick_branch_literal();
+  void reduce_learnt_db();
+  Result search();
+
+  // VSIDS heap operations.
+  void bump_var(Var var);
+  void decay_var_activity() { var_activity_increment_ /= kVarDecay; }
+  void bump_clause(Clause& clause);
+  void decay_clause_activity() { clause_activity_increment_ /= kClauseDecay; }
+  void heap_insert(Var var);
+  Var heap_pop();
+  void heap_sift_up(std::size_t index);
+  void heap_sift_down(std::size_t index);
+  [[nodiscard]] bool heap_contains(Var var) const {
+    return heap_position_[var] != kNotInHeap;
+  }
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClauseDecay = 0.999;
+  static constexpr std::uint32_t kNotInHeap = ~std::uint32_t{0};
+
+  // Clause storage with index reuse.
+  std::vector<Clause> clauses_;
+  std::vector<ClauseRef> free_list_;
+  std::vector<ClauseRef> problem_clauses_;
+  std::vector<ClauseRef> learnt_clauses_;
+
+  // Assignment state.
+  std::vector<LBool> assigns_;       // per var
+  std::vector<bool> phase_;          // per var: saved polarity
+  std::vector<unsigned> level_;      // per var
+  std::vector<ClauseRef> reason_;    // per var
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  // Watches, indexed by literal code: clauses watching ~lit... see .cpp.
+  std::vector<std::vector<Watcher>> watches_;
+
+  // Branching.
+  std::vector<double> activity_;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> heap_position_;
+  double var_activity_increment_ = 1.0;
+  double clause_activity_increment_ = 1.0;
+
+  // Conflict analysis scratch.
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  // Search control.
+  bool ok_ = true;
+  std::uint64_t conflict_limit_ = 0;
+  std::uint64_t conflicts_this_solve_ = 0;
+  std::size_t max_learnt_ = 0;
+  std::vector<Lit> assumptions_;
+  std::vector<bool> model_;
+
+  SolverStats stats_;
+};
+
+}  // namespace simgen::sat

@@ -1,0 +1,71 @@
+#include "sim/eqclass.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace simgen::sim {
+
+EquivClasses::EquivClasses(std::vector<net::NodeId> candidates) {
+  if (candidates.size() >= 2) classes_.push_back(std::move(candidates));
+}
+
+EquivClasses EquivClasses::over_luts(const net::Network& network) {
+  std::vector<net::NodeId> candidates;
+  network.for_each_lut([&](net::NodeId id) { candidates.push_back(id); });
+  return EquivClasses(std::move(candidates));
+}
+
+std::size_t EquivClasses::refine(const Simulator& simulator) {
+  return refine(simulator.values());
+}
+
+std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
+  std::size_t splits = 0;
+  std::vector<std::vector<net::NodeId>> next;
+  next.reserve(classes_.size());
+  std::unordered_map<PatternWord, std::size_t> bucket_of;
+  for (auto& members : classes_) {
+    bucket_of.clear();
+    std::vector<std::vector<net::NodeId>> buckets;
+    for (net::NodeId node : members) {
+      const PatternWord word = node_values[node];
+      const auto [it, inserted] = bucket_of.emplace(word, buckets.size());
+      if (inserted) buckets.emplace_back();
+      buckets[it->second].push_back(node);
+    }
+    if (buckets.size() > 1) ++splits;
+    for (auto& bucket : buckets)
+      if (bucket.size() >= 2) next.push_back(std::move(bucket));
+  }
+  classes_ = std::move(next);
+  return splits;
+}
+
+void EquivClasses::remove_node(net::NodeId node) {
+  for (auto& members : classes_) {
+    const auto it = std::find(members.begin(), members.end(), node);
+    if (it != members.end()) {
+      members.erase(it);
+      break;
+    }
+  }
+  drop_singletons();
+}
+
+std::uint64_t EquivClasses::cost() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& members : classes_) total += members.size() - 1;
+  return total;
+}
+
+std::size_t EquivClasses::num_live_nodes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& members : classes_) total += members.size();
+  return total;
+}
+
+void EquivClasses::drop_singletons() {
+  std::erase_if(classes_, [](const auto& members) { return members.size() < 2; });
+}
+
+}  // namespace simgen::sim

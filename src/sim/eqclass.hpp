@@ -1,0 +1,69 @@
+/// \file eqclass.hpp
+/// \brief Equivalence-class management by signature refinement.
+///
+/// An equivalence class is a set of nodes whose outputs have agreed on
+/// every simulated pattern so far (paper Section 2.3). Classes shrink
+/// monotonically: each simulation batch partitions every class by the
+/// nodes' 64-bit value words. The class manager also implements the
+/// paper's cost metric, Equation 5: cost = sum over classes (|class|-1),
+/// the worst-case number of pairwise SAT calls left.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace simgen::sim {
+
+/// Partition of candidate nodes into simulation-equivalence classes.
+///
+/// Singleton classes are dropped eagerly (they contribute nothing to the
+/// cost and need no proving). Node order inside a class follows the
+/// original candidate order, so class[0] is a stable representative.
+class EquivClasses {
+ public:
+  /// Starts with all \p candidates in one class (nothing distinguished yet).
+  explicit EquivClasses(std::vector<net::NodeId> candidates);
+
+  /// Convenience: all internal LUT nodes of \p network as candidates.
+  static EquivClasses over_luts(const net::Network& network);
+
+  /// Splits every class according to the value words of the last
+  /// simulation batch in \p simulator. Returns the number of classes that
+  /// actually split.
+  std::size_t refine(const Simulator& simulator);
+
+  /// Same, but with an externally supplied value array indexed by NodeId.
+  std::size_t refine(std::span<const PatternWord> node_values);
+
+  /// Removes \p node from its class (used after a SAT proof of
+  /// equivalence merges it into the representative, or to retire nodes).
+  void remove_node(net::NodeId node);
+
+  /// Paper Equation 5: worst-case remaining SAT calls.
+  [[nodiscard]] std::uint64_t cost() const noexcept;
+
+  /// Number of live (size >= 2) classes.
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
+
+  [[nodiscard]] std::span<const net::NodeId> class_members(std::size_t index) const {
+    return classes_[index];
+  }
+
+  /// Total number of nodes still inside live classes.
+  [[nodiscard]] std::size_t num_live_nodes() const noexcept;
+
+  /// True when no class has two or more members: simulation can do no
+  /// more and every remaining pair is proven or singleton.
+  [[nodiscard]] bool fully_refined() const noexcept { return classes_.empty(); }
+
+ private:
+  void drop_singletons();
+
+  std::vector<std::vector<net::NodeId>> classes_;
+};
+
+}  // namespace simgen::sim

@@ -1,0 +1,31 @@
+#include "sim/random_sim.hpp"
+
+namespace simgen::sim {
+
+RandomSimResult run_random_simulation(Simulator& simulator, EquivClasses& classes,
+                                      const RandomSimOptions& options) {
+  RandomSimResult result;
+  util::Rng rng(options.seed);
+  util::Stopwatch watch;
+  watch.start();
+  std::size_t flat = 0;
+  std::uint64_t last_cost = classes.cost();
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    simulator.simulate_random_word(rng);
+    classes.refine(simulator);
+    ++result.rounds_run;
+    const std::uint64_t cost = classes.cost();
+    result.cost_per_round.push_back(cost);
+    if (classes.fully_refined()) break;
+    if (options.stagnation_rounds > 0) {
+      flat = (cost == last_cost) ? flat + 1 : 0;
+      if (flat >= options.stagnation_rounds) break;
+    }
+    last_cost = cost;
+  }
+  watch.stop();
+  result.runtime_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace simgen::sim

@@ -1,0 +1,58 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace simgen::sim {
+
+Simulator::Simulator(const net::Network& network)
+    : network_(network),
+      on_covers_(network.num_nodes()),
+      values_(network.num_nodes(), 0) {
+  network_.for_each_lut([&](net::NodeId id) {
+    on_covers_[id] = tt::isop(network_.node(id).function);
+  });
+}
+
+void Simulator::simulate_word(std::span<const PatternWord> pi_words) {
+  if (pi_words.size() != network_.num_pis())
+    throw std::invalid_argument("Simulator: wrong number of PI words");
+  std::size_t pi_index = 0;
+  network_.for_each_node([&](net::NodeId id) {
+    const net::Node& node = network_.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        values_[id] = pi_words[pi_index++];
+        break;
+      case net::NodeKind::kConstant:
+        values_[id] = node.constant_value ? ~PatternWord{0} : PatternWord{0};
+        break;
+      case net::NodeKind::kPo:
+        values_[id] = values_[node.fanins[0]];
+        break;
+      case net::NodeKind::kLut: {
+        // OR of cube evaluations: each cube is the AND of its literals'
+        // (possibly complemented) fanin words.
+        PatternWord result = 0;
+        for (const tt::Cube& cube : on_covers_[id].cubes) {
+          PatternWord term = ~PatternWord{0};
+          for (unsigned v = 0; v < node.fanins.size(); ++v) {
+            if (!cube.has_literal(v)) continue;
+            const PatternWord w = values_[node.fanins[v]];
+            term &= cube.literal_value(v) ? w : ~w;
+          }
+          result |= term;
+        }
+        values_[id] = result;
+        break;
+      }
+    }
+  });
+}
+
+void Simulator::simulate_random_word(util::Rng& rng) {
+  pi_scratch_.resize(network_.num_pis());
+  for (auto& word : pi_scratch_) word = rng();
+  simulate_word(pi_scratch_);
+}
+
+}  // namespace simgen::sim

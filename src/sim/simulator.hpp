@@ -1,0 +1,61 @@
+/// \file simulator.hpp
+/// \brief Word-parallel circuit simulation (64 patterns per pass).
+///
+/// Simulation is the workhorse of the sweeping flow (paper Section 2.3):
+/// it evaluates every node on a batch of input vectors so the equivalence
+/// classes can be refined without SAT. Nodes are evaluated through the
+/// ISOP covers of their functions, which is both faster than minterm
+/// enumeration for typical LUTs and shares the row machinery SimGen uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "network/network.hpp"
+#include "tt/isop.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::sim {
+
+/// A batch of 64 input vectors: one 64-bit word per PI, bit p of word i is
+/// the value of PI i in pattern p.
+using PatternWord = std::uint64_t;
+
+/// Evaluates a network on 64 patterns at a time.
+///
+/// The simulator owns per-node value words and precomputed ON-set covers;
+/// it is constructed once per network and reused across rounds.
+class Simulator {
+ public:
+  explicit Simulator(const net::Network& network);
+
+  /// Simulates one batch. \p pi_words must have one word per PI, in PI
+  /// order. All node values become available via value().
+  void simulate_word(std::span<const PatternWord> pi_words);
+
+  /// Simulates a batch of uniform random patterns drawn from \p rng.
+  void simulate_random_word(util::Rng& rng);
+
+  /// Value word of \p node from the last simulate call.
+  [[nodiscard]] PatternWord value(net::NodeId node) const { return values_[node]; }
+
+  /// All node value words (indexed by NodeId).
+  [[nodiscard]] std::span<const PatternWord> values() const noexcept { return values_; }
+
+  /// Evaluates one node's single-bit output for a complete single-pattern
+  /// PI assignment given as bit 0 of each PI word; used by tests.
+  [[nodiscard]] bool value_bit(net::NodeId node, unsigned pattern) const {
+    return (values_[node] >> pattern) & 1u;
+  }
+
+  [[nodiscard]] const net::Network& network() const noexcept { return network_; }
+
+ private:
+  const net::Network& network_;
+  std::vector<tt::Cover> on_covers_;  ///< Per-node ON-set cover (LUTs only).
+  std::vector<PatternWord> values_;
+  std::vector<PatternWord> pi_scratch_;
+};
+
+}  // namespace simgen::sim

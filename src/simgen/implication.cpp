@@ -1,0 +1,143 @@
+#include "simgen/implication.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace simgen::core {
+
+ImplicationOutcome ImplicationEngine::run(NodeValues& values,
+                                          std::span<const net::NodeId> seeds,
+                                          ImplicationStrategy strategy) {
+  ImplicationOutcome outcome;
+  if (strategy == ImplicationStrategy::kNone) return outcome;
+
+  queue_.clear();
+  std::size_t head = 0;
+  const auto push = [&](net::NodeId node) {
+    if (queued_[node]) return;
+    queued_[node] = true;
+    queue_.push_back(node);
+  };
+  const auto enqueue_affected = [&](net::NodeId node) {
+    if (network_.is_lut(node)) push(node);
+    for (net::NodeId fanout : network_.fanouts(node))
+      if (network_.is_lut(fanout)) push(fanout);
+  };
+  for (net::NodeId seed : seeds) enqueue_affected(seed);
+
+  // Assigns a value and schedules every node whose row matching could
+  // change: the assigned node itself and all of its LUT fanouts.
+  const auto assign = [&](net::NodeId node, TVal value) {
+    values.assign(node, value);
+    ++outcome.assignments;
+    enqueue_affected(node);
+  };
+
+  // Leaves queued_ flags consistent when returning early on conflict.
+  const auto drain_flags = [&] {
+    for (std::size_t i = head; i < queue_.size(); ++i) queued_[queue_[i]] = false;
+  };
+
+  while (head < queue_.size()) {
+    const net::NodeId node = queue_[head++];
+    queued_[node] = false;
+    ++outcome.nodes_examined;
+    const auto& node_rows = rows_.rows(node);
+    const auto fanins = network_.fanins(node);
+
+    // Bitmask form of the local assignment: one pass over the fanins,
+    // then every row tests in a couple of bitwise ops (a row matches iff
+    // no assigned literal contradicts it and the output agrees).
+    std::uint32_t assigned_mask = 0;
+    std::uint32_t value_bits = 0;
+    for (unsigned v = 0; v < fanins.size(); ++v) {
+      const TVal value = values.get(fanins[v]);
+      if (value == TVal::kUnknown) continue;
+      assigned_mask |= 1u << v;
+      if (value == TVal::kOne) value_bits |= 1u << v;
+    }
+    const TVal out = values.get(node);
+
+    // One scan accumulates everything both strategies need: the match
+    // count, the last matching row, and the agreement summary (common
+    // literal mask, polarity differences, output agreement).
+    std::size_t match_count = 0;
+    const Row* last_match = nullptr;
+    std::uint32_t common_mask = ~0u;
+    std::uint32_t first_bits = 0;
+    std::uint32_t polarity_diff = 0;
+    bool outputs_agree = true;
+    bool first_output = false;
+    for (const Row& row : node_rows) {
+      if (out != TVal::kUnknown && out != tval_of(row.output)) continue;
+      if ((row.cube.mask & assigned_mask) & (row.cube.bits ^ value_bits))
+        continue;
+      if (match_count == 0) {
+        first_bits = row.cube.bits;
+        first_output = row.output;
+      } else {
+        polarity_diff |= row.cube.bits ^ first_bits;
+        if (row.output != first_output) outputs_agree = false;
+      }
+      common_mask &= row.cube.mask;
+      last_match = &row;
+      ++match_count;
+    }
+
+    if (match_count == 0) {
+      // Zero matching rows: the assignment contradicts this node's
+      // function — the conflict Algorithm 1's compareVals reports.
+      outcome.conflict = true;
+      outcome.conflict_node = node;
+      drain_flags();
+      return outcome;
+    }
+
+    if (strategy == ImplicationStrategy::kSimple) {
+      // Definition 2.2: imply only from a uniquely matching row.
+      if (match_count != 1) continue;
+      const Row& row = *last_match;
+      if (out == TVal::kUnknown) assign(node, tval_of(row.output));
+      std::uint32_t to_assign = row.cube.mask & ~assigned_mask;
+      while (to_assign != 0) {
+        const unsigned v = static_cast<unsigned>(std::countr_zero(to_assign));
+        to_assign &= to_assign - 1;
+        if (!values.is_assigned(fanins[v]))
+          assign(fanins[v], tval_of(row.cube.literal_value(v)));
+      }
+      continue;
+    }
+
+    // Advanced implication (Definition 4.1): assign every value all
+    // matching rows agree on; positions they disagree on stay unknown.
+    // Agreement on input v = every matching row has a literal on v
+    // (common_mask) with one polarity (no polarity_diff).
+    if (out == TVal::kUnknown && outputs_agree)
+      assign(node, tval_of(first_output));
+    std::uint32_t agreed = common_mask & ~polarity_diff & ~assigned_mask;
+    agreed &= (fanins.size() >= 32) ? ~0u : ((1u << fanins.size()) - 1u);
+    while (agreed != 0) {
+      const unsigned v = static_cast<unsigned>(std::countr_zero(agreed));
+      agreed &= agreed - 1;
+      if (!values.is_assigned(fanins[v]))
+        assign(fanins[v], tval_of((first_bits >> v) & 1u));
+    }
+  }
+  return outcome;
+}
+
+ImplicationOutcome run_implications(const net::Network& network,
+                                    const RowDatabase& rows, NodeValues& values,
+                                    std::span<const net::NodeId> seeds,
+                                    ImplicationStrategy strategy) {
+  ImplicationEngine engine(network, rows);
+  return engine.run(values, seeds, strategy);
+}
+
+ImplicationOutcome run_implications(const net::Network& network,
+                                    const RowDatabase& rows, NodeValues& values,
+                                    net::NodeId seed, ImplicationStrategy strategy) {
+  return run_implications(network, rows, values, std::span(&seed, 1), strategy);
+}
+
+}  // namespace simgen::core

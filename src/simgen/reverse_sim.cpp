@@ -1,0 +1,105 @@
+#include "simgen/reverse_sim.hpp"
+
+#include <algorithm>
+
+namespace simgen::core {
+
+ReverseSimulator::ReverseSimulator(const net::Network& network, std::uint64_t seed)
+    : network_(network), rng_(seed), values_(network.num_nodes()) {
+  network_.for_each_node([&](net::NodeId id) {
+    if (network_.is_constant(id)) constants_.push_back(id);
+  });
+}
+
+ReverseSimResult ReverseSimulator::generate(const Target& target_a,
+                                            const Target& target_b) {
+  ++stats_.attempts;
+  ReverseSimResult result;
+  values_.reset();
+  for (net::NodeId id : constants_)
+    values_.assign(id, tval_of(network_.node(id).constant_value));
+
+  if (target_a.node == target_b.node) {
+    // One node cannot take two complementary values.
+    if (target_a.gold != target_b.gold) {
+      ++stats_.conflicts;
+      return result;
+    }
+  }
+
+  std::vector<net::NodeId> pending;
+  for (const Target& target : {target_a, target_b}) {
+    if (values_.is_assigned(target.node)) {
+      if (values_.get(target.node) != tval_of(target.gold)) {
+        ++stats_.conflicts;
+        return result;
+      }
+      continue;
+    }
+    values_.assign(target.node, tval_of(target.gold));
+    if (network_.is_lut(target.node)) pending.push_back(target.node);
+  }
+
+  // Backward traversal: always expand the deepest pending node, mirroring
+  // the level-by-level backward walk of classic reverse simulation.
+  while (!pending.empty()) {
+    const auto deepest =
+        std::max_element(pending.begin(), pending.end(),
+                         [&](net::NodeId a, net::NodeId b) {
+                           return network_.level(a) < network_.level(b);
+                         });
+    const net::NodeId node = *deepest;
+    *deepest = pending.back();
+    pending.pop_back();
+    if (!propagate_node(node, pending)) {
+      ++stats_.conflicts;
+      return result;
+    }
+  }
+
+  result.success = true;
+  ++stats_.successes;
+  result.pi_values.reserve(network_.num_pis());
+  for (net::NodeId pi : network_.pis())
+    result.pi_values.push_back(values_.get(pi));
+  return result;
+}
+
+bool ReverseSimulator::propagate_node(net::NodeId node,
+                                      std::vector<net::NodeId>& pending) {
+  const net::Node& data = network_.node(node);
+  const auto fanins = network_.fanins(node);
+  const bool desired = values_.get(node) == TVal::kOne;
+
+  // Collect the complete input combinations (minterms) that produce the
+  // desired output and do not contradict any existing assignment. This is
+  // reverse simulation's step 3: "determine a set of inputs for which the
+  // node's logic function produces the desired value".
+  std::vector<std::uint32_t> consistent;
+  const auto num_minterms = static_cast<std::uint32_t>(data.function.num_bits());
+  for (std::uint32_t m = 0; m < num_minterms; ++m) {
+    if (data.function.get_bit(m) != desired) continue;
+    bool ok = true;
+    for (unsigned v = 0; v < fanins.size() && ok; ++v) {
+      const bool bit = (m >> v) & 1u;
+      const TVal assigned = values_.get(fanins[v]);
+      if (assigned != TVal::kUnknown && assigned != tval_of(bit)) ok = false;
+      // Duplicate fanins: every position of the same node must agree.
+      for (unsigned w = 0; w < v && ok; ++w)
+        if (fanins[w] == fanins[v] && (((m >> w) & 1u) != bit)) ok = false;
+    }
+    if (ok) consistent.push_back(m);
+  }
+  if (consistent.empty()) return false;  // collision: terminate unsuccessfully
+
+  // "If multiple assignments are possible, pick one randomly."
+  const std::uint32_t choice = consistent[rng_.below(consistent.size())];
+  for (unsigned v = 0; v < fanins.size(); ++v) {
+    if (values_.is_assigned(fanins[v])) continue;
+    values_.assign(fanins[v], tval_of((choice >> v) & 1u));
+    if (network_.is_lut(fanins[v])) pending.push_back(fanins[v]);
+  }
+  return true;
+}
+
+}  // namespace simgen::core

@@ -1,0 +1,62 @@
+/// \file reverse_sim.hpp
+/// \brief Reverse simulation baseline (RevS, Zhang et al., paper §1/§2.3).
+///
+/// Classic reverse simulation: pick a pair of nodes from a class, assign
+/// complementary output values, and walk the networks backward assigning
+/// each visited node a complete input combination that produces its
+/// required output — chosen at random when several exist. It terminates
+/// unsuccessfully on the first conflicting assignment; there is no
+/// implication beyond the forced single-assignment case and no structural
+/// guidance, which is precisely the weakness SimGen addresses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "network/network.hpp"
+#include "simgen/outgold.hpp"
+#include "simgen/rows.hpp"
+#include "simgen/tval.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::core {
+
+/// Cumulative counters across generate() calls.
+struct ReverseSimStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t conflicts = 0;
+};
+
+/// Result of one reverse-simulation attempt.
+struct ReverseSimResult {
+  bool success = false;         ///< Both targets' cones propagated to the PIs.
+  std::vector<TVal> pi_values;  ///< Valid only on success; kUnknown = free.
+};
+
+/// Reverse-simulation vector generator.
+class ReverseSimulator {
+ public:
+  ReverseSimulator(const net::Network& network, std::uint64_t seed);
+
+  /// Attempts to generate a vector driving \p target_a.node to
+  /// \p target_a.gold and \p target_b.node to \p target_b.gold (callers
+  /// pass complementary golds for two nodes of one class).
+  ReverseSimResult generate(const Target& target_a, const Target& target_b);
+
+  [[nodiscard]] const ReverseSimStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Processes one node: picks a complete input minterm compatible with
+  /// the assigned output and inputs; returns false on conflict.
+  bool propagate_node(net::NodeId node, std::vector<net::NodeId>& pending);
+
+  const net::Network& network_;
+  util::Rng rng_;
+  NodeValues values_;
+  ReverseSimStats stats_;
+  std::vector<net::NodeId> constants_;
+};
+
+}  // namespace simgen::core

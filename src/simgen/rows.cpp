@@ -1,0 +1,46 @@
+#include "simgen/rows.hpp"
+
+namespace simgen::core {
+
+const std::vector<Row>& RowDatabase::rows(net::NodeId node) const {
+  if (!computed_[node]) {
+    std::vector<Row> result;
+    if (network_.is_lut(node)) {
+      const tt::RowSet row_set = tt::compute_rows(network_.node(node).function);
+      result.reserve(row_set.num_rows());
+      for (const tt::Cube& cube : row_set.on.cubes)
+        result.push_back(Row{cube, true});
+      for (const tt::Cube& cube : row_set.off.cubes)
+        result.push_back(Row{cube, false});
+    }
+    rows_[node] = std::move(result);
+    computed_[node] = true;
+  }
+  return rows_[node];
+}
+
+bool row_matches(const net::Network& network, const NodeValues& values,
+                 net::NodeId node, const Row& row) {
+  const TVal out = values.get(node);
+  if (out != TVal::kUnknown && out != tval_of(row.output)) return false;
+  const auto fanins = network.fanins(node);
+  for (unsigned v = 0; v < fanins.size(); ++v) {
+    if (!row.cube.has_literal(v)) continue;
+    const TVal in = values.get(fanins[v]);
+    if (in != TVal::kUnknown && in != tval_of(row.cube.literal_value(v)))
+      return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> matching_rows(const net::Network& network,
+                                       const RowDatabase& rows,
+                                       const NodeValues& values, net::NodeId node) {
+  std::vector<std::size_t> result;
+  const auto& all = rows.rows(node);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (row_matches(network, values, node, all[i])) result.push_back(i);
+  return result;
+}
+
+}  // namespace simgen::core

@@ -1,0 +1,56 @@
+/// \file rows.hpp
+/// \brief Per-node truth-table rows and row matching against ternary values.
+///
+/// A "row" (paper Figures 3-4) is an ISOP cube of the node's ON-set or
+/// OFF-set together with the output value that plane asserts. Row matching
+/// is the primitive both implication (Section 4) and decision (Section 5)
+/// are built on: a row matches the current assignment iff no assigned
+/// fanin or output value contradicts it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+#include "simgen/tval.hpp"
+#include "tt/isop.hpp"
+
+namespace simgen::core {
+
+/// One candidate row of a node: input cube plus asserted output value.
+struct Row {
+  tt::Cube cube;
+  bool output = false;
+};
+
+/// Lazily computed, cached rows for every LUT node of a network. Shared by
+/// the implication engine, the decision policies, and the RevS baseline.
+class RowDatabase {
+ public:
+  explicit RowDatabase(const net::Network& network)
+      : network_(network), rows_(network.num_nodes()), computed_(network.num_nodes(), false) {}
+
+  /// All rows (ON-set then OFF-set) of LUT node \p node.
+  [[nodiscard]] const std::vector<Row>& rows(net::NodeId node) const;
+
+  [[nodiscard]] const net::Network& network() const noexcept { return network_; }
+
+ private:
+  const net::Network& network_;
+  mutable std::vector<std::vector<Row>> rows_;
+  mutable std::vector<bool> computed_;
+};
+
+/// True iff \p row is compatible with the current assignment around
+/// \p node: the output (if assigned) equals the row's output, and every
+/// assigned fanin with a literal in the cube matches the literal.
+[[nodiscard]] bool row_matches(const net::Network& network, const NodeValues& values,
+                               net::NodeId node, const Row& row);
+
+/// Collects the indices of all matching rows of \p node.
+[[nodiscard]] std::vector<std::size_t> matching_rows(const net::Network& network,
+                                                     const RowDatabase& rows,
+                                                     const NodeValues& values,
+                                                     net::NodeId node);
+
+}  // namespace simgen::core

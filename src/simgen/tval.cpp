@@ -1,0 +1,8 @@
+#include "simgen/tval.hpp"
+
+// NodeValues is header-only; this translation unit anchors the module.
+namespace simgen::core {
+namespace {
+[[maybe_unused]] constexpr int kAnchor = 0;
+}  // namespace
+}  // namespace simgen::core

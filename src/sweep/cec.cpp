@@ -1,0 +1,159 @@
+#include "sweep/cec.hpp"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/random_sim.hpp"
+#include "util/stopwatch.hpp"
+
+namespace simgen::sweep {
+
+Miter make_miter(const net::Network& a, const net::Network& b) {
+  if (a.num_pis() != b.num_pis())
+    throw std::invalid_argument("make_miter: PI count mismatch");
+  if (a.num_pos() != b.num_pos())
+    throw std::invalid_argument("make_miter: PO count mismatch");
+
+  Miter miter;
+  miter.network.set_name(a.name() + "_vs_" + b.name());
+  miter.map_a.assign(a.num_nodes(), net::kNullNode);
+  miter.map_b.assign(b.num_nodes(), net::kNullNode);
+
+  // Shared PIs (correspondence by index).
+  std::vector<net::NodeId> shared_pis;
+  shared_pis.reserve(a.num_pis());
+  for (std::size_t i = 0; i < a.num_pis(); ++i)
+    shared_pis.push_back(miter.network.add_pi(a.node(a.pis()[i]).name));
+
+  const auto copy_logic = [&](const net::Network& source,
+                              std::vector<net::NodeId>& map) {
+    for (std::size_t i = 0; i < source.num_pis(); ++i)
+      map[source.pis()[i]] = shared_pis[i];
+    source.for_each_node([&](net::NodeId id) {
+      if (source.is_constant(id)) {
+        map[id] = miter.network.add_constant(source.node(id).constant_value);
+      } else if (source.is_lut(id)) {
+        std::vector<net::NodeId> fanins;
+        fanins.reserve(source.fanins(id).size());
+        for (net::NodeId fanin : source.fanins(id)) fanins.push_back(map[fanin]);
+        map[id] = miter.network.add_lut(fanins, source.node(id).function);
+      }
+    });
+  };
+  copy_logic(a, miter.map_a);
+  copy_logic(b, miter.map_b);
+
+  // One XOR node + PO per output pair.
+  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+    const net::NodeId driver_a = miter.map_a[a.fanins(a.pos()[i])[0]];
+    const net::NodeId driver_b = miter.map_b[b.fanins(b.pos()[i])[0]];
+    const std::array<net::NodeId, 2> fanins{driver_a, driver_b};
+    const net::NodeId diff =
+        miter.network.add_lut(fanins, tt::TruthTable::xor_gate(2));
+    miter.network.add_po(diff, "diff" + std::to_string(i));
+  }
+  return miter;
+}
+
+namespace {
+
+/// Extracts pattern \p bit of the last simulated word as a PI vector.
+std::vector<bool> pattern_of_bit(const sim::Simulator& simulator, unsigned bit) {
+  const net::Network& network = simulator.network();
+  std::vector<bool> vector(network.num_pis());
+  for (std::size_t i = 0; i < network.num_pis(); ++i)
+    vector[i] = (simulator.value(network.pis()[i]) >> bit) & 1u;
+  return vector;
+}
+
+/// True iff any miter PO is 1 under \p vector (single-pattern check).
+bool violates(sim::Simulator& simulator, const std::vector<bool>& vector) {
+  const net::Network& network = simulator.network();
+  std::vector<sim::PatternWord> words(network.num_pis(), 0);
+  for (std::size_t i = 0; i < network.num_pis(); ++i)
+    if (vector[i]) words[i] = 1;
+  simulator.simulate_word(words);
+  for (net::NodeId po : network.pos())
+    if (simulator.value(po) & 1u) return true;
+  return false;
+}
+
+}  // namespace
+
+CecResult check_equivalence(const net::Network& a, const net::Network& b,
+                            const CecOptions& options) {
+  util::Stopwatch total;
+  total.start();
+  CecResult result;
+
+  Miter miter = make_miter(a, b);
+  sim::Simulator simulator(miter.network);
+  sim::EquivClasses classes = sim::EquivClasses::over_luts(miter.network);
+
+  // Phase 1: random simulation. Any nonzero miter output word is already
+  // a counterexample — report it without touching the solver.
+  util::Rng rng(options.seed);
+  for (std::size_t round = 0; round < options.random_rounds; ++round) {
+    simulator.simulate_random_word(rng);
+    classes.refine(simulator);
+    for (net::NodeId po : miter.network.pos()) {
+      const sim::PatternWord word = simulator.value(po);
+      if (word != 0) {
+        const auto bit = static_cast<unsigned>(std::countr_zero(word));
+        result.counterexample = pattern_of_bit(simulator, bit);
+        result.equivalent = false;
+        total.stop();
+        result.total_seconds = total.seconds();
+        return result;
+      }
+    }
+  }
+
+  // Phase 2: guided simulation splits the classes random patterns cannot.
+  if (options.use_guided_simulation && !classes.fully_refined()) {
+    core::GuidedSimOptions guided;
+    guided.strategy = options.guided_strategy;
+    guided.iterations = options.guided_iterations;
+    guided.seed = options.seed;
+    run_guided_simulation(simulator, classes, guided);
+  }
+
+  // Phase 3: SAT sweeping of the internal nodes; proven equalities are
+  // added as clauses and make the output proofs cheap.
+  SweepOptions sweep_options = options.sweep;
+  sweep_options.seed = options.seed;
+  Sweeper sweeper(miter.network, sweep_options);
+  if (options.sweep_internal_nodes)
+    result.sweep_stats = sweeper.run(classes, simulator);
+
+  // Phase 4: prove each miter output constant-0.
+  for (net::NodeId po : miter.network.pos()) {
+    const sat::Var po_var = sweeper.encoder().ensure_encoded(po);
+    util::Stopwatch watch;
+    watch.start();
+    const sat::Result verdict = sweeper.solver().solve({sat::pos(po_var)});
+    watch.stop();
+    ++result.output_sat_calls;
+    result.output_sat_seconds += watch.seconds();
+    if (verdict == sat::Result::kSat) {
+      result.counterexample = sweeper.last_model_vector();
+      if (!violates(simulator, result.counterexample))
+        throw std::logic_error("cec: SAT counterexample failed re-simulation");
+      result.equivalent = false;
+      total.stop();
+      result.total_seconds = total.seconds();
+      return result;
+    }
+    if (verdict == sat::Result::kUnknown)
+      throw std::runtime_error("cec: output proof hit the conflict limit");
+    ++result.outputs_proven;
+  }
+
+  result.equivalent = true;
+  total.stop();
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace simgen::sweep

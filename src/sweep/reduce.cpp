@@ -1,0 +1,129 @@
+#include "sweep/reduce.hpp"
+
+#include <vector>
+
+namespace simgen::sweep {
+namespace {
+
+/// Union-find over node ids with the smallest id as representative (ids
+/// are topological, so the representative is always the shallower node —
+/// merging toward it can never create a cycle).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t size) : parent_(size) {
+    for (std::size_t i = 0; i < size; ++i)
+      parent_[i] = static_cast<net::NodeId>(i);
+  }
+
+  net::NodeId find(net::NodeId node) {
+    while (parent_[node] != node) {
+      parent_[node] = parent_[parent_[node]];
+      node = parent_[node];
+    }
+    return node;
+  }
+
+  void merge(net::NodeId a, net::NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b)
+      parent_[b] = a;
+    else
+      parent_[a] = b;
+  }
+
+ private:
+  std::vector<net::NodeId> parent_;
+};
+
+/// Shared rebuild: \p representative maps every node to the node whose
+/// logic should stand in for it (identity when nothing was merged).
+net::Network rebuild(const net::Network& network,
+                     const std::vector<net::NodeId>& representative,
+                     ReductionStats* stats) {
+  // Pass 1: mark the nodes reachable from the POs through representative
+  // edges.
+  std::vector<bool> needed(network.num_nodes(), false);
+  std::vector<net::NodeId> stack;
+  const auto require = [&](net::NodeId node) {
+    const net::NodeId rep = representative[node];
+    if (needed[rep]) return;
+    needed[rep] = true;
+    stack.push_back(rep);
+  };
+  for (const net::NodeId po : network.pos()) require(network.fanins(po)[0]);
+  while (!stack.empty()) {
+    const net::NodeId node = stack.back();
+    stack.pop_back();
+    for (const net::NodeId fanin : network.fanins(node)) require(fanin);
+  }
+
+  // Pass 2: rebuild in topological order. All PIs are preserved so the
+  // interface stays intact even if some became dead.
+  net::Network reduced(network.name());
+  std::vector<net::NodeId> map(network.num_nodes(), net::kNullNode);
+  std::size_t merged = 0;
+  std::size_t removed = 0;
+  network.for_each_node([&](net::NodeId id) {
+    const auto& node = network.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        map[id] = reduced.add_pi(node.name);
+        break;
+      case net::NodeKind::kConstant:
+        if (needed[id]) map[id] = reduced.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kLut: {
+        if (representative[id] != id) {
+          ++merged;
+          ++removed;
+          map[id] = map[representative[id]];
+          break;
+        }
+        if (!needed[id]) {
+          ++removed;
+          break;
+        }
+        std::vector<net::NodeId> fanins;
+        fanins.reserve(node.fanins.size());
+        for (const net::NodeId fanin : node.fanins)
+          fanins.push_back(map[representative[fanin]]);
+        map[id] = reduced.add_lut(fanins, node.function, node.name);
+        break;
+      }
+      case net::NodeKind::kPo:
+        map[id] = reduced.add_po(map[representative[node.fanins[0]]], node.name);
+        break;
+    }
+  });
+  reduced.check_invariants();
+  if (stats != nullptr) {
+    stats->merged_nodes = merged;
+    stats->removed_luts = removed;
+  }
+  return reduced;
+}
+
+}  // namespace
+
+net::Network reduce_network(
+    const net::Network& network,
+    std::span<const std::pair<net::NodeId, net::NodeId>> proven_pairs,
+    ReductionStats* stats) {
+  UnionFind classes(network.num_nodes());
+  for (const auto& [a, b] : proven_pairs) classes.merge(a, b);
+  std::vector<net::NodeId> representative(network.num_nodes());
+  for (net::NodeId id = 0; id < network.num_nodes(); ++id)
+    representative[id] = classes.find(id);
+  return rebuild(network, representative, stats);
+}
+
+net::Network remove_dead_logic(const net::Network& network,
+                               ReductionStats* stats) {
+  std::vector<net::NodeId> identity(network.num_nodes());
+  for (net::NodeId id = 0; id < network.num_nodes(); ++id) identity[id] = id;
+  return rebuild(network, identity, stats);
+}
+
+}  // namespace simgen::sweep

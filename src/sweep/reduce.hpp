@@ -1,0 +1,37 @@
+/// \file reduce.hpp
+/// \brief Network reduction from proven equivalences.
+///
+/// Sweeping is not only a CEC accelerator: the paper's Section 2.2 lists
+/// logic optimization, technology-mapping choices, and ECO synthesis as
+/// its consumers. This module closes that loop: given the pairs a Sweeper
+/// proved equivalent, it rebuilds the network with every class collapsed
+/// onto one representative and all logic that became unreachable dropped.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "network/network.hpp"
+
+namespace simgen::sweep {
+
+struct ReductionStats {
+  std::size_t merged_nodes = 0;   ///< Nodes redirected to a representative.
+  std::size_t removed_luts = 0;   ///< LUTs dropped (merged or unreachable).
+};
+
+/// Rebuilds \p network with each proven pair merged (the second node of
+/// every pair is replaced by the first, transitively, via union-find on
+/// the pairs) and dead logic removed. PIs and POs are preserved in order;
+/// the result is functionally equivalent by construction *if* the pairs
+/// are true equivalences — pass only SAT-proven pairs (Sweeper::proven_pairs).
+[[nodiscard]] net::Network reduce_network(
+    const net::Network& network,
+    std::span<const std::pair<net::NodeId, net::NodeId>> proven_pairs,
+    ReductionStats* stats = nullptr);
+
+/// Convenience: removes only unreachable logic (no merging).
+[[nodiscard]] net::Network remove_dead_logic(const net::Network& network,
+                                             ReductionStats* stats = nullptr);
+
+}  // namespace simgen::sweep

@@ -1,0 +1,136 @@
+#include "sweep/sweeper.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace simgen::sweep {
+
+Sweeper::Sweeper(const net::Network& network, SweepOptions options)
+    : network_(network),
+      options_(options),
+      encoder_(network, solver_),
+      rng_(util::splitmix64(options.seed) ^ 0x5feebull) {
+  solver_.set_conflict_limit(options_.conflict_limit);
+}
+
+sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
+  const sat::Var var_a = encoder_.ensure_encoded(a);
+  const sat::Var var_b = encoder_.ensure_encoded(b);
+
+  // Fresh miter variable t <-> (a xor b); one solve call per pair, as the
+  // paper counts SAT calls.
+  const sat::Var t = solver_.new_var();
+  solver_.add_clause({sat::neg(t), sat::pos(var_a), sat::pos(var_b)});
+  solver_.add_clause({sat::neg(t), sat::neg(var_a), sat::neg(var_b)});
+  solver_.add_clause({sat::pos(t), sat::pos(var_a), sat::neg(var_b)});
+  solver_.add_clause({sat::pos(t), sat::neg(var_a), sat::pos(var_b)});
+
+  util::Stopwatch watch;
+  watch.start();
+  const sat::Result verdict = solver_.solve({sat::pos(t)});
+  watch.stop();
+  ++totals_.sat_calls;
+  totals_.sat_seconds += watch.seconds();
+
+  switch (verdict) {
+    case sat::Result::kUnsat:
+      ++totals_.proven_equivalent;
+      totals_.proven_pairs.emplace_back(a, b);
+      if (options_.add_equality_clauses) {
+        solver_.add_clause({sat::pos(var_a), sat::neg(var_b)});
+        solver_.add_clause({sat::neg(var_a), sat::pos(var_b)});
+      }
+      // The t-miter of a proven pair is dead weight; pin it false so the
+      // solver never branches on it again.
+      solver_.add_clause({sat::neg(t)});
+      break;
+    case sat::Result::kSat:
+      ++totals_.disproven;
+      break;
+    case sat::Result::kUnknown:
+      ++totals_.unresolved;
+      solver_.add_clause({sat::neg(t)});
+      break;
+  }
+  return verdict;
+}
+
+std::vector<bool> Sweeper::last_model_vector() {
+  std::vector<bool> vector(network_.num_pis());
+  for (std::size_t i = 0; i < network_.num_pis(); ++i) {
+    const net::NodeId pi = network_.pis()[i];
+    vector[i] = encoder_.is_encoded(pi)
+                    ? solver_.model_value(encoder_.var_of(pi))
+                    : rng_.flip();
+  }
+  return vector;
+}
+
+void Sweeper::resimulate_counterexample(const std::vector<bool>& vector,
+                                        sim::EquivClasses& classes,
+                                        sim::Simulator& simulator) {
+  const std::size_t num_pis = network_.num_pis();
+  std::vector<sim::PatternWord> words(num_pis, 0);
+  for (std::size_t i = 0; i < num_pis; ++i)
+    if (vector[i]) words[i] = ~sim::PatternWord{0};
+  if (options_.distance_one_fill && num_pis > 0) {
+    // Patterns 1..63 flip one random PI each: cheap neighbourhood
+    // exploration around the counterexample (1-distance vectors).
+    for (unsigned pattern = 1; pattern < 64; ++pattern) {
+      const std::size_t flip = rng_.below(num_pis);
+      words[flip] ^= sim::PatternWord{1} << pattern;
+    }
+  }
+  simulator.simulate_word(words);
+  classes.refine(simulator);
+  ++totals_.resimulations;
+}
+
+SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) {
+  const SweepResult before = totals_;
+  while (!classes.fully_refined()) {
+    // Prove pairs in topological order (shallowest candidate first), the
+    // fraig sweep schedule: equality clauses learned for shallow pairs
+    // become lemmas that keep the deep miters tractable.
+    std::size_t best_class = 0;
+    net::NodeId best_candidate = net::kNullNode;
+    for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+      const net::NodeId candidate_here = classes.class_members(c)[1];
+      if (candidate_here < best_candidate) {
+        best_candidate = candidate_here;
+        best_class = c;
+      }
+    }
+    const auto members = classes.class_members(best_class);
+    const net::NodeId representative = members[0];
+    const net::NodeId candidate = members[1];
+    const sat::Result verdict = check_pair(representative, candidate);
+    switch (verdict) {
+      case sat::Result::kUnsat:
+        // Proven equivalent: merge the candidate into the representative.
+        classes.remove_node(candidate);
+        break;
+      case sat::Result::kSat:
+        // Counterexample: by construction it distinguishes the pair, so
+        // refinement is guaranteed to make progress on this class.
+        resimulate_counterexample(last_model_vector(), classes, simulator);
+        break;
+      case sat::Result::kUnknown:
+        classes.remove_node(candidate);
+        break;
+    }
+  }
+
+  SweepResult delta = totals_;
+  delta.sat_calls -= before.sat_calls;
+  delta.proven_equivalent -= before.proven_equivalent;
+  delta.disproven -= before.disproven;
+  delta.unresolved -= before.unresolved;
+  delta.sat_seconds -= before.sat_seconds;
+  delta.resimulations -= before.resimulations;
+  delta.proven_pairs.erase(delta.proven_pairs.begin(),
+                           delta.proven_pairs.begin() +
+                               static_cast<std::ptrdiff_t>(before.proven_pairs.size()));
+  return delta;
+}
+
+}  // namespace simgen::sweep

@@ -1,0 +1,93 @@
+/// \file sweeper.hpp
+/// \brief SAT sweeping: prove or refute candidate node equivalences.
+///
+/// The verification half of the paper's Figure 2 flow. The sweeper walks
+/// the simulation-equivalence classes, picks (representative, candidate)
+/// pairs, and asks the SAT solver for an input on which they differ:
+///  * UNSAT — the pair is proven equivalent; the candidate is merged into
+///    the representative (and, optionally, an equality clause strengthens
+///    future proofs, fraig-style);
+///  * SAT — the model is a counterexample the random generator could not
+///    produce; it is simulated back through the network to split this and
+///    other classes (with optional 1-distance neighbours, cf. Mishchenko
+///    et al.).
+/// SAT calls and SAT time are counted exactly as reported in the paper's
+/// Table 2 / Figures 5-6.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "sim/eqclass.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::sweep {
+
+struct SweepOptions {
+  std::uint64_t seed = 1;
+  /// Per-call conflict budget; 0 = unlimited. Pairs hitting the budget are
+  /// dropped from their class and counted as unresolved.
+  std::uint64_t conflict_limit = 0;
+  /// Add (a == b) clauses for proven pairs to speed up later proofs.
+  bool add_equality_clauses = true;
+  /// Fill the 63 spare pattern slots of a counterexample word with
+  /// 1-distance neighbours (single random PI flips, cf. Mishchenko et
+  /// al.) before resimulating. On by default: the neighbourhood patterns
+  /// split many classes per disproof and keep sweeping tractable, exactly
+  /// like the counterexample packing production sweepers perform.
+  bool distance_one_fill = true;
+};
+
+struct SweepResult {
+  std::uint64_t sat_calls = 0;
+  std::uint64_t proven_equivalent = 0;   ///< UNSAT outcomes.
+  std::uint64_t disproven = 0;           ///< SAT outcomes (counterexamples).
+  std::uint64_t unresolved = 0;          ///< Conflict-limited outcomes.
+  double sat_seconds = 0.0;              ///< Time inside Solver::solve only.
+  std::uint64_t resimulations = 0;
+  std::vector<std::pair<net::NodeId, net::NodeId>> proven_pairs;
+};
+
+/// Incremental SAT sweeping over one network. The solver and encoder
+/// persist across calls, so cones are encoded once and learned clauses
+/// carry over — sweeping a class pair-by-pair stays cheap.
+class Sweeper {
+ public:
+  Sweeper(const net::Network& network, SweepOptions options);
+
+  /// Sweeps until every class is gone: all candidate pairs proven
+  /// equivalent, split by counterexamples, or dropped as unresolved.
+  /// \p simulator is used for counterexample resimulation.
+  SweepResult run(sim::EquivClasses& classes, sim::Simulator& simulator);
+
+  /// Proves or refutes a single pair. Returns the raw solver verdict and,
+  /// for SAT, leaves the counterexample accessible via last_model_vector().
+  sat::Result check_pair(net::NodeId a, net::NodeId b);
+
+  /// PI vector of the last SAT verdict; unconstrained PIs are filled with
+  /// random bits (seeded, reproducible).
+  [[nodiscard]] std::vector<bool> last_model_vector();
+
+  [[nodiscard]] sat::Solver& solver() noexcept { return solver_; }
+  [[nodiscard]] sat::CnfEncoder& encoder() noexcept { return encoder_; }
+  [[nodiscard]] const SweepResult& totals() const noexcept { return totals_; }
+
+ private:
+  void resimulate_counterexample(const std::vector<bool>& vector,
+                                 sim::EquivClasses& classes,
+                                 sim::Simulator& simulator);
+
+  const net::Network& network_;
+  SweepOptions options_;
+  sat::Solver solver_;
+  sat::CnfEncoder encoder_;
+  util::Rng rng_;
+  SweepResult totals_;  ///< Accumulated across run() and check_pair() calls.
+};
+
+}  // namespace simgen::sweep

@@ -1,0 +1,39 @@
+#include "tt/cube.hpp"
+
+#include <bit>
+
+namespace simgen::tt {
+
+unsigned Cube::num_literals() const noexcept {
+  return static_cast<unsigned>(std::popcount(mask));
+}
+
+unsigned Cube::num_dcs(unsigned num_vars) const noexcept {
+  const std::uint32_t in_range = (num_vars >= 32) ? ~0u : ((1u << num_vars) - 1u);
+  return static_cast<unsigned>(std::popcount(~mask & in_range));
+}
+
+TruthTable Cube::to_truth_table(unsigned num_vars) const {
+  TruthTable result = TruthTable::constant(num_vars, true);
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if (!has_literal(v)) continue;
+    const TruthTable proj = TruthTable::projection(num_vars, v);
+    result &= literal_value(v) ? proj : ~proj;
+  }
+  return result;
+}
+
+std::string Cube::to_string(unsigned num_vars) const {
+  std::string out(num_vars, '-');
+  for (unsigned v = 0; v < num_vars; ++v)
+    if (has_literal(v)) out[v] = literal_value(v) ? '1' : '0';
+  return out;
+}
+
+TruthTable Cover::to_truth_table(unsigned num_vars) const {
+  TruthTable result = TruthTable::constant(num_vars, false);
+  for (const Cube& cube : cubes) result |= cube.to_truth_table(num_vars);
+  return result;
+}
+
+}  // namespace simgen::tt

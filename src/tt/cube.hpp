@@ -1,0 +1,88 @@
+/// \file cube.hpp
+/// \brief Cubes: conjunctions of input literals with don't-cares.
+///
+/// A cube over n inputs assigns each input one of {0, 1, -}. Cubes are the
+/// "truth table rows" of the SimGen paper (Figure 3): a row lists required
+/// input values, leaves don't-care inputs unassigned, and is associated
+/// with an output value by the cover that owns it (ON-set or OFF-set).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace simgen::tt {
+
+/// One product term over up to 16 inputs.
+///
+/// `mask` bit i set means input i is a literal of the cube (not a DC);
+/// `bits` bit i gives the literal's polarity and is zero wherever `mask`
+/// is zero, so cubes compare equal iff they are the same product term.
+struct Cube {
+  std::uint32_t mask = 0;
+  std::uint32_t bits = 0;
+
+  constexpr Cube() = default;
+  constexpr Cube(std::uint32_t mask_, std::uint32_t bits_) noexcept
+      : mask(mask_), bits(bits_ & mask_) {}
+
+  /// Literal count (non-DC inputs).
+  [[nodiscard]] unsigned num_literals() const noexcept;
+
+  /// Number of don't-care inputs among the first \p num_vars inputs.
+  /// This is the paper's dc_size(row) from Equation (1).
+  [[nodiscard]] unsigned num_dcs(unsigned num_vars) const noexcept;
+
+  /// True iff input \p var is a literal of the cube.
+  [[nodiscard]] constexpr bool has_literal(unsigned var) const noexcept {
+    return (mask >> var) & 1u;
+  }
+  /// Polarity of the literal on \p var; only meaningful if has_literal.
+  [[nodiscard]] constexpr bool literal_value(unsigned var) const noexcept {
+    return (bits >> var) & 1u;
+  }
+
+  /// Adds (or overwrites) the literal on \p var with \p value.
+  constexpr void set_literal(unsigned var, bool value) noexcept {
+    mask |= 1u << var;
+    if (value)
+      bits |= 1u << var;
+    else
+      bits &= ~(1u << var);
+  }
+  /// Turns the literal on \p var into a don't-care.
+  constexpr void clear_literal(unsigned var) noexcept {
+    mask &= ~(1u << var);
+    bits &= ~(1u << var);
+  }
+
+  /// True iff the complete assignment \p input_bits satisfies the cube.
+  [[nodiscard]] constexpr bool contains(std::uint32_t input_bits) const noexcept {
+    return ((input_bits ^ bits) & mask) == 0;
+  }
+
+  /// Truth table of the cube as a function of \p num_vars inputs.
+  [[nodiscard]] TruthTable to_truth_table(unsigned num_vars) const;
+
+  /// Text form over \p num_vars inputs, input 0 first: e.g. "1-0".
+  [[nodiscard]] std::string to_string(unsigned num_vars) const;
+
+  bool operator==(const Cube&) const noexcept = default;
+};
+
+/// A sum of cubes together with the function value it asserts. RowCover
+/// pairs (one for the ON-set, one for the OFF-set) are what SimGen's
+/// implication and decision steps enumerate as candidate rows.
+struct Cover {
+  std::vector<Cube> cubes;
+
+  /// Disjunction of all cubes as a truth table over \p num_vars inputs.
+  [[nodiscard]] TruthTable to_truth_table(unsigned num_vars) const;
+
+  [[nodiscard]] bool empty() const noexcept { return cubes.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return cubes.size(); }
+};
+
+}  // namespace simgen::tt

@@ -1,0 +1,81 @@
+#include "tt/isop.hpp"
+
+#include <stdexcept>
+
+namespace simgen::tt {
+namespace {
+
+// Minato-Morreale recursion. Computes an irredundant cover of some g with
+// lower <= g <= upper and returns the function actually covered. Cubes are
+// appended to `cubes`.
+TruthTable isop_rec(const TruthTable& lower, const TruthTable& upper,
+                    unsigned var_count, std::vector<Cube>& cubes) {
+  if (lower.is_const0()) return lower;  // empty cover
+  if (upper.is_const1()) {
+    cubes.emplace_back();  // tautology cube (all DC)
+    return upper;
+  }
+
+  // Pick the highest variable either bound still depends on.
+  unsigned var = var_count;
+  while (var-- > 0) {
+    if (lower.depends_on(var) || upper.depends_on(var)) break;
+  }
+  // Since lower != 0 and upper != 1 and lower <= upper, some variable must
+  // remain; otherwise both are constants with lower=1, upper=0 which would
+  // violate the interval invariant.
+  if (var >= var_count) throw std::logic_error("isop: interval invariant violated");
+
+  const TruthTable lower0 = lower.cofactor0(var);
+  const TruthTable lower1 = lower.cofactor1(var);
+  const TruthTable upper0 = upper.cofactor0(var);
+  const TruthTable upper1 = upper.cofactor1(var);
+
+  // Cubes that must contain the literal !var: minterms required in the
+  // 0-half that the 1-half cannot absorb.
+  const std::size_t first_neg = cubes.size();
+  const TruthTable cover0 =
+      isop_rec(lower0 & ~upper1, upper0, var, cubes);
+  for (std::size_t i = first_neg; i < cubes.size(); ++i)
+    cubes[i].set_literal(var, false);
+
+  // Cubes that must contain the literal var.
+  const std::size_t first_pos = cubes.size();
+  const TruthTable cover1 =
+      isop_rec(lower1 & ~upper0, upper1, var, cubes);
+  for (std::size_t i = first_pos; i < cubes.size(); ++i)
+    cubes[i].set_literal(var, true);
+
+  // Remaining required minterms are covered without a literal on var.
+  const TruthTable rest_lower = (lower0 & ~cover0) | (lower1 & ~cover1);
+  const TruthTable cover_rest =
+      isop_rec(rest_lower, upper0 & upper1, var, cubes);
+
+  const TruthTable proj = TruthTable::projection(lower.num_vars(), var);
+  return (cover0 & ~proj) | (cover1 & proj) | cover_rest;
+}
+
+}  // namespace
+
+Cover isop(const TruthTable& on, const TruthTable& dc) {
+  if (on.num_vars() != dc.num_vars())
+    throw std::invalid_argument("isop: arity mismatch");
+  if (!(on & dc).is_const0())
+    throw std::invalid_argument("isop: on-set and dc-set intersect");
+  Cover cover;
+  isop_rec(on, on | dc, on.num_vars(), cover.cubes);
+  return cover;
+}
+
+Cover isop(const TruthTable& function) {
+  return isop(function, TruthTable::constant(function.num_vars(), false));
+}
+
+RowSet compute_rows(const TruthTable& function) {
+  RowSet rows;
+  rows.on = isop(function);
+  rows.off = isop(~function);
+  return rows;
+}
+
+}  // namespace simgen::tt

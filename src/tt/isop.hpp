@@ -1,0 +1,41 @@
+/// \file isop.hpp
+/// \brief Irredundant sum-of-products extraction (Minato-Morreale).
+///
+/// ISOP turns a node's exhaustive truth table into a compact cover of
+/// cubes with don't-cares. SimGen treats these cubes as the "rows" of the
+/// node's truth table (paper Figures 3-4): the implication engine filters
+/// rows against the current ternary assignment and the decision heuristics
+/// (DC count, MFFC rank) score them. The CNF encoder reuses the same
+/// covers for Tseitin clauses, so one cover computation serves both.
+#pragma once
+
+#include "tt/cube.hpp"
+#include "tt/truth_table.hpp"
+
+namespace simgen::tt {
+
+/// Computes an irredundant SOP cover of any function f with
+/// on <= f <= on|dc (Minato-Morreale interval ISOP).
+/// \p on and \p dc must not intersect. Passing dc = const0 yields an
+/// irredundant cover of exactly \p on.
+[[nodiscard]] Cover isop(const TruthTable& on, const TruthTable& dc);
+
+/// Irredundant cover of exactly \p function (no external don't-cares).
+[[nodiscard]] Cover isop(const TruthTable& function);
+
+/// Row set of a node function as SimGen sees it: the ON-set cover, the
+/// OFF-set cover, and per-row output values.
+struct RowSet {
+  Cover on;   ///< Rows whose output value is 1.
+  Cover off;  ///< Rows whose output value is 0.
+
+  [[nodiscard]] std::size_t num_rows() const noexcept {
+    return on.size() + off.size();
+  }
+};
+
+/// Computes both covers of \p function. Postcondition (checked by tests):
+/// on.to_truth_table == function and off.to_truth_table == ~function.
+[[nodiscard]] RowSet compute_rows(const TruthTable& function);
+
+}  // namespace simgen::tt

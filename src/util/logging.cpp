@@ -1,0 +1,70 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace simgen::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: break;
+  }
+  return "?    ";
+}
+
+void vlogf(LogLevel level, const char* fmt, std::va_list args) {
+  if (level < log_level()) return;
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed < 0) return;
+  std::string buffer(static_cast<std::size_t>(needed) + 1, '\0');
+  std::vsnprintf(buffer.data(), buffer.size(), fmt, args);
+  buffer.resize(static_cast<std::size_t>(needed));
+  log_line(level, buffer);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[simgen %s] %.*s\n", level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+#define SIMGEN_DEFINE_LOG_FN(name, level)          \
+  void name(const char* fmt, ...) {                \
+    std::va_list args;                             \
+    va_start(args, fmt);                           \
+    vlogf(level, fmt, args);                       \
+    va_end(args);                                  \
+  }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+SIMGEN_DEFINE_LOG_FN(debugf, LogLevel::kDebug)
+SIMGEN_DEFINE_LOG_FN(infof, LogLevel::kInfo)
+SIMGEN_DEFINE_LOG_FN(warnf, LogLevel::kWarn)
+SIMGEN_DEFINE_LOG_FN(errorf, LogLevel::kError)
+
+#undef SIMGEN_DEFINE_LOG_FN
+
+}  // namespace simgen::util

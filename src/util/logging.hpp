@@ -1,0 +1,31 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logging for the flow drivers and benches.
+///
+/// The library core never logs on hot paths; logging exists so the example
+/// applications and experiment harnesses can narrate the sweeping flow.
+/// printf-style formatting is used (the toolchain predates std::format).
+#pragma once
+
+#include <string_view>
+
+namespace simgen::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if \p level passes the threshold.
+void log_line(LogLevel level, std::string_view message);
+
+/// printf-style logging at a given level.
+[[gnu::format(printf, 2, 3)]]
+void logf(LogLevel level, const char* fmt, ...);
+
+[[gnu::format(printf, 1, 2)]] void debugf(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void infof(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void warnf(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void errorf(const char* fmt, ...);
+
+}  // namespace simgen::util

@@ -1,0 +1,9 @@
+#include "util/stopwatch.hpp"
+
+// Stopwatch and ScopedTimer are header-only; this translation unit anchors
+// the module library so every subsystem links the same object set.
+namespace simgen::util {
+namespace {
+[[maybe_unused]] constexpr int kAnchor = 0;
+}  // namespace
+}  // namespace simgen::util

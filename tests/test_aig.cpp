@@ -1,0 +1,156 @@
+// Tests for the AIG: literal encoding, folding rules, structural hashing,
+// derived connectives, simulation, and invariants.
+#include "aig/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace simgen::aig {
+namespace {
+
+TEST(Lit, EncodingRoundTrip) {
+  const Lit lit = make_lit(7, true);
+  EXPECT_EQ(lit_node(lit), 7u);
+  EXPECT_TRUE(lit_complemented(lit));
+  EXPECT_EQ(lit_not(lit), make_lit(7, false));
+  EXPECT_EQ(kLitTrue, lit_not(kLitFalse));
+}
+
+TEST(Aig, ConstantFolding) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  EXPECT_EQ(graph.and2(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(graph.and2(kLitFalse, a), kLitFalse);
+  EXPECT_EQ(graph.and2(a, kLitTrue), a);
+  EXPECT_EQ(graph.and2(a, a), a);
+  EXPECT_EQ(graph.and2(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(graph.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  const Lit b = graph.add_pi();
+  const Lit g1 = graph.and2(a, b);
+  const Lit g2 = graph.and2(b, a);  // commuted: same node
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(graph.num_ands(), 1u);
+  const Lit g3 = graph.and2(lit_not(a), b);  // different polarity: new node
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(graph.num_ands(), 2u);
+}
+
+TEST(Aig, PiAfterAndThrows) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  const Lit b = graph.add_pi();
+  graph.and2(a, b);
+  EXPECT_THROW(graph.add_pi(), std::logic_error);
+}
+
+TEST(Aig, OutOfRangeLiteralThrows) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  EXPECT_THROW(graph.and2(a, make_lit(99, false)), std::invalid_argument);
+  EXPECT_THROW(graph.add_po(make_lit(99, false)), std::invalid_argument);
+}
+
+TEST(Aig, SimulateBasicGates) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  const Lit b = graph.add_pi();
+  graph.add_po(graph.and2(a, b), "and");
+  graph.add_po(graph.or2(a, b), "or");
+  graph.add_po(graph.xor2(a, b), "xor");
+  graph.add_po(graph.nand2(a, b), "nand");
+  graph.add_po(graph.nor2(a, b), "nor");
+  graph.add_po(graph.xnor2(a, b), "xnor");
+
+  // Pattern bits: a = 0101..., b = 0011... gives all four input combos.
+  const std::uint64_t wa = 0xaaaaaaaaaaaaaaaaull;
+  const std::uint64_t wb = 0xccccccccccccccccull;
+  const std::uint64_t words[2] = {wa, wb};
+  const auto out = graph.simulate_words(words);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], wa & wb);
+  EXPECT_EQ(out[1], wa | wb);
+  EXPECT_EQ(out[2], wa ^ wb);
+  EXPECT_EQ(out[3], ~(wa & wb));
+  EXPECT_EQ(out[4], ~(wa | wb));
+  EXPECT_EQ(out[5], ~(wa ^ wb));
+}
+
+TEST(Aig, MuxAndMajority) {
+  Aig graph;
+  const Lit s = graph.add_pi();
+  const Lit t = graph.add_pi();
+  const Lit e = graph.add_pi();
+  graph.add_po(graph.mux(s, t, e));
+  graph.add_po(graph.maj3(s, t, e));
+  util::Rng rng(5);
+  const std::uint64_t words[3] = {rng(), rng(), rng()};
+  const auto out = graph.simulate_words(words);
+  EXPECT_EQ(out[0], (words[0] & words[1]) | (~words[0] & words[2]));
+  EXPECT_EQ(out[1], (words[0] & words[1]) | (words[0] & words[2]) |
+                        (words[1] & words[2]));
+}
+
+TEST(Aig, SimulateConstantPo) {
+  Aig graph;
+  graph.add_pi();
+  graph.add_po(kLitTrue);
+  graph.add_po(kLitFalse);
+  const std::uint64_t words[1] = {0x1234u};
+  const auto out = graph.simulate_words(words);
+  EXPECT_EQ(out[0], ~0ull);
+  EXPECT_EQ(out[1], 0ull);
+}
+
+TEST(Aig, SimulateWrongPiCountThrows) {
+  Aig graph;
+  graph.add_pi();
+  graph.add_pi();
+  const std::uint64_t one_word[1] = {0};
+  EXPECT_THROW(graph.simulate_words(one_word), std::invalid_argument);
+}
+
+TEST(Aig, XorOfSelfIsFalse) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  EXPECT_EQ(graph.xor2(a, a), kLitFalse);
+  EXPECT_EQ(graph.xor2(a, lit_not(a)), kLitTrue);
+}
+
+TEST(Aig, InvariantsHoldOnRandomGraph) {
+  Aig graph;
+  util::Rng rng(17);
+  std::vector<Lit> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(graph.add_pi());
+  for (int i = 0; i < 200; ++i) {
+    const Lit a = pool[rng.below(pool.size())];
+    const Lit b = pool[rng.below(pool.size())];
+    pool.push_back(graph.and2(rng.flip() ? lit_not(a) : a,
+                              rng.flip() ? lit_not(b) : b));
+  }
+  graph.add_po(pool.back());
+  graph.check_invariants();
+  EXPECT_GT(graph.num_ands(), 0u);
+  EXPECT_GT(graph.depth(), 0u);
+}
+
+TEST(Aig, LevelsAreConsistent) {
+  Aig graph;
+  const Lit a = graph.add_pi();
+  const Lit b = graph.add_pi();
+  const Lit g1 = graph.and2(a, b);
+  const Lit g2 = graph.and2(g1, a);
+  EXPECT_EQ(graph.level(lit_node(a)), 0u);
+  EXPECT_EQ(graph.level(lit_node(g1)), 1u);
+  EXPECT_EQ(graph.level(lit_node(g2)), 2u);
+  graph.add_po(g2);
+  EXPECT_EQ(graph.depth(), 2u);
+}
+
+}  // namespace
+}  // namespace simgen::aig

@@ -1,0 +1,121 @@
+// Tests for structural queries: cones, DFS orders, statistics.
+#include "network/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "benchgen/generator.hpp"
+
+namespace simgen::net {
+namespace {
+
+// Shared fixture circuit:
+//   g1 = a & b;  g2 = b & c;  g3 = g1 & g2;  po(g3), po(g1)
+struct Diamond {
+  Network network;
+  NodeId a, b, c, g1, g2, g3;
+
+  Diamond() {
+    a = network.add_pi("a");
+    b = network.add_pi("b");
+    c = network.add_pi("c");
+    const auto and2 = tt::TruthTable::and_gate(2);
+    const std::array<NodeId, 2> f1{a, b};
+    g1 = network.add_lut(f1, and2);
+    const std::array<NodeId, 2> f2{b, c};
+    g2 = network.add_lut(f2, and2);
+    const std::array<NodeId, 2> f3{g1, g2};
+    g3 = network.add_lut(f3, and2);
+    network.add_po(g3);
+    network.add_po(g1);
+  }
+};
+
+TEST(Analysis, FaninConeContainsExactlyTheCone) {
+  const Diamond d;
+  const auto cone = fanin_cone_dfs(d.network, d.g3);
+  EXPECT_EQ(cone.size(), 6u);  // a b c g1 g2 g3
+  EXPECT_TRUE(std::find(cone.begin(), cone.end(), d.g3) != cone.end());
+
+  const auto cone1 = fanin_cone_dfs(d.network, d.g1);
+  EXPECT_EQ(cone1.size(), 3u);  // a b g1
+  EXPECT_TRUE(std::find(cone1.begin(), cone1.end(), d.c) == cone1.end());
+}
+
+TEST(Analysis, DfsIsPostOrder) {
+  // Every node must appear after all of its fanins.
+  const Diamond d;
+  const auto cone = fanin_cone_dfs(d.network, d.g3);
+  std::vector<std::size_t> position(d.network.num_nodes(), ~std::size_t{0});
+  for (std::size_t i = 0; i < cone.size(); ++i) position[cone[i]] = i;
+  for (NodeId node : cone)
+    for (NodeId fanin : d.network.fanins(node))
+      EXPECT_LT(position[fanin], position[node]);
+}
+
+TEST(Analysis, MultiRootDfsDeduplicates) {
+  const Diamond d;
+  const std::array<NodeId, 2> roots{d.g1, d.g3};
+  const auto cone = fanin_cone_dfs(d.network, roots);
+  EXPECT_EQ(cone.size(), 6u);  // no duplicates
+}
+
+TEST(Analysis, ConePis) {
+  const Diamond d;
+  const auto pis3 = cone_pis(d.network, d.g3);
+  EXPECT_EQ(pis3.size(), 3u);
+  const auto pis1 = cone_pis(d.network, d.g1);
+  EXPECT_EQ(pis1.size(), 2u);
+  const auto pis_a = cone_pis(d.network, d.a);
+  ASSERT_EQ(pis_a.size(), 1u);
+  EXPECT_EQ(pis_a[0], d.a);
+}
+
+TEST(Analysis, FanoutCone) {
+  const Diamond d;
+  const auto cone_b = fanout_cone(d.network, d.b);
+  // b reaches g1, g2, g3 and both POs, plus itself.
+  EXPECT_EQ(cone_b.size(), 6u);
+  const auto cone_g2 = fanout_cone(d.network, d.g2);
+  EXPECT_EQ(cone_g2.size(), 3u);  // g2, g3, po(g3)
+}
+
+TEST(Analysis, InFaninCone) {
+  const Diamond d;
+  EXPECT_TRUE(in_fanin_cone(d.network, d.g3, d.a));
+  EXPECT_TRUE(in_fanin_cone(d.network, d.g3, d.g3));
+  EXPECT_FALSE(in_fanin_cone(d.network, d.g1, d.c));
+  EXPECT_FALSE(in_fanin_cone(d.network, d.g1, d.g3));
+}
+
+TEST(Analysis, StatsMatchHandCount) {
+  const Diamond d;
+  const NetworkStats stats = compute_stats(d.network);
+  EXPECT_EQ(stats.num_pis, 3u);
+  EXPECT_EQ(stats.num_pos, 2u);
+  EXPECT_EQ(stats.num_luts, 3u);
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_fanin, 2.0);
+  EXPECT_EQ(stats.max_fanout, 2u);  // b and g1 both feed two readers
+  EXPECT_FALSE(to_string(stats).empty());
+}
+
+TEST(Analysis, DfsScalesToGeneratedCircuit) {
+  // Post-order property on a realistic network (exercises the iterative
+  // stack on deep recursive structure).
+  benchgen::CircuitSpec spec;
+  spec.name = "analysis_scale";
+  spec.num_gates = 800;
+  const Network network = benchgen::generate_mapped(spec);
+  const auto cone = fanin_cone_dfs(network, network.pos()[0]);
+  std::vector<std::size_t> position(network.num_nodes(), ~std::size_t{0});
+  for (std::size_t i = 0; i < cone.size(); ++i) position[cone[i]] = i;
+  for (NodeId node : cone)
+    for (NodeId fanin : network.fanins(node))
+      ASSERT_LT(position[fanin], position[node]);
+}
+
+}  // namespace
+}  // namespace simgen::net

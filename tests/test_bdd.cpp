@@ -1,0 +1,298 @@
+// BDD package tests: canonicity, Boolean laws, counting, network
+// construction cross-checked against simulation, BDD-based CEC, and the
+// classical multiplier blow-up that motivated SAT-based sweeping.
+#include "bdd/network_bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/arith.hpp"
+#include "benchgen/generator.hpp"
+#include "mapping/lut_mapper.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::bdd {
+namespace {
+
+TEST(Bdd, ConstantsAndVariables) {
+  BddManager manager(3);
+  EXPECT_EQ(manager.constant(false), kFalse);
+  EXPECT_EQ(manager.constant(true), kTrue);
+  const NodeRef x = manager.variable(0);
+  EXPECT_EQ(x, manager.variable(0));  // cached
+  EXPECT_TRUE(manager.evaluate(x, 0b001));
+  EXPECT_FALSE(manager.evaluate(x, 0b110));
+  EXPECT_THROW((void)manager.variable(3), std::invalid_argument);
+}
+
+TEST(Bdd, CanonicityMakesEqualityStructural) {
+  BddManager manager(3);
+  const NodeRef a = manager.variable(0);
+  const NodeRef b = manager.variable(1);
+  const NodeRef c = manager.variable(2);
+  // (a & b) | c == (c | b) & (c | a) -- distributivity.
+  const NodeRef left = manager.apply_or(manager.apply_and(a, b), c);
+  const NodeRef right =
+      manager.apply_and(manager.apply_or(c, b), manager.apply_or(c, a));
+  EXPECT_EQ(left, right);
+  // De Morgan.
+  EXPECT_EQ(manager.apply_not(manager.apply_and(a, b)),
+            manager.apply_or(manager.apply_not(a), manager.apply_not(b)));
+  // Double negation.
+  EXPECT_EQ(manager.apply_not(manager.apply_not(left)), left);
+  // x ^ x == 0.
+  EXPECT_EQ(manager.apply_xor(left, left), kFalse);
+}
+
+TEST(Bdd, IteTruthTableCrossCheck) {
+  // Every 3-input function via ite of projections must match evaluation.
+  BddManager manager(3);
+  const NodeRef f = manager.variable(0);
+  const NodeRef g = manager.variable(1);
+  const NodeRef h = manager.variable(2);
+  const NodeRef ite_ref = manager.ite(f, g, h);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const bool expect = (m & 1) ? ((m >> 1) & 1) : ((m >> 2) & 1);
+    EXPECT_EQ(manager.evaluate(ite_ref, m), expect) << m;
+  }
+}
+
+TEST(Bdd, SatCount) {
+  BddManager manager(4);
+  const NodeRef a = manager.variable(0);
+  const NodeRef b = manager.variable(1);
+  EXPECT_DOUBLE_EQ(manager.sat_count(kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(manager.sat_count(kTrue), 16.0);
+  EXPECT_DOUBLE_EQ(manager.sat_count(a), 8.0);
+  EXPECT_DOUBLE_EQ(manager.sat_count(manager.apply_and(a, b)), 4.0);
+  EXPECT_DOUBLE_EQ(manager.sat_count(manager.apply_xor(a, b)), 8.0);
+}
+
+TEST(Bdd, OneSatIsSatisfying) {
+  BddManager manager(6);
+  util::Rng rng(3);
+  // Random function built from projections.
+  NodeRef f = manager.variable(0);
+  for (unsigned v = 1; v < 6; ++v) {
+    const NodeRef x = manager.variable(v);
+    switch (rng.below(3)) {
+      case 0: f = manager.apply_and(f, x); break;
+      case 1: f = manager.apply_or(f, x); break;
+      default: f = manager.apply_xor(f, x); break;
+    }
+  }
+  ASSERT_NE(f, kFalse);
+  EXPECT_TRUE(manager.evaluate(f, manager.one_sat(f)));
+  EXPECT_THROW((void)manager.one_sat(kFalse), std::invalid_argument);
+}
+
+TEST(Bdd, DagSizeCountsSharedNodesOnce) {
+  BddManager manager(2);
+  const NodeRef a = manager.variable(0);
+  const NodeRef b = manager.variable(1);
+  EXPECT_EQ(manager.dag_size(kTrue), 0u);
+  EXPECT_EQ(manager.dag_size(a), 1u);
+  EXPECT_EQ(manager.dag_size(manager.apply_xor(a, b)), 3u);  // a-node + 2 b-nodes
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  BddManager manager(16, /*node_limit=*/8);
+  NodeRef f = manager.variable(0);
+  EXPECT_THROW(
+      {
+        for (unsigned v = 1; v < 16; ++v)
+          f = manager.apply_xor(f, manager.variable(v));
+      },
+      BddLimitExceeded);
+}
+
+TEST(NetworkBdd, MatchesSimulationOnGeneratedCircuit) {
+  benchgen::CircuitSpec spec;
+  spec.name = "bdd_net";
+  spec.num_pis = 10;
+  spec.num_pos = 5;
+  spec.num_gates = 150;
+  const net::Network network = benchgen::generate_mapped(spec);
+  BddManager manager(static_cast<unsigned>(network.num_pis()));
+  NetworkBdds bdds(manager, network);
+
+  sim::Simulator simulator(network);
+  util::Rng rng(17);
+  for (int round = 0; round < 4; ++round) {
+    simulator.simulate_random_word(rng);
+    for (const net::NodeId po : network.pos()) {
+      const NodeRef f = bdds.build(po);
+      for (unsigned pattern = 0; pattern < 64; pattern += 7) {
+        std::uint64_t input_bits = 0;
+        for (std::size_t i = 0; i < network.num_pis(); ++i)
+          if (simulator.value_bit(network.pis()[i], pattern))
+            input_bits |= std::uint64_t{1} << i;
+        ASSERT_EQ(manager.evaluate(f, input_bits),
+                  simulator.value_bit(po, pattern));
+      }
+    }
+  }
+}
+
+TEST(NetworkBdd, CecAgreesOnEquivalentAdders) {
+  const net::Network rca =
+      mapping::map_to_luts(benchgen::build_ripple_carry_adder(8));
+  const net::Network csa =
+      mapping::map_to_luts(benchgen::build_carry_select_adder(8, 3));
+  const BddCecResult result = bdd_check_equivalence(rca, csa);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_GT(result.peak_nodes, 0u);
+}
+
+TEST(NetworkBdd, CecFindsValidCounterexample) {
+  const net::Network good =
+      mapping::map_to_luts(benchgen::build_comparator(6));
+  // Break one output: swap lt and gt drivers.
+  net::Network bad("cmp_bad");
+  std::vector<net::NodeId> map(good.num_nodes());
+  good.for_each_node([&](net::NodeId id) {
+    const auto& node = good.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi: map[id] = bad.add_pi(node.name); break;
+      case net::NodeKind::kConstant:
+        map[id] = bad.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kPo: break;  // re-added below, reordered
+      case net::NodeKind::kLut: {
+        std::vector<net::NodeId> fanins;
+        for (const net::NodeId fanin : node.fanins) fanins.push_back(map[fanin]);
+        map[id] = bad.add_lut(fanins, node.function);
+        break;
+      }
+    }
+  });
+  // POs: gt, eq, lt (swapped ends).
+  bad.add_po(map[good.fanins(good.pos()[2])[0]]);
+  bad.add_po(map[good.fanins(good.pos()[1])[0]]);
+  bad.add_po(map[good.fanins(good.pos()[0])[0]]);
+
+  const BddCecResult result = bdd_check_equivalence(good, bad);
+  ASSERT_TRUE(result.completed);
+  ASSERT_FALSE(result.equivalent);
+  // Verify the witness by simulation.
+  sim::Simulator sim_a(good), sim_b(bad);
+  std::vector<sim::PatternWord> words(good.num_pis(), 0);
+  for (std::size_t i = 0; i < good.num_pis(); ++i)
+    if (result.counterexample[i]) words[i] = 1;
+  sim_a.simulate_word(words);
+  sim_b.simulate_word(words);
+  bool differs = false;
+  for (std::size_t i = 0; i < good.num_pos(); ++i)
+    differs |= (sim_a.value(good.pos()[i]) ^ sim_b.value(bad.pos()[i])) & 1u;
+  EXPECT_TRUE(differs);
+}
+
+TEST(NetworkBdd, PairCheckMatchesExhaustiveTruth) {
+  benchgen::CircuitSpec spec;
+  spec.name = "bdd_pair";
+  spec.num_pis = 8;
+  spec.num_pos = 4;
+  spec.num_gates = 80;
+  spec.redundancy = 0.15;
+  const net::Network network = benchgen::generate_mapped(spec);
+  std::vector<net::NodeId> luts;
+  network.for_each_lut([&](net::NodeId id) { luts.push_back(id); });
+
+  sim::Simulator simulator(network);
+  util::Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const net::NodeId x = luts[rng.below(luts.size())];
+    const net::NodeId y = luts[rng.below(luts.size())];
+    // Exhaustive ground truth over 2^8 patterns.
+    bool equal = true;
+    for (std::size_t base = 0; base < 256 && equal; base += 64) {
+      std::vector<sim::PatternWord> words(network.num_pis(), 0);
+      for (std::size_t bit = 0; bit < 64; ++bit)
+        for (std::size_t i = 0; i < network.num_pis(); ++i)
+          if (((base + bit) >> i) & 1) words[i] |= sim::PatternWord{1} << bit;
+      simulator.simulate_word(words);
+      equal = simulator.value(x) == simulator.value(y);
+    }
+    const auto verdict = bdd_check_pair(network, x, y);
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_EQ(*verdict, equal) << "pair " << x << "," << y;
+  }
+}
+
+TEST(NetworkBdd, MultiplierBlowsUpWhereSatDoesNot) {
+  // The paper's Section 2.2 motivation, measured: multiplier output BDDs
+  // are exponential; a tight node limit must trip, while the same check
+  // via SAT sweeping completes instantly elsewhere in the suite tests.
+  const net::Network mul =
+      mapping::map_to_luts(benchgen::build_array_multiplier(12));
+  const BddCecResult result =
+      bdd_check_equivalence(mul, mul, /*node_limit=*/1u << 14);
+  // Identity pair: shared NetworkBdds are separate managers builds — the
+  // middle product bits alone exceed 16k nodes at width 12.
+  EXPECT_FALSE(result.completed);
+
+  // Adders, by contrast, stay small: a modest limit suffices even though
+  // the manager keeps all intermediate ITE results (no garbage
+  // collection), while the multiplier blows through far larger budgets.
+  const net::Network add =
+      mapping::map_to_luts(benchgen::build_ripple_carry_adder(12));
+  const BddCecResult small = bdd_check_equivalence(add, add, 1u << 18);
+  EXPECT_TRUE(small.completed);
+  EXPECT_TRUE(small.equivalent);
+  EXPECT_LT(small.peak_nodes, 1u << 18);
+  const BddCecResult mul_large =
+      bdd_check_equivalence(mul, mul, /*node_limit=*/1u << 18);
+  EXPECT_FALSE(mul_large.completed);
+}
+
+}  // namespace
+}  // namespace simgen::bdd
+
+namespace simgen::bdd {
+namespace {
+
+TEST(NetworkBdd, VariableOrderIsDecisiveForAdders) {
+  // Block order blows up the 16-bit adder; the interleaved order keeps it
+  // tiny — same circuit, same limit.
+  const net::Network rca =
+      mapping::map_to_luts(benchgen::build_ripple_carry_adder(16));
+  const std::size_t limit = 1u << 17;
+  const BddCecResult block = bdd_check_equivalence(rca, rca, limit);
+  const auto order = interleaved_order(rca.num_pis(), 16);
+  const BddCecResult inter = bdd_check_equivalence(rca, rca, limit, order);
+  EXPECT_FALSE(block.completed);
+  ASSERT_TRUE(inter.completed);
+  EXPECT_TRUE(inter.equivalent);
+  EXPECT_LT(inter.peak_nodes, limit / 4);
+}
+
+TEST(NetworkBdd, InterleavedOrderIsAPermutation) {
+  for (const unsigned width : {1u, 4u, 9u}) {
+    const std::size_t num_pis = 2 * width + 1;
+    const auto order = interleaved_order(num_pis, width);
+    std::vector<bool> hit(num_pis, false);
+    for (const unsigned v : order) {
+      ASSERT_LT(v, num_pis);
+      ASSERT_FALSE(hit[v]);
+      hit[v] = true;
+    }
+  }
+}
+
+TEST(NetworkBdd, OrderDoesNotChangeVerdicts) {
+  // Different orders must agree on equivalence (canonicity per order).
+  const net::Network a =
+      mapping::map_to_luts(benchgen::build_comparator(5));
+  const net::Network b =
+      mapping::map_to_luts(benchgen::build_comparator(5));
+  const auto order = interleaved_order(a.num_pis(), 5);
+  const BddCecResult block = bdd_check_equivalence(a, b);
+  const BddCecResult inter = bdd_check_equivalence(a, b, 1u << 22, order);
+  ASSERT_TRUE(block.completed);
+  ASSERT_TRUE(inter.completed);
+  EXPECT_EQ(block.equivalent, inter.equivalent);
+}
+
+}  // namespace
+}  // namespace simgen::bdd

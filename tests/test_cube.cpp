@@ -1,0 +1,93 @@
+// Unit tests for tt::Cube and tt::Cover — the "truth table row" primitive
+// SimGen's implication/decision machinery is built on.
+#include "tt/cube.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simgen::tt {
+namespace {
+
+TEST(Cube, DefaultIsAllDontCare) {
+  const Cube cube;
+  EXPECT_EQ(cube.num_literals(), 0u);
+  EXPECT_EQ(cube.num_dcs(4), 4u);
+  EXPECT_TRUE(cube.contains(0b0000));
+  EXPECT_TRUE(cube.contains(0b1111));
+}
+
+TEST(Cube, SetAndClearLiterals) {
+  Cube cube;
+  cube.set_literal(0, true);
+  cube.set_literal(2, false);
+  EXPECT_TRUE(cube.has_literal(0));
+  EXPECT_FALSE(cube.has_literal(1));
+  EXPECT_TRUE(cube.has_literal(2));
+  EXPECT_TRUE(cube.literal_value(0));
+  EXPECT_FALSE(cube.literal_value(2));
+  EXPECT_EQ(cube.num_literals(), 2u);
+  EXPECT_EQ(cube.num_dcs(4), 2u);
+  cube.clear_literal(0);
+  EXPECT_FALSE(cube.has_literal(0));
+  EXPECT_EQ(cube.num_literals(), 1u);
+}
+
+TEST(Cube, OverwriteLiteralPolarity) {
+  Cube cube;
+  cube.set_literal(1, true);
+  cube.set_literal(1, false);
+  EXPECT_TRUE(cube.has_literal(1));
+  EXPECT_FALSE(cube.literal_value(1));
+}
+
+TEST(Cube, ContainsChecksOnlyLiterals) {
+  Cube cube;
+  cube.set_literal(0, true);
+  cube.set_literal(2, false);
+  EXPECT_TRUE(cube.contains(0b0001));
+  EXPECT_TRUE(cube.contains(0b0011));
+  EXPECT_FALSE(cube.contains(0b0101));  // bit2 set but literal requires 0
+  EXPECT_FALSE(cube.contains(0b0000));  // bit0 clear but literal requires 1
+}
+
+TEST(Cube, ConstructorNormalizesBits) {
+  // bits outside the mask must be cleared so equality is structural.
+  const Cube a(0b0101, 0b1111);
+  const Cube b(0b0101, 0b0101);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Cube, ToTruthTable) {
+  Cube cube;
+  cube.set_literal(0, true);
+  cube.set_literal(1, false);
+  const auto table = cube.to_truth_table(3);
+  for (unsigned m = 0; m < 8; ++m)
+    EXPECT_EQ(table.get_bit(m), cube.contains(m));
+}
+
+TEST(Cube, ToStringFormat) {
+  Cube cube;
+  cube.set_literal(0, true);
+  cube.set_literal(2, false);
+  EXPECT_EQ(cube.to_string(4), "1-0-");
+}
+
+TEST(Cover, ToTruthTableIsUnionOfCubes) {
+  Cover cover;
+  Cube a;
+  a.set_literal(0, true);
+  Cube b;
+  b.set_literal(1, true);
+  cover.cubes = {a, b};
+  const auto table = cover.to_truth_table(2);
+  EXPECT_EQ(table, TruthTable::or_gate(2));
+}
+
+TEST(Cover, EmptyCoverIsConstantZero) {
+  const Cover cover;
+  EXPECT_TRUE(cover.to_truth_table(3).is_const0());
+  EXPECT_TRUE(cover.empty());
+}
+
+}  // namespace
+}  // namespace simgen::tt

@@ -1,0 +1,105 @@
+// Equivalence-class manager tests: refinement, Eq. 5 cost, node removal,
+// singleton dropping.
+#include "sim/eqclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace simgen::sim {
+namespace {
+
+TEST(EquivClasses, StartsAsOneClass) {
+  EquivClasses classes({1, 2, 3, 4});
+  EXPECT_EQ(classes.num_classes(), 1u);
+  EXPECT_EQ(classes.cost(), 3u);  // Eq. 5: size-1
+  EXPECT_EQ(classes.num_live_nodes(), 4u);
+  EXPECT_FALSE(classes.fully_refined());
+}
+
+TEST(EquivClasses, SingleCandidateIsAlreadyRefined) {
+  EquivClasses classes({7});
+  EXPECT_TRUE(classes.fully_refined());
+  EXPECT_EQ(classes.cost(), 0u);
+}
+
+TEST(EquivClasses, RefineSplitsByValue) {
+  EquivClasses classes({0, 1, 2, 3});
+  // Node values indexed by NodeId: {0,1}->0xA, {2}->0xB, {3}->0xC.
+  const std::array<PatternWord, 4> values{0xA, 0xA, 0xB, 0xC};
+  const std::size_t splits = classes.refine(values);
+  EXPECT_EQ(splits, 1u);
+  EXPECT_EQ(classes.num_classes(), 1u);  // singletons dropped
+  EXPECT_EQ(classes.cost(), 1u);
+  EXPECT_EQ(classes.num_live_nodes(), 2u);
+}
+
+TEST(EquivClasses, RefineIsStableWhenValuesAgree) {
+  EquivClasses classes({0, 1, 2});
+  const std::array<PatternWord, 3> values{5, 5, 5};
+  EXPECT_EQ(classes.refine(values), 0u);
+  EXPECT_EQ(classes.num_classes(), 1u);
+  EXPECT_EQ(classes.cost(), 2u);
+}
+
+TEST(EquivClasses, CostIsMonotoneUnderRefinement) {
+  EquivClasses classes({0, 1, 2, 3, 4, 5});
+  std::uint64_t last = classes.cost();
+  const std::array<PatternWord, 6> round1{1, 1, 1, 2, 2, 2};
+  classes.refine(round1);
+  EXPECT_LE(classes.cost(), last);
+  last = classes.cost();
+  const std::array<PatternWord, 6> round2{1, 3, 1, 2, 2, 4};
+  classes.refine(round2);
+  EXPECT_LE(classes.cost(), last);
+}
+
+TEST(EquivClasses, FullRefinementEmptiesClasses) {
+  EquivClasses classes({0, 1, 2});
+  const std::array<PatternWord, 3> values{1, 2, 3};
+  classes.refine(values);
+  EXPECT_TRUE(classes.fully_refined());
+  EXPECT_EQ(classes.cost(), 0u);
+  EXPECT_EQ(classes.num_live_nodes(), 0u);
+}
+
+TEST(EquivClasses, RemoveNodeMergesProvenPair) {
+  EquivClasses classes({0, 1, 2});
+  classes.remove_node(1);
+  EXPECT_EQ(classes.num_classes(), 1u);
+  EXPECT_EQ(classes.cost(), 1u);
+  classes.remove_node(2);
+  // The class is now a singleton {0}: dropped.
+  EXPECT_TRUE(classes.fully_refined());
+}
+
+TEST(EquivClasses, RemoveUnknownNodeIsNoOp) {
+  EquivClasses classes({0, 1, 2});
+  classes.remove_node(99);
+  EXPECT_EQ(classes.cost(), 2u);
+}
+
+TEST(EquivClasses, RepresentativeIsFirstMember) {
+  EquivClasses classes({5, 3, 9});
+  const auto members = classes.class_members(0);
+  EXPECT_EQ(members[0], 5u);  // candidate order preserved
+}
+
+TEST(EquivClasses, OverLutsSelectsOnlyLuts) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const net::NodeId b = network.add_pi();
+  network.add_constant(true);
+  const std::array<net::NodeId, 2> f{a, b};
+  const net::NodeId g1 = network.add_lut(f, tt::TruthTable::and_gate(2));
+  const net::NodeId g2 = network.add_lut(f, tt::TruthTable::or_gate(2));
+  network.add_po(g1);
+  network.add_po(g2);
+
+  const EquivClasses classes = EquivClasses::over_luts(network);
+  EXPECT_EQ(classes.num_live_nodes(), 2u);
+  EXPECT_EQ(classes.cost(), 1u);
+}
+
+}  // namespace
+}  // namespace simgen::sim

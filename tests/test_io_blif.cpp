@@ -1,0 +1,144 @@
+// BLIF reader/writer tests: parsing, error reporting, and functional
+// round-trips (structure may change; function must not).
+#include "io/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::io {
+namespace {
+
+// Functional comparison on 64 random patterns per round.
+void expect_same_function(const net::Network& a, const net::Network& b,
+                          int rounds = 4) {
+  ASSERT_EQ(a.num_pis(), b.num_pis());
+  ASSERT_EQ(a.num_pos(), b.num_pos());
+  sim::Simulator sim_a(a), sim_b(b);
+  util::Rng rng(42);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<sim::PatternWord> words(a.num_pis());
+    for (auto& w : words) w = rng();
+    sim_a.simulate_word(words);
+    sim_b.simulate_word(words);
+    for (std::size_t i = 0; i < a.num_pos(); ++i)
+      ASSERT_EQ(sim_a.value(a.pos()[i]), sim_b.value(b.pos()[i]))
+          << "PO " << i << " differs";
+  }
+}
+
+constexpr const char* kAndOr = R"(
+# simple two-gate model
+.model andor
+.inputs a b c
+.outputs f g
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.names a c g
+11 1
+.end
+)";
+
+TEST(BlifReader, ParsesSimpleModel) {
+  const net::Network network = read_blif_string(kAndOr);
+  EXPECT_EQ(network.name(), "andor");
+  EXPECT_EQ(network.num_pis(), 3u);
+  EXPECT_EQ(network.num_pos(), 2u);
+  EXPECT_EQ(network.num_luts(), 3u);
+
+  sim::Simulator sim(network);
+  const sim::PatternWord a = 0xaaaaaaaaaaaaaaaaull;
+  const sim::PatternWord b = 0xccccccccccccccccull;
+  const sim::PatternWord c = 0xf0f0f0f0f0f0f0f0ull;
+  sim.simulate_word(std::vector<sim::PatternWord>{a, b, c});
+  EXPECT_EQ(sim.value(network.pos()[0]), (a & b) | c);
+  EXPECT_EQ(sim.value(network.pos()[1]), a & c);
+}
+
+TEST(BlifReader, OffsetCover) {
+  // Cover given in the OFF plane: f is 0 iff a=1,b=1 -> f = nand.
+  const net::Network network = read_blif_string(
+      ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n");
+  sim::Simulator sim(network);
+  const sim::PatternWord a = 0xaaaaaaaaaaaaaaaaull;
+  const sim::PatternWord b = 0xccccccccccccccccull;
+  sim.simulate_word(std::vector<sim::PatternWord>{a, b});
+  EXPECT_EQ(sim.value(network.pos()[0]), ~(a & b));
+}
+
+TEST(BlifReader, ConstantNodes) {
+  const net::Network network = read_blif_string(
+      ".model m\n.inputs a\n.outputs f g\n.names f\n1\n.names g\n.end\n");
+  sim::Simulator sim(network);
+  sim.simulate_word(std::vector<sim::PatternWord>{0});
+  EXPECT_EQ(sim.value(network.pos()[0]), ~sim::PatternWord{0});
+  EXPECT_EQ(sim.value(network.pos()[1]), sim::PatternWord{0});
+}
+
+TEST(BlifReader, LineContinuation) {
+  const net::Network network = read_blif_string(
+      ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n");
+  EXPECT_EQ(network.num_pis(), 2u);
+}
+
+TEST(BlifReader, OutOfOrderDefinitions) {
+  // t2 is referenced before its .names block appears.
+  const net::Network network = read_blif_string(
+      ".model m\n.inputs a b\n.outputs f\n"
+      ".names t2 f\n1 1\n.names a b t2\n10 1\n.end\n");
+  EXPECT_EQ(network.num_luts(), 2u);
+}
+
+TEST(BlifReader, Errors) {
+  EXPECT_THROW(read_blif_string(""), std::runtime_error);
+  // Latches are unsupported.
+  EXPECT_THROW(read_blif_string(".model m\n.latch a b 0\n.end\n"),
+               std::runtime_error);
+  // Undefined signal.
+  EXPECT_THROW(
+      read_blif_string(".model m\n.inputs a\n.outputs f\n.end\n"),
+      std::runtime_error);
+  // Cube width mismatch.
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a b\n.outputs f\n"
+                                ".names a b f\n111 1\n.end\n"),
+               std::runtime_error);
+  // Combinational cycle.
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs f\n"
+                                ".names g f\n1 1\n.names f g\n1 1\n.end\n"),
+               std::runtime_error);
+  // Redefinition.
+  EXPECT_THROW(read_blif_string(".model m\n.inputs a\n.outputs f\n"
+                                ".names a f\n1 1\n.names a f\n0 1\n.end\n"),
+               std::runtime_error);
+}
+
+TEST(BlifWriter, RoundTripSimpleModel) {
+  const net::Network original = read_blif_string(kAndOr);
+  const net::Network reparsed = read_blif_string(write_blif_string(original));
+  expect_same_function(original, reparsed);
+}
+
+TEST(BlifWriter, RoundTripConstants) {
+  const net::Network original = read_blif_string(
+      ".model m\n.inputs a\n.outputs f g h\n.names f\n1\n.names g\n"
+      ".names a h\n0 1\n.end\n");
+  const net::Network reparsed = read_blif_string(write_blif_string(original));
+  expect_same_function(original, reparsed);
+}
+
+TEST(BlifWriter, RoundTripGeneratedBenchmark) {
+  benchgen::CircuitSpec spec;
+  spec.name = "blif_roundtrip";
+  spec.num_gates = 400;
+  const net::Network original = benchgen::generate_mapped(spec);
+  const net::Network reparsed = read_blif_string(write_blif_string(original));
+  expect_same_function(original, reparsed, 8);
+}
+
+}  // namespace
+}  // namespace simgen::io

@@ -1,0 +1,130 @@
+// Tests for the Minato-Morreale ISOP extraction. The key property: the
+// cover evaluates back to exactly the function (this is what makes rows a
+// faithful stand-in for the node's truth table in SimGen and in the CNF
+// encoder).
+#include "tt/isop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace simgen::tt {
+namespace {
+
+TruthTable random_table(unsigned num_vars, util::Rng& rng) {
+  TruthTable table(num_vars);
+  for (std::uint64_t m = 0; m < table.num_bits(); ++m)
+    table.set_bit(m, rng.flip());
+  return table;
+}
+
+TEST(Isop, ConstantFunctions) {
+  EXPECT_TRUE(isop(TruthTable::constant(3, false)).empty());
+  const Cover ones = isop(TruthTable::constant(3, true));
+  ASSERT_EQ(ones.size(), 1u);
+  EXPECT_EQ(ones.cubes[0].num_literals(), 0u);  // tautology cube
+}
+
+TEST(Isop, AndGateIsOneCube) {
+  const Cover cover = isop(TruthTable::and_gate(3));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.cubes[0].num_literals(), 3u);
+  EXPECT_EQ(cover.cubes[0].to_string(3), "111");
+}
+
+TEST(Isop, OrGateIsOneCubePerInput) {
+  const Cover cover = isop(TruthTable::or_gate(3));
+  EXPECT_EQ(cover.size(), 3u);
+  for (const Cube& cube : cover.cubes) EXPECT_EQ(cube.num_literals(), 1u);
+}
+
+TEST(Isop, XorNeedsAllMinterms) {
+  // XOR has no don't-cares: every cube is a full minterm.
+  const Cover cover = isop(TruthTable::xor_gate(3));
+  EXPECT_EQ(cover.size(), 4u);
+  for (const Cube& cube : cover.cubes) EXPECT_EQ(cube.num_literals(), 3u);
+}
+
+TEST(Isop, RejectsIntersectingDontCare) {
+  const auto f = TruthTable::and_gate(2);
+  EXPECT_THROW(isop(f, f), std::invalid_argument);
+}
+
+TEST(Isop, RejectsArityMismatch) {
+  EXPECT_THROW(isop(TruthTable::and_gate(2), TruthTable::constant(3, false)),
+               std::invalid_argument);
+}
+
+TEST(Isop, DontCaresShrinkCover) {
+  // f = exactly one minterm, dc = everything else: a single empty cube
+  // suffices (the interval contains the tautology).
+  TruthTable f(3);
+  f.set_bit(5, true);
+  const TruthTable dc = ~f;
+  const Cover cover = isop(f, dc);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover.cubes[0].num_literals(), 0u);
+}
+
+TEST(Isop, IntervalContainment) {
+  // With dc, the cover must lie between f and f|dc.
+  util::Rng rng(77);
+  for (int round = 0; round < 30; ++round) {
+    const auto f = random_table(5, rng);
+    const auto dc = random_table(5, rng) & ~f;
+    const Cover cover = isop(f, dc);
+    const auto g = cover.to_truth_table(5);
+    EXPECT_TRUE(f.implies(g));
+    EXPECT_TRUE(g.implies(f | dc));
+  }
+}
+
+TEST(ComputeRows, PlanesPartitionTheSpace) {
+  util::Rng rng(123);
+  const auto f = random_table(4, rng);
+  const RowSet rows = compute_rows(f);
+  EXPECT_EQ(rows.on.to_truth_table(4), f);
+  EXPECT_EQ(rows.off.to_truth_table(4), ~f);
+  EXPECT_EQ(rows.num_rows(), rows.on.size() + rows.off.size());
+}
+
+// Property sweep: exact-cover round trip over many random functions and
+// all arities, including the multi-word regime.
+class IsopProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IsopProperty, CoverEqualsFunction) {
+  const unsigned n = GetParam();
+  util::Rng rng(500 + n);
+  for (int round = 0; round < 25; ++round) {
+    const auto f = random_table(n, rng);
+    EXPECT_EQ(isop(f).to_truth_table(n), f) << "n=" << n << " round=" << round;
+  }
+}
+
+TEST_P(IsopProperty, IrredundantNoCubeDroppable) {
+  const unsigned n = GetParam();
+  util::Rng rng(900 + n);
+  const auto f = random_table(n, rng);
+  const Cover cover = isop(f);
+  // Irredundancy: removing any single cube loses part of the function.
+  for (std::size_t skip = 0; skip < cover.size(); ++skip) {
+    Cover reduced;
+    for (std::size_t i = 0; i < cover.size(); ++i)
+      if (i != skip) reduced.cubes.push_back(cover.cubes[i]);
+    EXPECT_NE(reduced.to_truth_table(n), f) << "cube " << skip << " is redundant";
+  }
+}
+
+TEST_P(IsopProperty, EveryCubeImpliesFunction) {
+  const unsigned n = GetParam();
+  util::Rng rng(1300 + n);
+  const auto f = random_table(n, rng);
+  for (const Cube& cube : isop(f).cubes)
+    EXPECT_TRUE(cube.to_truth_table(n).implies(f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, IsopProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace simgen::tt

@@ -1,0 +1,137 @@
+// Unit tests for the LUT network: construction rules, invariants, levels.
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace simgen::net {
+namespace {
+
+tt::TruthTable and2() { return tt::TruthTable::and_gate(2); }
+
+TEST(Network, EmptyNetwork) {
+  const Network network("empty");
+  EXPECT_EQ(network.num_nodes(), 0u);
+  EXPECT_EQ(network.num_pis(), 0u);
+  EXPECT_EQ(network.num_pos(), 0u);
+  EXPECT_EQ(network.num_luts(), 0u);
+  EXPECT_EQ(network.name(), "empty");
+  network.check_invariants();
+}
+
+TEST(Network, BuildSmallCircuit) {
+  Network network;
+  const NodeId a = network.add_pi("a");
+  const NodeId b = network.add_pi("b");
+  const std::array<NodeId, 2> fanins{a, b};
+  const NodeId g = network.add_lut(fanins, and2(), "g");
+  const NodeId po = network.add_po(g, "out");
+
+  EXPECT_EQ(network.num_nodes(), 4u);
+  EXPECT_EQ(network.num_pis(), 2u);
+  EXPECT_EQ(network.num_pos(), 1u);
+  EXPECT_EQ(network.num_luts(), 1u);
+  EXPECT_TRUE(network.is_pi(a));
+  EXPECT_TRUE(network.is_lut(g));
+  EXPECT_TRUE(network.is_po(po));
+  EXPECT_EQ(network.fanins(g).size(), 2u);
+  EXPECT_EQ(network.fanouts(a).size(), 1u);
+  EXPECT_EQ(network.fanouts(a)[0], g);
+  network.check_invariants();
+}
+
+TEST(Network, ConstantsAreShared) {
+  Network network;
+  const NodeId c0 = network.add_constant(false);
+  const NodeId c0_again = network.add_constant(false);
+  const NodeId c1 = network.add_constant(true);
+  EXPECT_EQ(c0, c0_again);
+  EXPECT_NE(c0, c1);
+  EXPECT_TRUE(network.is_constant(c0));
+  EXPECT_FALSE(network.node(c0).constant_value);
+  EXPECT_TRUE(network.node(c1).constant_value);
+}
+
+TEST(Network, LevelsFollowLongestPath) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const NodeId b = network.add_pi();
+  const std::array<NodeId, 2> f1{a, b};
+  const NodeId g1 = network.add_lut(f1, and2());
+  const std::array<NodeId, 2> f2{g1, b};
+  const NodeId g2 = network.add_lut(f2, and2());
+  const std::array<NodeId, 2> f3{a, b};
+  const NodeId g3 = network.add_lut(f3, and2());
+  const std::array<NodeId, 2> f4{g2, g3};
+  const NodeId g4 = network.add_lut(f4, and2());
+  const NodeId po = network.add_po(g4);
+
+  EXPECT_EQ(network.level(a), 0u);
+  EXPECT_EQ(network.level(g1), 1u);
+  EXPECT_EQ(network.level(g2), 2u);
+  EXPECT_EQ(network.level(g3), 1u);
+  EXPECT_EQ(network.level(g4), 3u);
+  EXPECT_EQ(network.level(po), 3u);  // POs are transparent
+  EXPECT_EQ(network.depth(), 3u);
+}
+
+TEST(Network, ArityMismatchThrows) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const std::array<NodeId, 1> fanins{a};
+  EXPECT_THROW(network.add_lut(fanins, and2()), std::invalid_argument);
+}
+
+TEST(Network, DanglingFaninThrows) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const std::array<NodeId, 2> fanins{a, NodeId{42}};
+  EXPECT_THROW(network.add_lut(fanins, and2()), std::invalid_argument);
+}
+
+TEST(Network, PoCannotBeFanin) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const NodeId po = network.add_po(a);
+  const std::array<NodeId, 2> fanins{a, po};
+  EXPECT_THROW(network.add_lut(fanins, and2()), std::invalid_argument);
+  EXPECT_THROW(network.add_po(po), std::invalid_argument);
+}
+
+TEST(Network, FaninIndexLookup) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const NodeId b = network.add_pi();
+  const std::array<NodeId, 2> fanins{b, a};
+  const NodeId g = network.add_lut(fanins, and2());
+  EXPECT_EQ(network.fanin_index(g, b), 0u);
+  EXPECT_EQ(network.fanin_index(g, a), 1u);
+  EXPECT_EQ(network.fanin_index(g, g), static_cast<std::size_t>(kNullNode));
+}
+
+TEST(Network, TopologicalOrderIsCreationOrder) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const std::array<NodeId, 1> fanins{a};
+  network.add_lut(fanins, tt::TruthTable::not_gate());
+  const auto order = network.topological_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(Network, DuplicateFaninAllowed) {
+  // Some mapped covers legitimately repeat a leaf; fanin/fanout symmetry
+  // must count multiplicity.
+  Network network;
+  const NodeId a = network.add_pi();
+  const std::array<NodeId, 2> fanins{a, a};
+  const NodeId g = network.add_lut(fanins, tt::TruthTable::xor_gate(2));
+  EXPECT_EQ(network.fanouts(a).size(), 2u);
+  EXPECT_EQ(network.fanins(g).size(), 2u);
+  network.check_invariants();
+}
+
+}  // namespace
+}  // namespace simgen::net

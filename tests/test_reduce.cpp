@@ -1,0 +1,173 @@
+// Network-reduction tests: merged networks must stay functionally
+// equivalent (verified by full CEC) and get smaller.
+#include "sweep/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "benchgen/generator.hpp"
+#include "sim/random_sim.hpp"
+#include "sweep/cec.hpp"
+#include "sweep/sweeper.hpp"
+
+namespace simgen::sweep {
+namespace {
+
+TEST(Reduce, MergesProvenPair) {
+  // Two equivalent expressions of nand; merging drops one LUT.
+  net::Network network;
+  const net::NodeId a = network.add_pi("a");
+  const net::NodeId b = network.add_pi("b");
+  const std::array<net::NodeId, 2> f{a, b};
+  const net::NodeId g1 = network.add_lut(f, tt::TruthTable::nand_gate(2));
+  const net::NodeId g2 = network.add_lut(
+      f, ~tt::TruthTable::projection(2, 0) | ~tt::TruthTable::projection(2, 1));
+  network.add_po(g1, "x");
+  network.add_po(g2, "y");
+
+  const std::array<std::pair<net::NodeId, net::NodeId>, 1> pairs{{{g1, g2}}};
+  ReductionStats stats;
+  const net::Network reduced = reduce_network(network, pairs, &stats);
+  EXPECT_EQ(reduced.num_luts(), 1u);
+  EXPECT_EQ(stats.merged_nodes, 1u);
+  EXPECT_EQ(reduced.num_pis(), 2u);
+  EXPECT_EQ(reduced.num_pos(), 2u);
+  // Both POs now read the same driver.
+  EXPECT_EQ(reduced.fanins(reduced.pos()[0])[0],
+            reduced.fanins(reduced.pos()[1])[0]);
+}
+
+TEST(Reduce, TransitiveMergeViaUnionFind) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const std::array<net::NodeId, 1> f{a};
+  const net::NodeId g1 = network.add_lut(f, tt::TruthTable::buffer());
+  const net::NodeId g2 = network.add_lut(f, tt::TruthTable::buffer());
+  const net::NodeId g3 = network.add_lut(f, tt::TruthTable::buffer());
+  network.add_po(g1);
+  network.add_po(g2);
+  network.add_po(g3);
+  // Pairs (g2,g3) and (g1,g2): all three collapse onto g1.
+  const std::array<std::pair<net::NodeId, net::NodeId>, 2> pairs{
+      {{g2, g3}, {g1, g2}}};
+  const net::Network reduced = reduce_network(network, pairs, nullptr);
+  EXPECT_EQ(reduced.num_luts(), 1u);
+}
+
+TEST(Reduce, RemoveDeadLogic) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const net::NodeId b = network.add_pi();
+  const std::array<net::NodeId, 2> f{a, b};
+  const net::NodeId used = network.add_lut(f, tt::TruthTable::and_gate(2));
+  network.add_lut(f, tt::TruthTable::or_gate(2));  // dead
+  network.add_po(used);
+
+  ReductionStats stats;
+  const net::Network cleaned = remove_dead_logic(network, &stats);
+  EXPECT_EQ(cleaned.num_luts(), 1u);
+  EXPECT_EQ(stats.removed_luts, 1u);
+  EXPECT_EQ(cleaned.num_pis(), 2u);  // interface preserved
+}
+
+TEST(Reduce, SweepThenReduceStaysEquivalent) {
+  // The full loop: sweep a redundancy-rich benchmark, merge the proven
+  // pairs, prove the reduced network equivalent to the original.
+  benchgen::CircuitSpec spec;
+  spec.name = "reduce_flow";
+  spec.num_pis = 12;
+  spec.num_pos = 6;
+  spec.num_gates = 250;
+  spec.redundancy = 0.12;
+  const net::Network network = benchgen::generate_mapped(spec);
+
+  sim::Simulator simulator(network);
+  sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
+  sim::RandomSimOptions random_options;
+  random_options.max_rounds = 8;
+  sim::run_random_simulation(simulator, classes, random_options);
+  Sweeper sweeper(network, SweepOptions{});
+  const SweepResult proof = sweeper.run(classes, simulator);
+  ASSERT_GT(proof.proven_equivalent, 0u) << "need pairs to merge";
+
+  ReductionStats stats;
+  const net::Network reduced = reduce_network(network, proof.proven_pairs, &stats);
+  EXPECT_LT(reduced.num_luts(), network.num_luts());
+  EXPECT_EQ(stats.merged_nodes, proof.proven_pairs.size());
+
+  const CecResult cec = check_equivalence(network, reduced, CecOptions{});
+  EXPECT_TRUE(cec.equivalent);
+}
+
+TEST(Reduce, MergedFaninsAreRedirected) {
+  // A consumer of the merged node must read the representative.
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const net::NodeId b = network.add_pi();
+  const std::array<net::NodeId, 2> f{a, b};
+  const net::NodeId g1 = network.add_lut(f, tt::TruthTable::and_gate(2));
+  const net::NodeId g2 = network.add_lut(
+      f, tt::TruthTable::projection(2, 0) & tt::TruthTable::projection(2, 1));
+  const std::array<net::NodeId, 2> fc{g2, a};
+  const net::NodeId consumer = network.add_lut(fc, tt::TruthTable::or_gate(2));
+  network.add_po(g1);
+  network.add_po(consumer);
+
+  const std::array<std::pair<net::NodeId, net::NodeId>, 1> pairs{{{g1, g2}}};
+  const net::Network reduced = reduce_network(network, pairs, nullptr);
+  EXPECT_EQ(reduced.num_luts(), 2u);  // g1 + consumer
+  reduced.check_invariants();
+}
+
+TEST(Reduce, NoPairsIsDeadLogicRemoval) {
+  benchgen::CircuitSpec spec;
+  spec.name = "reduce_nopairs";
+  spec.num_gates = 120;
+  const net::Network network = benchgen::generate_mapped(spec);
+  const net::Network reduced = reduce_network(network, {}, nullptr);
+  // Mapped networks have no dead logic, so nothing changes.
+  EXPECT_EQ(reduced.num_luts(), network.num_luts());
+}
+
+}  // namespace
+}  // namespace simgen::sweep
+
+#include "sweep/fraig.hpp"
+
+namespace simgen::sweep {
+namespace {
+
+TEST(Fraig, ReducesAndStaysEquivalent) {
+  benchgen::CircuitSpec spec;
+  spec.name = "fraig_flow";
+  spec.num_pis = 12;
+  spec.num_pos = 6;
+  spec.num_gates = 300;
+  spec.redundancy = 0.12;
+  const net::Network network = benchgen::generate_mapped(spec);
+
+  const FraigResult result = fraig(network);
+  EXPECT_LT(result.network.num_luts(), network.num_luts());
+  EXPECT_EQ(result.reduction.merged_nodes, result.sweep_stats.proven_pairs.size());
+  EXPECT_LE(result.cost_after_guided, result.cost_after_random);
+
+  const CecResult cec = check_equivalence(network, result.network, CecOptions{});
+  EXPECT_TRUE(cec.equivalent);
+}
+
+TEST(Fraig, IdempotentOnReducedNetwork) {
+  // Fraiging a fraiged network must find (almost) nothing left to merge.
+  benchgen::CircuitSpec spec;
+  spec.name = "fraig_idem";
+  spec.num_gates = 250;
+  spec.redundancy = 0.12;
+  const net::Network network = benchgen::generate_mapped(spec);
+  const FraigResult first = fraig(network);
+  const FraigResult second = fraig(first.network);
+  EXPECT_EQ(second.reduction.merged_nodes, 0u);
+  EXPECT_EQ(second.network.num_luts(), first.network.num_luts());
+}
+
+}  // namespace
+}  // namespace simgen::sweep

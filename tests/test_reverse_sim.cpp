@@ -1,0 +1,148 @@
+// Reverse-simulation (RevS baseline) tests.
+#include "simgen/reverse_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "benchgen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::core {
+namespace {
+
+std::vector<bool> simulate_vector(const net::Network& network,
+                                  const std::vector<TVal>& pi_values,
+                                  std::span<const net::NodeId> probes,
+                                  util::Rng& fill_rng) {
+  sim::Simulator simulator(network);
+  std::vector<sim::PatternWord> words(network.num_pis(), 0);
+  for (std::size_t i = 0; i < network.num_pis(); ++i) {
+    bool bit = false;
+    switch (pi_values[i]) {
+      case TVal::kZero: bit = false; break;
+      case TVal::kOne: bit = true; break;
+      case TVal::kUnknown: bit = fill_rng.flip(); break;
+    }
+    words[i] = bit ? ~sim::PatternWord{0} : 0;
+  }
+  simulator.simulate_word(words);
+  std::vector<bool> out;
+  for (const net::NodeId probe : probes) out.push_back(simulator.value(probe) & 1u);
+  return out;
+}
+
+TEST(ReverseSim, SatisfiesBothTargetsOnSuccess) {
+  benchgen::CircuitSpec spec;
+  spec.name = "revs_prop";
+  spec.num_pis = 12;
+  spec.num_pos = 6;
+  spec.num_gates = 150;
+  const net::Network network = benchgen::generate_mapped(spec);
+
+  std::vector<net::NodeId> luts;
+  network.for_each_lut([&](net::NodeId id) { luts.push_back(id); });
+  ASSERT_GE(luts.size(), 2u);
+
+  ReverseSimulator reverse(network, 21);
+  util::Rng pick(23), fill(29);
+  int successes = 0;
+  for (int round = 0; round < 60; ++round) {
+    const net::NodeId n1 = luts[pick.below(luts.size())];
+    net::NodeId n2 = luts[pick.below(luts.size())];
+    if (n1 == n2) continue;
+    const Target ta{n1, true};
+    const Target tb{n2, false};
+    const ReverseSimResult result = reverse.generate(ta, tb);
+    if (!result.success) continue;
+    ++successes;
+    const std::array<net::NodeId, 2> probes{n1, n2};
+    const auto bits = simulate_vector(network, result.pi_values, probes, fill);
+    EXPECT_TRUE(bits[0]) << "round " << round;
+    EXPECT_FALSE(bits[1]) << "round " << round;
+  }
+  EXPECT_GT(successes, 0) << "reverse simulation never succeeded";
+  EXPECT_EQ(reverse.stats().successes, static_cast<std::uint64_t>(successes));
+}
+
+TEST(ReverseSim, ImpossiblePairAlwaysConflicts) {
+  // x = and(a, b), y = nand(a, b): x=1 and y=1 cannot hold together.
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const net::NodeId b = network.add_pi();
+  const std::array<net::NodeId, 2> f{a, b};
+  const net::NodeId x = network.add_lut(f, tt::TruthTable::and_gate(2));
+  const net::NodeId y = network.add_lut(f, tt::TruthTable::nand_gate(2));
+  network.add_po(x);
+  network.add_po(y);
+
+  ReverseSimulator reverse(network, 31);
+  for (int round = 0; round < 20; ++round) {
+    const ReverseSimResult result =
+        reverse.generate(Target{x, true}, Target{y, true});
+    EXPECT_FALSE(result.success);
+  }
+  EXPECT_EQ(reverse.stats().conflicts, 20u);
+}
+
+TEST(ReverseSim, SameNodeComplementaryGoldsFail) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const std::array<net::NodeId, 1> f{a};
+  const net::NodeId g = network.add_lut(f, tt::TruthTable::not_gate());
+  network.add_po(g);
+  ReverseSimulator reverse(network, 1);
+  EXPECT_FALSE(reverse.generate(Target{g, true}, Target{g, false}).success);
+  EXPECT_TRUE(reverse.generate(Target{g, true}, Target{g, true}).success);
+}
+
+TEST(ReverseSim, HandlesConstantFanins) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const net::NodeId one = network.add_constant(true);
+  const std::array<net::NodeId, 2> f{one, a};
+  const net::NodeId g = network.add_lut(f, tt::TruthTable::and_gate(2));
+  network.add_po(g);
+
+  ReverseSimulator reverse(network, 3);
+  const ReverseSimResult ok = reverse.generate(Target{g, true}, Target{g, true});
+  ASSERT_TRUE(ok.success);
+  EXPECT_EQ(ok.pi_values[0], TVal::kOne);  // a must be 1
+}
+
+TEST(ReverseSim, ProneToFailureWhereImplicationSucceeds) {
+  // Statistical contrast on the paper's Figure 1 circuit: RevS must fail
+  // on some attempts (when it guesses the (0,0) NAND row), demonstrating
+  // the weakness SimGen fixes deterministically.
+  net::Network network;
+  const net::NodeId A = network.add_pi();
+  const net::NodeId B = network.add_pi();
+  const net::NodeId C = network.add_pi();
+  const std::array<net::NodeId, 1> finv{B};
+  const net::NodeId inv = network.add_lut(finv, tt::TruthTable::not_gate());
+  const std::array<net::NodeId, 2> fx{A, B};
+  const net::NodeId x = network.add_lut(
+      fx, tt::TruthTable::projection(2, 0) & ~tt::TruthTable::projection(2, 1));
+  const std::array<net::NodeId, 2> fy{inv, C};
+  const net::NodeId y = network.add_lut(fy, tt::TruthTable::nand_gate(2));
+  const std::array<net::NodeId, 2> fz{x, y};
+  const net::NodeId z = network.add_lut(fz, tt::TruthTable::and_gate(2));
+  network.add_po(z);
+
+  ReverseSimulator reverse(network, 41);
+  int failures = 0, successes = 0;
+  for (int round = 0; round < 200; ++round) {
+    const ReverseSimResult result =
+        reverse.generate(Target{z, true}, Target{z, true});
+    if (result.success)
+      ++successes;
+    else
+      ++failures;
+  }
+  EXPECT_GT(failures, 0) << "RevS should sometimes pick the conflicting row";
+  EXPECT_GT(successes, 0) << "RevS should sometimes get lucky";
+}
+
+}  // namespace
+}  // namespace simgen::core

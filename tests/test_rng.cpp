@@ -1,0 +1,121 @@
+// Unit tests for util::Rng: determinism, bound correctness, and basic
+// statistical sanity (these guard reproducibility of every experiment).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace simgen::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  std::array<std::uint64_t, 16> first{};
+  for (auto& v : first) v = rng();
+  rng.reseed(7);
+  for (auto v : first) EXPECT_EQ(rng(), v);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, FlipIsBalanced) {
+  Rng rng(29);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (rng.flip()) ++heads;
+  EXPECT_NEAR(heads / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, Splitmix64KnownProperties) {
+  // splitmix64 must be a bijection-ish scrambler: no trivial fixed points
+  // among small inputs and strong avalanche between neighbours.
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(1) >> 32, splitmix64(2) >> 32);
+}
+
+TEST(Rng, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a("alu4"), fnv1a("alu5"));
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("apex1"), fnv1a("apex1"));
+}
+
+}  // namespace
+}  // namespace simgen::util

@@ -1,0 +1,160 @@
+// SCOAP controllability tests (classic gate rules recovered from the
+// generalized LUT formulation) plus the SCOAP decision tie-break.
+#include "network/scoap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "benchgen/generator.hpp"
+#include "simgen/decision.hpp"
+#include "simgen/guided_sim.hpp"
+#include "sim/random_sim.hpp"
+
+namespace simgen::net {
+namespace {
+
+TEST(Scoap, PiAndConstantBaseCases) {
+  Network network;
+  const NodeId a = network.add_pi();
+  const NodeId c0 = network.add_constant(false);
+  const NodeId c1 = network.add_constant(true);
+  const ScoapCosts costs = compute_scoap(network);
+  EXPECT_EQ(costs.cc0[a], 1u);
+  EXPECT_EQ(costs.cc1[a], 1u);
+  EXPECT_EQ(costs.cc0[c0], 0u);
+  EXPECT_EQ(costs.cc1[c0], ScoapCosts::kUncontrollable);
+  EXPECT_EQ(costs.cc1[c1], 0u);
+  EXPECT_EQ(costs.cc0[c1], ScoapCosts::kUncontrollable);
+}
+
+TEST(Scoap, ClassicGateRules) {
+  // For and2 over PIs: CC1 = 1 + CC1(a) + CC1(b) = 3; CC0 = 1 + min = 2.
+  // For or2: dual. For xor2: both cost 1 + 1 + 1 = 3.
+  Network network;
+  const NodeId a = network.add_pi();
+  const NodeId b = network.add_pi();
+  const std::array<NodeId, 2> f{a, b};
+  const NodeId g_and = network.add_lut(f, tt::TruthTable::and_gate(2));
+  const NodeId g_or = network.add_lut(f, tt::TruthTable::or_gate(2));
+  const NodeId g_xor = network.add_lut(f, tt::TruthTable::xor_gate(2));
+  const NodeId g_not_in = network.add_lut(std::array<NodeId, 1>{a},
+                                          tt::TruthTable::not_gate());
+  const ScoapCosts costs = compute_scoap(network);
+  EXPECT_EQ(costs.cc1[g_and], 3u);
+  EXPECT_EQ(costs.cc0[g_and], 2u);
+  EXPECT_EQ(costs.cc1[g_or], 2u);
+  EXPECT_EQ(costs.cc0[g_or], 3u);
+  EXPECT_EQ(costs.cc1[g_xor], 3u);
+  EXPECT_EQ(costs.cc0[g_xor], 3u);
+  EXPECT_EQ(costs.cc1[g_not_in], 2u);  // 1 + CC0(a)
+  EXPECT_EQ(costs.cc0[g_not_in], 2u);
+}
+
+TEST(Scoap, DeepChainsCostMore) {
+  // A wide AND tree's CC1 grows with the number of inputs; its CC0 stays
+  // near-constant (any single 0 suffices).
+  Network network;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 8; ++i) pis.push_back(network.add_pi());
+  NodeId acc = pis[0];
+  const auto and2 = tt::TruthTable::and_gate(2);
+  for (int i = 1; i < 8; ++i) {
+    const std::array<NodeId, 2> f{acc, pis[static_cast<std::size_t>(i)]};
+    acc = network.add_lut(f, and2);
+  }
+  const ScoapCosts costs = compute_scoap(network);
+  EXPECT_GE(costs.cc1[acc], 8u);  // needs all eight 1s
+  EXPECT_LE(costs.cc0[acc], 9u);  // one 0 plus chain depth
+  EXPECT_GT(costs.cc1[acc], costs.cc0[acc]);
+}
+
+TEST(Scoap, ConstantZeroLutIsUncontrollableToOne) {
+  // A LUT whose *function* is constant 0 has an empty ON cover: CC1
+  // saturates. (SCOAP is positional, like the classic metric: a LUT that
+  // is only semantically constant through duplicate fanins is not
+  // detected — that is the known optimism of SCOAP on reconvergence.)
+  Network network;
+  const NodeId a = network.add_pi();
+  const NodeId b = network.add_pi();
+  const std::array<NodeId, 2> f{a, b};
+  const NodeId g = network.add_lut(f, tt::TruthTable::constant(2, false));
+  const ScoapCosts costs = compute_scoap(network);
+  EXPECT_EQ(costs.cc1[g], ScoapCosts::kUncontrollable);
+  EXPECT_LT(costs.cc0[g], ScoapCosts::kUncontrollable);
+}
+
+TEST(Scoap, UncontrollableValuesNeverUnderflow) {
+  // A LUT reading a constant: rows demanding the impossible value must
+  // saturate, not wrap.
+  Network network;
+  const NodeId one = network.add_constant(true);
+  const NodeId a = network.add_pi();
+  const std::array<NodeId, 2> f{one, a};
+  // g = !fanin0 & fanin1: CC1 demands fanin0 == 0 which is impossible.
+  const NodeId g = network.add_lut(
+      f, ~tt::TruthTable::projection(2, 0) & tt::TruthTable::projection(2, 1));
+  const ScoapCosts costs = compute_scoap(network);
+  EXPECT_GE(costs.cc1[g], ScoapCosts::kUncontrollable);
+}
+
+}  // namespace
+}  // namespace simgen::net
+
+namespace simgen::core {
+namespace {
+
+TEST(ScoapDecision, BonusPrefersCheapRows) {
+  // g = (deep & a) | b: the row {b=1} is cheap, the row through the deep
+  // AND chain is expensive — the SCOAP bonus must rank {--1}... here
+  // fanins are (deep, a, b)? Build: g over (chain, b) as or2.
+  net::Network network;
+  std::vector<net::NodeId> pis;
+  for (int i = 0; i < 6; ++i) pis.push_back(network.add_pi());
+  net::NodeId chain = pis[0];
+  const auto and2 = tt::TruthTable::and_gate(2);
+  for (int i = 1; i < 5; ++i) {
+    const std::array<net::NodeId, 2> f{chain, pis[static_cast<std::size_t>(i)]};
+    chain = network.add_lut(f, and2);
+  }
+  const std::array<net::NodeId, 2> fg{chain, pis[5]};
+  const net::NodeId g = network.add_lut(fg, tt::TruthTable::or_gate(2));
+  network.add_po(g);
+
+  const net::ScoapCosts scoap = net::compute_scoap(network);
+  Row cheap;   // {-1}: b=1
+  cheap.cube.set_literal(1, true);
+  cheap.output = true;
+  Row costly;  // {1-}: chain=1
+  costly.cube.set_literal(0, true);
+  costly.output = true;
+  EXPECT_GT(scoap_row_bonus(network, scoap, g, cheap),
+            scoap_row_bonus(network, scoap, g, costly));
+}
+
+TEST(ScoapDecision, StrategyArmRunsEndToEnd) {
+  benchgen::CircuitSpec spec;
+  spec.name = "scoap_arm";
+  spec.num_pis = 14;
+  spec.num_pos = 8;
+  spec.num_gates = 250;
+  const net::Network network = benchgen::generate_mapped(spec);
+  sim::Simulator simulator(network);
+  sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
+  sim::RandomSimOptions random_options;
+  random_options.max_rounds = 1;
+  sim::run_random_simulation(simulator, classes, random_options);
+  const std::uint64_t before = classes.cost();
+
+  GuidedSimOptions options;
+  options.strategy = Strategy::kAiDcScoap;
+  options.iterations = 10;
+  const GuidedSimResult result =
+      run_guided_simulation(simulator, classes, options);
+  EXPECT_LE(classes.cost(), before);
+  EXPECT_EQ(result.cost_per_iteration.size(), 10u);
+  EXPECT_EQ(strategy_name(Strategy::kAiDcScoap), "AI+DC+SCOAP");
+}
+
+}  // namespace
+}  // namespace simgen::core

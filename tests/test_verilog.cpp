@@ -1,0 +1,211 @@
+// Verilog writer and reader tests: exact SOP emission on small circuits,
+// structural properties on large ones, and full write->read round trips
+// (functional equivalence checked by simulation).
+#include "io/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "benchgen/arith.hpp"
+#include "benchgen/generator.hpp"
+#include "mapping/lut_mapper.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::io {
+namespace {
+
+TEST(Verilog, EmitsModuleSkeleton) {
+  net::Network network("my_top");
+  const net::NodeId a = network.add_pi("a");
+  const net::NodeId b = network.add_pi("b");
+  const std::array<net::NodeId, 2> f{a, b};
+  const net::NodeId g = network.add_lut(f, tt::TruthTable::and_gate(2), "g");
+  network.add_po(g, "out");
+
+  const std::string text = write_verilog_string(network);
+  EXPECT_NE(text.find("module my_top (a, b, out);"), std::string::npos);
+  EXPECT_NE(text.find("input a;"), std::string::npos);
+  EXPECT_NE(text.find("output out;"), std::string::npos);
+  EXPECT_NE(text.find("assign g = (a & b);"), std::string::npos);
+  EXPECT_NE(text.find("assign out = g;"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, SopWithComplementsAndOr) {
+  // f = (a & !b) | c.
+  net::Network network;
+  const net::NodeId a = network.add_pi("a");
+  const net::NodeId b = network.add_pi("b");
+  const net::NodeId c = network.add_pi("c");
+  const std::array<net::NodeId, 3> f{a, b, c};
+  const auto table = (tt::TruthTable::projection(3, 0) &
+                      ~tt::TruthTable::projection(3, 1)) |
+                     tt::TruthTable::projection(3, 2);
+  network.add_po(network.add_lut(f, table, "g"), "out");
+
+  const std::string text = write_verilog_string(network);
+  // The ISOP has the two cubes (a & ~b) and (c), in either order.
+  EXPECT_NE(text.find("(a & ~b)"), std::string::npos);
+  EXPECT_NE(text.find("(c)"), std::string::npos);
+  EXPECT_NE(text.find(" | "), std::string::npos);
+}
+
+TEST(Verilog, ConstantsAndSanitizedNames) {
+  net::Network network("top-level!");
+  const net::NodeId a = network.add_pi("data[0]");
+  network.add_po(network.add_constant(true), "k1");
+  network.add_po(a, "q");
+
+  const std::string text = write_verilog_string(network);
+  EXPECT_NE(text.find("module top_level_"), std::string::npos);
+  EXPECT_NE(text.find("data_0_"), std::string::npos);  // brackets sanitized
+  EXPECT_NE(text.find("= 1'b1;"), std::string::npos);
+  EXPECT_EQ(text.find('['), std::string::npos);
+}
+
+TEST(Verilog, DuplicateNamesAreDisambiguated) {
+  net::Network network;
+  const net::NodeId a = network.add_pi("sig");
+  const std::array<net::NodeId, 1> f{a};
+  const net::NodeId g = network.add_lut(f, tt::TruthTable::not_gate(), "sig");
+  network.add_po(g, "out");
+  const std::string text = write_verilog_string(network);
+  // Both a "sig" and a decorated variant must exist.
+  EXPECT_NE(text.find("sig_"), std::string::npos);
+}
+
+TEST(Verilog, GeneratedBenchmarkIsWellFormed) {
+  benchgen::CircuitSpec spec;
+  spec.name = "verilog_smoke";
+  spec.num_gates = 300;
+  const net::Network network = benchgen::generate_mapped(spec);
+  const std::string text = write_verilog_string(network);
+
+  // One assign per LUT + one per PO + constants; module/endmodule close.
+  std::size_t assigns = 0;
+  for (std::size_t at = text.find("assign"); at != std::string::npos;
+       at = text.find("assign", at + 1))
+    ++assigns;
+  EXPECT_GE(assigns, network.num_luts() + network.num_pos());
+  EXPECT_NE(text.find("module "), std::string::npos);
+  EXPECT_NE(text.rfind("endmodule"), std::string::npos);
+  // Balanced parentheses overall.
+  long balance = 0;
+  for (const char c : text) {
+    if (c == '(') ++balance;
+    if (c == ')') --balance;
+    ASSERT_GE(balance, 0);
+  }
+  EXPECT_EQ(balance, 0);
+}
+
+}  // namespace
+}  // namespace simgen::io
+
+namespace simgen::io {
+namespace {
+
+void expect_same_function_v(const net::Network& a, const net::Network& b,
+                            int rounds = 6) {
+  ASSERT_EQ(a.num_pis(), b.num_pis());
+  ASSERT_EQ(a.num_pos(), b.num_pos());
+  sim::Simulator sim_a(a), sim_b(b);
+  util::Rng rng(321);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<sim::PatternWord> words(a.num_pis());
+    for (auto& w : words) w = rng();
+    sim_a.simulate_word(words);
+    sim_b.simulate_word(words);
+    for (std::size_t i = 0; i < a.num_pos(); ++i)
+      ASSERT_EQ(sim_a.value(a.pos()[i]), sim_b.value(b.pos()[i]));
+  }
+}
+
+TEST(VerilogReader, ParsesHandWrittenModule) {
+  const net::Network network = read_verilog_string(R"(
+    // a small module
+    module demo (a, b, c, f);
+      input a, b, c;
+      output f;
+      wire t;
+      assign t = (a & ~b) | c;
+      assign f = ~t;
+    endmodule
+  )");
+  EXPECT_EQ(network.name(), "demo");
+  EXPECT_EQ(network.num_pis(), 3u);
+  EXPECT_EQ(network.num_pos(), 1u);
+  sim::Simulator sim(network);
+  const sim::PatternWord a = 0xaaaaaaaaaaaaaaaaull;
+  const sim::PatternWord b = 0xccccccccccccccccull;
+  const sim::PatternWord c = 0xf0f0f0f0f0f0f0f0ull;
+  sim.simulate_word(std::vector<sim::PatternWord>{a, b, c});
+  EXPECT_EQ(sim.value(network.pos()[0]), ~((a & ~b) | c));
+}
+
+TEST(VerilogReader, ConstantsAndOutOfOrder) {
+  const net::Network network = read_verilog_string(
+      "module m (a, f, g);\n input a;\n output f, g;\n"
+      " assign f = t | a;\n assign t = 1'b0;\n assign g = 1'b1;\nendmodule\n");
+  sim::Simulator sim(network);
+  sim.simulate_word(std::vector<sim::PatternWord>{0x1234u});
+  EXPECT_EQ(sim.value(network.pos()[0]), 0x1234u);
+  EXPECT_EQ(sim.value(network.pos()[1]), ~sim::PatternWord{0});
+}
+
+TEST(VerilogReader, BlockCommentsAndPrecedence) {
+  // & binds tighter than |.
+  const net::Network network = read_verilog_string(
+      "module m (a, b, c, f);\n input a, b, c;\n output f;\n"
+      " /* multi\n line */ assign f = a | b & c;\nendmodule\n");
+  sim::Simulator sim(network);
+  const sim::PatternWord a = 0xaaaaaaaaaaaaaaaaull;
+  const sim::PatternWord b = 0xccccccccccccccccull;
+  const sim::PatternWord c = 0xf0f0f0f0f0f0f0f0ull;
+  sim.simulate_word(std::vector<sim::PatternWord>{a, b, c});
+  EXPECT_EQ(sim.value(network.pos()[0]), a | (b & c));
+}
+
+TEST(VerilogReader, Errors) {
+  EXPECT_THROW(read_verilog_string("garbage"), std::runtime_error);
+  EXPECT_THROW(read_verilog_string("module m (a);\n input a;\n"),
+               std::runtime_error);  // missing endmodule
+  EXPECT_THROW(
+      read_verilog_string("module m (a, f);\n input a;\n output f;\n"
+                          " always @(posedge a) f = 1;\nendmodule\n"),
+      std::runtime_error);  // unsupported construct
+  EXPECT_THROW(
+      read_verilog_string("module m (f);\n output f;\n assign f = 2'b01;\n"
+                          "endmodule\n"),
+      std::runtime_error);  // unsupported literal
+  EXPECT_THROW(
+      read_verilog_string("module m (a, f);\n input a;\n output f;\n"
+                          " assign f = a;\n assign f = ~a;\nendmodule\n"),
+      std::runtime_error);  // double assignment
+  EXPECT_THROW(
+      read_verilog_string("module m (a, f);\n input a;\n output f;\n"
+                          " assign f = g;\n assign g = f;\nendmodule\n"),
+      std::runtime_error);  // cycle
+}
+
+TEST(VerilogReader, RoundTripGeneratedBenchmark) {
+  benchgen::CircuitSpec spec;
+  spec.name = "verilog_roundtrip";
+  spec.num_gates = 350;
+  const net::Network original = benchgen::generate_mapped(spec);
+  const net::Network reparsed =
+      read_verilog_string(write_verilog_string(original));
+  expect_same_function_v(original, reparsed);
+}
+
+TEST(VerilogReader, RoundTripArithmetic) {
+  const net::Network adder =
+      mapping::map_to_luts(benchgen::build_ripple_carry_adder(8));
+  const net::Network reparsed = read_verilog_string(write_verilog_string(adder));
+  expect_same_function_v(adder, reparsed);
+}
+
+}  // namespace
+}  // namespace simgen::io
