@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bdd_vs_sat.dir/ablation_bdd_vs_sat.cpp.o"
+  "CMakeFiles/ablation_bdd_vs_sat.dir/ablation_bdd_vs_sat.cpp.o.d"
+  "ablation_bdd_vs_sat"
+  "ablation_bdd_vs_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bdd_vs_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_outgold.dir/ablation_outgold.cpp.o"
+  "CMakeFiles/ablation_outgold.dir/ablation_outgold.cpp.o.d"
+  "ablation_outgold"
+  "ablation_outgold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_outgold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_benchmark.dir/fig5_per_benchmark.cpp.o"
+  "CMakeFiles/fig5_per_benchmark.dir/fig5_per_benchmark.cpp.o.d"
+  "fig5_per_benchmark"
+  "fig5_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_putontop.dir/fig6_putontop.cpp.o"
+  "CMakeFiles/fig6_putontop.dir/fig6_putontop.cpp.o.d"
+  "fig6_putontop"
+  "fig6_putontop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_putontop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

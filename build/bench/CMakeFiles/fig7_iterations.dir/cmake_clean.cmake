@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_iterations.dir/fig7_iterations.cpp.o"
+  "CMakeFiles/fig7_iterations.dir/fig7_iterations.cpp.o.d"
+  "fig7_iterations"
+  "fig7_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

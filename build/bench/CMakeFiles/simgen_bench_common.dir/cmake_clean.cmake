@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/simgen_bench_common.dir/bench_common.cpp.o.d"
+  "libsimgen_bench_common.a"
+  "libsimgen_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cost_runtime.dir/table1_cost_runtime.cpp.o"
+  "CMakeFiles/table1_cost_runtime.dir/table1_cost_runtime.cpp.o.d"
+  "table1_cost_runtime"
+  "table1_cost_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cost_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_putontop.dir/table2_putontop.cpp.o"
+  "CMakeFiles/table2_putontop.dir/table2_putontop.cpp.o.d"
+  "table2_putontop"
+  "table2_putontop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_putontop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

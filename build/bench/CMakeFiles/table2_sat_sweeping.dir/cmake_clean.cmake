@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sat_sweeping.dir/table2_sat_sweeping.cpp.o"
+  "CMakeFiles/table2_sat_sweeping.dir/table2_sat_sweeping.cpp.o.d"
+  "table2_sat_sweeping"
+  "table2_sat_sweeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sat_sweeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

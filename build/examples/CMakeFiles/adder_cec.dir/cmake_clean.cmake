@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_cec.dir/adder_cec.cpp.o"
+  "CMakeFiles/adder_cec.dir/adder_cec.cpp.o.d"
+  "adder_cec"
+  "adder_cec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_justify.dir/atpg_justify.cpp.o"
+  "CMakeFiles/atpg_justify.dir/atpg_justify.cpp.o.d"
+  "atpg_justify"
+  "atpg_justify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_justify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

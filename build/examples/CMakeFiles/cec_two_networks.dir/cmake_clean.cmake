@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cec_two_networks.dir/cec_two_networks.cpp.o"
+  "CMakeFiles/cec_two_networks.dir/cec_two_networks.cpp.o.d"
+  "cec_two_networks"
+  "cec_two_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cec_two_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

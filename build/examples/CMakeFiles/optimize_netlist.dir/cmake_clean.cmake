@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_netlist.dir/optimize_netlist.cpp.o"
+  "CMakeFiles/optimize_netlist.dir/optimize_netlist.cpp.o.d"
+  "optimize_netlist"
+  "optimize_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

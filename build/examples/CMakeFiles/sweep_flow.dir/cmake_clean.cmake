@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_flow.dir/sweep_flow.cpp.o"
+  "CMakeFiles/sweep_flow.dir/sweep_flow.cpp.o.d"
+  "sweep_flow"
+  "sweep_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

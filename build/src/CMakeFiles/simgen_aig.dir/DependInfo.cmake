@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "src/CMakeFiles/simgen_aig.dir/aig/aig.cpp.o" "gcc" "src/CMakeFiles/simgen_aig.dir/aig/aig.cpp.o.d"
+  "/root/repo/src/aig/aig_to_network.cpp" "src/CMakeFiles/simgen_aig.dir/aig/aig_to_network.cpp.o" "gcc" "src/CMakeFiles/simgen_aig.dir/aig/aig_to_network.cpp.o.d"
+  "/root/repo/src/aig/putontop.cpp" "src/CMakeFiles/simgen_aig.dir/aig/putontop.cpp.o" "gcc" "src/CMakeFiles/simgen_aig.dir/aig/putontop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_aig.dir/aig/aig.cpp.o"
+  "CMakeFiles/simgen_aig.dir/aig/aig.cpp.o.d"
+  "CMakeFiles/simgen_aig.dir/aig/aig_to_network.cpp.o"
+  "CMakeFiles/simgen_aig.dir/aig/aig_to_network.cpp.o.d"
+  "CMakeFiles/simgen_aig.dir/aig/putontop.cpp.o"
+  "CMakeFiles/simgen_aig.dir/aig/putontop.cpp.o.d"
+  "libsimgen_aig.a"
+  "libsimgen_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/simgen_bdd.dir/bdd/bdd.cpp.o.d"
+  "CMakeFiles/simgen_bdd.dir/bdd/network_bdd.cpp.o"
+  "CMakeFiles/simgen_bdd.dir/bdd/network_bdd.cpp.o.d"
+  "libsimgen_bdd.a"
+  "libsimgen_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

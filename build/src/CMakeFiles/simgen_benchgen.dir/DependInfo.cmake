@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/arith.cpp" "src/CMakeFiles/simgen_benchgen.dir/benchgen/arith.cpp.o" "gcc" "src/CMakeFiles/simgen_benchgen.dir/benchgen/arith.cpp.o.d"
+  "/root/repo/src/benchgen/generator.cpp" "src/CMakeFiles/simgen_benchgen.dir/benchgen/generator.cpp.o" "gcc" "src/CMakeFiles/simgen_benchgen.dir/benchgen/generator.cpp.o.d"
+  "/root/repo/src/benchgen/suite.cpp" "src/CMakeFiles/simgen_benchgen.dir/benchgen/suite.cpp.o" "gcc" "src/CMakeFiles/simgen_benchgen.dir/benchgen/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_benchgen.dir/benchgen/arith.cpp.o"
+  "CMakeFiles/simgen_benchgen.dir/benchgen/arith.cpp.o.d"
+  "CMakeFiles/simgen_benchgen.dir/benchgen/generator.cpp.o"
+  "CMakeFiles/simgen_benchgen.dir/benchgen/generator.cpp.o.d"
+  "CMakeFiles/simgen_benchgen.dir/benchgen/suite.cpp.o"
+  "CMakeFiles/simgen_benchgen.dir/benchgen/suite.cpp.o.d"
+  "libsimgen_benchgen.a"
+  "libsimgen_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/aiger.cpp" "src/CMakeFiles/simgen_io.dir/io/aiger.cpp.o" "gcc" "src/CMakeFiles/simgen_io.dir/io/aiger.cpp.o.d"
+  "/root/repo/src/io/bench.cpp" "src/CMakeFiles/simgen_io.dir/io/bench.cpp.o" "gcc" "src/CMakeFiles/simgen_io.dir/io/bench.cpp.o.d"
+  "/root/repo/src/io/blif.cpp" "src/CMakeFiles/simgen_io.dir/io/blif.cpp.o" "gcc" "src/CMakeFiles/simgen_io.dir/io/blif.cpp.o.d"
+  "/root/repo/src/io/verilog.cpp" "src/CMakeFiles/simgen_io.dir/io/verilog.cpp.o" "gcc" "src/CMakeFiles/simgen_io.dir/io/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

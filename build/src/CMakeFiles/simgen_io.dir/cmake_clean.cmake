@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_io.dir/io/aiger.cpp.o"
+  "CMakeFiles/simgen_io.dir/io/aiger.cpp.o.d"
+  "CMakeFiles/simgen_io.dir/io/bench.cpp.o"
+  "CMakeFiles/simgen_io.dir/io/bench.cpp.o.d"
+  "CMakeFiles/simgen_io.dir/io/blif.cpp.o"
+  "CMakeFiles/simgen_io.dir/io/blif.cpp.o.d"
+  "CMakeFiles/simgen_io.dir/io/verilog.cpp.o"
+  "CMakeFiles/simgen_io.dir/io/verilog.cpp.o.d"
+  "libsimgen_io.a"
+  "libsimgen_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_mapping.dir/mapping/cuts.cpp.o"
+  "CMakeFiles/simgen_mapping.dir/mapping/cuts.cpp.o.d"
+  "CMakeFiles/simgen_mapping.dir/mapping/lut_mapper.cpp.o"
+  "CMakeFiles/simgen_mapping.dir/mapping/lut_mapper.cpp.o.d"
+  "libsimgen_mapping.a"
+  "libsimgen_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_network.dir/network/analysis.cpp.o"
+  "CMakeFiles/simgen_network.dir/network/analysis.cpp.o.d"
+  "CMakeFiles/simgen_network.dir/network/mffc.cpp.o"
+  "CMakeFiles/simgen_network.dir/network/mffc.cpp.o.d"
+  "CMakeFiles/simgen_network.dir/network/network.cpp.o"
+  "CMakeFiles/simgen_network.dir/network/network.cpp.o.d"
+  "CMakeFiles/simgen_network.dir/network/scoap.cpp.o"
+  "CMakeFiles/simgen_network.dir/network/scoap.cpp.o.d"
+  "libsimgen_network.a"
+  "libsimgen_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

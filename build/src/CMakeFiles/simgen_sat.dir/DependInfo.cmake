@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/dimacs.cpp" "src/CMakeFiles/simgen_sat.dir/sat/dimacs.cpp.o" "gcc" "src/CMakeFiles/simgen_sat.dir/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/encoder.cpp" "src/CMakeFiles/simgen_sat.dir/sat/encoder.cpp.o" "gcc" "src/CMakeFiles/simgen_sat.dir/sat/encoder.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/simgen_sat.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/simgen_sat.dir/sat/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_sat.dir/sat/dimacs.cpp.o"
+  "CMakeFiles/simgen_sat.dir/sat/dimacs.cpp.o.d"
+  "CMakeFiles/simgen_sat.dir/sat/encoder.cpp.o"
+  "CMakeFiles/simgen_sat.dir/sat/encoder.cpp.o.d"
+  "CMakeFiles/simgen_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/simgen_sat.dir/sat/solver.cpp.o.d"
+  "libsimgen_sat.a"
+  "libsimgen_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimgen_sat.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_sim.dir/sim/eqclass.cpp.o"
+  "CMakeFiles/simgen_sim.dir/sim/eqclass.cpp.o.d"
+  "CMakeFiles/simgen_sim.dir/sim/random_sim.cpp.o"
+  "CMakeFiles/simgen_sim.dir/sim/random_sim.cpp.o.d"
+  "CMakeFiles/simgen_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/simgen_sim.dir/sim/simulator.cpp.o.d"
+  "libsimgen_sim.a"
+  "libsimgen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

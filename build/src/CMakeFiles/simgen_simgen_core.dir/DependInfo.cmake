@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgen/decision.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/decision.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/decision.cpp.o.d"
+  "/root/repo/src/simgen/generator.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/generator.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/generator.cpp.o.d"
+  "/root/repo/src/simgen/guided_sim.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/guided_sim.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/guided_sim.cpp.o.d"
+  "/root/repo/src/simgen/implication.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/implication.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/implication.cpp.o.d"
+  "/root/repo/src/simgen/outgold.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/outgold.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/outgold.cpp.o.d"
+  "/root/repo/src/simgen/reverse_sim.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/reverse_sim.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/reverse_sim.cpp.o.d"
+  "/root/repo/src/simgen/rows.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/rows.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/rows.cpp.o.d"
+  "/root/repo/src/simgen/tval.cpp" "src/CMakeFiles/simgen_simgen_core.dir/simgen/tval.cpp.o" "gcc" "src/CMakeFiles/simgen_simgen_core.dir/simgen/tval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

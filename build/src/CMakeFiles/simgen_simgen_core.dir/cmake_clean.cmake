@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_simgen_core.dir/simgen/decision.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/decision.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/generator.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/generator.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/guided_sim.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/guided_sim.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/implication.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/implication.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/outgold.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/outgold.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/reverse_sim.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/reverse_sim.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/rows.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/rows.cpp.o.d"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/tval.cpp.o"
+  "CMakeFiles/simgen_simgen_core.dir/simgen/tval.cpp.o.d"
+  "libsimgen_simgen_core.a"
+  "libsimgen_simgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_simgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

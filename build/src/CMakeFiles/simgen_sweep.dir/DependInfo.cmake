@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sweep/cec.cpp" "src/CMakeFiles/simgen_sweep.dir/sweep/cec.cpp.o" "gcc" "src/CMakeFiles/simgen_sweep.dir/sweep/cec.cpp.o.d"
+  "/root/repo/src/sweep/fraig.cpp" "src/CMakeFiles/simgen_sweep.dir/sweep/fraig.cpp.o" "gcc" "src/CMakeFiles/simgen_sweep.dir/sweep/fraig.cpp.o.d"
+  "/root/repo/src/sweep/reduce.cpp" "src/CMakeFiles/simgen_sweep.dir/sweep/reduce.cpp.o" "gcc" "src/CMakeFiles/simgen_sweep.dir/sweep/reduce.cpp.o.d"
+  "/root/repo/src/sweep/sweeper.cpp" "src/CMakeFiles/simgen_sweep.dir/sweep/sweeper.cpp.o" "gcc" "src/CMakeFiles/simgen_sweep.dir/sweep/sweeper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_simgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

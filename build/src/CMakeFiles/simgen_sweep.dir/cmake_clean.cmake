@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_sweep.dir/sweep/cec.cpp.o"
+  "CMakeFiles/simgen_sweep.dir/sweep/cec.cpp.o.d"
+  "CMakeFiles/simgen_sweep.dir/sweep/fraig.cpp.o"
+  "CMakeFiles/simgen_sweep.dir/sweep/fraig.cpp.o.d"
+  "CMakeFiles/simgen_sweep.dir/sweep/reduce.cpp.o"
+  "CMakeFiles/simgen_sweep.dir/sweep/reduce.cpp.o.d"
+  "CMakeFiles/simgen_sweep.dir/sweep/sweeper.cpp.o"
+  "CMakeFiles/simgen_sweep.dir/sweep/sweeper.cpp.o.d"
+  "libsimgen_sweep.a"
+  "libsimgen_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

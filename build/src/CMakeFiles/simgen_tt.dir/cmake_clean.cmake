@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_tt.dir/tt/cube.cpp.o"
+  "CMakeFiles/simgen_tt.dir/tt/cube.cpp.o.d"
+  "CMakeFiles/simgen_tt.dir/tt/isop.cpp.o"
+  "CMakeFiles/simgen_tt.dir/tt/isop.cpp.o.d"
+  "CMakeFiles/simgen_tt.dir/tt/truth_table.cpp.o"
+  "CMakeFiles/simgen_tt.dir/tt/truth_table.cpp.o.d"
+  "libsimgen_tt.a"
+  "libsimgen_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

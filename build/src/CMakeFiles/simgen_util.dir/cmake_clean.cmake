@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgen_util.dir/util/logging.cpp.o"
+  "CMakeFiles/simgen_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/simgen_util.dir/util/rng.cpp.o"
+  "CMakeFiles/simgen_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/simgen_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/simgen_util.dir/util/stopwatch.cpp.o.d"
+  "libsimgen_util.a"
+  "libsimgen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cec.dir/test_cec.cpp.o"
+  "CMakeFiles/test_cec.dir/test_cec.cpp.o.d"
+  "test_cec"
+  "test_cec.pdb"
+  "test_cec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decision.dir/test_decision.cpp.o"
+  "CMakeFiles/test_decision.dir/test_decision.cpp.o.d"
+  "test_decision"
+  "test_decision.pdb"
+  "test_decision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dimacs.dir/test_dimacs.cpp.o"
+  "CMakeFiles/test_dimacs.dir/test_dimacs.cpp.o.d"
+  "test_dimacs"
+  "test_dimacs.pdb"
+  "test_dimacs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dimacs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eqclass.dir/test_eqclass.cpp.o"
+  "CMakeFiles/test_eqclass.dir/test_eqclass.cpp.o.d"
+  "test_eqclass"
+  "test_eqclass.pdb"
+  "test_eqclass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eqclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

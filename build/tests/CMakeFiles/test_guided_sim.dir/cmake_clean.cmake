@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guided_sim.dir/test_guided_sim.cpp.o"
+  "CMakeFiles/test_guided_sim.dir/test_guided_sim.cpp.o.d"
+  "test_guided_sim"
+  "test_guided_sim.pdb"
+  "test_guided_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guided_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_implication.dir/test_implication.cpp.o"
+  "CMakeFiles/test_implication.dir/test_implication.cpp.o.d"
+  "test_implication"
+  "test_implication.pdb"
+  "test_implication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_implication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_aiger.dir/test_io_aiger.cpp.o"
+  "CMakeFiles/test_io_aiger.dir/test_io_aiger.cpp.o.d"
+  "test_io_aiger"
+  "test_io_aiger.pdb"
+  "test_io_aiger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_aiger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_isop.cpp" "tests/CMakeFiles/test_isop.dir/test_isop.cpp.o" "gcc" "tests/CMakeFiles/test_isop.dir/test_isop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simgen_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_simgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outgold.dir/test_outgold.cpp.o"
+  "CMakeFiles/test_outgold.dir/test_outgold.cpp.o.d"
+  "test_outgold"
+  "test_outgold.pdb"
+  "test_outgold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outgold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_putontop.dir/test_putontop.cpp.o"
+  "CMakeFiles/test_putontop.dir/test_putontop.cpp.o.d"
+  "test_putontop"
+  "test_putontop.pdb"
+  "test_putontop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_putontop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

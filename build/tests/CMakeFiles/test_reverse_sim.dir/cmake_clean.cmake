@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reverse_sim.dir/test_reverse_sim.cpp.o"
+  "CMakeFiles/test_reverse_sim.dir/test_reverse_sim.cpp.o.d"
+  "test_reverse_sim"
+  "test_reverse_sim.pdb"
+  "test_reverse_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reverse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

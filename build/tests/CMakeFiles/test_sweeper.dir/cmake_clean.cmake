@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweeper.dir/test_sweeper.cpp.o"
+  "CMakeFiles/test_sweeper.dir/test_sweeper.cpp.o.d"
+  "test_sweeper"
+  "test_sweeper.pdb"
+  "test_sweeper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

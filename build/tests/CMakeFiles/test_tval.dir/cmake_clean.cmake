@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tval.dir/test_tval.cpp.o"
+  "CMakeFiles/test_tval.dir/test_tval.cpp.o.d"
+  "test_tval"
+  "test_tval.pdb"
+  "test_tval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
