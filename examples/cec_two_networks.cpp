@@ -2,16 +2,22 @@
 /// \brief Combinational equivalence checking of two circuit files.
 ///
 /// Usage:
-///   ./cec_two_networks golden.blif revised.blif
-///   ./cec_two_networks                      (self-demo, no files needed)
+///   ./cec_two_networks [--certify] golden.blif revised.blif
+///   ./cec_two_networks [--certify] alu4      (seed benchmark self-check)
+///   ./cec_two_networks                       (self-demo, no files needed)
 ///
 /// Accepts BLIF (.blif), BENCH (.bench), and AIGER (.aig/.aag; mapped to
-/// 6-LUTs before checking). Without arguments it demonstrates both a
-/// passing check (a circuit against its re-synthesized self) and a
-/// failing one (against a mutated copy), printing the counterexample.
+/// 6-LUTs before checking), or the name of a seed benchmark — the latter
+/// checks its 6-LUT mapping against the direct AIG translation. With
+/// --certify, every UNSAT verdict (internal merges and the final output
+/// proofs) is DRAT-logged and certified by the in-repo backward checker
+/// before it is trusted. Without arguments it demonstrates both a passing
+/// check (a circuit against its re-synthesized self) and a failing one
+/// (against a mutated copy), printing the counterexample.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "simgen_all.hpp"
 
@@ -38,6 +44,15 @@ void report(const sweep::CecResult& result, const net::Network& a) {
                 result.outputs_proven,
                 static_cast<unsigned long long>(result.sweep_stats.sat_calls),
                 result.total_seconds * 1e3);
+    const std::uint64_t certified =
+        result.sweep_stats.certified_unsat + result.certified_outputs;
+    if (certified > 0)
+      std::printf("  certified: %llu UNSAT verdicts (%llu merges + %llu "
+                  "output proofs) checked against the DRAT log\n",
+                  static_cast<unsigned long long>(certified),
+                  static_cast<unsigned long long>(
+                      result.sweep_stats.certified_unsat),
+                  static_cast<unsigned long long>(result.certified_outputs));
     return;
   }
   std::printf("NOT EQUIVALENT — counterexample (PI assignment):\n  ");
@@ -52,7 +67,7 @@ void report(const sweep::CecResult& result, const net::Network& a) {
   std::printf("\n");
 }
 
-int self_demo() {
+int self_demo(const sweep::CecOptions& options) {
   std::printf("no files given — running the built-in demonstration\n\n");
   benchgen::CircuitSpec spec;
   spec.name = "cec_demo";
@@ -67,12 +82,29 @@ int self_demo() {
   const net::Network direct = aig::to_network(golden_aig);
   std::printf("[1] mapped (%zu LUTs) vs direct (%zu LUTs): ",
               mapped.num_luts(), direct.num_luts());
-  report(sweep::check_equivalence(mapped, direct, {}), mapped);
+  report(sweep::check_equivalence(mapped, direct, options), mapped);
 
-  // Failing check: flip one truth-table bit in a copy.
+  // Failing check: flip one *observable* truth-table bit in a copy — the
+  // bit a PO driver produces under the all-zero input. (Flipping an
+  // arbitrary bit is not enough: cut-based mapping leaves many table
+  // entries at input combinations the correlated fanins can never take,
+  // and a mutation there is functionally invisible.)
+  sim::Simulator probe(mapped);
+  probe.simulate_word(std::vector<sim::PatternWord>(mapped.num_pis(), 0));
+  net::NodeId victim = net::kNullNode;
+  unsigned minterm = 0;
+  for (const net::NodeId po : mapped.pos()) {
+    const net::NodeId driver = mapped.fanins(po)[0];
+    if (!mapped.is_lut(driver)) continue;
+    victim = driver;
+    const auto fanins = mapped.fanins(driver);
+    for (std::size_t i = 0; i < fanins.size(); ++i)
+      minterm |= static_cast<unsigned>(probe.value(fanins[i]) & 1u) << i;
+    break;
+  }
+
   net::Network mutated("mutant");
   std::vector<net::NodeId> map(mapped.num_nodes());
-  bool flipped = false;
   mapped.for_each_node([&](net::NodeId id) {
     const auto& node = mapped.node(id);
     switch (node.kind) {
@@ -85,31 +117,51 @@ int self_demo() {
         std::vector<net::NodeId> fanins;
         for (net::NodeId fanin : node.fanins) fanins.push_back(map[fanin]);
         tt::TruthTable function = node.function;
-        if (!flipped && node.fanins.size() >= 3) {
-          function.set_bit(5, !function.get_bit(5));
-          flipped = true;
-        }
+        if (id == victim) function.set_bit(minterm, !function.get_bit(minterm));
         map[id] = mutated.add_lut(fanins, function);
         break;
       }
     }
   });
   std::printf("\n[2] mapped vs single-bit mutant: ");
-  report(sweep::check_equivalence(mapped, mutated, {}), mapped);
+  report(sweep::check_equivalence(mapped, mutated, options), mapped);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  sweep::CecOptions options;
+  options.guided_strategy = core::Strategy::kAiDcMffc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--certify") == 0)
+      options.certify = true;
+    else
+      args.emplace_back(argv[i]);
+  }
   try {
-    if (argc < 3) return self_demo();
-    const net::Network a = load_network(argv[1]);
-    const net::Network b = load_network(argv[2]);
-    std::printf("A: %s\nB: %s\n", net::to_string(net::compute_stats(a)).c_str(),
-                net::to_string(net::compute_stats(b)).c_str());
-    sweep::CecOptions options;
-    options.guided_strategy = core::Strategy::kAiDcMffc;
+    if (args.empty()) return self_demo(options);
+    net::Network a;
+    net::Network b;
+    if (args.size() == 1) {
+      // Single argument: a seed benchmark name. Self-check its 6-LUT
+      // mapping against the direct AIG translation.
+      const benchgen::CircuitSpec* spec = benchgen::find_benchmark(args[0]);
+      if (spec == nullptr)
+        throw std::runtime_error("unknown benchmark name: " + args[0]);
+      const aig::Aig graph = benchgen::generate_circuit(*spec);
+      a = mapping::map_to_luts(graph);
+      b = aig::to_network(graph);
+      std::printf("%s: mapped (%zu LUTs) vs direct (%zu LUTs)\n",
+                  args[0].c_str(), a.num_luts(), b.num_luts());
+    } else {
+      a = load_network(args[0]);
+      b = load_network(args[1]);
+      std::printf("A: %s\nB: %s\n",
+                  net::to_string(net::compute_stats(a)).c_str(),
+                  net::to_string(net::compute_stats(b)).c_str());
+    }
     report(sweep::check_equivalence(a, b, options), a);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -10,6 +10,15 @@ namespace {
 using aig::Aig;
 using aig::Lit;
 
+/// prefix + index, built with += — GCC 12's -Wrestrict misfires on
+/// concatenating a string literal with a std::to_string temporary at -O3
+/// (GCC bug 105651).
+std::string indexed(const char* prefix, unsigned index) {
+  std::string name = prefix;
+  name += std::to_string(index);
+  return name;
+}
+
 struct FullAdder {
   Lit sum;
   Lit carry;
@@ -29,9 +38,9 @@ struct AdderInputs {
 AdderInputs add_adder_inputs(Aig& graph, unsigned width) {
   AdderInputs in;
   for (unsigned i = 0; i < width; ++i)
-    in.a.push_back(graph.add_pi("a" + std::to_string(i)));
+    in.a.push_back(graph.add_pi(indexed("a", i)));
   for (unsigned i = 0; i < width; ++i)
-    in.b.push_back(graph.add_pi("b" + std::to_string(i)));
+    in.b.push_back(graph.add_pi(indexed("b", i)));
   in.cin = graph.add_pi("cin");
   return in;
 }
@@ -58,11 +67,11 @@ void check_width(unsigned width) {
 
 Aig build_ripple_carry_adder(unsigned width) {
   check_width(width);
-  Aig graph("rca" + std::to_string(width));
+  Aig graph(indexed("rca", width));
   const AdderInputs in = add_adder_inputs(graph, width);
   const auto [sums, cout] = ripple(graph, in.a, in.b, in.cin);
   for (unsigned i = 0; i < width; ++i)
-    graph.add_po(sums[i], "sum" + std::to_string(i));
+    graph.add_po(sums[i], indexed("sum", i));
   graph.add_po(cout, "cout");
   return graph;
 }
@@ -71,7 +80,7 @@ Aig build_carry_select_adder(unsigned width, unsigned block_width) {
   check_width(width);
   if (block_width == 0)
     throw std::invalid_argument("arith: block width must be positive");
-  Aig graph("csa" + std::to_string(width));
+  Aig graph(indexed("csa", width));
   const AdderInputs in = add_adder_inputs(graph, width);
 
   std::vector<Lit> sums;
@@ -88,19 +97,19 @@ Aig build_carry_select_adder(unsigned width, unsigned block_width) {
     carry = graph.mux(carry, carry1, carry0);
   }
   for (unsigned i = 0; i < width; ++i)
-    graph.add_po(sums[i], "sum" + std::to_string(i));
+    graph.add_po(sums[i], indexed("sum", i));
   graph.add_po(carry, "cout");
   return graph;
 }
 
 Aig build_array_multiplier(unsigned width) {
   check_width(width);
-  Aig graph("mul" + std::to_string(width));
+  Aig graph(indexed("mul", width));
   std::vector<Lit> a, b;
   for (unsigned i = 0; i < width; ++i)
-    a.push_back(graph.add_pi("a" + std::to_string(i)));
+    a.push_back(graph.add_pi(indexed("a", i)));
   for (unsigned i = 0; i < width; ++i)
-    b.push_back(graph.add_pi("b" + std::to_string(i)));
+    b.push_back(graph.add_pi(indexed("b", i)));
 
   // Accumulate partial products row by row with ripple additions.
   // acc holds product bits [row .. row+width-1] plus a carry chain.
@@ -124,18 +133,18 @@ Aig build_array_multiplier(unsigned width) {
   }
   for (unsigned i = 0; i < width; ++i) product[width + i] = acc[i];
   for (unsigned i = 0; i < 2 * width; ++i)
-    graph.add_po(product[i], "p" + std::to_string(i));
+    graph.add_po(product[i], indexed("p", i));
   return graph;
 }
 
 Aig build_comparator(unsigned width) {
   check_width(width);
-  Aig graph("cmp" + std::to_string(width));
+  Aig graph(indexed("cmp", width));
   std::vector<Lit> a, b;
   for (unsigned i = 0; i < width; ++i)
-    a.push_back(graph.add_pi("a" + std::to_string(i)));
+    a.push_back(graph.add_pi(indexed("a", i)));
   for (unsigned i = 0; i < width; ++i)
-    b.push_back(graph.add_pi("b" + std::to_string(i)));
+    b.push_back(graph.add_pi(indexed("b", i)));
 
   // MSB-first scan: lt/gt latch at the first differing bit.
   Lit lt = aig::kLitFalse;
@@ -156,10 +165,10 @@ Aig build_comparator(unsigned width) {
 
 Aig build_popcount(unsigned width) {
   check_width(width);
-  Aig graph("popcount" + std::to_string(width));
+  Aig graph(indexed("popcount", width));
   std::vector<Lit> inputs;
   for (unsigned i = 0; i < width; ++i)
-    inputs.push_back(graph.add_pi("x" + std::to_string(i)));
+    inputs.push_back(graph.add_pi(indexed("x", i)));
 
   // Binary counter accumulation: add each input into a ripple counter.
   unsigned bits = 1;
@@ -174,7 +183,7 @@ Aig build_popcount(unsigned width) {
     }
   }
   for (unsigned i = 0; i < bits; ++i)
-    graph.add_po(count[i], "c" + std::to_string(i));
+    graph.add_po(count[i], indexed("c", i));
   return graph;
 }
 

@@ -1,0 +1,307 @@
+#include "check/drat.hpp"
+
+#include <algorithm>
+
+namespace simgen::check {
+
+using sat::Lit;
+using sat::Var;
+
+DratChecker::DratChecker() = default;
+
+std::vector<Lit> DratChecker::normalize(std::span<const Lit> clause,
+                                        bool& tautology) {
+  std::vector<Lit> lits(clause.begin(), clause.end());
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  tautology = false;
+  for (std::size_t i = 1; i < lits.size(); ++i)
+    if (lits[i] == ~lits[i - 1]) tautology = true;
+  return lits;
+}
+
+std::uint64_t DratChecker::hash_lits(std::span<const Lit> lits) {
+  // FNV-1a over the literal codes of the (sorted) clause.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (Lit lit : lits) {
+    hash ^= lit.code();
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void DratChecker::ensure_var(Var var) {
+  if (var < values_.size()) return;
+  values_.resize(var + 1, LValue::kUndef);
+  if (watches_.size() < 2 * values_.size()) watches_.resize(2 * values_.size());
+}
+
+DratChecker::ClauseId DratChecker::store(std::vector<Lit> lits, bool tautology) {
+  const auto id = static_cast<ClauseId>(db_.size());
+  for (Lit lit : lits) ensure_var(lit.var());
+  db_.push_back(Clause{std::move(lits), /*active=*/false, tautology});
+  return id;
+}
+
+void DratChecker::activate(ClauseId id) {
+  Clause& clause = db_[id];
+  if (clause.tautology || clause.active) return;
+  clause.active = true;
+  index_.emplace(hash_lits(clause.lits), id);
+  if (clause.lits.empty()) {
+    ++empty_active_;
+  } else if (clause.lits.size() == 1) {
+    units_.push_back(id);
+  } else {
+    watches_[clause.lits[0].code()].push_back(id);
+    watches_[clause.lits[1].code()].push_back(id);
+  }
+}
+
+void DratChecker::deactivate(ClauseId id) {
+  Clause& clause = db_[id];
+  if (clause.tautology || !clause.active) return;
+  clause.active = false;
+  const auto [begin, end] = index_.equal_range(hash_lits(clause.lits));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == id) {
+      index_.erase(it);
+      break;
+    }
+  }
+  if (clause.lits.empty()) {
+    --empty_active_;
+  } else if (clause.lits.size() == 1) {
+    // Lazily removed: unit scans skip inactive entries.
+  } else {
+    for (int w = 0; w < 2; ++w) {
+      auto& list = watches_[clause.lits[w].code()];
+      const auto it = std::find(list.begin(), list.end(), id);
+      if (it != list.end()) {
+        *it = list.back();
+        list.pop_back();
+      }
+    }
+  }
+}
+
+void DratChecker::add_axiom(std::span<const Lit> clause) {
+  ++stats_.axioms;
+  bool tautology = false;
+  const ClauseId id = store(normalize(clause, tautology), tautology);
+  activate(id);
+  journal_.push_back({JournalEntry::Kind::kAxiom, id});
+}
+
+void DratChecker::add_lemma(std::span<const Lit> clause) {
+  ++stats_.lemmas;
+  bool tautology = false;
+  const ClauseId id = store(normalize(clause, tautology), tautology);
+  activate(id);
+  journal_.push_back({JournalEntry::Kind::kLemma, id});
+}
+
+void DratChecker::delete_clause(std::span<const Lit> clause) {
+  ++stats_.deletions;
+  bool tautology = false;
+  const std::vector<Lit> lits = normalize(clause, tautology);
+  const auto [begin, end] = index_.equal_range(hash_lits(lits));
+  for (auto it = begin; it != end; ++it) {
+    const ClauseId id = it->second;
+    if (db_[id].lits == lits) {
+      deactivate(id);
+      journal_.push_back({JournalEntry::Kind::kDelete, id});
+      return;
+    }
+  }
+  // Deleting a clause that is not in the database: corrupted proof.
+  corrupt_ = true;
+}
+
+DratChecker::LValue DratChecker::lit_value(Lit lit) const {
+  if (lit.var() >= values_.size()) return LValue::kUndef;
+  const LValue v = values_[lit.var()];
+  if (v == LValue::kUndef) return LValue::kUndef;
+  return (v == LValue::kTrue) != lit.negated() ? LValue::kTrue : LValue::kFalse;
+}
+
+bool DratChecker::assign(Lit lit) {
+  const LValue v = lit_value(lit);
+  if (v == LValue::kTrue) return true;
+  if (v == LValue::kFalse) return false;
+  ensure_var(lit.var());
+  values_[lit.var()] = lit.negated() ? LValue::kFalse : LValue::kTrue;
+  trail_.push_back(lit);
+  return true;
+}
+
+bool DratChecker::propagate_to_conflict() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~p just lost that watch literal.
+    auto& watch_list = watches_[(~p).code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseId id = watch_list[i];
+      auto& lits = db_[id].lits;
+      // Put the falsified literal at position 1.
+      if (lits[0] == ~p) std::swap(lits[0], lits[1]);
+      if (lit_value(lits[0]) == LValue::kTrue) {
+        watch_list[keep++] = id;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (lit_value(lits[k]) != LValue::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[lits[1].code()].push_back(id);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = id;
+      if (!assign(lits[0])) {
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k)
+          watch_list[keep++] = watch_list[k];
+        watch_list.resize(keep);
+        return true;
+      }
+    }
+    watch_list.resize(keep);
+  }
+  return false;
+}
+
+void DratChecker::undo_assignment() {
+  for (Lit lit : trail_) values_[lit.var()] = LValue::kUndef;
+  trail_.clear();
+  propagate_head_ = 0;
+}
+
+bool DratChecker::rup(std::span<const Lit> lits) {
+  ++stats_.rup_checks;
+  // An active empty clause refutes everything.
+  if (empty_active_ > 0) return true;
+
+  bool conflict = false;
+  // Assert the negation of the candidate clause.
+  for (Lit lit : lits) {
+    if (!assign(~lit)) {
+      // ~lit already false means lit and ~lit both occur: tautology,
+      // trivially entailed.
+      undo_assignment();
+      return true;
+    }
+  }
+  // Seed with the active unit clauses, then propagate.
+  for (const ClauseId id : units_) {
+    if (!db_[id].active) continue;
+    if (!assign(db_[id].lits[0])) {
+      conflict = true;
+      break;
+    }
+  }
+  if (!conflict) conflict = propagate_to_conflict();
+  undo_assignment();
+  return conflict;
+}
+
+bool DratChecker::certify(std::span<const Lit> target) {
+  if (corrupt_) {
+    ++stats_.failed_targets;
+    return false;
+  }
+  bool tautology = false;
+  const std::vector<Lit> target_lits = normalize(target, tautology);
+  bool ok = tautology || rup(target_lits);
+
+  // Backward pass: undo each pending step in reverse so every lemma is
+  // RUP-checked against exactly the database it was derived from. All
+  // lemmas are checked (not only a marked core) because on success they
+  // are committed as trusted axioms for later incremental certify calls.
+  for (std::size_t i = journal_.size(); i-- > 0;) {
+    const JournalEntry entry = journal_[i];
+    switch (entry.kind) {
+      case JournalEntry::Kind::kAxiom:
+        deactivate(entry.clause);
+        break;
+      case JournalEntry::Kind::kLemma: {
+        deactivate(entry.clause);
+        const Clause& clause = db_[entry.clause];
+        if (clause.tautology) {
+          ++stats_.skipped_lemmas;
+        } else if (ok) {  // after a failure, only unwind state
+          if (rup(clause.lits)) {
+            ++stats_.checked_lemmas;
+          } else {
+            ok = false;
+          }
+        }
+        break;
+      }
+      case JournalEntry::Kind::kDelete:
+        activate(entry.clause);
+        break;
+    }
+  }
+
+  // Re-apply forward: the database returns to its post-proof state and
+  // the pending steps become trusted.
+  for (const JournalEntry entry : journal_) {
+    switch (entry.kind) {
+      case JournalEntry::Kind::kAxiom:
+      case JournalEntry::Kind::kLemma:
+        activate(entry.clause);
+        break;
+      case JournalEntry::Kind::kDelete:
+        deactivate(entry.clause);
+        break;
+    }
+  }
+  journal_.clear();
+
+  // Compact the lazily maintained unit list.
+  std::erase_if(units_, [&](ClauseId id) { return !db_[id].active; });
+  std::sort(units_.begin(), units_.end());
+  units_.erase(std::unique(units_.begin(), units_.end()), units_.end());
+
+  if (ok)
+    ++stats_.certified_targets;
+  else
+    ++stats_.failed_targets;
+  return ok;
+}
+
+bool Certifier::certify_unsat(std::span<const Lit> assumptions) {
+  std::vector<Lit> target;
+  target.reserve(assumptions.size());
+  for (Lit lit : assumptions) target.push_back(~lit);
+  return checker_.certify(target);
+}
+
+bool check_recorded_proof(std::span<const sat::ProofStep> steps,
+                          std::span<const Lit> target, DratStats* stats) {
+  DratChecker checker;
+  for (const sat::ProofStep& step : steps) {
+    switch (step.kind) {
+      case sat::ProofStep::Kind::kAxiom:
+        checker.add_axiom(step.clause);
+        break;
+      case sat::ProofStep::Kind::kLemma:
+        checker.add_lemma(step.clause);
+        break;
+      case sat::ProofStep::Kind::kDelete:
+        checker.delete_clause(step.clause);
+        break;
+    }
+  }
+  const bool ok = checker.certify(target);
+  if (stats != nullptr) *stats = checker.stats();
+  return ok;
+}
+
+}  // namespace simgen::check

@@ -1,0 +1,183 @@
+/// \file drat.hpp
+/// \brief Backward DRAT proof checking for the CDCL solver's answers.
+///
+/// SAT sweeping merges equivalence classes and proves miter outputs on
+/// the strength of UNSAT verdicts alone; a single bad learned clause
+/// would silently equate two inequivalent circuits. This module makes
+/// every UNSAT answer independently checkable: the solver logs its
+/// clause derivations through sat::ProofTracer (a DRAT proof), and the
+/// DratChecker re-verifies each derived clause by reverse unit
+/// propagation (RUP) against the axioms and earlier derivations — a
+/// small, simple trusted core that shares no reasoning code with the
+/// solver.
+///
+/// Checking is *backward*, in the drat-trim style: the target clause is
+/// verified against the final database first, then the proof is walked
+/// in reverse, undoing each step so every lemma is verified against the
+/// exact clause database it was derived from. Unlike drat-trim we do not
+/// skip unmarked lemmas: certified derivations are committed as trusted
+/// axioms for later incremental calls (checkpointing), so each lemma
+/// must be verified exactly once — which also keeps the certification
+/// cost of a whole sweeping run linear in the total proof size rather
+/// than quadratic in the number of SAT calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/proof.hpp"
+#include "sat/solver.hpp"
+
+namespace simgen::check {
+
+/// Counters of the certification work performed.
+struct DratStats {
+  std::uint64_t axioms = 0;            ///< Caller-added clauses mirrored in.
+  std::uint64_t lemmas = 0;            ///< Solver-derived clauses mirrored in.
+  std::uint64_t deletions = 0;         ///< Deletion events mirrored in.
+  std::uint64_t certified_targets = 0; ///< Successful certify() calls.
+  std::uint64_t failed_targets = 0;    ///< Failed certify() calls.
+  std::uint64_t checked_lemmas = 0;    ///< Lemmas RUP-verified.
+  std::uint64_t skipped_lemmas = 0;    ///< Trivial lemmas (tautologies).
+  std::uint64_t rup_checks = 0;        ///< Individual RUP derivations run.
+  std::uint64_t propagations = 0;      ///< Literals propagated in checks.
+};
+
+/// Clause database + RUP engine + backward proof checker.
+///
+/// Feed the solver's event stream through add_axiom / add_lemma /
+/// delete_clause (the Certifier below does this automatically), then
+/// call certify(target) after each UNSAT verdict with the clause the
+/// verdict claims — the negated assumptions, or empty for an outright
+/// refutation.
+class DratChecker {
+ public:
+  DratChecker();
+
+  void add_axiom(std::span<const sat::Lit> clause);
+  void add_lemma(std::span<const sat::Lit> clause);
+  void delete_clause(std::span<const sat::Lit> clause);
+
+  /// Verifies that \p target is entailed by the axioms: checks the
+  /// target clause is RUP over the current database, then backward-checks
+  /// every pending lemma the derivation (transitively) depends on. On
+  /// success the pending derivations become trusted and later certify()
+  /// calls only examine newer lemmas. Returns false if any required RUP
+  /// check fails or the event stream was inconsistent (e.g. a deletion
+  /// of an unknown clause — a corrupted proof).
+  [[nodiscard]] bool certify(std::span<const sat::Lit> target);
+
+  [[nodiscard]] const DratStats& stats() const noexcept { return stats_; }
+
+  /// Number of not-yet-certified derivation steps.
+  [[nodiscard]] std::size_t pending_steps() const noexcept {
+    return journal_.size();
+  }
+
+ private:
+  using ClauseId = std::uint32_t;
+  static constexpr ClauseId kNoClause = ~ClauseId{0};
+
+  struct Clause {
+    std::vector<sat::Lit> lits;  ///< Sorted, duplicate-free.
+    bool active = false;
+    bool tautology = false;   ///< Never activated; trivially redundant.
+  };
+
+  struct JournalEntry {
+    enum class Kind : std::uint8_t { kAxiom, kLemma, kDelete };
+    Kind kind;
+    ClauseId clause;
+  };
+
+  /// Truth value of a literal under the scratch assignment.
+  enum class LValue : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  [[nodiscard]] static std::vector<sat::Lit> normalize(
+      std::span<const sat::Lit> clause, bool& tautology);
+  [[nodiscard]] static std::uint64_t hash_lits(std::span<const sat::Lit> lits);
+
+  ClauseId store(std::vector<sat::Lit> lits, bool tautology);
+  void activate(ClauseId id);
+  void deactivate(ClauseId id);
+  void ensure_var(sat::Var var);
+
+  [[nodiscard]] LValue lit_value(sat::Lit lit) const;
+  /// Asserts \p lit true; false on conflict with the current assignment.
+  bool assign(sat::Lit lit);
+  /// Unit-propagates to fixpoint; true iff a conflict was reached.
+  bool propagate_to_conflict();
+  /// Full RUP check of \p lits: assert the negation, propagate, demand a
+  /// conflict. The scratch assignment is fully undone before returning.
+  [[nodiscard]] bool rup(std::span<const sat::Lit> lits);
+  void undo_assignment();
+
+  std::vector<Clause> db_;
+  std::unordered_multimap<std::uint64_t, ClauseId> index_;  ///< Active only.
+  std::vector<std::vector<ClauseId>> watches_;  ///< By literal code.
+  std::vector<ClauseId> units_;  ///< Active unit clauses (lazily compacted).
+  std::size_t empty_active_ = 0;
+  bool corrupt_ = false;
+
+  std::vector<JournalEntry> journal_;  ///< Pending, already applied to db_.
+
+  // Scratch assignment for RUP checks.
+  std::vector<LValue> values_;  // per var
+  std::vector<sat::Lit> trail_;
+  std::size_t propagate_head_ = 0;
+
+  DratStats stats_;
+};
+
+/// Hooks a Solver up to a DratChecker and certifies its UNSAT answers.
+///
+/// Construct it before loading clauses; after every Result::kUnsat from
+/// Solver::solve(assumptions), call certify_unsat(assumptions). The
+/// destructor detaches from the solver.
+class Certifier final : public sat::ProofTracer {
+ public:
+  explicit Certifier(sat::Solver& solver) : solver_(&solver) {
+    solver.set_proof_tracer(this);
+  }
+  ~Certifier() override {
+    if (solver_ && solver_->proof_tracer() == this)
+      solver_->set_proof_tracer(nullptr);
+  }
+  Certifier(const Certifier&) = delete;
+  Certifier& operator=(const Certifier&) = delete;
+
+  void on_axiom(std::span<const sat::Lit> clause) override {
+    checker_.add_axiom(clause);
+  }
+  void on_lemma(std::span<const sat::Lit> clause) override {
+    checker_.add_lemma(clause);
+  }
+  void on_delete(std::span<const sat::Lit> clause) override {
+    checker_.delete_clause(clause);
+  }
+
+  /// Certifies the solver's last UNSAT answer under \p assumptions by
+  /// checking the clause (~a1 | ... | ~an) — the empty clause when no
+  /// assumptions were used — against the logged proof.
+  [[nodiscard]] bool certify_unsat(std::span<const sat::Lit> assumptions);
+
+  [[nodiscard]] const DratStats& stats() const noexcept {
+    return checker_.stats();
+  }
+
+ private:
+  sat::Solver* solver_;
+  DratChecker checker_;
+};
+
+/// Replays a recorded proof transcript (see sat::ProofRecorder) and
+/// certifies \p target against it — the standalone, non-incremental entry
+/// point used by tests and external-proof checking. An empty \p target
+/// certifies an outright refutation.
+[[nodiscard]] bool check_recorded_proof(std::span<const sat::ProofStep> steps,
+                                        std::span<const sat::Lit> target,
+                                        DratStats* stats = nullptr);
+
+}  // namespace simgen::check

@@ -1,0 +1,436 @@
+#include "check/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace simgen::check {
+namespace {
+
+using net::Network;
+using net::NodeId;
+using net::NodeKind;
+
+std::string node_label(const Network& network, NodeId id) {
+  const auto& name = network.node(id).name;
+  std::string label = "node " + std::to_string(id);
+  if (!name.empty()) label += " ('" + name + "')";
+  return label;
+}
+
+// --- Network checks -------------------------------------------------------
+
+/// Fanins must be created strictly before their readers and fanouts
+/// strictly after; creation order being topological is what makes every
+/// forward pass (levels, simulation, encoding) correct, and it implies
+/// acyclicity.
+void check_topo_order(const Network& network, LintReport& report) {
+  network.for_each_node([&](NodeId id) {
+    for (NodeId fanin : network.fanins(id)) {
+      if (fanin >= network.num_nodes()) {
+        report.add("topo-order", Severity::kError, id,
+                   node_label(network, id) + " references nonexistent fanin " +
+                       std::to_string(fanin));
+      } else if (fanin >= id) {
+        report.add("topo-order", Severity::kError, id,
+                   node_label(network, id) +
+                       " has a fanin that is not topologically earlier: " +
+                       std::to_string(fanin));
+      }
+    }
+    for (NodeId fanout : network.fanouts(id)) {
+      if (fanout >= network.num_nodes()) {
+        report.add("topo-order", Severity::kError, id,
+                   node_label(network, id) + " references nonexistent fanout " +
+                       std::to_string(fanout));
+      } else if (fanout <= id) {
+        report.add("topo-order", Severity::kError, id,
+                   node_label(network, id) +
+                       " has a fanout that is not topologically later: " +
+                       std::to_string(fanout));
+      }
+    }
+  });
+}
+
+/// Every fanin edge must be mirrored by exactly as many fanout edges.
+void check_fanin_fanout_symmetry(const Network& network, LintReport& report) {
+  network.for_each_node([&](NodeId id) {
+    const auto& fanins = network.fanins(id);
+    for (NodeId fanin : fanins) {
+      if (fanin >= network.num_nodes()) continue;  // reported by topo-order
+      const auto fanouts = network.fanouts(fanin);
+      const auto down = std::count(fanouts.begin(), fanouts.end(), id);
+      const auto up = std::count(fanins.begin(), fanins.end(), fanin);
+      if (down != up)
+        report.add("fanin-fanout-symmetry", Severity::kError, id,
+                   node_label(network, id) + " lists fanin " +
+                       std::to_string(fanin) + " " + std::to_string(up) +
+                       "x but appears " + std::to_string(down) +
+                       "x in its fanouts");
+    }
+  });
+}
+
+/// Per-kind shape: sources have no fanins, POs read exactly one non-PO
+/// driver and drive nothing, and no LUT reads a PO.
+void check_kind_shape(const Network& network, LintReport& report) {
+  network.for_each_node([&](NodeId id) {
+    const auto& node = network.node(id);
+    switch (node.kind) {
+      case NodeKind::kPi:
+      case NodeKind::kConstant:
+        if (!node.fanins.empty())
+          report.add("kind-shape", Severity::kError, id,
+                     node_label(network, id) + " is a source but has fanins");
+        break;
+      case NodeKind::kPo:
+        if (node.fanins.size() != 1)
+          report.add("kind-shape", Severity::kError, id,
+                     node_label(network, id) + " is a PO with " +
+                         std::to_string(node.fanins.size()) +
+                         " fanins (expected 1)");
+        if (!node.fanouts.empty())
+          report.add("kind-shape", Severity::kError, id,
+                     node_label(network, id) + " is a PO but has fanouts");
+        break;
+      case NodeKind::kLut:
+        break;
+    }
+    for (NodeId fanin : node.fanins) {
+      if (fanin < network.num_nodes() && network.is_po(fanin))
+        report.add("kind-shape", Severity::kError, id,
+                   node_label(network, id) + " reads PO " +
+                       std::to_string(fanin));
+    }
+  });
+}
+
+/// A LUT's truth table must cover exactly its fanin count, and the
+/// table's word storage must match 2^num_vars bits.
+void check_lut_arity(const Network& network, LintReport& report) {
+  network.for_each_lut([&](NodeId id) {
+    const auto& node = network.node(id);
+    if (node.function.num_vars() != node.fanins.size())
+      report.add("lut-arity", Severity::kError, id,
+                 node_label(network, id) + " has " +
+                     std::to_string(node.fanins.size()) + " fanins but a " +
+                     std::to_string(node.function.num_vars()) +
+                     "-input function");
+    const std::size_t expected_words =
+        std::max<std::size_t>(1, (std::size_t{1} << node.function.num_vars()) / 64);
+    if (node.function.num_words() != expected_words)
+      report.add("lut-arity", Severity::kError, id,
+                 node_label(network, id) + " truth table stores " +
+                     std::to_string(node.function.num_words()) +
+                     " words (expected " + std::to_string(expected_words) + ")");
+  });
+}
+
+/// The cached logic levels must agree with a recomputation from the
+/// fanin edges (catches stale caches after in-place surgery).
+void check_level_monotone(const Network& network, LintReport& report) {
+  std::vector<unsigned> expected(network.num_nodes(), 0);
+  network.for_each_node([&](NodeId id) {
+    const auto& node = network.node(id);
+    unsigned level = 0;
+    bool valid = true;
+    for (NodeId fanin : node.fanins) {
+      if (fanin >= id) {
+        valid = false;  // reported by topo-order; level undefined
+        continue;
+      }
+      level = std::max(level, expected[fanin] + 1);
+    }
+    if (node.kind == NodeKind::kPo)
+      level = node.fanins.empty() || !valid ? 0 : expected[node.fanins[0]];
+    if (!valid) return;
+    expected[id] = level;
+    if (network.level(id) != level)
+      report.add("level-monotone", Severity::kError, id,
+                 node_label(network, id) + " reports level " +
+                     std::to_string(network.level(id)) + " but recomputation gives " +
+                     std::to_string(level));
+  });
+}
+
+/// The PI / PO index lists must agree exactly with the node kinds.
+void check_io_lists(const Network& network, LintReport& report) {
+  std::unordered_set<NodeId> pi_set(network.pis().begin(), network.pis().end());
+  std::unordered_set<NodeId> po_set(network.pos().begin(), network.pos().end());
+  if (pi_set.size() != network.num_pis())
+    report.add("io-lists", Severity::kError, net::kNullNode,
+               "PI list contains duplicates");
+  if (po_set.size() != network.num_pos())
+    report.add("io-lists", Severity::kError, net::kNullNode,
+               "PO list contains duplicates");
+  std::size_t num_pi_nodes = 0;
+  std::size_t num_po_nodes = 0;
+  network.for_each_node([&](NodeId id) {
+    const NodeKind kind = network.node(id).kind;
+    if (kind == NodeKind::kPi) {
+      ++num_pi_nodes;
+      if (!pi_set.contains(id))
+        report.add("io-lists", Severity::kError, id,
+                   node_label(network, id) + " is a PI missing from the PI list");
+    }
+    if (kind == NodeKind::kPo) {
+      ++num_po_nodes;
+      if (!po_set.contains(id))
+        report.add("io-lists", Severity::kError, id,
+                   node_label(network, id) + " is a PO missing from the PO list");
+    }
+  });
+  if (num_pi_nodes != network.num_pis())
+    report.add("io-lists", Severity::kError, net::kNullNode,
+               "PI list length disagrees with the number of PI nodes");
+  if (num_po_nodes != network.num_pos())
+    report.add("io-lists", Severity::kError, net::kNullNode,
+               "PO list length disagrees with the number of PO nodes");
+}
+
+/// At most one constant node per polarity (add_constant caches them).
+void check_const_canonical(const Network& network, LintReport& report) {
+  NodeId seen[2] = {net::kNullNode, net::kNullNode};
+  network.for_each_node([&](NodeId id) {
+    if (!network.is_constant(id)) return;
+    const bool value = network.node(id).constant_value;
+    if (seen[value] != net::kNullNode)
+      report.add("const-canonical", Severity::kError, id,
+                 node_label(network, id) + " duplicates constant " +
+                     std::to_string(static_cast<int>(value)) + " (node " +
+                     std::to_string(seen[value]) + ")");
+    else
+      seen[value] = id;
+  });
+}
+
+/// A LUT no PO or other node reads is dead logic; legal (reductions and
+/// partial rebuilds produce it) but worth surfacing.
+void check_dangling(const Network& network, LintReport& report) {
+  network.for_each_lut([&](NodeId id) {
+    if (network.fanouts(id).empty())
+      report.add("dangling", Severity::kWarning, id,
+                 node_label(network, id) + " is a dangling LUT (no fanouts)");
+  });
+}
+
+/// Repeated fanins are semantically fine but non-canonical: the function
+/// has don't-care structure a rewrite should have collapsed.
+void check_duplicate_fanin(const Network& network, LintReport& report) {
+  network.for_each_lut([&](NodeId id) {
+    auto fanins = network.fanins(id);
+    std::vector<NodeId> sorted(fanins.begin(), fanins.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      report.add("duplicate-fanin", Severity::kWarning, id,
+                 node_label(network, id) + " has duplicate fanins");
+  });
+}
+
+constexpr NetworkLint kNetworkLints[] = {
+    {"topo-order", "fanins precede readers, fanouts follow (acyclicity)",
+     check_topo_order},
+    {"fanin-fanout-symmetry", "every fanin edge mirrored by a fanout edge",
+     check_fanin_fanout_symmetry},
+    {"kind-shape", "per-kind fanin/fanout shape (sources, POs)",
+     check_kind_shape},
+    {"lut-arity", "truth-table arity and word count match the fanin count",
+     check_lut_arity},
+    {"level-monotone", "cached levels agree with a recomputation",
+     check_level_monotone},
+    {"io-lists", "PI/PO lists agree exactly with node kinds", check_io_lists},
+    {"const-canonical", "at most one constant node per polarity",
+     check_const_canonical},
+    {"dangling", "no LUT without fanouts (warning)", check_dangling},
+    {"duplicate-fanin", "no LUT with repeated fanins (warning)",
+     check_duplicate_fanin},
+};
+
+}  // namespace
+
+// --- Report ---------------------------------------------------------------
+
+bool LintReport::has_errors() const noexcept {
+  return std::any_of(issues.begin(), issues.end(), [](const LintIssue& issue) {
+    return issue.severity == Severity::kError;
+  });
+}
+
+std::size_t LintReport::num_errors() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(issues.begin(), issues.end(), [](const LintIssue& issue) {
+        return issue.severity == Severity::kError;
+      }));
+}
+
+bool LintReport::fired(std::string_view check) const noexcept {
+  return std::any_of(issues.begin(), issues.end(), [&](const LintIssue& issue) {
+    return issue.check == check;
+  });
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const LintIssue& issue : issues) {
+    out += issue.severity == Severity::kError ? "error[" : "warning[";
+    out += issue.check;
+    out += "] ";
+    out += issue.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void LintReport::add(std::string_view check, Severity severity, NodeId node,
+                     std::string message) {
+  issues.push_back(LintIssue{check, severity, node, std::move(message)});
+}
+
+// --- Entry points ---------------------------------------------------------
+
+std::span<const NetworkLint> network_lints() { return kNetworkLints; }
+
+LintReport lint_network(const Network& network) {
+  LintReport report;
+  for (const NetworkLint& lint : kNetworkLints) lint.run(network, report);
+  return report;
+}
+
+LintReport lint_network(const Network& network,
+                        std::span<const std::string_view> names) {
+  LintReport report;
+  for (const std::string_view name : names) {
+    const auto it =
+        std::find_if(std::begin(kNetworkLints), std::end(kNetworkLints),
+                     [&](const NetworkLint& lint) { return lint.name == name; });
+    if (it == std::end(kNetworkLints)) {
+      report.add("registry", Severity::kError, net::kNullNode,
+                 "unknown lint check '" + std::string(name) + "'");
+      continue;
+    }
+    it->run(network, report);
+  }
+  return report;
+}
+
+LintReport lint_aig(const aig::Aig& aig) {
+  LintReport report;
+  std::unordered_map<std::uint64_t, std::uint32_t> pairs;
+  pairs.reserve(aig.num_ands());
+  aig.for_each_and([&](std::uint32_t node) {
+    const aig::Lit f0 = aig.fanin0(node);
+    const aig::Lit f1 = aig.fanin1(node);
+    if (aig::lit_node(f0) >= node || aig::lit_node(f1) >= node)
+      report.add("aig-topo-order", Severity::kError, node,
+                 "AND node " + std::to_string(node) +
+                     " has a fanin that is not topologically earlier");
+    if (f0 > f1)
+      report.add("aig-fanin-order", Severity::kError, node,
+                 "AND node " + std::to_string(node) +
+                     " fanins are not canonically ordered");
+    if (f0 == f1 || f0 == aig::lit_not(f1) || f0 == aig::kLitFalse ||
+        f0 == aig::kLitTrue)
+      report.add("aig-trivial-and", Severity::kError, node,
+                 "AND node " + std::to_string(node) +
+                     " survives a folding rule (constant/equal/complement fanin)");
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f0) << 32) | static_cast<std::uint64_t>(f1);
+    const auto [it, inserted] = pairs.emplace(key, node);
+    if (!inserted)
+      report.add("aig-strash-canonical", Severity::kError, node,
+                 "AND nodes " + std::to_string(it->second) + " and " +
+                     std::to_string(node) + " share the fanin pair (" +
+                     std::to_string(f0) + ", " + std::to_string(f1) +
+                     "): structural hashing was bypassed");
+  });
+  for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+    if (aig::lit_node(aig.po_lit(i)) >= aig.num_nodes())
+      report.add("aig-po-range", Severity::kError,
+                 static_cast<net::NodeId>(i),
+                 "PO " + std::to_string(i) + " references a nonexistent node");
+  }
+  return report;
+}
+
+LintReport lint_eqclasses(const sim::EquivClasses& classes,
+                          const Network& network,
+                          const sim::Simulator* simulator) {
+  LintReport report;
+  std::unordered_set<NodeId> seen;
+  for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+    const auto members = classes.class_members(c);
+    if (members.size() < 2)
+      report.add("eqclass-min-size", Severity::kError, net::kNullNode,
+                 "class " + std::to_string(c) + " has " +
+                     std::to_string(members.size()) +
+                     " members (singletons must be dropped)");
+    for (const NodeId node : members) {
+      if (node >= network.num_nodes()) {
+        report.add("eqclass-members", Severity::kError, node,
+                   "class " + std::to_string(c) +
+                       " references nonexistent node " + std::to_string(node));
+        continue;
+      }
+      if (!network.is_lut(node))
+        report.add("eqclass-members", Severity::kError, node,
+                   "class " + std::to_string(c) + " contains non-LUT " +
+                       node_label(network, node));
+      if (!seen.insert(node).second)
+        report.add("eqclass-disjoint", Severity::kError, node,
+                   node_label(network, node) + " appears in more than one class");
+    }
+    if (simulator != nullptr && !members.empty() &&
+        members[0] < network.num_nodes()) {
+      const sim::PatternWord signature = simulator->value(members[0]);
+      for (const NodeId node : members) {
+        if (node >= network.num_nodes()) continue;
+        if (simulator->value(node) != signature)
+          report.add("eqclass-homogeneous", Severity::kError, node,
+                     "class " + std::to_string(c) +
+                         " is not signature-homogeneous: " +
+                         node_label(network, node) +
+                         " disagrees with the representative");
+      }
+    }
+  }
+  return report;
+}
+
+void debug_verify(const Network& network, const char* context) {
+  const LintReport report = lint_network(network);
+  if (!report.has_errors()) return;
+  std::fprintf(stderr, "lint failed (%s):\n%s", context,
+               report.to_string().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void debug_verify(const sim::EquivClasses& classes, const Network& network,
+                  const sim::Simulator* simulator, const char* context) {
+  const LintReport report = lint_eqclasses(classes, network, simulator);
+  if (!report.has_errors()) return;
+  std::fprintf(stderr, "lint failed (%s):\n%s", context,
+               report.to_string().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace simgen::check
+
+// Network::check_invariants is implemented here, on top of the lint
+// registry, so the network module itself stays below the checker in the
+// layering. Linking simgen::check (or simgen::all) provides the symbol.
+namespace simgen::net {
+
+void Network::check_invariants() const {
+  const check::LintReport report = check::lint_network(*this);
+  if (report.has_errors())
+    throw std::logic_error("Network::check_invariants failed:\n" +
+                           report.to_string());
+}
+
+}  // namespace simgen::net

@@ -1,0 +1,103 @@
+/// \file lint.hpp
+/// \brief Structural lint pass: a registry of named self-checks.
+///
+/// Production equivalence checkers are aggressive self-checkers — a
+/// structurally corrupt network or an inconsistent equivalence-class
+/// partition turns every downstream answer into noise. This module
+/// collects the structural invariants of the core data structures into a
+/// registry of named checks that can run standalone (bench/lint_main),
+/// inside tests, at sweep phase boundaries in debug builds
+/// (SIMGEN_DEBUG_LINT), and behind Network::check_invariants().
+///
+/// Severities: kError marks genuine corruption (check_invariants throws,
+/// debug_verify aborts); kWarning marks legal-but-suspect structure
+/// (dangling LUTs, duplicate fanins) that reductions can legitimately
+/// produce and is only reported.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "network/network.hpp"
+#include "sim/eqclass.hpp"
+#include "sim/simulator.hpp"
+#include "util/dcheck.hpp"
+
+namespace simgen::check {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+/// One finding of one check.
+struct LintIssue {
+  std::string_view check;  ///< Registry name of the check that fired.
+  Severity severity = Severity::kError;
+  net::NodeId node = net::kNullNode;  ///< Offending node, when applicable.
+  std::string message;
+};
+
+/// Outcome of a lint run.
+struct LintReport {
+  std::vector<LintIssue> issues;
+
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  [[nodiscard]] bool has_errors() const noexcept;
+  [[nodiscard]] std::size_t num_errors() const noexcept;
+  /// True iff the named check reported at least one issue.
+  [[nodiscard]] bool fired(std::string_view check) const noexcept;
+  /// One line per issue: "error[topo-order] node 12: ...".
+  [[nodiscard]] std::string to_string() const;
+
+  void add(std::string_view check, Severity severity, net::NodeId node,
+           std::string message);
+};
+
+/// A named structural check over a Network.
+struct NetworkLint {
+  std::string_view name;
+  std::string_view description;
+  void (*run)(const net::Network&, LintReport&);
+};
+
+/// The full registry of network checks, in execution order.
+[[nodiscard]] std::span<const NetworkLint> network_lints();
+
+/// Runs every registered network check.
+[[nodiscard]] LintReport lint_network(const net::Network& network);
+
+/// Runs the named subset; an unknown name is itself reported as an error.
+[[nodiscard]] LintReport lint_network(const net::Network& network,
+                                      std::span<const std::string_view> names);
+
+/// AIG structural-hash canonicity and shape checks: fanins precede their
+/// node and are canonically ordered, no constant / equal / complementary
+/// fanin pairs survive (folding handles those), and no two AND nodes
+/// share the same fanin pair (strashing guarantees uniqueness).
+[[nodiscard]] LintReport lint_aig(const aig::Aig& aig);
+
+/// Equivalence-class partition consistency: classes are disjoint, have
+/// at least two members, and reference valid LUT nodes of \p network.
+/// With a \p simulator (holding fresh values), classes must also be
+/// signature-homogeneous: members agree on the last simulated word.
+[[nodiscard]] LintReport lint_eqclasses(const sim::EquivClasses& classes,
+                                        const net::Network& network,
+                                        const sim::Simulator* simulator = nullptr);
+
+/// Lints and aborts with the full report if any error fired. Call sites
+/// use SIMGEN_DEBUG_LINT so release builds skip the pass entirely.
+void debug_verify(const net::Network& network, const char* context);
+void debug_verify(const sim::EquivClasses& classes, const net::Network& network,
+                  const sim::Simulator* simulator, const char* context);
+
+}  // namespace simgen::check
+
+#if SIMGEN_DCHECK_ENABLED
+/// Runs a full lint pass in debug builds; compiled away in release.
+#define SIMGEN_DEBUG_LINT(...) ::simgen::check::debug_verify(__VA_ARGS__)
+#else
+#define SIMGEN_DEBUG_LINT(...) \
+  do {                         \
+  } while (false)
+#endif

@@ -164,7 +164,11 @@ namespace {
 std::string signal_name(const net::Network& network, net::NodeId id) {
   const auto& node = network.node(id);
   if (!node.name.empty()) return node.name;
-  return "n" + std::to_string(id);
+  // Built with += rather than operator+: GCC 12's -Wrestrict misfires on
+  // the temporary-concatenation pattern at -O3 (GCC bug 105651).
+  std::string name = "n";
+  name += std::to_string(id);
+  return name;
 }
 
 }  // namespace

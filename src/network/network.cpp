@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/dcheck.hpp"
+
 namespace simgen::net {
 
 NodeId Network::add_pi(std::string name) {
@@ -44,8 +46,14 @@ NodeId Network::add_lut(std::span<const NodeId> fanins, tt::TruthTable function,
   node.function = std::move(function);
   node.name = std::move(name);
   const NodeId id = static_cast<NodeId>(nodes_.size());
+  SIMGEN_DCHECK(node.function.num_vars() <= tt::kMaxVars,
+                "LUT arity exceeds the truth-table limit");
   nodes_.push_back(std::move(node));
-  for (NodeId fanin : fanins) nodes_[fanin].fanouts.push_back(id);
+  for (NodeId fanin : fanins) {
+    SIMGEN_DCHECK(nodes_[fanin].kind != NodeKind::kPo,
+                  "LUT fanin may not be a PO");
+    nodes_[fanin].fanouts.push_back(id);
+  }
   ++num_luts_;
   levels_valid_ = false;
   return id;
@@ -105,40 +113,7 @@ void Network::ensure_levels() const {
   levels_valid_ = true;
 }
 
-void Network::check_invariants() const {
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    const Node& node = nodes_[id];
-    switch (node.kind) {
-      case NodeKind::kPi:
-      case NodeKind::kConstant:
-        if (!node.fanins.empty())
-          throw std::logic_error("source node has fanins");
-        break;
-      case NodeKind::kPo:
-        if (node.fanins.size() != 1)
-          throw std::logic_error("PO must have exactly one fanin");
-        if (!node.fanouts.empty())
-          throw std::logic_error("PO has fanouts");
-        break;
-      case NodeKind::kLut:
-        if (node.function.num_vars() != node.fanins.size())
-          throw std::logic_error("LUT arity mismatch");
-        break;
-    }
-    for (NodeId fanin : node.fanins) {
-      if (fanin >= id) throw std::logic_error("fanin not topologically earlier");
-      const auto& outs = nodes_[fanin].fanouts;
-      if (std::count(outs.begin(), outs.end(), id) !=
-          std::count(node.fanins.begin(), node.fanins.end(), fanin))
-        throw std::logic_error("fanin/fanout asymmetry");
-    }
-    for (NodeId fanout : node.fanouts) {
-      if (fanout <= id) throw std::logic_error("fanout not topologically later");
-      const auto& ins = nodes_[fanout].fanins;
-      if (std::find(ins.begin(), ins.end(), id) == ins.end())
-        throw std::logic_error("fanout does not list this node as fanin");
-    }
-  }
-}
+// Network::check_invariants() is implemented in src/check/lint.cpp on top
+// of the structural lint registry (see network.hpp).
 
 }  // namespace simgen::net

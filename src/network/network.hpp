@@ -73,6 +73,12 @@ class Network {
   [[nodiscard]] std::size_t num_luts() const noexcept { return num_luts_; }
 
   [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Mutable node access for tests and low-level surgery. The class
+  /// maintains no invariants across direct edits: run check_invariants()
+  /// (or the src/check lint pass) after using this, and expect cached
+  /// levels to be stale.
+  [[nodiscard]] Node& mutable_node(NodeId id) { return nodes_[id]; }
   [[nodiscard]] std::span<const NodeId> pis() const noexcept { return pis_; }
   [[nodiscard]] std::span<const NodeId> pos() const noexcept { return pos_; }
 
@@ -121,8 +127,12 @@ class Network {
       if (nodes_[id].kind == NodeKind::kLut) fn(id);
   }
 
-  /// Validates structural invariants (acyclicity by construction, fanin /
-  /// fanout symmetry, arity agreement); throws std::logic_error on breach.
+  /// Validates the full structural invariants — acyclic topological
+  /// order, fanin/fanout symmetry, per-kind shape, truth-table arity,
+  /// level consistency, PI/PO list agreement, constant canonicity — and
+  /// throws std::logic_error with the lint report on breach. Implemented
+  /// in src/check/lint.cpp on top of the lint registry; link
+  /// simgen::check (or simgen::all) to use it.
   void check_invariants() const;
 
  private:

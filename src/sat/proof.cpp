@@ -1,0 +1,57 @@
+#include "sat/proof.hpp"
+
+#include <algorithm>
+
+namespace simgen::sat {
+
+namespace {
+
+/// DIMACS rendering of a literal: 1-based, negative when complemented.
+long dimacs_of(Lit lit) {
+  const long var = static_cast<long>(lit.var()) + 1;
+  return lit.negated() ? -var : var;
+}
+
+void write_clause_line(std::ostream& out, std::span<const Lit> clause) {
+  for (Lit lit : clause) out << dimacs_of(lit) << ' ';
+  out << "0\n";
+}
+
+}  // namespace
+
+bool ProofRecorder::has_empty_lemma() const noexcept {
+  return std::any_of(steps_.begin(), steps_.end(), [](const ProofStep& step) {
+    return step.kind == ProofStep::Kind::kLemma && step.clause.empty();
+  });
+}
+
+void ProofRecorder::write_drat(std::ostream& out) const {
+  for (const ProofStep& step : steps_) {
+    switch (step.kind) {
+      case ProofStep::Kind::kAxiom:
+        break;  // axioms belong to the CNF, not the proof
+      case ProofStep::Kind::kLemma:
+        write_clause_line(out, step.clause);
+        break;
+      case ProofStep::Kind::kDelete:
+        out << "d ";
+        write_clause_line(out, step.clause);
+        break;
+    }
+  }
+}
+
+void ProofRecorder::write_dimacs(std::ostream& out) const {
+  Var max_var = 0;
+  std::size_t num_clauses = 0;
+  for (const ProofStep& step : steps_) {
+    if (step.kind != ProofStep::Kind::kAxiom) continue;
+    ++num_clauses;
+    for (Lit lit : step.clause) max_var = std::max(max_var, lit.var() + 1);
+  }
+  out << "p cnf " << max_var << ' ' << num_clauses << '\n';
+  for (const ProofStep& step : steps_)
+    if (step.kind == ProofStep::Kind::kAxiom) write_clause_line(out, step.clause);
+}
+
+}  // namespace simgen::sat

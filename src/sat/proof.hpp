@@ -1,0 +1,90 @@
+/// \file proof.hpp
+/// \brief Proof-logging interface of the CDCL solver (DRAT events).
+///
+/// A ProofTracer observes the solver's clause lifecycle: every clause the
+/// caller adds (an axiom of the formula), every clause the solver derives
+/// (learned lemmas, including clauses it simplified while adding and the
+/// empty clause on a level-0 refutation), and every learned clause it
+/// deletes. The event stream is exactly a DRAT proof of the solver's
+/// UNSAT answers: each derived clause is a reverse-unit-propagation (RUP)
+/// consequence of the axioms plus the earlier derived clauses that are
+/// still live. src/check/drat.hpp consumes this stream to certify UNSAT
+/// verdicts independently of the solver.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace simgen::sat {
+
+/// One recorded proof event (see ProofTracer for the event kinds).
+struct ProofStep {
+  enum class Kind : std::uint8_t {
+    kAxiom,   ///< Clause added by the caller; trusted, never checked.
+    kLemma,   ///< Clause derived by the solver; must be RUP when checked.
+    kDelete,  ///< Derived clause removed from the solver's database.
+  };
+  Kind kind = Kind::kLemma;
+  std::vector<Lit> clause;
+};
+
+/// Observer of the solver's clause additions, derivations and deletions.
+/// All spans are only valid for the duration of the call.
+class ProofTracer {
+ public:
+  virtual ~ProofTracer() = default;
+
+  /// A clause the caller added via Solver::add_clause (before any
+  /// simplification). Axioms are part of the formula, not of the proof.
+  virtual void on_axiom(std::span<const Lit> clause) = 0;
+
+  /// A clause the solver derived: a learned conflict clause, a
+  /// simplification of an added clause (level-0 false literals removed),
+  /// or the empty clause when the formula is refuted outright.
+  virtual void on_lemma(std::span<const Lit> clause) = 0;
+
+  /// A previously derived clause leaving the solver's database.
+  virtual void on_delete(std::span<const Lit> clause) = 0;
+};
+
+/// ProofTracer that records the event stream in memory. Useful directly
+/// for tests and as the storage behind the DRAT file writer; the
+/// incremental certifier in src/check has its own tracer.
+class ProofRecorder final : public ProofTracer {
+ public:
+  void on_axiom(std::span<const Lit> clause) override {
+    steps_.push_back({ProofStep::Kind::kAxiom, {clause.begin(), clause.end()}});
+  }
+  void on_lemma(std::span<const Lit> clause) override {
+    steps_.push_back({ProofStep::Kind::kLemma, {clause.begin(), clause.end()}});
+  }
+  void on_delete(std::span<const Lit> clause) override {
+    steps_.push_back({ProofStep::Kind::kDelete, {clause.begin(), clause.end()}});
+  }
+
+  [[nodiscard]] const std::vector<ProofStep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::vector<ProofStep>& steps() noexcept { return steps_; }
+  void clear() { steps_.clear(); }
+
+  /// True iff a refutation (empty lemma) was derived.
+  [[nodiscard]] bool has_empty_lemma() const noexcept;
+
+  /// Writes the derivation steps (lemmas and deletions, not axioms) in
+  /// the standard textual DRAT format: one clause per line, literals as
+  /// signed 1-based DIMACS integers, deletions prefixed with "d".
+  void write_drat(std::ostream& out) const;
+
+  /// Writes the axioms as a DIMACS CNF header + clause lines, so a
+  /// recorded run can be re-checked by external tools (drat-trim).
+  void write_dimacs(std::ostream& out) const;
+
+ private:
+  std::vector<ProofStep> steps_;
+};
+
+}  // namespace simgen::sat

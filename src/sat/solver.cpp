@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "sat/proof.hpp"
+
 namespace simgen::sat {
 namespace {
 
@@ -90,6 +92,7 @@ void Solver::detach_clause(ClauseRef ref) {
 bool Solver::add_clause(std::span<const Lit> literals) {
   if (!ok_) return false;
   backtrack(0);
+  if (proof_) proof_->on_axiom(literals);
 
   // Normalize: sort, drop duplicates and level-0 false literals, detect
   // tautologies and level-0 satisfied clauses.
@@ -108,6 +111,11 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     cleaned.push_back(lit);
   }
 
+  // The clause the solver actually stores is the simplified one. When
+  // simplification removed literals, the stored clause is a derived fact
+  // (RUP over the axiom plus the level-0 units), so it goes in the proof.
+  if (proof_ && cleaned.size() != literals.size()) proof_->on_lemma(cleaned);
+
   if (cleaned.empty()) {
     ok_ = false;
     return false;
@@ -115,6 +123,7 @@ bool Solver::add_clause(std::span<const Lit> literals) {
   if (cleaned.size() == 1) {
     enqueue(cleaned[0], kNoReason);
     ok_ = (propagate() == kNoReason);
+    if (!ok_ && proof_) proof_->on_lemma({});
     return ok_;
   }
   attach_clause(alloc_clause(std::move(cleaned), /*learnt=*/false));
@@ -316,6 +325,7 @@ void Solver::reduce_learnt_db() {
     const ClauseRef ref = learnt_clauses_[i];
     if (deleted < target_deletions && clauses_[ref].lits.size() > 2 &&
         !is_locked(ref)) {
+      if (proof_) proof_->on_delete(clauses_[ref].lits);
       detach_clause(ref);
       free_clause(ref);
       ++deleted;
@@ -404,10 +414,16 @@ Result Solver::search() {
       ++stats_.conflicts;
       ++conflicts_this_solve_;
       ++conflicts_since_restart;
-      if (decision_level() == 0) return Result::kUnsat;
+      if (decision_level() == 0) {
+        // Refuted outright: the empty clause is propagation-derivable.
+        if (proof_) proof_->on_lemma({});
+        ok_ = false;
+        return Result::kUnsat;
+      }
 
       unsigned backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
+      if (proof_) proof_->on_lemma(learnt);
       // Never undo assumption levels beyond what the learnt clause allows:
       // backtrack_level may land inside the assumption prefix, which is
       // fine — assumptions are re-enqueued by the decision loop below.

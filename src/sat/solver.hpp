@@ -49,6 +49,8 @@ class Lit {
 
 enum class Result : std::uint8_t { kSat, kUnsat, kUnknown };
 
+class ProofTracer;  // see sat/proof.hpp
+
 /// Runtime counters, exposed for the paper's SAT-calls / SAT-time tables.
 struct SolverStats {
   std::uint64_t solve_calls = 0;
@@ -95,6 +97,13 @@ class Solver {
 
   /// 0 disables the limit (default).
   void set_conflict_limit(std::uint64_t limit) noexcept { conflict_limit_ = limit; }
+
+  /// Attaches a DRAT proof observer (nullptr detaches). The tracer sees
+  /// every added clause, every derived clause, and every deletion from
+  /// this point on; attach it before the first add_clause to obtain a
+  /// checkable proof. The solver does not own the tracer.
+  void set_proof_tracer(ProofTracer* tracer) noexcept { proof_ = tracer; }
+  [[nodiscard]] ProofTracer* proof_tracer() const noexcept { return proof_; }
 
   [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
 
@@ -186,6 +195,9 @@ class Solver {
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_clear_;
+
+  // Proof logging (optional, not owned).
+  ProofTracer* proof_ = nullptr;
 
   // Search control.
   bool ok_ = true;

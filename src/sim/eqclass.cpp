@@ -9,6 +9,13 @@ EquivClasses::EquivClasses(std::vector<net::NodeId> candidates) {
   if (candidates.size() >= 2) classes_.push_back(std::move(candidates));
 }
 
+EquivClasses EquivClasses::from_classes(
+    std::vector<std::vector<net::NodeId>> classes) {
+  EquivClasses result({});
+  result.classes_ = std::move(classes);
+  return result;
+}
+
 EquivClasses EquivClasses::over_luts(const net::Network& network) {
   std::vector<net::NodeId> candidates;
   network.for_each_lut([&](net::NodeId id) { candidates.push_back(id); });

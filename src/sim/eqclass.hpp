@@ -31,6 +31,11 @@ class EquivClasses {
   /// Convenience: all internal LUT nodes of \p network as candidates.
   static EquivClasses over_luts(const net::Network& network);
 
+  /// Adopts an explicit partition verbatim (no singleton dropping, no
+  /// consistency filtering). For tests and deserialization; feed the
+  /// result to check::lint_eqclasses to validate it.
+  static EquivClasses from_classes(std::vector<std::vector<net::NodeId>> classes);
+
   /// Splits every class according to the value words of the last
   /// simulation batch in \p simulator. Returns the number of classes that
   /// actually split.

@@ -19,6 +19,8 @@
 #include "benchgen/arith.hpp"
 #include "benchgen/generator.hpp"
 #include "benchgen/suite.hpp"
+#include "check/drat.hpp"
+#include "check/lint.hpp"
 #include "io/aiger.hpp"
 #include "io/bench.hpp"
 #include "io/blif.hpp"
@@ -31,6 +33,7 @@
 #include "network/scoap.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/encoder.hpp"
+#include "sat/proof.hpp"
 #include "sat/solver.hpp"
 #include "sim/eqclass.hpp"
 #include "sim/random_sim.hpp"

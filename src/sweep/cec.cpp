@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "check/lint.hpp"
 #include "sim/random_sim.hpp"
 #include "util/stopwatch.hpp"
 
@@ -88,6 +89,7 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   CecResult result;
 
   Miter miter = make_miter(a, b);
+  SIMGEN_DEBUG_LINT(miter.network, "cec: freshly built miter");
   sim::Simulator simulator(miter.network);
   sim::EquivClasses classes = sim::EquivClasses::over_luts(miter.network);
 
@@ -110,6 +112,9 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
     }
   }
 
+  SIMGEN_DEBUG_LINT(classes, miter.network, &simulator,
+                    "cec: classes after random simulation");
+
   // Phase 2: guided simulation splits the classes random patterns cannot.
   if (options.use_guided_simulation && !classes.fully_refined()) {
     core::GuidedSimOptions guided;
@@ -119,10 +124,14 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
     run_guided_simulation(simulator, classes, guided);
   }
 
+  SIMGEN_DEBUG_LINT(classes, miter.network, &simulator,
+                    "cec: classes after guided simulation");
+
   // Phase 3: SAT sweeping of the internal nodes; proven equalities are
   // added as clauses and make the output proofs cheap.
   SweepOptions sweep_options = options.sweep;
   sweep_options.seed = options.seed;
+  sweep_options.certify = sweep_options.certify || options.certify;
   Sweeper sweeper(miter.network, sweep_options);
   if (options.sweep_internal_nodes)
     result.sweep_stats = sweeper.run(classes, simulator);
@@ -147,6 +156,13 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
     }
     if (verdict == sat::Result::kUnknown)
       throw std::runtime_error("cec: output proof hit the conflict limit");
+    // Certify the output proof itself: UNSAT under {po} means the logged
+    // derivation must entail (~po).
+    if (sweeper.certifier() != nullptr) {
+      const sat::Lit assumption = sat::pos(po_var);
+      sweeper.certify_unsat({&assumption, 1});
+      ++result.certified_outputs;
+    }
     ++result.outputs_proven;
   }
 

@@ -36,6 +36,10 @@ struct CecOptions {
   core::Strategy guided_strategy = core::Strategy::kAiDcMffc;
   std::size_t guided_iterations = 20;
   bool sweep_internal_nodes = true;       ///< Prove internal equivalences first.
+  /// DRAT-certify every UNSAT verdict — internal merges and the final
+  /// output proofs — with the in-repo backward checker. Forwarded into
+  /// sweep.certify; an uncertifiable verdict throws std::logic_error.
+  bool certify = false;
   SweepOptions sweep;
 };
 
@@ -45,6 +49,8 @@ struct CecResult {
   /// (verified by simulation before being returned).
   std::vector<bool> counterexample;
   std::size_t outputs_proven = 0;
+  /// Output proofs DRAT-certified (== outputs_proven when certifying).
+  std::uint64_t certified_outputs = 0;
   SweepResult sweep_stats;   ///< Internal-node sweeping statistics.
   std::uint64_t output_sat_calls = 0;
   double output_sat_seconds = 0.0;

@@ -1,10 +1,12 @@
 #include "sweep/fraig.hpp"
 
+#include "check/lint.hpp"
 #include "sim/random_sim.hpp"
 
 namespace simgen::sweep {
 
 FraigResult fraig(const net::Network& network, const FraigOptions& options) {
+  SIMGEN_DEBUG_LINT(network, "fraig: input network");
   sim::Simulator simulator(network);
   sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
 
@@ -23,6 +25,9 @@ FraigResult fraig(const net::Network& network, const FraigOptions& options) {
   }
   const std::uint64_t cost_after_guided = classes.cost();
 
+  SIMGEN_DEBUG_LINT(classes, network, &simulator,
+                    "fraig: classes before sweeping");
+
   SweepOptions sweep_options = options.sweep;
   sweep_options.seed = options.seed;
   Sweeper sweeper(network, sweep_options);
@@ -31,6 +36,7 @@ FraigResult fraig(const net::Network& network, const FraigOptions& options) {
   ReductionStats reduction;
   net::Network reduced =
       reduce_network(network, sweep_stats.proven_pairs, &reduction);
+  SIMGEN_DEBUG_LINT(reduced, "fraig: reduced network");
 
   return FraigResult{std::move(reduced), std::move(sweep_stats), reduction,
                      cost_after_random, cost_after_guided};

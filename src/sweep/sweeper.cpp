@@ -1,5 +1,7 @@
 #include "sweep/sweeper.hpp"
 
+#include <stdexcept>
+
 #include "util/stopwatch.hpp"
 
 namespace simgen::sweep {
@@ -7,9 +9,19 @@ namespace simgen::sweep {
 Sweeper::Sweeper(const net::Network& network, SweepOptions options)
     : network_(network),
       options_(options),
+      certifier_(options.certify ? std::make_unique<check::Certifier>(solver_)
+                                 : nullptr),
       encoder_(network, solver_),
       rng_(util::splitmix64(options.seed) ^ 0x5feebull) {
   solver_.set_conflict_limit(options_.conflict_limit);
+}
+
+void Sweeper::certify_unsat(std::span<const sat::Lit> assumptions) {
+  if (!certifier_) return;
+  if (!certifier_->certify_unsat(assumptions))
+    throw std::logic_error(
+        "sweeper: UNSAT verdict failed DRAT certification");
+  ++totals_.certified_unsat;
 }
 
 sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
@@ -32,7 +44,11 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
   totals_.sat_seconds += watch.seconds();
 
   switch (verdict) {
-    case sat::Result::kUnsat:
+    case sat::Result::kUnsat: {
+      // Certify before trusting: the merge (and the equality clauses
+      // strengthening later proofs) must rest on a checked derivation.
+      const sat::Lit assumption = sat::pos(t);
+      certify_unsat({&assumption, 1});
       ++totals_.proven_equivalent;
       totals_.proven_pairs.emplace_back(a, b);
       if (options_.add_equality_clauses) {
@@ -43,6 +59,7 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
       // solver never branches on it again.
       solver_.add_clause({sat::neg(t)});
       break;
+    }
     case sat::Result::kSat:
       ++totals_.disproven;
       break;
@@ -125,6 +142,7 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
   delta.proven_equivalent -= before.proven_equivalent;
   delta.disproven -= before.disproven;
   delta.unresolved -= before.unresolved;
+  delta.certified_unsat -= before.certified_unsat;
   delta.sat_seconds -= before.sat_seconds;
   delta.resimulations -= before.resimulations;
   delta.proven_pairs.erase(delta.proven_pairs.begin(),

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "check/drat.hpp"
 #include "network/network.hpp"
 #include "sat/encoder.hpp"
 #include "sat/solver.hpp"
@@ -41,6 +43,11 @@ struct SweepOptions {
   /// split many classes per disproof and keep sweeping tractable, exactly
   /// like the counterexample packing production sweepers perform.
   bool distance_one_fill = true;
+  /// Log a DRAT proof of every solver derivation and independently
+  /// certify each UNSAT verdict with the in-repo backward checker before
+  /// trusting it (see src/check/drat.hpp). An uncertifiable verdict
+  /// throws std::logic_error instead of silently merging a class.
+  bool certify = false;
 };
 
 struct SweepResult {
@@ -48,6 +55,7 @@ struct SweepResult {
   std::uint64_t proven_equivalent = 0;   ///< UNSAT outcomes.
   std::uint64_t disproven = 0;           ///< SAT outcomes (counterexamples).
   std::uint64_t unresolved = 0;          ///< Conflict-limited outcomes.
+  std::uint64_t certified_unsat = 0;     ///< UNSAT verdicts DRAT-certified.
   double sat_seconds = 0.0;              ///< Time inside Solver::solve only.
   std::uint64_t resimulations = 0;
   std::vector<std::pair<net::NodeId, net::NodeId>> proven_pairs;
@@ -77,6 +85,17 @@ class Sweeper {
   [[nodiscard]] sat::CnfEncoder& encoder() noexcept { return encoder_; }
   [[nodiscard]] const SweepResult& totals() const noexcept { return totals_; }
 
+  /// The attached proof certifier; nullptr unless options.certify is set.
+  [[nodiscard]] const check::Certifier* certifier() const noexcept {
+    return certifier_.get();
+  }
+
+  /// Certifies one UNSAT verdict given under \p assumptions; throws
+  /// std::logic_error if the logged proof does not check out. No-op
+  /// without an attached certifier. Used internally after every UNSAT
+  /// pair and by the CEC driver for the output proofs.
+  void certify_unsat(std::span<const sat::Lit> assumptions);
+
  private:
   void resimulate_counterexample(const std::vector<bool>& vector,
                                  sim::EquivClasses& classes,
@@ -85,6 +104,9 @@ class Sweeper {
   const net::Network& network_;
   SweepOptions options_;
   sat::Solver solver_;
+  // The certifier mirrors every clause the solver sees, so it must be
+  // attached before the encoder (or anything else) can add clauses.
+  std::unique_ptr<check::Certifier> certifier_;
   sat::CnfEncoder encoder_;
   util::Rng rng_;
   SweepResult totals_;  ///< Accumulated across run() and check_pair() calls.

@@ -1,0 +1,16 @@
+#include "util/dcheck.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace simgen::util {
+
+void dcheck_fail(const char* condition, const char* message, const char* file,
+                 int line) noexcept {
+  std::fprintf(stderr, "dcheck failed: %s (%s) at %s:%d\n", condition, message,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace simgen::util

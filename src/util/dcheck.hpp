@@ -1,0 +1,33 @@
+/// \file dcheck.hpp
+/// \brief Cheap debug-build assertions for structural self-checking.
+///
+/// SIMGEN_DCHECK is the library's internal sanity-check primitive: active
+/// in debug builds (NDEBUG not defined), compiled to nothing in release
+/// builds, so hot paths can assert liberally. Unlike assert(), a failing
+/// SIMGEN_DCHECK prints a formatted message with the source location
+/// before aborting, which makes CI sanitizer logs actionable.
+#pragma once
+
+namespace simgen::util {
+
+/// Prints "dcheck failed: <condition> (<message>) at <file>:<line>" to
+/// stderr and aborts. Out of line so the macro expansion stays tiny.
+[[noreturn]] void dcheck_fail(const char* condition, const char* message,
+                              const char* file, int line) noexcept;
+
+}  // namespace simgen::util
+
+#ifndef NDEBUG
+#define SIMGEN_DCHECK_ENABLED 1
+/// Debug-build assertion with a human-readable message.
+#define SIMGEN_DCHECK(condition, message)                                   \
+  do {                                                                      \
+    if (!(condition))                                                       \
+      ::simgen::util::dcheck_fail(#condition, (message), __FILE__, __LINE__); \
+  } while (false)
+#else
+#define SIMGEN_DCHECK_ENABLED 0
+#define SIMGEN_DCHECK(condition, message) \
+  do {                                    \
+  } while (false)
+#endif
