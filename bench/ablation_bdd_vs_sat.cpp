@@ -48,7 +48,10 @@ void run_pair(const char* label, const net::Network& a, const net::Network& b,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   constexpr std::size_t kLimit = 1u << 20;
   std::printf("Verification backends: BDD (node limit %zu) vs SAT sweeping\n\n",
               static_cast<std::size_t>(kLimit));

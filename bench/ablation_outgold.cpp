@@ -11,7 +11,10 @@
 
 using namespace simgen;
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   constexpr core::OutGoldPolicy kPolicies[] = {
       core::OutGoldPolicy::kAlternating,
       core::OutGoldPolicy::kDepthAlternating,

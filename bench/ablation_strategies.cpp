@@ -30,7 +30,10 @@ constexpr ArmSpec kArms[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   std::printf("Ablation: Algorithm 1 internals per strategy arm\n");
   std::printf("(all LUT nodes of each benchmark targeted once, gold by parity)\n\n");
 
@@ -59,16 +62,16 @@ int main() {
       }
       const core::GeneratorStats& stats = generator.stats();
       const double ratio =
-          stats.decisions == 0
+          stats.decisions.value() == 0
               ? 0.0
-              : static_cast<double>(stats.implications) /
-                    static_cast<double>(stats.decisions);
+              : static_cast<double>(stats.implications.value()) /
+                    static_cast<double>(stats.decisions.value());
       std::printf("  %-11s %9llu %9llu %9llu %12llu %10llu %11.2f\n", arm.name,
-                  static_cast<unsigned long long>(stats.targets_attempted),
-                  static_cast<unsigned long long>(stats.targets_satisfied),
-                  static_cast<unsigned long long>(stats.conflicts),
-                  static_cast<unsigned long long>(stats.implications),
-                  static_cast<unsigned long long>(stats.decisions), ratio);
+                  static_cast<unsigned long long>(stats.targets_attempted.value()),
+                  static_cast<unsigned long long>(stats.targets_satisfied.value()),
+                  static_cast<unsigned long long>(stats.conflicts.value()),
+                  static_cast<unsigned long long>(stats.implications.value()),
+                  static_cast<unsigned long long>(stats.decisions.value()), ratio);
       std::fflush(stdout);
     }
     std::printf("\n");

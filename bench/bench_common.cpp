@@ -1,8 +1,101 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <stdexcept>
 
 namespace simgen::bench {
+
+namespace {
+
+std::string& json_dir_storage() {
+  static std::string dir = [] {
+    const char* env = std::getenv("SIMGEN_BENCH_JSON_DIR");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return dir;
+}
+
+/// Filename-safe strategy tag: "AI+DC+MFFC" -> "AI_DC_MFFC".
+std::string strategy_tag(core::Strategy strategy) {
+  std::string tag(core::strategy_name(strategy));
+  for (char& c : tag)
+    if (c == '+' || c == '/' || c == ' ') c = '_';
+  return tag;
+}
+
+}  // namespace
+
+void set_bench_json_dir(std::string dir) { json_dir_storage() = std::move(dir); }
+
+const std::string& bench_json_dir() { return json_dir_storage(); }
+
+bool write_flow_metrics_json(const FlowMetrics& metrics) {
+  const std::string& dir = bench_json_dir();
+  if (dir.empty()) return true;
+  const std::string path = dir + "/BENCH_" + metrics.benchmark + "__" +
+                           strategy_tag(metrics.strategy) + ".json";
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(15);
+  out << "{\n"
+      << "  \"benchmark\": \"" << obs::detail::json_escape(metrics.benchmark)
+      << "\",\n"
+      << "  \"strategy\": \"" << core::strategy_name(metrics.strategy)
+      << "\",\n"
+      << "  \"cost_after_random\": " << metrics.cost_after_random << ",\n"
+      << "  \"cost\": " << metrics.cost << ",\n"
+      << "  \"sim_seconds\": " << metrics.sim_seconds << ",\n"
+      << "  \"sat_calls\": " << metrics.sat_calls << ",\n"
+      << "  \"sat_seconds\": " << metrics.sat_seconds << ",\n"
+      << "  \"proven\": " << metrics.proven << ",\n"
+      << "  \"disproven\": " << metrics.disproven << ",\n"
+      << "  \"unresolved\": " << metrics.unresolved << "\n"
+      << "}\n";
+  return out.good();
+}
+
+TelemetryCli::TelemetryCli(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto take_value = [&](const char* flag, std::string& into) {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    std::string json_dir;
+    if (take_value("--trace-out", trace_out_) ||
+        take_value("--metrics-out", metrics_out_)) {
+      continue;
+    }
+    if (take_value("--bench-json-dir", json_dir)) {
+      set_bench_json_dir(std::move(json_dir));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (!trace_out_.empty()) obs::Tracer::instance().enable();
+}
+
+TelemetryCli::~TelemetryCli() {
+  if (!trace_out_.empty()) {
+    if (obs::Tracer::instance().write_chrome_trace_file(trace_out_))
+      std::printf("trace written to %s\n", trace_out_.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write trace file %s\n",
+                   trace_out_.c_str());
+  }
+  if (!metrics_out_.empty()) {
+    if (obs::write_metrics_file(metrics_out_))
+      std::printf("metrics written to %s\n", metrics_out_.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write metrics file %s\n",
+                   metrics_out_.c_str());
+  }
+}
 
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
                               const FlowConfig& config) {
@@ -41,6 +134,9 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
     metrics.disproven = sweep_result.disproven;
     metrics.unresolved = sweep_result.unresolved;
   }
+  if (!write_flow_metrics_json(metrics))
+    std::fprintf(stderr, "warning: cannot write BENCH json for %s\n",
+                 metrics.benchmark.c_str());
   return metrics;
 }
 

@@ -62,4 +62,36 @@ net::Network prepare_stacked(const benchgen::StackedSpec& spec,
 /// Ratio helper: a/b with the paper's convention that 0/0 compares equal.
 double ratio(double value, double baseline);
 
+/// Directory for per-run BENCH_<benchmark>__<strategy>.json files. When
+/// set (via TelemetryCli's --bench-json-dir or the SIMGEN_BENCH_JSON_DIR
+/// environment variable), run_strategy_flow writes one machine-readable
+/// JSON file per (benchmark, strategy) run. Empty disables emission.
+void set_bench_json_dir(std::string dir);
+[[nodiscard]] const std::string& bench_json_dir();
+
+/// Writes \p metrics as BENCH_<benchmark>__<strategy>.json under
+/// bench_json_dir(); no-op (returning true) when the dir is unset.
+bool write_flow_metrics_json(const FlowMetrics& metrics);
+
+/// Shared telemetry command-line handling for the bench drivers.
+///
+/// Strips the telemetry flags from argc/argv at construction:
+///   --trace-out FILE       enable tracing; write Chrome trace JSON at exit
+///   --metrics-out FILE     write the metrics registry as JSONL at exit
+///   --bench-json-dir DIR   per-run BENCH_*.json output directory
+/// (SIMGEN_BENCH_JSON_DIR in the environment also sets the JSON dir.)
+/// The destructor writes the requested files, so a driver needs only
+///   int main(int argc, char** argv) { bench::TelemetryCli telemetry(argc, argv); ... }
+class TelemetryCli {
+ public:
+  TelemetryCli(int& argc, char** argv);
+  ~TelemetryCli();
+  TelemetryCli(const TelemetryCli&) = delete;
+  TelemetryCli& operator=(const TelemetryCli&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
 }  // namespace simgen::bench

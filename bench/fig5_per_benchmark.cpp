@@ -30,7 +30,10 @@ std::string bar(double ratio) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   std::vector<Row> rows;
   std::printf("Figure 5: SimGen vs RevS, normalized per benchmark\n");
   std::printf("(ratio < 1.0 means SimGen better; '|' marks parity at 1.0)\n\n");

@@ -10,7 +10,10 @@
 
 using namespace simgen;
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   constexpr double kGateScale = 0.6;  // see table2_putontop.cpp
   std::printf("Figure 6: SimGen vs RevS on stacked benchmarks\n\n");
   std::printf("%-13s %10s %10s %10s %10s\n", "bmk(copies)", "cost", "sim",

@@ -106,7 +106,10 @@ void print_traces(const std::string& name, const Trace& rand_only,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   std::printf("Figure 7: cost/runtime per iteration — RandS vs RandS+RevS vs "
               "RandS+SimGen\n\n");
   for (const char* name : {"apex2", "cps"}) {

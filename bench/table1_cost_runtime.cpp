@@ -15,7 +15,10 @@
 
 using namespace simgen;
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   const auto suite = benchgen::benchmark_suite();
   std::map<core::Strategy, std::vector<double>> cost_ratios;
   std::map<core::Strategy, std::vector<double>> runtime_ratios;

@@ -15,7 +15,10 @@
 
 using namespace simgen;
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   constexpr double kGateScale = 0.6;
   std::printf("Table 2 (bottom): stacked benchmarks (&putontop)\n\n");
   std::printf("%-13s %7s | %9s %9s | %10s %10s\n", "bmk(copies)", "luts", "RevS",

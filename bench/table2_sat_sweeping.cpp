@@ -12,7 +12,10 @@
 
 using namespace simgen;
 
-int main() {
+int main(int argc, char** argv) {
+  simgen::bench::TelemetryCli telemetry(argc, argv);
+  (void)argc;
+  (void)argv;
   std::printf("Table 2 (top): SAT calls and SAT time, RevS vs SimGen\n\n");
   std::printf("%-10s | %9s %9s | %12s %12s | %8s\n", "bmk", "RevS", "SGen",
               "RevS ms", "SGen ms", "dCalls%");

@@ -2,9 +2,16 @@
 /// \brief Combinational equivalence checking of two circuit files.
 ///
 /// Usage:
-///   ./cec_two_networks [--certify] golden.blif revised.blif
-///   ./cec_two_networks [--certify] alu4      (seed benchmark self-check)
-///   ./cec_two_networks                       (self-demo, no files needed)
+///   ./cec_two_networks [options] golden.blif revised.blif
+///   ./cec_two_networks [options] alu4        (seed benchmark self-check)
+///   ./cec_two_networks [options]             (self-demo, no files needed)
+///
+/// Options:
+///   --certify            DRAT-certify every UNSAT verdict
+///   --trace-out FILE     write a Chrome trace-event JSON of the run
+///                        (load in chrome://tracing or ui.perfetto.dev)
+///   --metrics-out FILE   write all telemetry counters/gauges/histograms
+///                        as JSON Lines, one metric per line
 ///
 /// Accepts BLIF (.blif), BENCH (.bench), and AIGER (.aig/.aag; mapped to
 /// 6-LUTs before checking), or the name of a seed benchmark — the latter
@@ -128,44 +135,74 @@ int self_demo(const sweep::CecOptions& options) {
   return 0;
 }
 
+void run_files(const std::vector<std::string>& args,
+               const sweep::CecOptions& options) {
+  net::Network a;
+  net::Network b;
+  if (args.size() == 1) {
+    // Single argument: a seed benchmark name. Self-check its 6-LUT
+    // mapping against the direct AIG translation.
+    const benchgen::CircuitSpec* spec = benchgen::find_benchmark(args[0]);
+    if (spec == nullptr)
+      throw std::runtime_error("unknown benchmark name: " + args[0]);
+    const aig::Aig graph = benchgen::generate_circuit(*spec);
+    a = mapping::map_to_luts(graph);
+    b = aig::to_network(graph);
+    std::printf("%s: mapped (%zu LUTs) vs direct (%zu LUTs)\n",
+                args[0].c_str(), a.num_luts(), b.num_luts());
+  } else {
+    a = load_network(args[0]);
+    b = load_network(args[1]);
+    std::printf("A: %s\nB: %s\n",
+                net::to_string(net::compute_stats(a)).c_str(),
+                net::to_string(net::compute_stats(b)).c_str());
+  }
+  report(sweep::check_equivalence(a, b, options), a);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   sweep::CecOptions options;
   options.guided_strategy = core::Strategy::kAiDcMffc;
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--certify") == 0)
+    if (std::strcmp(argv[i], "--certify") == 0) {
       options.certify = true;
-    else
-      args.emplace_back(argv[i]);
-  }
-  try {
-    if (args.empty()) return self_demo(options);
-    net::Network a;
-    net::Network b;
-    if (args.size() == 1) {
-      // Single argument: a seed benchmark name. Self-check its 6-LUT
-      // mapping against the direct AIG translation.
-      const benchgen::CircuitSpec* spec = benchgen::find_benchmark(args[0]);
-      if (spec == nullptr)
-        throw std::runtime_error("unknown benchmark name: " + args[0]);
-      const aig::Aig graph = benchgen::generate_circuit(*spec);
-      a = mapping::map_to_luts(graph);
-      b = aig::to_network(graph);
-      std::printf("%s: mapped (%zu LUTs) vs direct (%zu LUTs)\n",
-                  args[0].c_str(), a.num_luts(), b.num_luts());
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
-      a = load_network(args[0]);
-      b = load_network(args[1]);
-      std::printf("A: %s\nB: %s\n",
-                  net::to_string(net::compute_stats(a)).c_str(),
-                  net::to_string(net::compute_stats(b)).c_str());
+      args.emplace_back(argv[i]);
     }
-    report(sweep::check_equivalence(a, b, options), a);
+  }
+  if (!trace_out.empty()) obs::Tracer::instance().enable();
+  int rc = 0;
+  try {
+    if (args.empty())
+      rc = self_demo(options);
+    else
+      run_files(args, options);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!trace_out.empty()) {
+    if (obs::Tracer::instance().write_chrome_trace_file(trace_out))
+      std::printf("trace written to %s\n", trace_out.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write trace file %s\n",
+                   trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_file(metrics_out))
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write metrics file %s\n",
+                   metrics_out.c_str());
+  }
+  return rc;
 }

@@ -54,8 +54,8 @@ void figure1_demo() {
                 result.success ? "success" : "collision at input B");
   }
   std::printf("  -> %llu/%llu attempts conflicted (the Figure 1a failure)\n\n",
-              static_cast<unsigned long long>(reverse.stats().conflicts),
-              static_cast<unsigned long long>(reverse.stats().attempts));
+              static_cast<unsigned long long>(reverse.stats().conflicts.value()),
+              static_cast<unsigned long long>(reverse.stats().attempts.value()));
 
   // SimGen's implication resolves the same problem deterministically
   // (Figure 1c): B=0 implies inv=1 forward, which forces C=0 backward.

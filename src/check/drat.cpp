@@ -7,6 +7,18 @@ namespace simgen::check {
 using sat::Lit;
 using sat::Var;
 
+DratStats::DratStats(obs::register_t)
+    : axioms("drat.axioms"),
+      lemmas("drat.lemmas"),
+      deletions("drat.deletions"),
+      certified_targets("drat.certified_targets"),
+      failed_targets("drat.failed_targets"),
+      checked_lemmas("drat.checked_lemmas"),
+      skipped_lemmas("drat.skipped_lemmas"),
+      checkpointed_lemmas("drat.checkpointed_lemmas"),
+      rup_checks("drat.rup_checks"),
+      propagations("drat.propagations") {}
+
 DratChecker::DratChecker() = default;
 
 std::vector<Lit> DratChecker::normalize(std::span<const Lit> clause,
@@ -87,7 +99,7 @@ void DratChecker::deactivate(ClauseId id) {
 }
 
 void DratChecker::add_axiom(std::span<const Lit> clause) {
-  ++stats_.axioms;
+  stats_.axioms.inc();
   bool tautology = false;
   const ClauseId id = store(normalize(clause, tautology), tautology);
   activate(id);
@@ -95,7 +107,7 @@ void DratChecker::add_axiom(std::span<const Lit> clause) {
 }
 
 void DratChecker::add_lemma(std::span<const Lit> clause) {
-  ++stats_.lemmas;
+  stats_.lemmas.inc();
   bool tautology = false;
   const ClauseId id = store(normalize(clause, tautology), tautology);
   activate(id);
@@ -103,7 +115,7 @@ void DratChecker::add_lemma(std::span<const Lit> clause) {
 }
 
 void DratChecker::delete_clause(std::span<const Lit> clause) {
-  ++stats_.deletions;
+  stats_.deletions.inc();
   bool tautology = false;
   const std::vector<Lit> lits = normalize(clause, tautology);
   const auto [begin, end] = index_.equal_range(hash_lits(lits));
@@ -139,7 +151,7 @@ bool DratChecker::assign(Lit lit) {
 bool DratChecker::propagate_to_conflict() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
-    ++stats_.propagations;
+    stats_.propagations.inc();
     // Clauses watching ~p just lost that watch literal.
     auto& watch_list = watches_[(~p).code()];
     std::size_t keep = 0;
@@ -183,7 +195,7 @@ void DratChecker::undo_assignment() {
 }
 
 bool DratChecker::rup(std::span<const Lit> lits) {
-  ++stats_.rup_checks;
+  stats_.rup_checks.inc();
   // An active empty clause refutes everything.
   if (empty_active_ > 0) return true;
 
@@ -212,7 +224,7 @@ bool DratChecker::rup(std::span<const Lit> lits) {
 
 bool DratChecker::certify(std::span<const Lit> target) {
   if (corrupt_) {
-    ++stats_.failed_targets;
+    stats_.failed_targets.inc();
     return false;
   }
   bool tautology = false;
@@ -233,10 +245,10 @@ bool DratChecker::certify(std::span<const Lit> target) {
         deactivate(entry.clause);
         const Clause& clause = db_[entry.clause];
         if (clause.tautology) {
-          ++stats_.skipped_lemmas;
+          stats_.skipped_lemmas.inc();
         } else if (ok) {  // after a failure, only unwind state
           if (rup(clause.lits)) {
-            ++stats_.checked_lemmas;
+            stats_.checked_lemmas.inc();
           } else {
             ok = false;
           }
@@ -253,8 +265,10 @@ bool DratChecker::certify(std::span<const Lit> target) {
   // the pending steps become trusted.
   for (const JournalEntry entry : journal_) {
     switch (entry.kind) {
-      case JournalEntry::Kind::kAxiom:
       case JournalEntry::Kind::kLemma:
+        if (ok) stats_.checkpointed_lemmas.inc();
+        [[fallthrough]];
+      case JournalEntry::Kind::kAxiom:
         activate(entry.clause);
         break;
       case JournalEntry::Kind::kDelete:
@@ -270,9 +284,9 @@ bool DratChecker::certify(std::span<const Lit> target) {
   units_.erase(std::unique(units_.begin(), units_.end()), units_.end());
 
   if (ok)
-    ++stats_.certified_targets;
+    stats_.certified_targets.inc();
   else
-    ++stats_.failed_targets;
+    stats_.failed_targets.inc();
   return ok;
 }
 

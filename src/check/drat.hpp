@@ -32,17 +32,23 @@
 
 namespace simgen::check {
 
-/// Counters of the certification work performed.
+/// Counters of the certification work performed. Registry-backed view
+/// ("drat.*" metrics, see src/obs/metrics.hpp); copies are detached
+/// value snapshots.
 struct DratStats {
-  std::uint64_t axioms = 0;            ///< Caller-added clauses mirrored in.
-  std::uint64_t lemmas = 0;            ///< Solver-derived clauses mirrored in.
-  std::uint64_t deletions = 0;         ///< Deletion events mirrored in.
-  std::uint64_t certified_targets = 0; ///< Successful certify() calls.
-  std::uint64_t failed_targets = 0;    ///< Failed certify() calls.
-  std::uint64_t checked_lemmas = 0;    ///< Lemmas RUP-verified.
-  std::uint64_t skipped_lemmas = 0;    ///< Trivial lemmas (tautologies).
-  std::uint64_t rup_checks = 0;        ///< Individual RUP derivations run.
-  std::uint64_t propagations = 0;      ///< Literals propagated in checks.
+  DratStats() = default;  ///< Detached (all zeros, unregistered).
+  explicit DratStats(obs::register_t);
+
+  obs::Counter axioms;            ///< Caller-added clauses mirrored in.
+  obs::Counter lemmas;            ///< Solver-derived clauses mirrored in.
+  obs::Counter deletions;         ///< Deletion events mirrored in.
+  obs::Counter certified_targets; ///< Successful certify() calls.
+  obs::Counter failed_targets;    ///< Failed certify() calls.
+  obs::Counter checked_lemmas;    ///< Lemmas RUP-verified.
+  obs::Counter skipped_lemmas;    ///< Trivial lemmas (tautologies).
+  obs::Counter checkpointed_lemmas; ///< Lemmas committed as trusted axioms.
+  obs::Counter rup_checks;        ///< Individual RUP derivations run.
+  obs::Counter propagations;      ///< Literals propagated in checks.
 };
 
 /// Clause database + RUP engine + backward proof checker.
@@ -128,7 +134,7 @@ class DratChecker {
   std::vector<sat::Lit> trail_;
   std::size_t propagate_head_ = 0;
 
-  DratStats stats_;
+  DratStats stats_{obs::kRegister};
 };
 
 /// Hooks a Solver up to a DratChecker and certifies its UNSAT answers.

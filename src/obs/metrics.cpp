@@ -1,0 +1,287 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace simgen::obs {
+
+namespace detail {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+std::uint64_t TelemetrySnapshot::counter_value(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+#ifndef SIMGEN_NO_TELEMETRY
+
+namespace {
+
+/// The process-wide registry. Intentionally leaked (never destroyed) so
+/// instruments in static storage can retire during program teardown
+/// without static-destruction-order hazards.
+struct Registry {
+  std::mutex mutex;
+
+  // Live instruments, keyed by object identity. Multiple live instances
+  // may share a name (e.g. two Solvers); aggregation sums them.
+  std::unordered_map<Counter*, std::string> live_counters;
+  std::unordered_map<Histogram*, std::string> live_histograms;
+
+  // Final values of destroyed instruments, accumulated per name.
+  std::map<std::string, std::uint64_t> retired_counters;
+  std::map<std::string, HistogramSnapshot> retired_histograms;
+
+  std::map<std::string, double> gauges;
+
+  // Registry-owned instruments handed out by counter()/histogram().
+  // unique_ptr keeps addresses stable; the objects also appear in the
+  // live maps through their registering constructors.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> owned_counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> owned_histograms;
+
+  static Registry& get() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+};
+
+void merge_histogram(HistogramSnapshot& into, const std::uint64_t* buckets,
+                     std::size_t num_buckets, std::uint64_t count,
+                     std::uint64_t sum) {
+  if (into.buckets.size() < num_buckets) into.buckets.resize(num_buckets, 0);
+  for (std::size_t i = 0; i < num_buckets; ++i) into.buckets[i] += buckets[i];
+  into.count += count;
+  into.sum += sum;
+}
+
+void trim_buckets(HistogramSnapshot& snapshot) {
+  while (!snapshot.buckets.empty() && snapshot.buckets.back() == 0)
+    snapshot.buckets.pop_back();
+}
+
+}  // namespace
+
+Counter::Counter(const char* name) : registered_(true) {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.live_counters.emplace(this, name);
+}
+
+Counter::~Counter() {
+  if (!registered_) return;
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.live_counters.find(this);
+  if (it == registry.live_counters.end()) return;
+  registry.retired_counters[it->second] += value_;
+  registry.live_counters.erase(it);
+}
+
+Histogram::Histogram(const char* name) : registered_(true) {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.live_histograms.emplace(this, name);
+}
+
+Histogram::~Histogram() {
+  if (!registered_) return;
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.live_histograms.find(this);
+  if (it == registry.live_histograms.end()) return;
+  merge_histogram(registry.retired_histograms[it->second], buckets_.data(),
+                  buckets_.size(), count_, sum_);
+  registry.live_histograms.erase(it);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& registry = Registry::get();
+  {
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const auto it = registry.owned_counters.find(name);
+    if (it != registry.owned_counters.end()) return *it->second;
+  }
+  // Construct outside the lock: the registering constructor takes it too.
+  auto owned = std::make_unique<Counter>(std::string(name).c_str());
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto [it, inserted] =
+      registry.owned_counters.emplace(std::string(name), std::move(owned));
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& registry = Registry::get();
+  {
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const auto it = registry.owned_histograms.find(name);
+    if (it != registry.owned_histograms.end()) return *it->second;
+  }
+  auto owned = std::make_unique<Histogram>(std::string(name).c_str());
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto [it, inserted] =
+      registry.owned_histograms.emplace(std::string(name), std::move(owned));
+  return *it->second;
+}
+
+void set_gauge(std::string_view name, double value) {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.gauges[std::string(name)] = value;
+}
+
+void add_gauge(std::string_view name, double delta) {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.gauges[std::string(name)] += delta;
+}
+
+double gauge_value(std::string_view name) {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.gauges.find(std::string(name));
+  return it == registry.gauges.end() ? 0.0 : it->second;
+}
+
+TelemetrySnapshot capture_snapshot() {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  TelemetrySnapshot snapshot;
+  snapshot.counters = registry.retired_counters;
+  for (const auto& [instance, name] : registry.live_counters)
+    snapshot.counters[name] += instance->value();
+  snapshot.gauges = registry.gauges;
+  snapshot.histograms = registry.retired_histograms;
+  for (const auto& [instance, name] : registry.live_histograms)
+    merge_histogram(snapshot.histograms[name], instance->buckets().data(),
+                    instance->buckets().size(), instance->count(),
+                    instance->sum());
+  for (auto& [name, histogram] : snapshot.histograms) trim_buckets(histogram);
+  return snapshot;
+}
+
+void reset_all_metrics() {
+  Registry& registry = Registry::get();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& [instance, name] : registry.live_counters) instance->reset();
+  for (const auto& [instance, name] : registry.live_histograms)
+    instance->reset();
+  registry.retired_counters.clear();
+  registry.retired_histograms.clear();
+  registry.gauges.clear();
+}
+
+#else  // SIMGEN_NO_TELEMETRY: instruments count locally, nothing registers.
+
+Counter::Counter(const char*) {}
+Counter::~Counter() = default;
+Histogram::Histogram(const char*) {}
+Histogram::~Histogram() = default;
+
+Counter& counter(std::string_view) {
+  static Counter dummy;
+  return dummy;
+}
+
+Histogram& histogram(std::string_view) {
+  static Histogram dummy;
+  return dummy;
+}
+
+void set_gauge(std::string_view, double) {}
+void add_gauge(std::string_view, double) {}
+double gauge_value(std::string_view) { return 0.0; }
+TelemetrySnapshot capture_snapshot() { return {}; }
+void reset_all_metrics() {}
+
+#endif  // SIMGEN_NO_TELEMETRY
+
+TelemetrySnapshot diff_snapshots(const TelemetrySnapshot& before,
+                                 const TelemetrySnapshot& after) {
+  TelemetrySnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= base ? value - base : 0;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, histogram] : after.histograms) {
+    HistogramSnapshot d = histogram;
+    const auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      const HistogramSnapshot& base = it->second;
+      d.count = d.count >= base.count ? d.count - base.count : 0;
+      d.sum = d.sum >= base.sum ? d.sum - base.sum : 0;
+      for (std::size_t i = 0;
+           i < std::min(d.buckets.size(), base.buckets.size()); ++i)
+        d.buckets[i] =
+            d.buckets[i] >= base.buckets[i] ? d.buckets[i] - base.buckets[i] : 0;
+    }
+    while (!d.buckets.empty() && d.buckets.back() == 0) d.buckets.pop_back();
+    delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+void write_metrics_jsonl(std::ostream& out, const TelemetrySnapshot& snapshot) {
+  out.precision(15);
+  for (const auto& [name, value] : snapshot.counters)
+    out << "{\"kind\":\"counter\",\"name\":\"" << detail::json_escape(name)
+        << "\",\"value\":" << value << "}\n";
+  for (const auto& [name, value] : snapshot.gauges)
+    out << "{\"kind\":\"gauge\",\"name\":\"" << detail::json_escape(name)
+        << "\",\"value\":" << value << "}\n";
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out << "{\"kind\":\"histogram\",\"name\":\"" << detail::json_escape(name)
+        << "\",\"count\":" << histogram.count << ",\"sum\":" << histogram.sum
+        << ",\"buckets\":[";
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (i != 0) out << ',';
+      out << histogram.buckets[i];
+    }
+    out << "]}\n";
+  }
+}
+
+void write_metrics_jsonl(std::ostream& out) {
+  write_metrics_jsonl(out, capture_snapshot());
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace simgen::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace simgen::obs {
+
+#ifndef SIMGEN_NO_TELEMETRY
+bool tracing_enabled() noexcept { return Tracer::instance().enabled(); }
+#endif
+
+Tracer& Tracer::instance() {
+  // Leaked, like the metrics registry: spans in static storage may close
+  // during program teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::enable() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  open_spans_.clear();
+  epoch_.start();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::size_t Tracer::begin_span(std::string_view name) {
+  if (!enabled_.load(std::memory_order_relaxed)) return kNoSpan;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t index = events_.size();
+  Event event;
+  event.name = std::string(name);
+  event.ts_us = epoch_.seconds() * 1e6;
+  event.depth = static_cast<int>(open_spans_.size());
+  events_.push_back(std::move(event));
+  open_spans_.push_back(index);
+  return index;
+}
+
+void Tracer::end_span(std::size_t index) {
+  if (index == kNoSpan) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= events_.size()) return;
+  events_[index].dur_us = epoch_.seconds() * 1e6 - events_[index].ts_us;
+  const auto it = std::find(open_spans_.rbegin(), open_spans_.rend(), index);
+  if (it != open_spans_.rend()) open_spans_.erase(std::next(it).base());
+}
+
+void Tracer::span_arg(std::size_t index, std::string_view key, double value) {
+  if (index == kNoSpan) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= events_.size()) return;
+  events_[index].args.emplace_back(std::string(key), value);
+}
+
+void Tracer::instant(std::string_view name) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Event event;
+  event.name = std::string(name);
+  event.phase = 'i';
+  event.ts_us = epoch_.seconds() * 1e6;
+  event.depth = static_cast<int>(open_spans_.size());
+  event.args.emplace_back("since_last_ms", epoch_.lap() * 1e3);
+  events_.push_back(std::move(event));
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Timestamps are microsecond offsets; default stream precision (6
+  // significant digits) would round them after a few seconds of run.
+  out.precision(15);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"simgen\"}}";
+  for (const Event& event : events_) {
+    out << ",\n{\"name\":\"" << detail::json_escape(event.name)
+        << "\",\"cat\":\"simgen\",\"ph\":\"" << event.phase
+        << "\",\"pid\":1,\"tid\":1,\"ts\":" << event.ts_us;
+    if (event.phase == 'X') out << ",\"dur\":" << event.dur_us;
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        if (i != 0) out << ',';
+        out << '"' << detail::json_escape(event.args[i].first)
+            << "\":" << event.args[i].second;
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace simgen::obs

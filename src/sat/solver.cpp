@@ -29,6 +29,16 @@ constexpr std::uint64_t kRestartBase = 100;
 
 }  // namespace
 
+SolverStats::SolverStats(obs::register_t)
+    : solve_calls("sat.solve_calls"),
+      conflicts("sat.conflicts"),
+      decisions("sat.decisions"),
+      propagations("sat.propagations"),
+      restarts("sat.restarts"),
+      learned_clauses("sat.learned_clauses"),
+      deleted_clauses("sat.deleted_clauses"),
+      learned_clause_size("sat.learned_clause_size") {}
+
 Solver::Solver() = default;
 
 Var Solver::new_var() {
@@ -141,7 +151,7 @@ void Solver::enqueue(Lit lit, ClauseRef reason) {
 Solver::ClauseRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
-    ++stats_.propagations;
+    stats_.propagations.inc();
     auto& watch_list = watches_[p.code()];
     std::size_t keep = 0;
     for (std::size_t i = 0; i < watch_list.size(); ++i) {
@@ -329,7 +339,7 @@ void Solver::reduce_learnt_db() {
       detach_clause(ref);
       free_clause(ref);
       ++deleted;
-      ++stats_.deleted_clauses;
+      stats_.deleted_clauses.inc();
     } else {
       learnt_clauses_[kept++] = ref;
     }
@@ -411,7 +421,7 @@ Result Solver::search() {
   while (true) {
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
-      ++stats_.conflicts;
+      stats_.conflicts.inc();
       ++conflicts_this_solve_;
       ++conflicts_since_restart;
       if (decision_level() == 0) {
@@ -436,7 +446,8 @@ Result Solver::search() {
         bump_clause(clauses_[ref]);
         enqueue(learnt[0], ref);
       }
-      ++stats_.learned_clauses;
+      stats_.learned_clauses.inc();
+      stats_.learned_clause_size.observe(learnt.size());
       decay_var_activity();
       decay_clause_activity();
       continue;
@@ -446,7 +457,7 @@ Result Solver::search() {
     if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_)
       return Result::kUnknown;
     if (conflicts_since_restart >= conflicts_until_restart) {
-      ++stats_.restarts;
+      stats_.restarts.inc();
       ++restart_count;
       conflicts_since_restart = 0;
       conflicts_until_restart = kRestartBase * luby(restart_count);
@@ -468,14 +479,14 @@ Result Solver::search() {
 
     const Lit branch = pick_branch_literal();
     if (branch.code() == ~std::uint32_t{0} - 1) return Result::kSat;
-    ++stats_.decisions;
+    stats_.decisions.inc();
     trail_lim_.push_back(trail_.size());
     enqueue(branch, kNoReason);
   }
 }
 
 Result Solver::solve(std::span<const Lit> assumptions) {
-  ++stats_.solve_calls;
+  stats_.solve_calls.inc();
   if (!ok_) return Result::kUnsat;
   backtrack(0);
   assumptions_.assign(assumptions.begin(), assumptions.end());

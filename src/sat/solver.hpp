@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace simgen::sat {
 
 /// Variable index, 0-based.
@@ -52,14 +54,25 @@ enum class Result : std::uint8_t { kSat, kUnsat, kUnknown };
 class ProofTracer;  // see sat/proof.hpp
 
 /// Runtime counters, exposed for the paper's SAT-calls / SAT-time tables.
+///
+/// A registry-backed view: the Solver's instance (constructed with
+/// obs::kRegister) owns obs counters named "sat.*", so the same values
+/// are readable per-instance through stats() and globally through the
+/// telemetry registry (obs::capture_snapshot / --metrics-out). Copies are
+/// detached value snapshots.
 struct SolverStats {
-  std::uint64_t solve_calls = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t decisions = 0;
-  std::uint64_t propagations = 0;
-  std::uint64_t restarts = 0;
-  std::uint64_t learned_clauses = 0;
-  std::uint64_t deleted_clauses = 0;
+  SolverStats() = default;  ///< Detached (all zeros, unregistered).
+  explicit SolverStats(obs::register_t);
+
+  obs::Counter solve_calls;
+  obs::Counter conflicts;
+  obs::Counter decisions;
+  obs::Counter propagations;
+  obs::Counter restarts;
+  obs::Counter learned_clauses;
+  obs::Counter deleted_clauses;
+  /// Log2-bucket size distribution of learned clauses.
+  obs::Histogram learned_clause_size;
 };
 
 /// Incremental CDCL solver.
@@ -207,7 +220,7 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<bool> model_;
 
-  SolverStats stats_;
+  SolverStats stats_{obs::kRegister};
 };
 
 }  // namespace simgen::sat

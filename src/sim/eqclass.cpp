@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace simgen::sim {
 
 EquivClasses::EquivClasses(std::vector<net::NodeId> candidates) {
@@ -45,6 +47,11 @@ std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
       if (bucket.size() >= 2) next.push_back(std::move(bucket));
   }
   classes_ = std::move(next);
+  static obs::Counter& refine_calls = obs::counter("eq.refine_calls");
+  static obs::Counter& split_count = obs::counter("eq.splits");
+  refine_calls.inc();
+  split_count.inc(splits);
+  obs::set_gauge("eq.classes_live", static_cast<double>(classes_.size()));
   return splits;
 }
 

@@ -1,9 +1,13 @@
 #include "sim/random_sim.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace simgen::sim {
 
 RandomSimResult run_random_simulation(Simulator& simulator, EquivClasses& classes,
                                       const RandomSimOptions& options) {
+  obs::Span span("random_sim.run");
   RandomSimResult result;
   util::Rng rng(options.seed);
   util::Stopwatch watch;
@@ -25,6 +29,10 @@ RandomSimResult run_random_simulation(Simulator& simulator, EquivClasses& classe
   }
   watch.stop();
   result.runtime_seconds = watch.seconds();
+  static obs::Counter& rounds = obs::counter("sim.random_rounds");
+  rounds.inc(result.rounds_run);
+  span.arg("rounds", static_cast<double>(result.rounds_run));
+  span.arg("final_cost", static_cast<double>(classes.cost()));
   return result;
 }
 

@@ -16,6 +16,7 @@ Simulator::Simulator(const net::Network& network)
 void Simulator::simulate_word(std::span<const PatternWord> pi_words) {
   if (pi_words.size() != network_.num_pis())
     throw std::invalid_argument("Simulator: wrong number of PI words");
+  words_.inc();
   std::size_t pi_index = 0;
   network_.for_each_node([&](net::NodeId id) {
     const net::Node& node = network_.node(id);

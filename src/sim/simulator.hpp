@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "obs/metrics.hpp"
 #include "tt/isop.hpp"
 #include "util/rng.hpp"
 
@@ -56,6 +57,10 @@ class Simulator {
   std::vector<tt::Cover> on_covers_;  ///< Per-node ON-set cover (LUTs only).
   std::vector<PatternWord> values_;
   std::vector<PatternWord> pi_scratch_;
+  /// Registered "sim.words" counter, incremented once per simulated word.
+  /// A member (not a function-local static) so the hot path stays a plain
+  /// add with no static-init guard in simulate_word.
+  obs::Counter words_{"sim.words"};
 };
 
 }  // namespace simgen::sim

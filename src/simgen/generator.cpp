@@ -2,6 +2,13 @@
 
 namespace simgen::core {
 
+GeneratorStats::GeneratorStats(obs::register_t)
+    : targets_attempted("simgen.targets_attempted"),
+      targets_satisfied("simgen.targets_satisfied"),
+      conflicts("simgen.conflicts"),
+      implications("simgen.implications"),
+      decisions("simgen.decisions") {}
+
 PatternGenerator::PatternGenerator(const net::Network& network,
                                    GeneratorOptions options, std::uint64_t seed)
     : network_(network),
@@ -51,19 +58,19 @@ VectorResult PatternGenerator::generate(std::span<const Target> targets) {
 
   VectorResult result;
   for (const Target& target : ordered) {
-    ++stats_.targets_attempted;
+    stats_.targets_attempted.inc();
     bool satisfied = false;
     if (values_.is_assigned(target.node)) {
       // A previous target's propagation already fixed this node; it either
       // happens to agree with the OUTgold value or this target is lost
       // (no backtracking).
       satisfied = values_.get(target.node) == tval_of(target.gold);
-      if (!satisfied) ++stats_.conflicts;
+      if (!satisfied) stats_.conflicts.inc();
     } else {
       satisfied = process_target(target);
     }
     if (satisfied) {
-      ++stats_.targets_satisfied;
+      stats_.targets_satisfied.inc();
       ++(target.gold ? result.satisfied_one : result.satisfied_zero);
     }
   }
@@ -95,10 +102,10 @@ bool PatternGenerator::process_target(const Target& target) {
                                              trail.size() - seed_start);
     const ImplicationOutcome implied =
         implication_.run(values_, seeds, options_.implication);
-    stats_.implications += implied.assignments;
+    stats_.implications.inc(implied.assignments);
     if (implied.conflict) {
       // Lines 11-13: conflict — restore initVals, abandon this target.
-      ++stats_.conflicts;
+      stats_.conflicts.inc();
       values_.rollback_to(init_mark);
       return false;
     }
@@ -134,11 +141,11 @@ bool PatternGenerator::process_target(const Target& target) {
         decision_.decide(values_, candidate, options_.decision,
                          options_.weights, &mffc_, rng_);
     if (!outcome.made) {
-      ++stats_.conflicts;
+      stats_.conflicts.inc();
       values_.rollback_to(init_mark);
       return false;
     }
-    ++stats_.decisions;
+    stats_.decisions.inc();
   }
 }
 

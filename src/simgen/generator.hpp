@@ -17,6 +17,7 @@
 
 #include "network/mffc.hpp"
 #include "network/network.hpp"
+#include "obs/metrics.hpp"
 #include "simgen/decision.hpp"
 #include "simgen/implication.hpp"
 #include "simgen/outgold.hpp"
@@ -34,13 +35,18 @@ struct GeneratorOptions {
   DecisionWeights weights{};
 };
 
-/// Cumulative counters across generate() calls.
+/// Cumulative counters across generate() calls. Registry-backed view:
+/// the PatternGenerator's instance owns obs counters named "simgen.*"
+/// (see src/obs/metrics.hpp); copies are detached value snapshots.
 struct GeneratorStats {
-  std::uint64_t targets_attempted = 0;
-  std::uint64_t targets_satisfied = 0;
-  std::uint64_t conflicts = 0;
-  std::uint64_t implications = 0;
-  std::uint64_t decisions = 0;
+  GeneratorStats() = default;  ///< Detached (all zeros, unregistered).
+  explicit GeneratorStats(obs::register_t);
+
+  obs::Counter targets_attempted;
+  obs::Counter targets_satisfied;
+  obs::Counter conflicts;
+  obs::Counter implications;
+  obs::Counter decisions;
 };
 
 /// Result of one generate() call: the (partial) input vector and how many
@@ -88,7 +94,7 @@ class PatternGenerator {
   std::optional<net::ScoapCosts> scoap_;  ///< Only for kDontCareScoap.
   util::Rng rng_;
   NodeValues values_;
-  GeneratorStats stats_;
+  GeneratorStats stats_{obs::kRegister};
   ImplicationEngine implication_;
   DecisionEngine decision_;
 

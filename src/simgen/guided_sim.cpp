@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace simgen::core {
@@ -108,6 +110,7 @@ GuidedSimResult run_guided_simulation(sim::Simulator& simulator,
                                       sim::EquivClasses& classes,
                                       const GuidedSimOptions& options) {
   const net::Network& network = simulator.network();
+  obs::Span run_span("guided_sim.run");
   GuidedSimResult result;
   util::Stopwatch watch;
   watch.start();
@@ -145,6 +148,13 @@ GuidedSimResult run_guided_simulation(sim::Simulator& simulator,
       result.cost_per_iteration.push_back(0);
       continue;
     }
+    // Per-iteration span whose args are the registry deltas produced by
+    // this iteration (vectors simulated, implications run, ...). The
+    // snapshot pair is only taken while tracing, so the steady-state
+    // cost remains one relaxed atomic load.
+    obs::Span iter_span("guided_sim.iteration");
+    std::optional<obs::TelemetrySnapshot> before;
+    if (obs::tracing_enabled()) before = obs::capture_snapshot();
     // Snapshot the class member lists: refinement during flushes changes
     // the partition, and targets staying valid for their class is only a
     // heuristic concern.
@@ -219,12 +229,26 @@ GuidedSimResult run_guided_simulation(sim::Simulator& simulator,
     }
     batcher.flush(/*force=*/true);
     result.cost_per_iteration.push_back(classes.cost());
+    iter_span.arg("iteration", static_cast<double>(iteration));
+    iter_span.arg("cost", static_cast<double>(classes.cost()));
+    if (before.has_value()) {
+      const obs::TelemetrySnapshot delta =
+          obs::diff_snapshots(*before, obs::capture_snapshot());
+      iter_span.arg("sim_words", static_cast<double>(delta.counter_value("sim.words")));
+      iter_span.arg("implications",
+                    static_cast<double>(delta.counter_value("simgen.implications")));
+      iter_span.arg("conflicts",
+                    static_cast<double>(delta.counter_value("simgen.conflicts") +
+                                        delta.counter_value("revs.conflicts")));
+    }
   }
 
-  if (generator != nullptr) result.conflicts = generator->stats().conflicts;
-  if (reverse != nullptr) result.conflicts = reverse->stats().conflicts;
+  if (generator != nullptr) result.conflicts = generator->stats().conflicts.value();
+  if (reverse != nullptr) result.conflicts = reverse->stats().conflicts.value();
   watch.stop();
   result.runtime_seconds = watch.seconds();
+  run_span.arg("vectors_generated", static_cast<double>(result.vectors_generated));
+  run_span.arg("vectors_skipped", static_cast<double>(result.vectors_skipped));
   return result;
 }
 

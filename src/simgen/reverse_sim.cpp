@@ -4,6 +4,11 @@
 
 namespace simgen::core {
 
+ReverseSimStats::ReverseSimStats(obs::register_t)
+    : attempts("revs.attempts"),
+      successes("revs.successes"),
+      conflicts("revs.conflicts") {}
+
 ReverseSimulator::ReverseSimulator(const net::Network& network, std::uint64_t seed)
     : network_(network), rng_(seed), values_(network.num_nodes()) {
   network_.for_each_node([&](net::NodeId id) {
@@ -13,7 +18,7 @@ ReverseSimulator::ReverseSimulator(const net::Network& network, std::uint64_t se
 
 ReverseSimResult ReverseSimulator::generate(const Target& target_a,
                                             const Target& target_b) {
-  ++stats_.attempts;
+  stats_.attempts.inc();
   ReverseSimResult result;
   values_.reset();
   for (net::NodeId id : constants_)
@@ -22,7 +27,7 @@ ReverseSimResult ReverseSimulator::generate(const Target& target_a,
   if (target_a.node == target_b.node) {
     // One node cannot take two complementary values.
     if (target_a.gold != target_b.gold) {
-      ++stats_.conflicts;
+      stats_.conflicts.inc();
       return result;
     }
   }
@@ -31,7 +36,7 @@ ReverseSimResult ReverseSimulator::generate(const Target& target_a,
   for (const Target& target : {target_a, target_b}) {
     if (values_.is_assigned(target.node)) {
       if (values_.get(target.node) != tval_of(target.gold)) {
-        ++stats_.conflicts;
+        stats_.conflicts.inc();
         return result;
       }
       continue;
@@ -52,13 +57,13 @@ ReverseSimResult ReverseSimulator::generate(const Target& target_a,
     *deepest = pending.back();
     pending.pop_back();
     if (!propagate_node(node, pending)) {
-      ++stats_.conflicts;
+      stats_.conflicts.inc();
       return result;
     }
   }
 
   result.success = true;
-  ++stats_.successes;
+  stats_.successes.inc();
   result.pi_values.reserve(network_.num_pis());
   for (net::NodeId pi : network_.pis())
     result.pi_values.push_back(values_.get(pi));

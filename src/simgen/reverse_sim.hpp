@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "obs/metrics.hpp"
 #include "simgen/outgold.hpp"
 #include "simgen/rows.hpp"
 #include "simgen/tval.hpp"
@@ -22,11 +23,15 @@
 
 namespace simgen::core {
 
-/// Cumulative counters across generate() calls.
+/// Cumulative counters across generate() calls. Registry-backed view
+/// ("revs.*" metrics); copies are detached value snapshots.
 struct ReverseSimStats {
-  std::uint64_t attempts = 0;
-  std::uint64_t successes = 0;
-  std::uint64_t conflicts = 0;
+  ReverseSimStats() = default;  ///< Detached (all zeros, unregistered).
+  explicit ReverseSimStats(obs::register_t);
+
+  obs::Counter attempts;
+  obs::Counter successes;
+  obs::Counter conflicts;
 };
 
 /// Result of one reverse-simulation attempt.
@@ -55,7 +60,7 @@ class ReverseSimulator {
   const net::Network& network_;
   util::Rng rng_;
   NodeValues values_;
-  ReverseSimStats stats_;
+  ReverseSimStats stats_{obs::kRegister};
   std::vector<net::NodeId> constants_;
 };
 

@@ -1,9 +1,13 @@
 #include "simgen/rows.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace simgen::core {
 
 const std::vector<Row>& RowDatabase::rows(net::NodeId node) const {
   if (!computed_[node]) {
+    static obs::Counter& computed = obs::counter("simgen.rows_computed");
+    computed.inc();
     std::vector<Row> result;
     if (network_.is_lut(node)) {
       const tt::RowSet row_set = tt::compute_rows(network_.node(node).function);
@@ -40,6 +44,8 @@ std::vector<std::size_t> matching_rows(const net::Network& network,
   const auto& all = rows.rows(node);
   for (std::size_t i = 0; i < all.size(); ++i)
     if (row_matches(network, values, node, all[i])) result.push_back(i);
+  static obs::Counter& covered = obs::counter("simgen.rows_covered");
+  covered.inc(result.size());
   return result;
 }
 

@@ -31,6 +31,8 @@
 #include "network/mffc.hpp"
 #include "network/network.hpp"
 #include "network/scoap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/encoder.hpp"
 #include "sat/proof.hpp"

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "check/lint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/random_sim.hpp"
 #include "util/stopwatch.hpp"
 
@@ -84,6 +86,7 @@ bool violates(sim::Simulator& simulator, const std::vector<bool>& vector) {
 
 CecResult check_equivalence(const net::Network& a, const net::Network& b,
                             const CecOptions& options) {
+  obs::Span cec_span("cec.check_equivalence");
   util::Stopwatch total;
   total.start();
   CecResult result;
@@ -96,6 +99,7 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   // Phase 1: random simulation. Any nonzero miter output word is already
   // a counterexample — report it without touching the solver.
   util::Rng rng(options.seed);
+  obs::Span random_span("cec.random_sim");
   for (std::size_t round = 0; round < options.random_rounds; ++round) {
     simulator.simulate_random_word(rng);
     classes.refine(simulator);
@@ -112,18 +116,24 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
     }
   }
 
+  random_span.arg("cost_after", static_cast<double>(classes.cost()));
+  random_span.close();
+  obs::set_gauge("cec.cost_after_random", static_cast<double>(classes.cost()));
   SIMGEN_DEBUG_LINT(classes, miter.network, &simulator,
                     "cec: classes after random simulation");
 
   // Phase 2: guided simulation splits the classes random patterns cannot.
   if (options.use_guided_simulation && !classes.fully_refined()) {
+    obs::Span guided_span("cec.guided_sim");
     core::GuidedSimOptions guided;
     guided.strategy = options.guided_strategy;
     guided.iterations = options.guided_iterations;
     guided.seed = options.seed;
     run_guided_simulation(simulator, classes, guided);
+    guided_span.arg("cost_after", static_cast<double>(classes.cost()));
   }
 
+  obs::set_gauge("cec.cost_after_guided", static_cast<double>(classes.cost()));
   SIMGEN_DEBUG_LINT(classes, miter.network, &simulator,
                     "cec: classes after guided simulation");
 
@@ -133,10 +143,15 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   sweep_options.seed = options.seed;
   sweep_options.certify = sweep_options.certify || options.certify;
   Sweeper sweeper(miter.network, sweep_options);
-  if (options.sweep_internal_nodes)
+  if (options.sweep_internal_nodes) {
+    obs::Span sweep_span("cec.sweep");
     result.sweep_stats = sweeper.run(classes, simulator);
+    sweep_span.arg("sat_calls",
+                   static_cast<double>(result.sweep_stats.sat_calls));
+  }
 
   // Phase 4: prove each miter output constant-0.
+  obs::Span outputs_span("cec.output_proofs");
   for (net::NodeId po : miter.network.pos()) {
     const sat::Var po_var = sweeper.encoder().ensure_encoded(po);
     util::Stopwatch watch;

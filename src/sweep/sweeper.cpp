@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace simgen::sweep {
@@ -22,6 +24,8 @@ void Sweeper::certify_unsat(std::span<const sat::Lit> assumptions) {
     throw std::logic_error(
         "sweeper: UNSAT verdict failed DRAT certification");
   ++totals_.certified_unsat;
+  static obs::Counter& certified = obs::counter("sweep.certified_unsat");
+  certified.inc();
 }
 
 sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
@@ -38,10 +42,18 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
 
   util::Stopwatch watch;
   watch.start();
-  const sat::Result verdict = solver_.solve({sat::pos(t)});
+  sat::Result verdict;
+  {
+    obs::Span solve_span("sweep.sat_solve");
+    verdict = solver_.solve({sat::pos(t)});
+    solve_span.arg("conflicts",
+                   static_cast<double>(solver_.stats().conflicts.value()));
+  }
   watch.stop();
   ++totals_.sat_calls;
   totals_.sat_seconds += watch.seconds();
+  static obs::Counter& sat_calls = obs::counter("sweep.sat_calls");
+  sat_calls.inc();
 
   switch (verdict) {
     case sat::Result::kUnsat: {
@@ -51,22 +63,32 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
       certify_unsat({&assumption, 1});
       ++totals_.proven_equivalent;
       totals_.proven_pairs.emplace_back(a, b);
+      static obs::Counter& proven = obs::counter("sweep.proven");
+      proven.inc();
       if (options_.add_equality_clauses) {
         solver_.add_clause({sat::pos(var_a), sat::neg(var_b)});
         solver_.add_clause({sat::neg(var_a), sat::pos(var_b)});
+        static obs::Counter& eq_clauses = obs::counter("sweep.equality_clauses");
+        eq_clauses.inc(2);
       }
       // The t-miter of a proven pair is dead weight; pin it false so the
       // solver never branches on it again.
       solver_.add_clause({sat::neg(t)});
       break;
     }
-    case sat::Result::kSat:
+    case sat::Result::kSat: {
       ++totals_.disproven;
+      static obs::Counter& disproven = obs::counter("sweep.disproven");
+      disproven.inc();
       break;
-    case sat::Result::kUnknown:
+    }
+    case sat::Result::kUnknown: {
       ++totals_.unresolved;
+      static obs::Counter& unresolved = obs::counter("sweep.unresolved");
+      unresolved.inc();
       solver_.add_clause({sat::neg(t)});
       break;
+    }
   }
   return verdict;
 }
@@ -100,9 +122,14 @@ void Sweeper::resimulate_counterexample(const std::vector<bool>& vector,
   simulator.simulate_word(words);
   classes.refine(simulator);
   ++totals_.resimulations;
+  static obs::Counter& resims = obs::counter("sweep.resimulations");
+  resims.inc();
+  obs::Tracer::instance().instant("sweep.counterexample");
 }
 
 SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) {
+  obs::Span span("sweep.run");
+  span.arg("classes_in", static_cast<double>(classes.num_classes()));
   const SweepResult before = totals_;
   while (!classes.fully_refined()) {
     // Prove pairs in topological order (shallowest candidate first), the
@@ -137,6 +164,8 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
     }
   }
 
+  span.arg("sat_calls",
+           static_cast<double>(totals_.sat_calls - before.sat_calls));
   SweepResult delta = totals_;
   delta.sat_calls -= before.sat_calls;
   delta.proven_equivalent -= before.proven_equivalent;

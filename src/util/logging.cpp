@@ -1,8 +1,10 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <ctime>
 #include <string>
 
 namespace simgen::util {
@@ -21,7 +23,25 @@ constexpr const char* level_tag(LogLevel level) noexcept {
   return "?    ";
 }
 
+/// Wall-clock "HH:MM:SS.mmm" for the line prefix. The display clock is
+/// deliberately system_clock (human-readable local time); all *timing* in
+/// the library goes through util::Stopwatch's steady_clock.
+void format_timestamp(char (&buffer)[16]) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buffer{};
+  localtime_r(&seconds, &tm_buffer);
+  std::snprintf(buffer, sizeof buffer, "%02d:%02d:%02d.%03d", tm_buffer.tm_hour,
+                tm_buffer.tm_min, tm_buffer.tm_sec, static_cast<int>(millis));
+}
+
 void vlogf(LogLevel level, const char* fmt, std::va_list args) {
+  // The level check lives in every entry point *before* any formatting
+  // work; this copy of it only guards direct vlogf callers.
   if (level < log_level()) return;
   std::va_list copy;
   va_copy(copy, args);
@@ -41,12 +61,18 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[simgen %s] %.*s\n", level_tag(level),
+  char timestamp[16];
+  format_timestamp(timestamp);
+  std::fprintf(stderr, "[simgen %s %s] %.*s\n", timestamp, level_tag(level),
                static_cast<int>(message.size()), message.data());
 }
 
+// Each entry point tests the threshold before va_start so a suppressed
+// message (the common case for debugf) never touches its arguments, let
+// alone formats them.
 #define SIMGEN_DEFINE_LOG_FN(name, level)          \
   void name(const char* fmt, ...) {                \
+    if ((level) < log_level()) return;             \
     std::va_list args;                             \
     va_start(args, fmt);                           \
     vlogf(level, fmt, args);                       \
@@ -54,6 +80,7 @@ void log_line(LogLevel level, std::string_view message) {
   }
 
 void logf(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
   std::va_list args;
   va_start(args, fmt);
   vlogf(level, fmt, args);

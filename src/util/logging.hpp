@@ -16,7 +16,9 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits one line to stderr if \p level passes the threshold.
+/// Emits one line to stderr if \p level passes the threshold. Lines carry
+/// a wall-clock timestamp and severity tag:
+///   [simgen 12:34:56.789 info ] message
 void log_line(LogLevel level, std::string_view message);
 
 /// printf-style logging at a given level.

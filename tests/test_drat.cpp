@@ -49,9 +49,9 @@ TEST(Drat, PigeonholeRefutationCertifies) {
 
   check::DratStats stats;
   EXPECT_TRUE(check::check_recorded_proof(recorder.steps(), {}, &stats));
-  EXPECT_GT(stats.lemmas, 0u);
-  EXPECT_GT(stats.checked_lemmas, 0u);
-  EXPECT_EQ(stats.failed_targets, 0u);
+  EXPECT_GT(stats.lemmas.value(), 0u);
+  EXPECT_GT(stats.checked_lemmas.value(), 0u);
+  EXPECT_EQ(stats.failed_targets.value(), 0u);
 }
 
 TEST(Drat, SatInstanceLeavesNoRefutation) {
@@ -152,8 +152,8 @@ TEST(Drat, AssumptionUnsatCertifiesNegatedAssumptions) {
   const sat::Lit assumption = sat::neg(z);
   ASSERT_EQ(solver.solve({assumption}), sat::Result::kUnsat);
   EXPECT_TRUE(certifier.certify_unsat({&assumption, 1}));
-  EXPECT_EQ(certifier.stats().certified_targets, 1u);
-  EXPECT_EQ(certifier.stats().failed_targets, 0u);
+  EXPECT_EQ(certifier.stats().certified_targets.value(), 1u);
+  EXPECT_EQ(certifier.stats().failed_targets.value(), 0u);
 }
 
 TEST(Drat, CertifierRejectsUnentailedTarget) {
@@ -165,7 +165,7 @@ TEST(Drat, CertifierRejectsUnentailedTarget) {
   solver.add_clause({sat::pos(a), sat::pos(b)});
   const sat::Lit assumption = sat::pos(a);
   EXPECT_FALSE(certifier.certify_unsat({&assumption, 1}));
-  EXPECT_EQ(certifier.stats().failed_targets, 1u);
+  EXPECT_EQ(certifier.stats().failed_targets.value(), 1u);
 }
 
 TEST(Drat, IncrementalCertificationAcrossSolveCalls) {
@@ -186,8 +186,8 @@ TEST(Drat, IncrementalCertificationAcrossSolveCalls) {
         << "chain length " << i;
     EXPECT_TRUE(certifier.certify_unsat({assumptions, 2}));
   }
-  EXPECT_EQ(certifier.stats().certified_targets, kChain);
-  EXPECT_EQ(certifier.stats().failed_targets, 0u);
+  EXPECT_EQ(certifier.stats().certified_targets.value(), kChain);
+  EXPECT_EQ(certifier.stats().failed_targets.value(), 0u);
 }
 
 TEST(Drat, CertifiedCecProvesEveryUnsatVerdict) {

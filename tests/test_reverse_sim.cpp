@@ -63,7 +63,7 @@ TEST(ReverseSim, SatisfiesBothTargetsOnSuccess) {
     EXPECT_FALSE(bits[1]) << "round " << round;
   }
   EXPECT_GT(successes, 0) << "reverse simulation never succeeded";
-  EXPECT_EQ(reverse.stats().successes, static_cast<std::uint64_t>(successes));
+  EXPECT_EQ(reverse.stats().successes.value(), static_cast<std::uint64_t>(successes));
 }
 
 TEST(ReverseSim, ImpossiblePairAlwaysConflicts) {
@@ -83,7 +83,7 @@ TEST(ReverseSim, ImpossiblePairAlwaysConflicts) {
         reverse.generate(Target{x, true}, Target{y, true});
     EXPECT_FALSE(result.success);
   }
-  EXPECT_EQ(reverse.stats().conflicts, 20u);
+  EXPECT_EQ(reverse.stats().conflicts.value(), 20u);
 }
 
 TEST(ReverseSim, SameNodeComplementaryGoldsFail) {

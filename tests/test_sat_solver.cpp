@@ -140,7 +140,7 @@ TEST(Solver, PigeonholeIsUnsat) {
       for (int p2 = p1 + 1; p2 < pigeons; ++p2)
         solver.add_clause({neg(slot[p1][h]), neg(slot[p2][h])});
   EXPECT_EQ(solver.solve(), Result::kUnsat);
-  EXPECT_GT(solver.stats().conflicts, 10u);
+  EXPECT_GT(solver.stats().conflicts.value(), 10u);
 }
 
 TEST(Solver, XorChainParity) {
@@ -242,8 +242,8 @@ TEST(Solver, StatsAreCounted) {
   solver.add_clause({neg(x), pos(y)});
   solver.add_clause({pos(x), neg(y)});
   solver.solve();
-  EXPECT_EQ(solver.stats().solve_calls, 1u);
-  EXPECT_GT(solver.stats().propagations + solver.stats().decisions, 0u);
+  EXPECT_EQ(solver.stats().solve_calls.value(), 1u);
+  EXPECT_GT(solver.stats().propagations.value() + solver.stats().decisions.value(), 0u);
 }
 
 }  // namespace
