@@ -26,7 +26,18 @@ std::string strategy_tag(core::Strategy strategy) {
   return tag;
 }
 
+double& progress_interval_storage() {
+  static double seconds = 0.0;
+  return seconds;
+}
+
 }  // namespace
+
+void set_progress_interval(double seconds) {
+  progress_interval_storage() = seconds;
+}
+
+double progress_interval() { return progress_interval_storage(); }
 
 void set_bench_json_dir(std::string dir) { json_dir_storage() = std::move(dir); }
 
@@ -58,6 +69,7 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
 }
 
 TelemetryCli::TelemetryCli(int& argc, char** argv) {
+  double timeout_seconds = 0.0;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const auto take_value = [&](const char* flag, std::string& into) {
@@ -66,35 +78,52 @@ TelemetryCli::TelemetryCli(int& argc, char** argv) {
       return true;
     };
     std::string json_dir;
+    std::string number;
     if (take_value("--trace-out", trace_out_) ||
-        take_value("--metrics-out", metrics_out_)) {
+        take_value("--metrics-out", metrics_out_) ||
+        take_value("--journal-out", journal_out_)) {
       continue;
     }
     if (take_value("--bench-json-dir", json_dir)) {
       set_bench_json_dir(std::move(json_dir));
       continue;
     }
+    if (take_value("--progress", number)) {
+      set_progress_interval(std::atof(number.c_str()));
+      continue;
+    }
+    if (take_value("--timeout", number)) {
+      timeout_seconds = std::atof(number.c_str());
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;
   if (!trace_out_.empty()) obs::Tracer::instance().enable();
+  if (!journal_out_.empty() && !obs::Journal::instance().open(journal_out_))
+    std::fprintf(stderr, "error: cannot open journal file %s%s\n",
+                 journal_out_.c_str(),
+                 obs::journal_enabled() ? "" : " (telemetry compiled out)");
+  if (progress_interval() > 0.0 && util::log_level() > util::LogLevel::kInfo)
+    util::set_log_level(util::LogLevel::kInfo);
+  // Outputs survive Ctrl-C / --timeout: the finalizer is registered with
+  // atexit and also invoked by the watchdog and by our destructor.
+  obs::set_exit_outputs(trace_out_, metrics_out_);
+  obs::WatchdogOptions watchdog;
+  watchdog.timeout_seconds = timeout_seconds;
+  obs::start_watchdog(watchdog);
 }
 
 TelemetryCli::~TelemetryCli() {
-  if (!trace_out_.empty()) {
-    if (obs::Tracer::instance().write_chrome_trace_file(trace_out_))
-      std::printf("trace written to %s\n", trace_out_.c_str());
-    else
-      std::fprintf(stderr, "error: cannot write trace file %s\n",
-                   trace_out_.c_str());
-  }
-  if (!metrics_out_.empty()) {
-    if (obs::write_metrics_file(metrics_out_))
-      std::printf("metrics written to %s\n", metrics_out_.c_str());
-    else
-      std::fprintf(stderr, "error: cannot write metrics file %s\n",
-                   metrics_out_.c_str());
-  }
+  const bool journal_open = obs::Journal::instance().is_open();
+  obs::flush_exit_outputs();
+  if (!trace_out_.empty())
+    std::printf("trace written to %s\n", trace_out_.c_str());
+  if (!metrics_out_.empty())
+    std::printf("metrics written to %s\n", metrics_out_.c_str());
+  if (journal_open)
+    std::printf("journal written to %s (inspect with sweep_inspect)\n",
+                journal_out_.c_str());
 }
 
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
@@ -126,6 +155,7 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
     sweep::SweepOptions sweep_options;
     sweep_options.seed = config.seed;
     sweep_options.conflict_limit = config.sat_conflict_limit;
+    sweep_options.progress_interval = progress_interval();
     sweep::Sweeper sweeper(network, sweep_options);
     const sweep::SweepResult sweep_result = sweeper.run(classes, simulator);
     metrics.sat_calls = sweep_result.sat_calls;

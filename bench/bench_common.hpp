@@ -45,6 +45,12 @@ struct FlowConfig {
   std::uint64_t sat_conflict_limit = 0;
 };
 
+/// Heartbeat interval (seconds) forwarded to every sweep run_strategy_flow
+/// starts; 0 disables. Set by TelemetryCli's --progress so existing bench
+/// drivers pick it up without threading a new parameter through.
+void set_progress_interval(double seconds);
+[[nodiscard]] double progress_interval();
+
 /// Runs the flow for one strategy on a prepared LUT network.
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
                               const FlowConfig& config);
@@ -78,9 +84,18 @@ bool write_flow_metrics_json(const FlowMetrics& metrics);
 /// Strips the telemetry flags from argc/argv at construction:
 ///   --trace-out FILE       enable tracing; write Chrome trace JSON at exit
 ///   --metrics-out FILE     write the metrics registry as JSONL at exit
+///   --journal-out FILE     record the sweep decision journal (binary, or
+///                          JSONL with a ".jsonl" suffix); replay with
+///                          tools/sweep_inspect
 ///   --bench-json-dir DIR   per-run BENCH_*.json output directory
+///   --progress SECONDS     heartbeat interval for sweeps (implies info
+///                          logging)
+///   --timeout SECONDS      watchdog deadline; dump + flush + exit 124
 /// (SIMGEN_BENCH_JSON_DIR in the environment also sets the JSON dir.)
-/// The destructor writes the requested files, so a driver needs only
+/// Construction registers the exit finalizer and (when any output or a
+/// timeout is requested) the signal watchdog, so the requested files are
+/// valid even if the run is interrupted. The destructor writes them on
+/// the normal path; a driver needs only
 ///   int main(int argc, char** argv) { bench::TelemetryCli telemetry(argc, argv); ... }
 class TelemetryCli {
  public:
@@ -92,6 +107,7 @@ class TelemetryCli {
  private:
   std::string trace_out_;
   std::string metrics_out_;
+  std::string journal_out_;
 };
 
 }  // namespace simgen::bench

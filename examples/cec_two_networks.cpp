@@ -12,6 +12,17 @@
 ///                        (load in chrome://tracing or ui.perfetto.dev)
 ///   --metrics-out FILE   write all telemetry counters/gauges/histograms
 ///                        as JSON Lines, one metric per line
+///   --journal-out FILE   record every sweeping decision (class events,
+///                        SAT calls, pattern batches, certifications) to a
+///                        journal; replay with tools/sweep_inspect.
+///                        ".jsonl" suffix selects the text format.
+///   --progress SECONDS   print a heartbeat line (classes live, nodes
+///                        resolved, SAT calls, ETA) on this interval
+///   --timeout SECONDS    watchdog deadline: dump state, flush all
+///                        telemetry outputs, exit 124
+///
+/// All telemetry outputs are flushed on SIGINT/SIGTERM and via atexit, so
+/// an interrupted run still leaves valid, parseable files behind.
 ///
 /// Accepts BLIF (.blif), BENCH (.bench), and AIGER (.aig/.aag; mapped to
 /// 6-LUTs before checking), or the name of a seed benchmark — the latter
@@ -22,6 +33,7 @@
 /// check (a circuit against its re-synthesized self) and a failing one
 /// (against a mutated copy), printing the counterexample.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -168,6 +180,8 @@ int main(int argc, char** argv) {
   options.guided_strategy = core::Strategy::kAiDcMffc;
   std::string trace_out;
   std::string metrics_out;
+  std::string journal_out;
+  double timeout_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--certify") == 0) {
       options.certify = true;
@@ -175,11 +189,33 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      journal_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0 && i + 1 < argc) {
+      options.sweep.progress_interval = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_seconds = std::atof(argv[++i]);
     } else {
       args.emplace_back(argv[i]);
     }
   }
   if (!trace_out.empty()) obs::Tracer::instance().enable();
+  if (!journal_out.empty() && !obs::Journal::instance().open(journal_out))
+    std::fprintf(stderr, "error: cannot open journal file %s%s\n",
+                 journal_out.c_str(),
+                 obs::journal_enabled() ? "" : " (telemetry compiled out)");
+  // Heartbeat lines go through the info log level; --progress implies the
+  // user wants to see them.
+  if (options.sweep.progress_interval > 0.0 &&
+      util::log_level() > util::LogLevel::kInfo)
+    util::set_log_level(util::LogLevel::kInfo);
+  // Any requested output survives Ctrl-C / --timeout: the finalizer runs
+  // from atexit, the normal teardown below, or the watchdog — whichever
+  // fires first.
+  obs::set_exit_outputs(trace_out, metrics_out);
+  obs::WatchdogOptions watchdog;
+  watchdog.timeout_seconds = timeout_seconds;
+  obs::start_watchdog(watchdog);
   int rc = 0;
   try {
     if (args.empty())
@@ -190,19 +226,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.what());
     rc = 1;
   }
-  if (!trace_out.empty()) {
-    if (obs::Tracer::instance().write_chrome_trace_file(trace_out))
-      std::printf("trace written to %s\n", trace_out.c_str());
-    else
-      std::fprintf(stderr, "error: cannot write trace file %s\n",
-                   trace_out.c_str());
-  }
-  if (!metrics_out.empty()) {
-    if (obs::write_metrics_file(metrics_out))
-      std::printf("metrics written to %s\n", metrics_out.c_str());
-    else
-      std::fprintf(stderr, "error: cannot write metrics file %s\n",
-                   metrics_out.c_str());
-  }
+  const bool journal_open = obs::Journal::instance().is_open();
+  obs::flush_exit_outputs();
+  if (!trace_out.empty())
+    std::printf("trace written to %s\n", trace_out.c_str());
+  if (!metrics_out.empty())
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  if (journal_open)
+    std::printf("journal written to %s (inspect with sweep_inspect)\n",
+                journal_out.c_str());
   return rc;
 }

@@ -1,0 +1,677 @@
+#include "obs/inspect.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simgen::obs {
+
+namespace {
+
+std::string format_duration_us(std::uint64_t us) {
+  char buffer[64];
+  if (us >= 10'000'000)
+    std::snprintf(buffer, sizeof buffer, "%.2f s", static_cast<double>(us) * 1e-6);
+  else if (us >= 10'000)
+    std::snprintf(buffer, sizeof buffer, "%.2f ms", static_cast<double>(us) * 1e-3);
+  else
+    std::snprintf(buffer, sizeof buffer, "%" PRIu64 " us", us);
+  return buffer;
+}
+
+std::string format_time_ns(std::uint64_t ns) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%10.3f ms", static_cast<double>(ns) * 1e-6);
+  return buffer;
+}
+
+std::string strategy_label(std::uint8_t source, std::uint8_t code,
+                           const InspectOptions& options) {
+  const auto src = static_cast<PatternSource>(source);
+  if (src != PatternSource::kSimGen && src != PatternSource::kRevS)
+    return source_name(src);
+  if (options.strategy_namer != nullptr) {
+    if (const char* name = options.strategy_namer(code); name != nullptr)
+      return std::string(source_name(src)) + "/" + name;
+  }
+  return std::string(source_name(src)) + "/arm" + std::to_string(code);
+}
+
+/// Ranks classes by attributed SAT time, then conflicts, then activity.
+std::vector<const ClassRecord*> rank_classes(const JournalReport& report) {
+  std::vector<const ClassRecord*> ranked;
+  ranked.reserve(report.classes.size());
+  for (const auto& [rep, record] : report.classes) ranked.push_back(&record);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ClassRecord* x, const ClassRecord* y) {
+              if (x->sat_time_us != y->sat_time_us)
+                return x->sat_time_us > y->sat_time_us;
+              if (x->conflicts != y->conflicts) return x->conflicts > y->conflicts;
+              return x->timeline.size() > y->timeline.size();
+            });
+  return ranked;
+}
+
+std::vector<const SatCallRecord*> rank_calls(const JournalReport& report) {
+  std::vector<const SatCallRecord*> ranked;
+  ranked.reserve(report.calls.size());
+  for (const SatCallRecord& call : report.calls) ranked.push_back(&call);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SatCallRecord* x, const SatCallRecord* y) {
+              if (x->dur_us != y->dur_us) return x->dur_us > y->dur_us;
+              return x->conflicts > y->conflicts;
+            });
+  return ranked;
+}
+
+const char* timeline_verb(const TimelineEntry& entry) {
+  switch (entry.kind) {
+    case EventKind::kClassCreated: return "created";
+    case EventKind::kClassSplit: return "split";
+    case EventKind::kClassMerged: return "merged";
+    case EventKind::kSatCall:
+      switch (static_cast<SatVerdict>(entry.code)) {
+        case SatVerdict::kSat: return "sat-call SAT (disproved)";
+        case SatVerdict::kUnsat: return "sat-call UNSAT (proved)";
+        case SatVerdict::kUnknown: return "sat-call UNKNOWN (limit)";
+      }
+      return "sat-call";
+    case EventKind::kCertified:
+      return entry.code != 0 ? "certified ok" : "certified FAIL";
+    default: return kind_name(entry.kind);
+  }
+}
+
+void append_folded(JournalReport& report, const std::string& stack,
+                   std::uint64_t us) {
+  if (us > 0) report.folded[stack] += us;
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JournalReport build_report(const std::vector<JournalEvent>& events,
+                           bool truncated) {
+  JournalReport report;
+  report.num_events = events.size();
+  report.truncated = truncated;
+
+  std::uint64_t min_ns = ~0ull, max_ns = 0;
+  std::vector<PhaseId> phase_stack;
+  const auto current_phase = [&phase_stack]() {
+    return phase_stack.empty() ? PhaseId::kNone : phase_stack.back();
+  };
+  const auto charge_phase = [&](std::uint32_t dur_us) {
+    const auto phase = static_cast<std::size_t>(current_phase());
+    if (phase < kNumPhases) report.phases[phase].child_us += dur_us;
+  };
+  const auto class_of = [&report](std::uint64_t rep) -> ClassRecord& {
+    ClassRecord& record = report.classes[rep];
+    record.rep = rep;
+    return record;
+  };
+  const auto touch = [](ClassRecord& record, const JournalEvent& event) {
+    if (record.first_ns == 0 || event.t_ns < record.first_ns)
+      record.first_ns = event.t_ns;
+    if (event.t_ns > record.last_ns) record.last_ns = event.t_ns;
+  };
+
+  for (const JournalEvent& event : events) {
+    if (event.t_ns != 0) {
+      min_ns = std::min(min_ns, event.t_ns);
+      max_ns = std::max(max_ns, event.t_ns);
+    }
+    switch (event.kind) {
+      case EventKind::kPhaseBegin:
+        phase_stack.push_back(static_cast<PhaseId>(event.code));
+        break;
+      case EventKind::kPhaseEnd: {
+        if (!phase_stack.empty()) phase_stack.pop_back();
+        const auto phase = static_cast<std::size_t>(event.code);
+        if (phase < kNumPhases) {
+          report.phases[phase].total_us += event.dur_us;
+          report.phases[phase].enters += 1;
+        }
+        break;
+      }
+      case EventKind::kClassCreated: {
+        report.class_created += 1;
+        ClassRecord& record = class_of(event.a);
+        touch(record, event);
+        if (record.creations == 0) {
+          record.created_size = event.v0;
+          record.created_by = static_cast<PatternSource>(event.code);
+        }
+        record.creations += 1;
+        record.timeline.push_back(
+            {event.t_ns, event.kind, event.code, 0, event.v0});
+        break;
+      }
+      case EventKind::kClassSplit: {
+        report.class_split += 1;
+        ClassRecord& record = class_of(event.a);
+        touch(record, event);
+        record.splits += 1;
+        record.timeline.push_back(
+            {event.t_ns, event.kind, event.code, 0, event.v0});
+        break;
+      }
+      case EventKind::kClassMerged: {
+        report.class_merged += 1;
+        ClassRecord& record = class_of(event.a);
+        touch(record, event);
+        record.merges += 1;
+        record.timeline.push_back(
+            {event.t_ns, event.kind, event.code, 0, event.b});
+        break;
+      }
+      case EventKind::kSatCall: {
+        report.sat_calls += 1;
+        const auto verdict = static_cast<SatVerdict>(event.code);
+        const bool output_proof = (event.flags & 1u) != 0;
+        if (verdict == SatVerdict::kSat) report.sat_sat += 1;
+        if (verdict == SatVerdict::kUnsat) report.sat_unsat += 1;
+        if (verdict == SatVerdict::kUnknown) report.sat_unknown += 1;
+        if (output_proof) report.output_proofs += 1;
+        report.conflicts += event.v0;
+        report.propagations += event.v1;
+        report.decisions += event.v2;
+        report.learned += unpack_learned(event.v3);
+        SatCallRecord call;
+        call.t_ns = event.t_ns;
+        call.a = event.a;
+        call.b = event.b;
+        call.verdict = verdict;
+        call.output_proof = output_proof;
+        call.conflicts = event.v0;
+        call.propagations = event.v1;
+        call.decisions = event.v2;
+        call.cone_vars = unpack_cone(event.v3);
+        call.learned = unpack_learned(event.v3);
+        call.dur_us = event.dur_us;
+        report.calls.push_back(call);
+        if (!output_proof) {
+          ClassRecord& record = class_of(event.a);
+          touch(record, event);
+          record.sat_calls += 1;
+          record.sat_time_us += event.dur_us;
+          record.conflicts += event.v0;
+          record.max_cone_vars = std::max(record.max_cone_vars, call.cone_vars);
+          if (verdict == SatVerdict::kSat) record.disproofs += 1;
+          record.timeline.push_back(
+              {event.t_ns, event.kind, event.code, event.dur_us, event.b});
+        }
+        charge_phase(event.dur_us);
+        append_folded(report,
+                      std::string("simgen;") + phase_name(current_phase()) +
+                          ";sat;" + verdict_name(verdict),
+                      event.dur_us);
+        break;
+      }
+      case EventKind::kPatternBatch: {
+        report.pattern_batches += 1;
+        report.pattern_splits += event.v0;
+        StrategyEffect& effect =
+            report.strategies[{event.code, static_cast<std::uint8_t>(event.flags)}];
+        effect.batches += 1;
+        effect.patterns += event.a;
+        effect.splits += event.v0;
+        effect.time_us += event.dur_us;
+        charge_phase(event.dur_us);
+        std::string stack = std::string("simgen;") +
+                            phase_name(current_phase()) + ";pattern;" +
+                            source_name(static_cast<PatternSource>(event.code));
+        if (static_cast<PatternSource>(event.code) == PatternSource::kSimGen)
+          stack += ";arm" + std::to_string(event.flags);
+        append_folded(report, stack, event.dur_us);
+        break;
+      }
+      case EventKind::kCertified: {
+        if (event.code != 0)
+          report.certified_ok += 1;
+        else
+          report.certified_fail += 1;
+        report.checked_lemmas += event.v0;
+        if ((event.flags & 1u) == 0) {
+          ClassRecord& record = class_of(event.a);
+          touch(record, event);
+          record.timeline.push_back(
+              {event.t_ns, event.kind, event.code, event.dur_us, event.b});
+        }
+        charge_phase(event.dur_us);
+        append_folded(report,
+                      std::string("simgen;") + phase_name(current_phase()) +
+                          ";certify",
+                      event.dur_us);
+        break;
+      }
+      case EventKind::kHeartbeat:
+        report.heartbeats += 1;
+        break;
+      case EventKind::kWatchdog:
+        report.watchdog_fires += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  if (max_ns >= min_ns && min_ns != ~0ull) report.span_ns = max_ns - min_ns;
+
+  // Phase self time = total minus attributed children (clamped: drains can
+  // attribute a child to a phase whose end event was lost to truncation).
+  for (std::size_t phase = 1; phase < kNumPhases; ++phase) {
+    const PhaseCost& cost = report.phases[phase];
+    const std::uint64_t self =
+        cost.total_us > cost.child_us ? cost.total_us - cost.child_us : 0;
+    append_folded(report,
+                  std::string("simgen;") + phase_name(static_cast<PhaseId>(phase)),
+                  self);
+  }
+  return report;
+}
+
+bool check_journal(const std::vector<JournalEvent>& events, std::string* error) {
+  const auto fail = [error](std::size_t index, const std::string& message) {
+    if (error != nullptr)
+      *error = "event " + std::to_string(index) + ": " + message;
+    return false;
+  };
+  std::vector<std::uint8_t> phase_stack;
+  bool run_begun = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JournalEvent& event = events[i];
+    const auto kind_value = static_cast<std::uint8_t>(event.kind);
+    if (event.kind == EventKind::kNone ||
+        kind_value > static_cast<std::uint8_t>(EventKind::kWatchdog))
+      return fail(i, "unknown event kind " + std::to_string(kind_value));
+    switch (event.kind) {
+      case EventKind::kRunBegin:
+        run_begun = true;
+        break;
+      case EventKind::kRunEnd:
+        if (!run_begun) return fail(i, "run_end without run_begin");
+        if (event.code > 1) return fail(i, "run_end outcome out of range");
+        break;
+      case EventKind::kPhaseBegin:
+        if (event.code >= kNumPhases) return fail(i, "phase id out of range");
+        phase_stack.push_back(event.code);
+        break;
+      case EventKind::kPhaseEnd:
+        if (event.code >= kNumPhases) return fail(i, "phase id out of range");
+        if (phase_stack.empty())
+          return fail(i, "phase_end without matching phase_begin");
+        if (phase_stack.back() != event.code)
+          return fail(i, std::string("phase_end ") +
+                             phase_name(static_cast<PhaseId>(event.code)) +
+                             " does not match open phase " +
+                             phase_name(static_cast<PhaseId>(phase_stack.back())));
+        phase_stack.pop_back();
+        break;
+      case EventKind::kClassCreated:
+      case EventKind::kClassSplit:
+        if (event.code >= kNumPatternSources)
+          return fail(i, "pattern source out of range");
+        break;
+      case EventKind::kSatCall:
+        if (event.code > static_cast<std::uint8_t>(SatVerdict::kUnknown))
+          return fail(i, "sat verdict out of range");
+        break;
+      case EventKind::kPatternBatch:
+        if (event.code >= kNumPatternSources)
+          return fail(i, "pattern source out of range");
+        break;
+      case EventKind::kCertified:
+        if (event.code > 1) return fail(i, "certified code out of range");
+        break;
+      case EventKind::kWatchdog:
+        if (event.code != 1 && event.code != 2)
+          return fail(i, "watchdog code out of range");
+        break;
+      default:
+        break;
+    }
+  }
+  // An unclosed phase at EOF is legal (interrupted run), so no check here.
+  return true;
+}
+
+void write_text_report(std::ostream& out, const JournalReport& report,
+                       const InspectOptions& options) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "journal: %" PRIu64 " events spanning %s%s\n",
+                report.num_events,
+                format_duration_us(report.span_ns / 1000).c_str(),
+                report.truncated ? "  [TRUNCATED: run was interrupted]" : "");
+  out << line;
+  std::snprintf(line, sizeof line,
+                "sat:     %" PRIu64 " calls (unsat %" PRIu64 ", sat %" PRIu64
+                ", unknown %" PRIu64 ", output proofs %" PRIu64 ")\n",
+                report.sat_calls, report.sat_unsat, report.sat_sat,
+                report.sat_unknown, report.output_proofs);
+  out << line;
+  std::snprintf(line, sizeof line,
+                "         conflicts %" PRIu64 "  propagations %" PRIu64
+                "  decisions %" PRIu64 "  learned %" PRIu64 "\n",
+                report.conflicts, report.propagations, report.decisions,
+                report.learned);
+  out << line;
+  std::snprintf(line, sizeof line,
+                "classes: created %" PRIu64 "  split %" PRIu64 "  merged %" PRIu64
+                "  tracked %zu\n",
+                report.class_created, report.class_split, report.class_merged,
+                report.classes.size());
+  out << line;
+  std::snprintf(line, sizeof line,
+                "sim:     %" PRIu64 " pattern batches causing %" PRIu64
+                " class splits\n",
+                report.pattern_batches, report.pattern_splits);
+  out << line;
+  std::snprintf(line, sizeof line,
+                "drat:    %" PRIu64 " certified ok, %" PRIu64 " failed, %" PRIu64
+                " lemmas checked\n",
+                report.certified_ok, report.certified_fail,
+                report.checked_lemmas);
+  out << line;
+
+  out << "\nphases:\n";
+  for (std::size_t phase = 1; phase < kNumPhases; ++phase) {
+    const PhaseCost& cost = report.phases[phase];
+    if (cost.enters == 0) continue;
+    const std::uint64_t self =
+        cost.total_us > cost.child_us ? cost.total_us - cost.child_us : 0;
+    std::snprintf(line, sizeof line,
+                  "  %-13s total %-12s self %-12s (%" PRIu64 "x)\n",
+                  phase_name(static_cast<PhaseId>(phase)),
+                  format_duration_us(cost.total_us).c_str(),
+                  format_duration_us(self).c_str(), cost.enters);
+    out << line;
+  }
+
+  const auto ranked_classes = rank_classes(report);
+  out << "\ntop classes by SAT time:\n";
+  out << "  rep        calls  sat-time     conflicts  merges  disproofs  "
+         "max-cone\n";
+  int shown = 0;
+  for (const ClassRecord* record : ranked_classes) {
+    if (shown >= options.top_k) break;
+    if (record->sat_calls == 0 && record->splits == 0 && record->merges == 0)
+      continue;
+    std::snprintf(line, sizeof line,
+                  "  %-9" PRIu64 "  %-5" PRIu64 "  %-11s  %-9" PRIu64
+                  "  %-6" PRIu64 "  %-9" PRIu64 "  %" PRIu64 "\n",
+                  record->rep, record->sat_calls,
+                  format_duration_us(record->sat_time_us).c_str(),
+                  record->conflicts, record->merges, record->disproofs,
+                  record->max_cone_vars);
+    out << line;
+    ++shown;
+  }
+  if (shown == 0) out << "  (none)\n";
+
+  const auto ranked_calls = rank_calls(report);
+  out << "\ntop SAT calls:\n";
+  out << "  at            pair                 verdict  duration     conflicts"
+         "  cone   learned\n";
+  shown = 0;
+  for (const SatCallRecord* call : ranked_calls) {
+    if (shown >= options.top_k) break;
+    char pair[48];
+    if (call->output_proof)
+      std::snprintf(pair, sizeof pair, "output %" PRIu64, call->a);
+    else
+      std::snprintf(pair, sizeof pair, "(%" PRIu64 ", %" PRIu64 ")", call->a,
+                    call->b);
+    std::snprintf(line, sizeof line,
+                  "  %s  %-19s  %-7s  %-11s  %-9" PRIu64 "  %-5" PRIu64
+                  "  %" PRIu64 "\n",
+                  format_time_ns(call->t_ns).c_str(), pair,
+                  verdict_name(call->verdict),
+                  format_duration_us(call->dur_us).c_str(), call->conflicts,
+                  call->cone_vars, call->learned);
+    out << line;
+    ++shown;
+  }
+  if (shown == 0) out << "  (none)\n";
+
+  out << "\npattern effectiveness:\n";
+  out << "  source             batches  patterns  splits  time         "
+         "splits/batch\n";
+  for (const auto& [key, effect] : report.strategies) {
+    const double per_batch =
+        effect.batches == 0
+            ? 0.0
+            : static_cast<double>(effect.splits) /
+                  static_cast<double>(effect.batches);
+    std::snprintf(line, sizeof line,
+                  "  %-17s  %-7" PRIu64 "  %-8" PRIu64 "  %-6" PRIu64
+                  "  %-11s  %.2f\n",
+                  strategy_label(key.first, key.second, options).c_str(),
+                  effect.batches, effect.patterns, effect.splits,
+                  format_duration_us(effect.time_us).c_str(), per_batch);
+    out << line;
+  }
+  if (report.strategies.empty()) out << "  (none)\n";
+}
+
+void write_timeline(std::ostream& out, const JournalReport& report,
+                    std::uint64_t rep, const InspectOptions& options) {
+  std::vector<const ClassRecord*> selected;
+  if (rep != 0) {
+    const auto it = report.classes.find(rep);
+    if (it == report.classes.end()) {
+      out << "class " << rep << ": not present in journal\n";
+      return;
+    }
+    selected.push_back(&it->second);
+  } else {
+    const auto ranked = rank_classes(report);
+    for (const ClassRecord* record : ranked) {
+      if (static_cast<int>(selected.size()) >= options.top_k) break;
+      selected.push_back(record);
+    }
+  }
+  char line[256];
+  for (const ClassRecord* record : selected) {
+    std::snprintf(line, sizeof line,
+                  "class %" PRIu64 " (size %" PRIu64 " at creation, via %s):\n",
+                  record->rep, record->created_size,
+                  source_name(record->created_by));
+    out << line;
+    for (const TimelineEntry& entry : record->timeline) {
+      std::string detail;
+      switch (entry.kind) {
+        case EventKind::kClassCreated:
+          detail = "size " + std::to_string(entry.detail) + " via " +
+                   source_name(static_cast<PatternSource>(entry.code));
+          break;
+        case EventKind::kClassSplit:
+          detail = std::to_string(entry.detail) + " buckets via " +
+                   source_name(static_cast<PatternSource>(entry.code));
+          break;
+        case EventKind::kClassMerged:
+          detail = "node " + std::to_string(entry.detail);
+          break;
+        case EventKind::kSatCall:
+        case EventKind::kCertified:
+          detail = "node " + std::to_string(entry.detail) + ", " +
+                   format_duration_us(entry.dur_us);
+          break;
+        default:
+          break;
+      }
+      std::snprintf(line, sizeof line, "  %s  %-26s %s\n",
+                    format_time_ns(entry.t_ns).c_str(), timeline_verb(entry),
+                    detail.c_str());
+      out << line;
+    }
+  }
+}
+
+void write_folded_stacks(std::ostream& out, const JournalReport& report,
+                         const InspectOptions&) {
+  for (const auto& [stack, us] : report.folded)
+    out << stack << ' ' << us << '\n';
+}
+
+void write_html_report(std::ostream& out, const JournalReport& report,
+                       const InspectOptions& options) {
+  out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+         "<title>simgen sweep journal</title>\n<style>\n"
+         "body{font:14px/1.5 system-ui,sans-serif;margin:2em;color:#222}\n"
+         "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}\n"
+         "table{border-collapse:collapse;margin:0.5em 0}\n"
+         "td,th{border:1px solid #ccc;padding:3px 9px;text-align:right;"
+         "font-variant-numeric:tabular-nums}\n"
+         "th{background:#f2f2f2}td:first-child,th:first-child{text-align:left}\n"
+         ".bar{background:#4a90d9;height:11px;display:inline-block}\n"
+         ".warn{color:#b00;font-weight:bold}\n"
+         "</style></head><body>\n<h1>Sweep journal report</h1>\n";
+
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "<p>%" PRIu64 " events spanning %s.%s</p>\n", report.num_events,
+                format_duration_us(report.span_ns / 1000).c_str(),
+                report.truncated
+                    ? " <span class=\"warn\">Journal is truncated: the run "
+                      "was interrupted mid-write.</span>"
+                    : "");
+  out << line;
+
+  out << "<h2>Run summary</h2>\n<table>\n"
+         "<tr><th>metric</th><th>value</th></tr>\n";
+  const auto row = [&](const char* name, std::uint64_t value) {
+    std::snprintf(line, sizeof line,
+                  "<tr><td>%s</td><td>%" PRIu64 "</td></tr>\n", name, value);
+    out << line;
+  };
+  row("SAT calls", report.sat_calls);
+  row("&nbsp;&nbsp;UNSAT (proved)", report.sat_unsat);
+  row("&nbsp;&nbsp;SAT (disproved)", report.sat_sat);
+  row("&nbsp;&nbsp;unknown (conflict limit)", report.sat_unknown);
+  row("&nbsp;&nbsp;output proofs", report.output_proofs);
+  row("conflicts", report.conflicts);
+  row("propagations", report.propagations);
+  row("decisions", report.decisions);
+  row("learned clauses", report.learned);
+  row("classes created", report.class_created);
+  row("class splits", report.class_split);
+  row("class merges", report.class_merged);
+  row("pattern batches", report.pattern_batches);
+  row("splits from patterns", report.pattern_splits);
+  row("certified ok", report.certified_ok);
+  row("certified failed", report.certified_fail);
+  row("heartbeats", report.heartbeats);
+  out << "</table>\n";
+
+  out << "<h2>Phases</h2>\n<table>\n"
+         "<tr><th>phase</th><th>total</th><th>self</th><th>enters</th>"
+         "<th></th></tr>\n";
+  std::uint64_t max_phase_us = 1;
+  for (std::size_t phase = 1; phase < kNumPhases; ++phase)
+    max_phase_us = std::max(max_phase_us, report.phases[phase].total_us);
+  for (std::size_t phase = 1; phase < kNumPhases; ++phase) {
+    const PhaseCost& cost = report.phases[phase];
+    if (cost.enters == 0) continue;
+    const std::uint64_t self =
+        cost.total_us > cost.child_us ? cost.total_us - cost.child_us : 0;
+    const int width = static_cast<int>(
+        200.0 * static_cast<double>(cost.total_us) /
+        static_cast<double>(max_phase_us));
+    std::snprintf(line, sizeof line,
+                  "<tr><td>%s</td><td>%s</td><td>%s</td><td>%" PRIu64
+                  "</td><td style=\"text-align:left\">"
+                  "<span class=\"bar\" style=\"width:%dpx\"></span></td></tr>\n",
+                  phase_name(static_cast<PhaseId>(phase)),
+                  format_duration_us(cost.total_us).c_str(),
+                  format_duration_us(self).c_str(), cost.enters, width);
+    out << line;
+  }
+  out << "</table>\n";
+
+  out << "<h2>Top classes by SAT time</h2>\n<table>\n"
+         "<tr><th>representative</th><th>SAT calls</th><th>SAT time</th>"
+         "<th>conflicts</th><th>merges</th><th>disproofs</th>"
+         "<th>max cone vars</th><th>created via</th></tr>\n";
+  int shown = 0;
+  for (const ClassRecord* record : rank_classes(report)) {
+    if (shown >= options.top_k) break;
+    if (record->sat_calls == 0 && record->splits == 0 && record->merges == 0)
+      continue;
+    std::snprintf(line, sizeof line,
+                  "<tr><td>%" PRIu64 "</td><td>%" PRIu64 "</td><td>%s</td>"
+                  "<td>%" PRIu64 "</td><td>%" PRIu64 "</td><td>%" PRIu64
+                  "</td><td>%" PRIu64 "</td><td>%s</td></tr>\n",
+                  record->rep, record->sat_calls,
+                  format_duration_us(record->sat_time_us).c_str(),
+                  record->conflicts, record->merges, record->disproofs,
+                  record->max_cone_vars, source_name(record->created_by));
+    out << line;
+    ++shown;
+  }
+  out << "</table>\n";
+
+  out << "<h2>Top SAT calls</h2>\n<table>\n"
+         "<tr><th>target</th><th>verdict</th><th>duration</th>"
+         "<th>conflicts</th><th>propagations</th><th>decisions</th>"
+         "<th>cone vars</th><th>learned</th></tr>\n";
+  shown = 0;
+  for (const SatCallRecord* call : rank_calls(report)) {
+    if (shown >= options.top_k) break;
+    char pair[48];
+    if (call->output_proof)
+      std::snprintf(pair, sizeof pair, "output %" PRIu64, call->a);
+    else
+      std::snprintf(pair, sizeof pair, "(%" PRIu64 ", %" PRIu64 ")", call->a,
+                    call->b);
+    std::snprintf(line, sizeof line,
+                  "<tr><td>%s</td><td>%s</td><td>%s</td><td>%" PRIu64
+                  "</td><td>%" PRIu64 "</td><td>%" PRIu64 "</td><td>%" PRIu64
+                  "</td><td>%" PRIu64 "</td></tr>\n",
+                  pair, verdict_name(call->verdict),
+                  format_duration_us(call->dur_us).c_str(), call->conflicts,
+                  call->propagations, call->decisions, call->cone_vars,
+                  call->learned);
+    out << line;
+    ++shown;
+  }
+  out << "</table>\n";
+
+  out << "<h2>Pattern effectiveness</h2>\n<table>\n"
+         "<tr><th>source</th><th>batches</th><th>guided patterns</th>"
+         "<th>splits</th><th>time</th><th>splits/batch</th></tr>\n";
+  for (const auto& [key, effect] : report.strategies) {
+    const double per_batch =
+        effect.batches == 0
+            ? 0.0
+            : static_cast<double>(effect.splits) /
+                  static_cast<double>(effect.batches);
+    std::snprintf(line, sizeof line,
+                  "<tr><td>%s</td><td>%" PRIu64 "</td><td>%" PRIu64
+                  "</td><td>%" PRIu64 "</td><td>%s</td><td>%.2f</td></tr>\n",
+                  html_escape(strategy_label(key.first, key.second, options))
+                      .c_str(),
+                  effect.batches, effect.patterns, effect.splits,
+                  format_duration_us(effect.time_us).c_str(), per_batch);
+    out << line;
+  }
+  out << "</table>\n</body></html>\n";
+}
+
+}  // namespace simgen::obs

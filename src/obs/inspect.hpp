@@ -1,0 +1,156 @@
+/// \file inspect.hpp
+/// \brief Post-mortem journal inspector: replays a sweep journal
+/// (journal.hpp) into per-class lifecycle timelines, top-K cost
+/// attributions, pattern-effectiveness breakdowns, folded stacks for
+/// flamegraph tooling, and a self-contained HTML report.
+///
+/// Compiled unconditionally (including under SIMGEN_NO_TELEMETRY) so
+/// `tools/sweep_inspect` can always replay journals recorded elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+
+namespace simgen::obs {
+
+/// One entry of a class's lifecycle, in journal order.
+struct TimelineEntry {
+  std::uint64_t t_ns = 0;
+  EventKind kind = EventKind::kNone;
+  std::uint8_t code = 0;      ///< Kind-specific (verdict / source).
+  std::uint32_t dur_us = 0;   ///< For SAT calls / certifications.
+  std::uint64_t detail = 0;   ///< Partner node, bucket count, ...
+};
+
+/// Aggregated per-class view, keyed by the class representative NodeId.
+struct ClassRecord {
+  std::uint64_t rep = 0;
+  std::uint64_t first_ns = 0;          ///< First sighting.
+  std::uint64_t last_ns = 0;           ///< Last event touching the class.
+  std::uint64_t created_size = 0;      ///< Size at first creation.
+  PatternSource created_by = PatternSource::kNone;
+  std::uint64_t creations = 0;  ///< kClassCreated count (re-creations after
+                                ///< splits keep the same rep).
+  std::uint64_t splits = 0;     ///< Times this class split as the parent.
+  std::uint64_t merges = 0;     ///< Nodes merged in via UNSAT proofs.
+  std::uint64_t sat_calls = 0;
+  std::uint64_t sat_time_us = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t disproofs = 0;  ///< SAT (inequivalent) verdicts.
+  std::uint64_t max_cone_vars = 0;
+  std::vector<TimelineEntry> timeline;
+};
+
+/// Aggregated view of one SAT call (already flat in the journal; copied
+/// out so reports can sort without re-scanning).
+struct SatCallRecord {
+  std::uint64_t t_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  SatVerdict verdict = SatVerdict::kUnknown;
+  bool output_proof = false;
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t cone_vars = 0;
+  std::uint64_t learned = 0;
+  std::uint32_t dur_us = 0;
+};
+
+/// Pattern effectiveness bucket, keyed by (source, strategy code).
+struct StrategyEffect {
+  std::uint64_t batches = 0;
+  std::uint64_t patterns = 0;  ///< Guided patterns (0-filled for random).
+  std::uint64_t splits = 0;    ///< Classes split by this source's batches.
+  std::uint64_t time_us = 0;   ///< Simulate+refine wall time.
+};
+
+/// Per-phase wall time and self time (phase minus attributed children).
+struct PhaseCost {
+  std::uint64_t total_us = 0;
+  std::uint64_t child_us = 0;  ///< SAT calls, batches, certs inside it.
+  std::uint64_t enters = 0;
+};
+
+/// Everything the report writers need, built in one pass over a journal.
+struct JournalReport {
+  std::uint64_t num_events = 0;
+  std::uint64_t span_ns = 0;  ///< Last minus first timestamp.
+  bool truncated = false;     ///< Source file ended mid-record.
+
+  // Totals mirroring the metrics-registry counters for the same run.
+  std::uint64_t sat_calls = 0;
+  std::uint64_t sat_sat = 0;       ///< Verdict SAT (disproven candidates).
+  std::uint64_t sat_unsat = 0;     ///< Verdict UNSAT (proven).
+  std::uint64_t sat_unknown = 0;   ///< Conflict-limited.
+  std::uint64_t output_proofs = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t learned = 0;
+  std::uint64_t class_created = 0;
+  std::uint64_t class_split = 0;
+  std::uint64_t class_merged = 0;
+  std::uint64_t pattern_batches = 0;
+  std::uint64_t pattern_splits = 0;
+  std::uint64_t certified_ok = 0;
+  std::uint64_t certified_fail = 0;
+  std::uint64_t checked_lemmas = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t watchdog_fires = 0;
+
+  std::map<std::uint64_t, ClassRecord> classes;  ///< Keyed by rep.
+  std::vector<SatCallRecord> calls;              ///< Journal order.
+  /// Keyed by (PatternSource value, strategy code).
+  std::map<std::pair<std::uint8_t, std::uint8_t>, StrategyEffect> strategies;
+  PhaseCost phases[kNumPhases];
+
+  /// Folded flamegraph stacks (`frame;frame` → microseconds), built during
+  /// the scan because frames depend on the phase open at event time.
+  std::map<std::string, std::uint64_t> folded;
+};
+
+/// Options shared by the report writers.
+struct InspectOptions {
+  int top_k = 10;
+  /// Optional pretty-printer for kPatternBatch strategy codes (the obs
+  /// layer cannot see simgen's Strategy enum); nullptr prints "arm<N>".
+  const char* (*strategy_namer)(std::uint8_t) = nullptr;
+};
+
+/// Replays \p events into the aggregate report. \p truncated is carried
+/// into the report (from read_journal_file).
+[[nodiscard]] JournalReport build_report(const std::vector<JournalEvent>& events,
+                                         bool truncated = false);
+
+/// Structural validation: every event kind/sub-code in range, run
+/// begin/end pairing, phase nesting. Returns false and fills \p error
+/// (if non-null) on the first violation.
+bool check_journal(const std::vector<JournalEvent>& events,
+                   std::string* error = nullptr);
+
+/// Human-readable report: run summary, top-K classes and SAT calls,
+/// pattern-effectiveness table, phase breakdown.
+void write_text_report(std::ostream& out, const JournalReport& report,
+                       const InspectOptions& options);
+
+/// Lifecycle timeline of one class (\p rep) or, with rep == 0, of the
+/// top-K most expensive classes.
+void write_timeline(std::ostream& out, const JournalReport& report,
+                    std::uint64_t rep, const InspectOptions& options);
+
+/// Folded stacks (`frame;frame value` per line) compatible with
+/// flamegraph.pl / speedscope. Values are microseconds.
+void write_folded_stacks(std::ostream& out, const JournalReport& report,
+                         const InspectOptions& options);
+
+/// Self-contained HTML report (inline CSS, no external assets).
+void write_html_report(std::ostream& out, const JournalReport& report,
+                       const InspectOptions& options);
+
+}  // namespace simgen::obs

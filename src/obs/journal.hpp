@@ -1,0 +1,319 @@
+/// \file journal.hpp
+/// \brief Decision-level sweep journal: an append-only event log of every
+/// sweeping decision, with a post-mortem reader.
+///
+/// The metrics registry (metrics.hpp) answers "how much happened"; the
+/// journal answers "where and when". Every class created / split /
+/// merged, every SAT call (target pair, verdict, solver cost deltas),
+/// every simulated pattern batch (with its SimGen / random / RevS / CEX
+/// attribution), every DRAT certification outcome, and periodic progress
+/// heartbeats are recorded as fixed-size 64-byte events, so a slow or
+/// stuck CEC run can be replayed offline (`tools/sweep_inspect`) down to
+/// the individual merge candidate that ate the time.
+///
+/// Design constraints:
+///  * The hot path is allocation-free: an event is a trivially-copyable
+///    64-byte struct written into a per-thread lock-free SPSC ring; a
+///    background drain thread moves filled rings to the file. When the
+///    journal is closed (the default), emitting costs one relaxed atomic
+///    load.
+///  * Two on-disk formats share one event model: a binary framing (32-byte
+///    file header + raw little-endian event records, the default) and a
+///    JSON-Lines fallback (chosen by a ".jsonl" path suffix) for ad-hoc
+///    tooling. `read_journal_file` auto-detects and parses both.
+///  * With -DSIMGEN_NO_TELEMETRY=ON the writer compiles to nothing
+///    (`journal_enabled()` is constexpr false and `Journal::open` refuses)
+///    while the reader and the inspector stay available, so
+///    `sweep_inspect` can still replay journals written elsewhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace simgen::obs {
+
+// ---------------------------------------------------------------------------
+// Event model
+
+enum class EventKind : std::uint8_t {
+  kNone = 0,
+  kRunBegin = 1,      ///< a=PIs, b=nodes, v0=LUTs, v1=POs.
+  kRunEnd = 2,        ///< code=outcome (0 not-eq, 1 eq), v0=outputs proven.
+  kPhaseBegin = 3,    ///< code=PhaseId.
+  kPhaseEnd = 4,      ///< code=PhaseId, v0=cost after, v1=classes live, dur_us.
+  kClassCreated = 5,  ///< a=representative, code=PatternSource, v0=size.
+  kClassSplit = 6,    ///< a=parent rep, code=PatternSource, v0=surviving
+                      ///< buckets, v1=parent size.
+  kClassMerged = 7,   ///< a=representative, b=node merged into it (UNSAT).
+  kSatCall = 8,       ///< a,b=target pair (b unused for output proofs),
+                      ///< code=SatVerdict, v0=conflicts, v1=propagations,
+                      ///< v2=decisions, v3=(cone_vars<<32)|learned, dur_us,
+                      ///< flags bit0 = output proof.
+  kPatternBatch = 9,  ///< a=guided patterns in batch, code=PatternSource,
+                      ///< v0=classes split, v1=classes live after, v2=cost
+                      ///< after, dur_us=simulate+refine time, flags=strategy.
+  kCertified = 10,    ///< a,b=target pair, code=1 ok / 0 fail, v0=checked
+                      ///< lemmas, v1=RUP checks, v2=checker propagations,
+                      ///< dur_us, flags bit0 = output proof.
+  kHeartbeat = 11,    ///< a=live nodes, b=resolved nodes, v0=classes live,
+                      ///< v1=proved, v2=disproved, v3=SAT calls,
+                      ///< dur_us=elapsed in sweep (saturating).
+  kWatchdog = 12,     ///< code=1 signal / 2 timeout, a=signal number.
+};
+
+/// Verdict codes for kSatCall (mirrors sat::Result's meaning without
+/// depending on the sat layer: obs sits below it).
+enum class SatVerdict : std::uint8_t { kSat = 0, kUnsat = 1, kUnknown = 2 };
+
+/// Attribution of a simulated pattern batch (and of the class splits it
+/// caused) to the generator that produced the patterns.
+enum class PatternSource : std::uint8_t {
+  kNone = 0,
+  kRandom = 1,          ///< Plain random simulation.
+  kSimGen = 2,          ///< Guided SimGen arms (flags carries the arm).
+  kRevS = 3,            ///< Reverse-simulation baseline.
+  kCounterexample = 4,  ///< SAT counterexample resimulation.
+};
+inline constexpr std::size_t kNumPatternSources = 5;
+
+/// Flow phases for kPhaseBegin/kPhaseEnd.
+enum class PhaseId : std::uint8_t {
+  kNone = 0,
+  kRandomSim = 1,
+  kGuidedSim = 2,
+  kSweep = 3,
+  kOutputProofs = 4,
+  kReduce = 5,
+};
+inline constexpr std::size_t kNumPhases = 6;
+
+[[nodiscard]] const char* kind_name(EventKind kind) noexcept;
+[[nodiscard]] const char* source_name(PatternSource source) noexcept;
+[[nodiscard]] const char* phase_name(PhaseId phase) noexcept;
+[[nodiscard]] const char* verdict_name(SatVerdict verdict) noexcept;
+
+/// One journal record. Fixed 64-byte layout so the hot-path write is a
+/// single struct copy into a preallocated ring and the binary file format
+/// is the in-memory representation. Field meaning depends on `kind` (see
+/// EventKind); unused fields are zero.
+struct JournalEvent {
+  std::uint64_t t_ns = 0;  ///< Nanoseconds since the journal epoch (open()).
+  std::uint64_t a = 0;     ///< Primary operand (node/class id, counts).
+  std::uint64_t b = 0;     ///< Secondary operand.
+  std::uint64_t v0 = 0;
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+  std::uint64_t v3 = 0;
+  std::uint32_t dur_us = 0;  ///< Duration where meaningful (saturating).
+  std::uint16_t flags = 0;   ///< Kind-specific (bit0 = output proof, ...).
+  EventKind kind = EventKind::kNone;
+  std::uint8_t code = 0;  ///< Kind-specific sub-code (verdict, phase, ...).
+
+  friend bool operator==(const JournalEvent&, const JournalEvent&) = default;
+};
+static_assert(sizeof(JournalEvent) == 64, "events are 64-byte records");
+static_assert(std::is_trivially_copyable_v<JournalEvent>);
+
+/// kSatCall packs two 32-bit quantities into v3.
+[[nodiscard]] constexpr std::uint64_t pack_cone_learned(
+    std::uint64_t cone_vars, std::uint64_t learned) noexcept {
+  const std::uint64_t hi = cone_vars > 0xffffffffull ? 0xffffffffull : cone_vars;
+  const std::uint64_t lo = learned > 0xffffffffull ? 0xffffffffull : learned;
+  return (hi << 32) | lo;
+}
+[[nodiscard]] constexpr std::uint64_t unpack_cone(std::uint64_t v3) noexcept {
+  return v3 >> 32;
+}
+[[nodiscard]] constexpr std::uint64_t unpack_learned(std::uint64_t v3) noexcept {
+  return v3 & 0xffffffffull;
+}
+
+/// Saturating microsecond duration for the 32-bit dur_us field.
+[[nodiscard]] constexpr std::uint32_t saturate_us(double seconds) noexcept {
+  const double us = seconds * 1e6;
+  if (us <= 0.0) return 0;
+  if (us >= 4294967295.0) return 0xffffffffu;
+  return static_cast<std::uint32_t>(us);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+enum class JournalFormat : std::uint8_t {
+  kAuto = 0,    ///< Binary unless the path ends in ".jsonl".
+  kBinary = 1,
+  kJsonl = 2,
+};
+
+#ifdef SIMGEN_NO_TELEMETRY
+[[nodiscard]] constexpr bool journal_enabled() noexcept { return false; }
+#else
+/// True while a journal file is open and recording. One relaxed atomic
+/// load; every emit helper checks it first.
+[[nodiscard]] bool journal_enabled() noexcept;
+#endif
+
+/// Process-wide journal writer. Events from any thread funnel through
+/// per-thread SPSC rings into one file; a background drain thread owns
+/// the file writes so emitters never block on IO (a producer only drains
+/// synchronously in the rare case its ring fills between drain passes).
+class Journal {
+ public:
+  static Journal& instance();
+
+  /// Opens \p path and starts recording (spawning the drain thread).
+  /// Returns false if the file cannot be created, a journal is already
+  /// open, or the writer is compiled out (SIMGEN_NO_TELEMETRY).
+  bool open(const std::string& path, JournalFormat format = JournalFormat::kAuto);
+
+  /// Stops recording, drains every buffer, and closes the file. Safe to
+  /// call when not open (no-op) and from the watchdog thread.
+  void close();
+
+  /// Drains all pending events to the file and flushes it, without
+  /// closing. Used by heartbeats and the watchdog so the on-disk journal
+  /// is near-complete at any moment.
+  void flush();
+
+  [[nodiscard]] bool is_open() const noexcept;
+
+  /// Records one event. If \p event.t_ns is zero it is stamped with the
+  /// current epoch offset. Drops silently when not recording.
+  void emit(JournalEvent event);
+
+  /// Nanoseconds since open(); 0 when closed.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// Events written to the file so far (drained, not still in rings).
+  [[nodiscard]] std::uint64_t events_written() const noexcept;
+
+ private:
+  Journal() = default;
+};
+
+/// Convenience emit: fills a JournalEvent and hands it to the instance.
+/// All call sites guard with journal_enabled() first, so under
+/// SIMGEN_NO_TELEMETRY the whole expression folds away.
+inline void journal_emit(EventKind kind, std::uint8_t code, std::uint64_t a,
+                         std::uint64_t b = 0, std::uint64_t v0 = 0,
+                         std::uint64_t v1 = 0, std::uint64_t v2 = 0,
+                         std::uint64_t v3 = 0, std::uint32_t dur_us = 0,
+                         std::uint16_t flags = 0) {
+  if (!journal_enabled()) return;
+  JournalEvent event;
+  event.kind = kind;
+  event.code = code;
+  event.a = a;
+  event.b = b;
+  event.v0 = v0;
+  event.v1 = v1;
+  event.v2 = v2;
+  event.v3 = v3;
+  event.dur_us = dur_us;
+  event.flags = flags;
+  Journal::instance().emit(event);
+}
+
+/// RAII phase bracket: emits kPhaseBegin at construction and kPhaseEnd
+/// (with duration and an optional cost/classes-live result) at scope
+/// exit. Free when the journal is closed or compiled out.
+class PhaseScope {
+ public:
+  explicit PhaseScope(PhaseId phase) noexcept {
+    if (!journal_enabled()) return;
+    active_ = true;
+    phase_ = phase;
+    start_ns_ = Journal::instance().now_ns();
+    journal_emit(EventKind::kPhaseBegin, static_cast<std::uint8_t>(phase), 0);
+  }
+  ~PhaseScope() {
+    if (!active_) return;
+    const std::uint64_t end_ns = Journal::instance().now_ns();
+    journal_emit(EventKind::kPhaseEnd, static_cast<std::uint8_t>(phase_), 0, 0,
+                 v0_, v1_, 0, 0,
+                 saturate_us(static_cast<double>(end_ns - start_ns_) * 1e-9));
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  /// Records the phase outcome carried by kPhaseEnd (cost after, classes
+  /// live after).
+  void set_result(std::uint64_t cost_after, std::uint64_t classes_live) noexcept {
+    v0_ = cost_after;
+    v1_ = classes_live;
+  }
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t v0_ = 0;
+  std::uint64_t v1_ = 0;
+  PhaseId phase_ = PhaseId::kNone;
+  bool active_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Pattern-source attribution
+
+/// RAII attribution scope for one simulated pattern batch. Construct it
+/// around a simulate+refine step; EquivClasses::refine reports its split
+/// results into the innermost scope on the same thread, and the scope's
+/// destructor emits one kPatternBatch event with the batch's source,
+/// guided-pattern count, splits, and wall time. Nesting is allowed (the
+/// innermost scope wins); everything is a no-op while the journal is
+/// closed or compiled out.
+class PatternScope {
+ public:
+  /// \p patterns is the number of *guided* patterns in the batch (0 for a
+  /// purely random word); \p strategy_code optionally records the guided
+  /// arm (core::Strategy value) in the event's flags.
+  PatternScope(PatternSource source, std::uint32_t patterns,
+               std::uint8_t strategy_code = 0) noexcept;
+  ~PatternScope();
+  PatternScope(const PatternScope&) = delete;
+  PatternScope& operator=(const PatternScope&) = delete;
+
+  /// Called by EquivClasses::refine: accumulates refine results into the
+  /// innermost scope of the calling thread. No-op without one.
+  static void record_refine(std::uint64_t splits, std::uint64_t classes_live,
+                            std::uint64_t cost) noexcept;
+
+  /// Source of the innermost active scope (kNone without one); used by
+  /// refine to attribute per-class split events.
+  [[nodiscard]] static PatternSource current_source() noexcept;
+
+ private:
+#ifndef SIMGEN_NO_TELEMETRY
+  PatternScope* prev_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t splits_ = 0;
+  std::uint64_t classes_live_ = 0;
+  std::uint64_t cost_ = 0;
+  std::uint32_t patterns_ = 0;
+  PatternSource source_ = PatternSource::kNone;
+  std::uint8_t strategy_code_ = 0;
+  bool refined_ = false;
+  bool active_ = false;
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// Reader (compiled unconditionally, including SIMGEN_NO_TELEMETRY builds)
+
+/// Parses a journal file (binary or JSONL, auto-detected) into events.
+/// Returns false and fills \p error on malformed input; a trailing
+/// partial record (a run killed mid-write) is tolerated and reported via
+/// \p truncated when non-null.
+bool read_journal_file(const std::string& path, std::vector<JournalEvent>& out,
+                       std::string* error = nullptr, bool* truncated = nullptr);
+
+/// Serializes events in the binary format (header + records) or JSONL to
+/// an arbitrary file — the reader-side counterpart used by tests and by
+/// `sweep_inspect --rewrite`. Returns false if the file cannot be written.
+bool write_journal_file(const std::string& path,
+                        const std::vector<JournalEvent>& events,
+                        JournalFormat format = JournalFormat::kAuto);
+
+}  // namespace simgen::obs

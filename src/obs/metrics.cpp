@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -15,25 +16,67 @@ namespace detail {
 std::string json_escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
-        } else {
-          out += c;
-        }
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buffer;
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+      ++i;
+      continue;
+    }
+    // Multi-byte sequence: pass through only well-formed UTF-8 (RFC 3629);
+    // anything else (stray continuation, overlong form, surrogate, > U+10FFFF)
+    // becomes U+FFFD so user-supplied benchmark paths in span names can
+    // never produce invalid JSON.
+    const std::size_t length = c >= 0xF0 ? 4 : (c >= 0xE0 ? 3 : (c >= 0xC2 ? 2 : 0));
+    bool valid = length != 0 && i + length <= text.size();
+    if (valid) {
+      for (std::size_t k = 1; k < length; ++k)
+        if ((static_cast<unsigned char>(text[i + k]) & 0xC0) != 0x80)
+          valid = false;
+    }
+    if (valid && length == 3) {
+      const auto next = static_cast<unsigned char>(text[i + 1]);
+      if (c == 0xE0 && next < 0xA0) valid = false;  // overlong
+      if (c == 0xED && next >= 0xA0) valid = false;  // UTF-16 surrogate
+    }
+    if (valid && length == 4) {
+      const auto next = static_cast<unsigned char>(text[i + 1]);
+      if (c == 0xF0 && next < 0x90) valid = false;  // overlong
+      if (c == 0xF4 && next >= 0x90) valid = false;  // > U+10FFFF
+      if (c > 0xF4) valid = false;
+    }
+    if (valid) {
+      out.append(text.substr(i, length));
+      i += length;
+    } else {
+      out += "\\ufffd";
+      ++i;
     }
   }
   return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf.
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.15g", value);
+  return buffer;
 }
 
 }  // namespace detail
@@ -260,7 +303,7 @@ void write_metrics_jsonl(std::ostream& out, const TelemetrySnapshot& snapshot) {
         << "\",\"value\":" << value << "}\n";
   for (const auto& [name, value] : snapshot.gauges)
     out << "{\"kind\":\"gauge\",\"name\":\"" << detail::json_escape(name)
-        << "\",\"value\":" << value << "}\n";
+        << "\",\"value\":" << detail::json_number(value) << "}\n";
   for (const auto& [name, histogram] : snapshot.histograms) {
     out << "{\"kind\":\"histogram\",\"name\":\"" << detail::json_escape(name)
         << "\",\"count\":" << histogram.count << ",\"sum\":" << histogram.sum

@@ -180,10 +180,16 @@ bool write_metrics_file(const std::string& path);
 void reset_all_metrics();
 
 namespace detail {
-/// Escapes a string for inclusion inside a JSON string literal (quotes,
-/// backslashes, control characters). Shared by the metrics and trace
-/// exporters.
+/// Escapes a string for inclusion inside a JSON string literal: quotes,
+/// backslashes, and control characters are escaped, and malformed UTF-8
+/// (stray continuation bytes, overlong forms, surrogates) is replaced
+/// with U+FFFD so the output is always valid JSON. Shared by the metrics
+/// and trace exporters.
 [[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Renders a double as a JSON number; non-finite values (which JSON
+/// cannot represent) become "null".
+[[nodiscard]] std::string json_number(double value);
 }  // namespace detail
 
 }  // namespace simgen::obs

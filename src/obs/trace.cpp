@@ -94,7 +94,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       for (std::size_t i = 0; i < event.args.size(); ++i) {
         if (i != 0) out << ',';
         out << '"' << detail::json_escape(event.args[i].first)
-            << "\":" << event.args[i].second;
+            << "\":" << detail::json_number(event.args[i].second);
       }
       out << '}';
     }

@@ -1,0 +1,172 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace simgen::obs {
+
+namespace {
+
+struct ExitState {
+  std::mutex mutex;
+  std::string trace_path;
+  std::string metrics_path;
+  std::atomic<bool> flushed{false};
+  std::atomic<bool> flush_done{false};
+  std::atomic<bool> atexit_registered{false};
+  std::atomic<bool> watchdog_running{false};
+  /// Signal number caught by the async-signal-safe handler; the watchdog
+  /// thread polls it. 0 = none.
+  std::atomic<int> pending_signal{0};
+
+  static ExitState& get() {
+    // Leaked so the atexit hook and detached watchdog thread can touch it
+    // at any point of teardown.
+    static ExitState* state = new ExitState();
+    return *state;
+  }
+};
+
+void signal_handler(int sig) {
+  // Only an atomic store: everything else happens on the watchdog thread.
+  ExitState::get().pending_signal.store(sig, std::memory_order_release);
+}
+
+void dump_progress(const char* why) {
+  SweepProgress& progress = sweep_progress();
+  std::fprintf(stderr,
+               "[simgen watchdog] %s: sweep %s — classes live %llu, nodes "
+               "live %llu / resolved %llu, proved %llu, disproved %llu, "
+               "unresolved %llu, SAT calls %llu, journal events %llu\n",
+               why,
+               progress.active.load(std::memory_order_acquire) ? "RUNNING"
+                                                               : "idle",
+               static_cast<unsigned long long>(
+                   progress.classes_live.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   progress.live_nodes.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   progress.resolved_nodes.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   progress.proved.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   progress.disproved.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   progress.unresolved.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   progress.sat_calls.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   Journal::instance().events_written()));
+  std::fflush(stderr);
+}
+
+void watchdog_loop(WatchdogOptions options) {
+  ExitState& state = ExitState::get();
+  const auto deadline =
+      options.timeout_seconds > 0.0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options.timeout_seconds))
+          : std::chrono::steady_clock::time_point::max();
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    const int sig = state.pending_signal.load(std::memory_order_acquire);
+    if (sig != 0) {
+      journal_emit(EventKind::kWatchdog, 1, static_cast<std::uint64_t>(sig));
+      dump_progress(sig == SIGINT ? "caught SIGINT" : "caught signal");
+      flush_exit_outputs();
+      // Hand the signal back under its default disposition so the exit
+      // status says "killed by SIGINT/SIGTERM", as tools expect.
+      std::signal(sig, SIG_DFL);
+      std::raise(sig);
+      return;  // Unreached for fatal signals.
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      journal_emit(EventKind::kWatchdog, 2, 0);
+      dump_progress("timeout expired");
+      flush_exit_outputs();
+#ifdef __unix__
+      _exit(options.timeout_exit_code);
+#else
+      std::_Exit(options.timeout_exit_code);
+#endif
+    }
+  }
+}
+
+}  // namespace
+
+SweepProgress& sweep_progress() noexcept {
+  static SweepProgress* progress = new SweepProgress();
+  return *progress;
+}
+
+void set_exit_outputs(const std::string& trace_path,
+                      const std::string& metrics_path) {
+  ExitState& state = ExitState::get();
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.trace_path = trace_path;
+    state.metrics_path = metrics_path;
+  }
+  if (!state.atexit_registered.exchange(true))
+    std::atexit([] { flush_exit_outputs(); });
+}
+
+void flush_exit_outputs() {
+  ExitState& state = ExitState::get();
+  if (state.flushed.exchange(true)) {
+    // Another thread (normal teardown vs watchdog vs atexit) is already
+    // flushing. Wait for it: the watchdog re-raises a fatal signal right
+    // after this returns, and returning early would kill the process with
+    // the journal/trace half-written. Bounded in case the flusher died.
+    for (int i = 0; i < 5000 && !state.flush_done.load(std::memory_order_acquire);
+         ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return;
+  }
+  Journal::instance().close();
+  std::string trace_path, metrics_path;
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    trace_path = state.trace_path;
+    metrics_path = state.metrics_path;
+  }
+  if (!trace_path.empty() &&
+      !Tracer::instance().write_chrome_trace_file(trace_path))
+    util::errorf("cannot write trace file %s", trace_path.c_str());
+  if (!metrics_path.empty() && !write_metrics_file(metrics_path))
+    util::errorf("cannot write metrics file %s", metrics_path.c_str());
+  state.flush_done.store(true, std::memory_order_release);
+}
+
+bool exit_outputs_flushed() noexcept {
+  return ExitState::get().flushed.load(std::memory_order_acquire);
+}
+
+bool start_watchdog(const WatchdogOptions& options) {
+  if (!options.handle_signals && options.timeout_seconds <= 0.0) return false;
+  ExitState& state = ExitState::get();
+  if (state.watchdog_running.exchange(true)) return false;
+  if (options.handle_signals) {
+    std::signal(SIGINT, signal_handler);
+    std::signal(SIGTERM, signal_handler);
+  }
+  std::thread(watchdog_loop, options).detach();
+  return true;
+}
+
+}  // namespace simgen::obs

@@ -1,0 +1,87 @@
+/// \file watchdog.hpp
+/// \brief Exit-safe telemetry finalization, live sweep progress, and a
+/// signal/timeout watchdog.
+///
+/// Three cooperating pieces so no run ever dies silently:
+///
+///  * Exit outputs: `set_exit_outputs` records where the trace and
+///    metrics files should land; `flush_exit_outputs` (registered with
+///    `std::atexit`, called by the CLI teardown paths and by the
+///    watchdog) writes them exactly once and closes the journal, so an
+///    interrupted run still leaves valid JSON on disk.
+///  * SweepProgress: a struct of atomics the sweep loop updates in place;
+///    the heartbeat printer and the watchdog's state dump read it from
+///    another thread without synchronization beyond the atomics.
+///  * Watchdog: a background thread that polls a signal flag set by
+///    async-signal-safe SIGINT/SIGTERM handlers and an optional deadline.
+///    On either trigger it journals a kWatchdog event, dumps the current
+///    sweep/solver progress to stderr, flushes every telemetry output,
+///    then re-raises the signal under the default disposition (preserving
+///    the conventional "killed by SIGINT" exit status) or `_exit(124)`
+///    on timeout.
+///
+/// Compiled in every build: under SIMGEN_NO_TELEMETRY the journal calls
+/// are no-ops but signal handling, the state dump, and the (empty but
+/// valid) metrics/trace files still work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace simgen::obs {
+
+/// Live progress of the current sweep, shared between the sweep loop
+/// (single writer) and the heartbeat/watchdog readers.
+struct SweepProgress {
+  std::atomic<bool> active{false};         ///< A sweep loop is running.
+  std::atomic<std::uint64_t> live_nodes{0};      ///< Nodes still in classes.
+  std::atomic<std::uint64_t> resolved_nodes{0};  ///< Proved + disproved + given up.
+  std::atomic<std::uint64_t> classes_live{0};
+  std::atomic<std::uint64_t> proved{0};
+  std::atomic<std::uint64_t> disproved{0};
+  std::atomic<std::uint64_t> unresolved{0};
+  std::atomic<std::uint64_t> sat_calls{0};
+
+  /// Resets counts at sweep entry (single writer, relaxed is enough).
+  void begin(std::uint64_t initial_live_nodes, std::uint64_t initial_classes) noexcept {
+    live_nodes.store(initial_live_nodes, std::memory_order_relaxed);
+    classes_live.store(initial_classes, std::memory_order_relaxed);
+    resolved_nodes.store(0, std::memory_order_relaxed);
+    proved.store(0, std::memory_order_relaxed);
+    disproved.store(0, std::memory_order_relaxed);
+    unresolved.store(0, std::memory_order_relaxed);
+    sat_calls.store(0, std::memory_order_relaxed);
+    active.store(true, std::memory_order_release);
+  }
+  void end() noexcept { active.store(false, std::memory_order_release); }
+};
+
+[[nodiscard]] SweepProgress& sweep_progress() noexcept;
+
+/// Records the output paths the process should leave behind on any exit
+/// (empty string = not requested) and registers the atexit finalizer.
+/// Call once from the CLI after parsing flags.
+void set_exit_outputs(const std::string& trace_path,
+                      const std::string& metrics_path);
+
+/// Writes the registered trace/metrics files, flushes and closes the
+/// journal. Idempotent: only the first call does work, so the atexit
+/// hook, CLI teardown, and the watchdog can all call it safely.
+void flush_exit_outputs();
+
+/// True once flush_exit_outputs has run (tests / diagnostics).
+[[nodiscard]] bool exit_outputs_flushed() noexcept;
+
+struct WatchdogOptions {
+  bool handle_signals = true;    ///< Install SIGINT/SIGTERM handlers.
+  double timeout_seconds = 0.0;  ///< 0 = no deadline.
+  int timeout_exit_code = 124;   ///< Matches coreutils `timeout`.
+};
+
+/// Starts the watchdog thread (idempotent; returns false if it is
+/// already running or nothing was requested). The thread is detached and
+/// runs for the remainder of the process.
+bool start_watchdog(const WatchdogOptions& options = {});
+
+}  // namespace simgen::obs

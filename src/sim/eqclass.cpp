@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace simgen::sim {
@@ -30,6 +31,9 @@ std::size_t EquivClasses::refine(const Simulator& simulator) {
 
 std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
   std::size_t splits = 0;
+  const bool journal = obs::journal_enabled();
+  const auto source =
+      static_cast<std::uint8_t>(obs::PatternScope::current_source());
   std::vector<std::vector<net::NodeId>> next;
   next.reserve(classes_.size());
   std::unordered_map<PatternWord, std::size_t> bucket_of;
@@ -42,7 +46,19 @@ std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
       if (inserted) buckets.emplace_back();
       buckets[it->second].push_back(node);
     }
-    if (buckets.size() > 1) ++splits;
+    if (buckets.size() > 1) {
+      ++splits;
+      if (journal) {
+        // The class is identified by its representative (first member);
+        // a same-rep kClassCreated below is the parent continuing.
+        obs::journal_emit(obs::EventKind::kClassSplit, source, members.front(),
+                          0, buckets.size(), members.size());
+        for (const auto& bucket : buckets)
+          if (bucket.size() >= 2)
+            obs::journal_emit(obs::EventKind::kClassCreated, source,
+                              bucket.front(), 0, bucket.size());
+      }
+    }
     for (auto& bucket : buckets)
       if (bucket.size() >= 2) next.push_back(std::move(bucket));
   }
@@ -52,6 +68,7 @@ std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
   refine_calls.inc();
   split_count.inc(splits);
   obs::set_gauge("eq.classes_live", static_cast<double>(classes_.size()));
+  if (journal) obs::PatternScope::record_refine(splits, classes_.size(), cost());
   return splits;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/random_sim.hpp"
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -8,6 +9,7 @@ namespace simgen::sim {
 RandomSimResult run_random_simulation(Simulator& simulator, EquivClasses& classes,
                                       const RandomSimOptions& options) {
   obs::Span span("random_sim.run");
+  obs::PhaseScope phase(obs::PhaseId::kRandomSim);
   RandomSimResult result;
   util::Rng rng(options.seed);
   util::Stopwatch watch;
@@ -15,8 +17,11 @@ RandomSimResult run_random_simulation(Simulator& simulator, EquivClasses& classe
   std::size_t flat = 0;
   std::uint64_t last_cost = classes.cost();
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
-    simulator.simulate_random_word(rng);
-    classes.refine(simulator);
+    {
+      obs::PatternScope batch(obs::PatternSource::kRandom, 0);
+      simulator.simulate_random_word(rng);
+      classes.refine(simulator);
+    }
     ++result.rounds_run;
     const std::uint64_t cost = classes.cost();
     result.cost_per_round.push_back(cost);
@@ -33,6 +38,7 @@ RandomSimResult run_random_simulation(Simulator& simulator, EquivClasses& classe
   rounds.inc(result.rounds_run);
   span.arg("rounds", static_cast<double>(result.rounds_run));
   span.arg("final_cost", static_cast<double>(classes.cost()));
+  phase.set_result(classes.cost(), classes.num_classes());
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
@@ -20,8 +21,13 @@ namespace {
 class PatternBatcher {
  public:
   PatternBatcher(sim::Simulator& simulator, sim::EquivClasses& classes,
-                 util::Rng& rng)
-      : simulator_(simulator), classes_(classes), rng_(rng) {}
+                 util::Rng& rng, Strategy strategy)
+      : simulator_(simulator),
+        classes_(classes),
+        rng_(rng),
+        source_(strategy == Strategy::kRevS ? obs::PatternSource::kRevS
+                                            : obs::PatternSource::kSimGen),
+        strategy_code_(static_cast<std::uint8_t>(strategy)) {}
 
   void add(const std::vector<TVal>& pi_values) {
     batch_.push_back(pi_values);
@@ -33,6 +39,10 @@ class PatternBatcher {
   /// the surrounding sweeping flow of Figure 2 does.
   void flush(bool force = false) {
     if (batch_.empty() && !force) return;
+    // Attribute the batch (and the class splits its refine causes) to the
+    // guided strategy that produced its vectors.
+    obs::PatternScope scope(source_, static_cast<std::uint32_t>(batch_.size()),
+                            strategy_code_);
     const std::size_t num_pis = simulator_.network().num_pis();
     std::vector<sim::PatternWord> words(num_pis, 0);
     for (std::size_t i = 0; i < num_pis; ++i) words[i] = rng_();
@@ -60,6 +70,8 @@ class PatternBatcher {
   sim::Simulator& simulator_;
   sim::EquivClasses& classes_;
   util::Rng& rng_;
+  obs::PatternSource source_;
+  std::uint8_t strategy_code_;
   std::vector<std::vector<TVal>> batch_;
 };
 
@@ -111,12 +123,13 @@ GuidedSimResult run_guided_simulation(sim::Simulator& simulator,
                                       const GuidedSimOptions& options) {
   const net::Network& network = simulator.network();
   obs::Span run_span("guided_sim.run");
+  obs::PhaseScope phase(obs::PhaseId::kGuidedSim);
   GuidedSimResult result;
   util::Stopwatch watch;
   watch.start();
 
   util::Rng fill_rng(util::splitmix64(options.seed) ^ 0xf111f111u);
-  PatternBatcher batcher(simulator, classes, fill_rng);
+  PatternBatcher batcher(simulator, classes, fill_rng, options.strategy);
 
   // Strategy-specific generator state lives across iterations so the RNG
   // streams and cached row/MFFC data are reused.
@@ -249,6 +262,7 @@ GuidedSimResult run_guided_simulation(sim::Simulator& simulator,
   result.runtime_seconds = watch.seconds();
   run_span.arg("vectors_generated", static_cast<double>(result.vectors_generated));
   run_span.arg("vectors_skipped", static_cast<double>(result.vectors_skipped));
+  phase.set_result(classes.cost(), classes.num_classes());
   return result;
 }
 

@@ -31,8 +31,11 @@
 #include "network/mffc.hpp"
 #include "network/network.hpp"
 #include "network/scoap.hpp"
+#include "obs/inspect.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/encoder.hpp"
 #include "sat/proof.hpp"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "check/lint.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/random_sim.hpp"
@@ -96,24 +97,43 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   sim::Simulator simulator(miter.network);
   sim::EquivClasses classes = sim::EquivClasses::over_luts(miter.network);
 
+  if (obs::journal_enabled()) {
+    std::uint64_t num_luts = 0;
+    miter.network.for_each_lut([&num_luts](net::NodeId) { ++num_luts; });
+    obs::journal_emit(obs::EventKind::kRunBegin, 0, miter.network.num_pis(),
+                      miter.network.num_nodes(), num_luts,
+                      miter.network.num_pos());
+  }
+  const auto journal_run_end = [](const CecResult& r) {
+    if (obs::journal_enabled())
+      obs::journal_emit(obs::EventKind::kRunEnd, r.equivalent ? 1 : 0, 0, 0,
+                        r.outputs_proven);
+  };
+
   // Phase 1: random simulation. Any nonzero miter output word is already
   // a counterexample — report it without touching the solver.
   util::Rng rng(options.seed);
   obs::Span random_span("cec.random_sim");
-  for (std::size_t round = 0; round < options.random_rounds; ++round) {
-    simulator.simulate_random_word(rng);
-    classes.refine(simulator);
-    for (net::NodeId po : miter.network.pos()) {
-      const sim::PatternWord word = simulator.value(po);
-      if (word != 0) {
-        const auto bit = static_cast<unsigned>(std::countr_zero(word));
-        result.counterexample = pattern_of_bit(simulator, bit);
-        result.equivalent = false;
-        total.stop();
-        result.total_seconds = total.seconds();
-        return result;
+  {
+    obs::PhaseScope random_phase(obs::PhaseId::kRandomSim);
+    for (std::size_t round = 0; round < options.random_rounds; ++round) {
+      obs::PatternScope batch(obs::PatternSource::kRandom, 0);
+      simulator.simulate_random_word(rng);
+      classes.refine(simulator);
+      for (net::NodeId po : miter.network.pos()) {
+        const sim::PatternWord word = simulator.value(po);
+        if (word != 0) {
+          const auto bit = static_cast<unsigned>(std::countr_zero(word));
+          result.counterexample = pattern_of_bit(simulator, bit);
+          result.equivalent = false;
+          total.stop();
+          result.total_seconds = total.seconds();
+          journal_run_end(result);
+          return result;
+        }
       }
     }
+    random_phase.set_result(classes.cost(), classes.num_classes());
   }
 
   random_span.arg("cost_after", static_cast<double>(classes.cost()));
@@ -152,7 +172,19 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
 
   // Phase 4: prove each miter output constant-0.
   obs::Span outputs_span("cec.output_proofs");
+  obs::PhaseScope outputs_phase(obs::PhaseId::kOutputProofs);
   for (net::NodeId po : miter.network.pos()) {
+    const bool journal = obs::journal_enabled();
+    std::uint64_t conflicts0 = 0, props0 = 0, decisions0 = 0, learned0 = 0;
+    std::uint64_t vars0 = 0;
+    if (journal) {
+      const sat::SolverStats& stats = sweeper.solver().stats();
+      conflicts0 = stats.conflicts.value();
+      props0 = stats.propagations.value();
+      decisions0 = stats.decisions.value();
+      learned0 = stats.learned_clauses.value();
+      vars0 = sweeper.solver().num_vars();
+    }
     const sat::Var po_var = sweeper.encoder().ensure_encoded(po);
     util::Stopwatch watch;
     watch.start();
@@ -160,6 +192,23 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
     watch.stop();
     ++result.output_sat_calls;
     result.output_sat_seconds += watch.seconds();
+    if (journal) {
+      const sat::SolverStats& stats = sweeper.solver().stats();
+      const std::uint8_t code =
+          verdict == sat::Result::kSat
+              ? static_cast<std::uint8_t>(obs::SatVerdict::kSat)
+              : (verdict == sat::Result::kUnsat
+                     ? static_cast<std::uint8_t>(obs::SatVerdict::kUnsat)
+                     : static_cast<std::uint8_t>(obs::SatVerdict::kUnknown));
+      obs::journal_emit(
+          obs::EventKind::kSatCall, code, po, 0,
+          stats.conflicts.value() - conflicts0,
+          stats.propagations.value() - props0,
+          stats.decisions.value() - decisions0,
+          obs::pack_cone_learned(sweeper.solver().num_vars() - vars0,
+                                 stats.learned_clauses.value() - learned0),
+          obs::saturate_us(watch.seconds()), /*flags=*/1);
+    }
     if (verdict == sat::Result::kSat) {
       result.counterexample = sweeper.last_model_vector();
       if (!violates(simulator, result.counterexample))
@@ -167,6 +216,7 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
       result.equivalent = false;
       total.stop();
       result.total_seconds = total.seconds();
+      journal_run_end(result);
       return result;
     }
     if (verdict == sat::Result::kUnknown)
@@ -175,7 +225,7 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
     // derivation must entail (~po).
     if (sweeper.certifier() != nullptr) {
       const sat::Lit assumption = sat::pos(po_var);
-      sweeper.certify_unsat({&assumption, 1});
+      sweeper.certify_unsat({&assumption, 1}, po, 0, /*output_proof=*/true);
       ++result.certified_outputs;
     }
     ++result.outputs_proven;
@@ -184,6 +234,7 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   result.equivalent = true;
   total.stop();
   result.total_seconds = total.seconds();
+  journal_run_end(result);
   return result;
 }
 

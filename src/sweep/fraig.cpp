@@ -1,6 +1,7 @@
 #include "sweep/fraig.hpp"
 
 #include "check/lint.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "sim/random_sim.hpp"
 
@@ -41,8 +42,10 @@ FraigResult fraig(const net::Network& network, const FraigOptions& options) {
   net::Network reduced;
   {
     obs::Span reduce_span("fraig.reduce");
+    obs::PhaseScope reduce_phase(obs::PhaseId::kReduce);
     reduced = reduce_network(network, sweep_stats.proven_pairs, &reduction);
     reduce_span.arg("merged_nodes", static_cast<double>(reduction.merged_nodes));
+    reduce_phase.set_result(reduction.merged_nodes, 0);
   }
   SIMGEN_DEBUG_LINT(reduced, "fraig: reduced network");
 

@@ -2,11 +2,27 @@
 
 #include <stdexcept>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace simgen::sweep {
+
+namespace {
+
+obs::SatVerdict to_verdict(sat::Result result) noexcept {
+  switch (result) {
+    case sat::Result::kSat: return obs::SatVerdict::kSat;
+    case sat::Result::kUnsat: return obs::SatVerdict::kUnsat;
+    case sat::Result::kUnknown: return obs::SatVerdict::kUnknown;
+  }
+  return obs::SatVerdict::kUnknown;
+}
+
+}  // namespace
 
 Sweeper::Sweeper(const net::Network& network, SweepOptions options)
     : network_(network),
@@ -18,9 +34,31 @@ Sweeper::Sweeper(const net::Network& network, SweepOptions options)
   solver_.set_conflict_limit(options_.conflict_limit);
 }
 
-void Sweeper::certify_unsat(std::span<const sat::Lit> assumptions) {
+void Sweeper::certify_unsat(std::span<const sat::Lit> assumptions,
+                            std::uint64_t journal_a, std::uint64_t journal_b,
+                            bool output_proof) {
   if (!certifier_) return;
-  if (!certifier_->certify_unsat(assumptions))
+  const bool journal = obs::journal_enabled();
+  std::uint64_t lemmas0 = 0, rups0 = 0, props0 = 0;
+  util::Stopwatch watch;
+  if (journal) {
+    const check::DratStats& stats = certifier_->stats();
+    lemmas0 = stats.checked_lemmas.value();
+    rups0 = stats.rup_checks.value();
+    props0 = stats.propagations.value();
+    watch.start();
+  }
+  const bool ok = certifier_->certify_unsat(assumptions);
+  if (journal) {
+    const check::DratStats& stats = certifier_->stats();
+    obs::journal_emit(obs::EventKind::kCertified, ok ? 1 : 0, journal_a,
+                      journal_b, stats.checked_lemmas.value() - lemmas0,
+                      stats.rup_checks.value() - rups0,
+                      stats.propagations.value() - props0, 0,
+                      obs::saturate_us(watch.seconds()),
+                      output_proof ? 1 : 0);
+  }
+  if (!ok)
     throw std::logic_error(
         "sweeper: UNSAT verdict failed DRAT certification");
   ++totals_.certified_unsat;
@@ -29,6 +67,20 @@ void Sweeper::certify_unsat(std::span<const sat::Lit> assumptions) {
 }
 
 sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
+  // Solver cost baselines for the journal's per-call deltas; the
+  // num_vars delta across encode+solve is the newly encoded cone size.
+  const bool journal = obs::journal_enabled();
+  std::uint64_t conflicts0 = 0, props0 = 0, decisions0 = 0, learned0 = 0;
+  std::uint64_t vars0 = 0;
+  if (journal) {
+    const sat::SolverStats& stats = solver_.stats();
+    conflicts0 = stats.conflicts.value();
+    props0 = stats.propagations.value();
+    decisions0 = stats.decisions.value();
+    learned0 = stats.learned_clauses.value();
+    vars0 = solver_.num_vars();
+  }
+
   const sat::Var var_a = encoder_.ensure_encoded(a);
   const sat::Var var_b = encoder_.ensure_encoded(b);
 
@@ -55,12 +107,26 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
   static obs::Counter& sat_calls = obs::counter("sweep.sat_calls");
   sat_calls.inc();
 
+  if (journal) {
+    const sat::SolverStats& stats = solver_.stats();
+    obs::journal_emit(
+        obs::EventKind::kSatCall,
+        static_cast<std::uint8_t>(to_verdict(verdict)), a, b,
+        stats.conflicts.value() - conflicts0,
+        stats.propagations.value() - props0,
+        stats.decisions.value() - decisions0,
+        obs::pack_cone_learned(solver_.num_vars() - vars0,
+                               stats.learned_clauses.value() - learned0),
+        obs::saturate_us(watch.seconds()));
+  }
+
   switch (verdict) {
     case sat::Result::kUnsat: {
       // Certify before trusting: the merge (and the equality clauses
       // strengthening later proofs) must rest on a checked derivation.
       const sat::Lit assumption = sat::pos(t);
-      certify_unsat({&assumption, 1});
+      certify_unsat({&assumption, 1}, a, b);
+      if (journal) obs::journal_emit(obs::EventKind::kClassMerged, 0, a, b);
       ++totals_.proven_equivalent;
       totals_.proven_pairs.emplace_back(a, b);
       static obs::Counter& proven = obs::counter("sweep.proven");
@@ -119,8 +185,11 @@ void Sweeper::resimulate_counterexample(const std::vector<bool>& vector,
       words[flip] ^= sim::PatternWord{1} << pattern;
     }
   }
-  simulator.simulate_word(words);
-  classes.refine(simulator);
+  {
+    obs::PatternScope scope(obs::PatternSource::kCounterexample, 1);
+    simulator.simulate_word(words);
+    classes.refine(simulator);
+  }
   ++totals_.resimulations;
   static obs::Counter& resims = obs::counter("sweep.resimulations");
   resims.inc();
@@ -129,8 +198,19 @@ void Sweeper::resimulate_counterexample(const std::vector<bool>& vector,
 
 SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) {
   obs::Span span("sweep.run");
+  obs::PhaseScope phase(obs::PhaseId::kSweep);
   span.arg("classes_in", static_cast<double>(classes.num_classes()));
   const SweepResult before = totals_;
+
+  // Live progress, readable by the heartbeat below and by the watchdog
+  // thread's state dump.
+  obs::SweepProgress& progress = obs::sweep_progress();
+  const std::uint64_t initial_live = classes.num_live_nodes();
+  progress.begin(initial_live, classes.num_classes());
+  util::Stopwatch watch;
+  watch.start();
+  double next_heartbeat = options_.progress_interval;
+
   while (!classes.fully_refined()) {
     // Prove pairs in topological order (shallowest candidate first), the
     // fraig sweep schedule: equality clauses learned for shallow pairs
@@ -162,8 +242,54 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
         classes.remove_node(candidate);
         break;
     }
+
+    const std::uint64_t live = classes.num_live_nodes();
+    const std::uint64_t resolved = initial_live - live;
+    progress.live_nodes.store(live, std::memory_order_relaxed);
+    progress.classes_live.store(classes.num_classes(), std::memory_order_relaxed);
+    progress.resolved_nodes.store(resolved, std::memory_order_relaxed);
+    progress.proved.store(totals_.proven_equivalent - before.proven_equivalent,
+                          std::memory_order_relaxed);
+    progress.disproved.store(totals_.disproven - before.disproven,
+                             std::memory_order_relaxed);
+    progress.unresolved.store(totals_.unresolved - before.unresolved,
+                              std::memory_order_relaxed);
+    progress.sat_calls.store(totals_.sat_calls - before.sat_calls,
+                             std::memory_order_relaxed);
+
+    if (options_.progress_interval > 0.0 &&
+        watch.seconds() >= next_heartbeat) {
+      const double elapsed = watch.seconds();
+      while (next_heartbeat <= elapsed) next_heartbeat += options_.progress_interval;
+      const double rate = resolved > 0 ? static_cast<double>(resolved) / elapsed : 0.0;
+      const double eta = rate > 0.0 ? static_cast<double>(live) / rate : 0.0;
+      util::infof(
+          "sweep: %zu classes live, %llu/%llu nodes resolved, "
+          "proved %llu, disproved %llu, %llu SAT calls, %.1fs elapsed, "
+          "ETA %.1fs",
+          classes.num_classes(), static_cast<unsigned long long>(resolved),
+          static_cast<unsigned long long>(initial_live),
+          static_cast<unsigned long long>(totals_.proven_equivalent -
+                                          before.proven_equivalent),
+          static_cast<unsigned long long>(totals_.disproven - before.disproven),
+          static_cast<unsigned long long>(totals_.sat_calls - before.sat_calls),
+          elapsed, eta);
+      if (obs::journal_enabled()) {
+        obs::journal_emit(
+            obs::EventKind::kHeartbeat, 0, live, resolved,
+            classes.num_classes(),
+            totals_.proven_equivalent - before.proven_equivalent,
+            totals_.disproven - before.disproven,
+            totals_.sat_calls - before.sat_calls, obs::saturate_us(elapsed));
+        // Keep the on-disk journal near-complete so a kill right after a
+        // heartbeat loses almost nothing.
+        obs::Journal::instance().flush();
+      }
+    }
   }
 
+  progress.end();
+  phase.set_result(classes.cost(), classes.num_classes());
   span.arg("sat_calls",
            static_cast<double>(totals_.sat_calls - before.sat_calls));
   SweepResult delta = totals_;

@@ -48,6 +48,10 @@ struct SweepOptions {
   /// trusting it (see src/check/drat.hpp). An uncertifiable verdict
   /// throws std::logic_error instead of silently merging a class.
   bool certify = false;
+  /// Seconds between heartbeat progress lines (classes live, nodes
+  /// resolved, SAT calls, ETA) during run(). Printed at info level and
+  /// journaled as kHeartbeat events; 0 disables.
+  double progress_interval = 0.0;
 };
 
 struct SweepResult {
@@ -93,8 +97,12 @@ class Sweeper {
   /// Certifies one UNSAT verdict given under \p assumptions; throws
   /// std::logic_error if the logged proof does not check out. No-op
   /// without an attached certifier. Used internally after every UNSAT
-  /// pair and by the CEC driver for the output proofs.
-  void certify_unsat(std::span<const sat::Lit> assumptions);
+  /// pair and by the CEC driver for the output proofs. \p journal_a /
+  /// \p journal_b / \p output_proof only annotate the kCertified journal
+  /// event (the target pair, or the PO index for output proofs).
+  void certify_unsat(std::span<const sat::Lit> assumptions,
+                     std::uint64_t journal_a = 0, std::uint64_t journal_b = 0,
+                     bool output_proof = false);
 
  private:
   void resimulate_counterexample(const std::vector<bool>& vector,

@@ -4,13 +4,31 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
+#include <optional>
 #include <string>
 
 namespace simgen::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// SIMGEN_LOG_LEVEL overrides the default threshold (set_log_level still
+/// wins if called later), so bench drivers can be quieted or verbosed
+/// without recompiling or new flags.
+LogLevel initial_log_level() noexcept {
+  const char* env = std::getenv("SIMGEN_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const std::optional<LogLevel> level = parse_log_level(env))
+      return *level;
+    std::fprintf(stderr,
+                 "[simgen] ignoring invalid SIMGEN_LOG_LEVEL=%s "
+                 "(want debug|info|warn|error|off or 0-4)\n",
+                 env);
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_log_level()};
 
 constexpr const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -58,6 +76,15 @@ void vlogf(LogLevel level, const char* fmt, std::va_list args) {
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  if (text == "debug" || text == "0") return LogLevel::kDebug;
+  if (text == "info" || text == "1") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning" || text == "2") return LogLevel::kWarn;
+  if (text == "error" || text == "3") return LogLevel::kError;
+  if (text == "off" || text == "none" || text == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void log_line(LogLevel level, std::string_view message) {
   if (level < log_level()) return;

@@ -6,15 +6,23 @@
 /// printf-style formatting is used (the toolchain predates std::format).
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 namespace simgen::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global threshold; messages below it are discarded.
+/// Sets the global threshold; messages below it are discarded. The
+/// initial threshold is kWarn, overridable by the SIMGEN_LOG_LEVEL
+/// environment variable ("debug", "info", "warn", "error", "off", or the
+/// numeric levels 0-4) — an explicit set_log_level still wins afterwards.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses a level name or digit as accepted by SIMGEN_LOG_LEVEL; empty
+/// optional on unrecognized input.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text) noexcept;
 
 /// Emits one line to stderr if \p level passes the threshold. Lines carry
 /// a wall-clock timestamp and severity tag:

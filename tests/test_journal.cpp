@@ -1,0 +1,436 @@
+/// \file test_journal.cpp
+/// \brief Sweep journal: round-trips through both on-disk formats, the
+/// live writer, structural validation, report aggregation against the
+/// metrics registry, and the watchdog's flush-on-signal guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simgen_all.hpp"
+
+#if defined(__unix__)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using namespace simgen;
+using obs::EventKind;
+using obs::JournalEvent;
+using obs::PatternSource;
+using obs::PhaseId;
+using obs::SatVerdict;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// A small but representative event sequence: valid nesting, every kind.
+std::vector<JournalEvent> sample_events() {
+  std::vector<JournalEvent> events;
+  const auto push = [&](EventKind kind, std::uint8_t code, std::uint64_t a,
+                        std::uint64_t b = 0, std::uint64_t v0 = 0,
+                        std::uint64_t v1 = 0, std::uint64_t v2 = 0,
+                        std::uint64_t v3 = 0, std::uint32_t dur_us = 0,
+                        std::uint16_t flags = 0) {
+    JournalEvent event;
+    event.t_ns = (events.size() + 1) * 1000;
+    event.kind = kind;
+    event.code = code;
+    event.a = a;
+    event.b = b;
+    event.v0 = v0;
+    event.v1 = v1;
+    event.v2 = v2;
+    event.v3 = v3;
+    event.dur_us = dur_us;
+    event.flags = flags;
+    events.push_back(event);
+  };
+  push(EventKind::kRunBegin, 0, 8, 100, 40, 4);
+  push(EventKind::kPhaseBegin, static_cast<std::uint8_t>(PhaseId::kRandomSim), 0);
+  push(EventKind::kClassCreated, static_cast<std::uint8_t>(PatternSource::kRandom),
+       7, 0, 5);
+  push(EventKind::kClassSplit, static_cast<std::uint8_t>(PatternSource::kRandom),
+       7, 0, 2, 5);
+  push(EventKind::kPatternBatch,
+       static_cast<std::uint8_t>(PatternSource::kRandom), 0, 0, 1, 9, 20, 0, 15);
+  push(EventKind::kPhaseEnd, static_cast<std::uint8_t>(PhaseId::kRandomSim), 0,
+       0, 20, 9, 0, 0, 120);
+  push(EventKind::kPhaseBegin, static_cast<std::uint8_t>(PhaseId::kSweep), 0);
+  push(EventKind::kSatCall, static_cast<std::uint8_t>(SatVerdict::kUnsat), 7, 9,
+       3, 50, 12, obs::pack_cone_learned(11, 3), 40);
+  push(EventKind::kCertified, 1, 7, 9, 6, 8, 90, 0, 10);
+  push(EventKind::kClassMerged, 0, 7, 9);
+  push(EventKind::kSatCall, static_cast<std::uint8_t>(SatVerdict::kSat), 7, 13,
+       1, 10, 4, obs::pack_cone_learned(5, 1), 9);
+  push(EventKind::kHeartbeat, 0, 12, 3, 4, 2, 1, 2, 1000);
+  push(EventKind::kWatchdog, 1, 2);
+  push(EventKind::kSatCall, static_cast<std::uint8_t>(SatVerdict::kUnsat), 3, 0,
+       2, 30, 7, obs::pack_cone_learned(9, 2), 25, /*flags=*/1);
+  push(EventKind::kPhaseEnd, static_cast<std::uint8_t>(PhaseId::kSweep), 0, 0,
+       0, 1, 0, 0, 900);
+  push(EventKind::kRunEnd, 1, 0, 0, 4);
+  return events;
+}
+
+TEST(JournalFile, BinaryRoundTripIsExact) {
+  const std::string path = temp_path("roundtrip.jrnl");
+  const std::vector<JournalEvent> events = sample_events();
+  ASSERT_TRUE(obs::write_journal_file(path, events));
+
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  bool truncated = true;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error, &truncated)) << error;
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(loaded[i], events[i]) << "event " << i;
+}
+
+TEST(JournalFile, JsonlRoundTripIsExact) {
+  const std::string path = temp_path("roundtrip.jsonl");
+  const std::vector<JournalEvent> events = sample_events();
+  ASSERT_TRUE(obs::write_journal_file(path, events));
+
+  // The ".jsonl" suffix selects the text format: a header object line, then
+  // one JSON object per event.
+  std::ifstream in(path);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(in, first_line));
+  EXPECT_NE(first_line.find("simgen_journal"), std::string::npos);
+
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  bool truncated = true;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error, &truncated)) << error;
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(loaded[i], events[i]) << "event " << i;
+}
+
+TEST(JournalFile, BinaryToleratesTruncatedTail) {
+  const std::string path = temp_path("truncated.jrnl");
+  const std::vector<JournalEvent> events = sample_events();
+  ASSERT_TRUE(obs::write_journal_file(path, events));
+  // Cut mid-record, as a killed run would: header + 2 events + 13 bytes.
+  std::filesystem::resize_file(path, 32 + 2 * sizeof(JournalEvent) + 13);
+
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  bool truncated = false;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error, &truncated)) << error;
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], events[0]);
+  EXPECT_EQ(loaded[1], events[1]);
+}
+
+TEST(JournalFile, JsonlToleratesUnterminatedTail) {
+  const std::string path = temp_path("tail.jsonl");
+  ASSERT_TRUE(obs::write_journal_file(path, sample_events()));
+  // Drop the final newline and half the last line.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 25);
+
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  bool truncated = false;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error, &truncated)) << error;
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(loaded.size(), sample_events().size() - 1);
+}
+
+TEST(JournalFile, RejectsForeignBinary) {
+  const std::string path = temp_path("garbage.jrnl");
+  std::ofstream(path) << "this is not a journal at all, not even close";
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  EXPECT_FALSE(obs::read_journal_file(path, loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JournalFile, RejectsMalformedJsonlLine) {
+  const std::string good = temp_path("good.jsonl");
+  ASSERT_TRUE(obs::write_journal_file(good, sample_events()));
+  std::string text;
+  {
+    std::ifstream in(good);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const std::string bad = temp_path("bad.jsonl");
+  std::ofstream(bad) << text << "{\"kind\":\"sat_call\",,,}\n";
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  EXPECT_FALSE(obs::read_journal_file(bad, loaded, &error));
+  EXPECT_NE(error.find("line"), std::string::npos);
+}
+
+TEST(JournalCheck, AcceptsWellFormedSequences) {
+  std::string error;
+  EXPECT_TRUE(obs::check_journal(sample_events(), &error)) << error;
+  EXPECT_TRUE(obs::check_journal({}, &error)) << error;
+}
+
+TEST(JournalCheck, RejectsStructuralViolations) {
+  std::string error;
+
+  std::vector<JournalEvent> bad_kind(1);
+  bad_kind[0].kind = static_cast<EventKind>(200);
+  EXPECT_FALSE(obs::check_journal(bad_kind, &error));
+
+  std::vector<JournalEvent> bad_nesting(1);
+  bad_nesting[0].kind = EventKind::kPhaseEnd;
+  bad_nesting[0].code = static_cast<std::uint8_t>(PhaseId::kSweep);
+  EXPECT_FALSE(obs::check_journal(bad_nesting, &error));
+
+  std::vector<JournalEvent> bad_verdict(1);
+  bad_verdict[0].kind = EventKind::kSatCall;
+  bad_verdict[0].code = 9;
+  EXPECT_FALSE(obs::check_journal(bad_verdict, &error));
+}
+
+TEST(JournalReportTest, AggregatesSampleSequence) {
+  const obs::JournalReport report = obs::build_report(sample_events());
+  EXPECT_EQ(report.num_events, sample_events().size());
+  EXPECT_EQ(report.sat_calls, 3u);
+  EXPECT_EQ(report.sat_unsat, 2u);
+  EXPECT_EQ(report.sat_sat, 1u);
+  EXPECT_EQ(report.output_proofs, 1u);
+  EXPECT_EQ(report.conflicts, 3u + 1u + 2u);
+  EXPECT_EQ(report.class_created, 1u);
+  EXPECT_EQ(report.class_split, 1u);
+  EXPECT_EQ(report.class_merged, 1u);
+  EXPECT_EQ(report.pattern_batches, 1u);
+  EXPECT_EQ(report.pattern_splits, 1u);
+  EXPECT_EQ(report.certified_ok, 1u);
+  EXPECT_EQ(report.certified_fail, 0u);
+  EXPECT_EQ(report.heartbeats, 1u);
+  EXPECT_EQ(report.watchdog_fires, 1u);
+
+  // Class 7's lifecycle: created, split, one merge via UNSAT, one disproof.
+  const auto it = report.classes.find(7);
+  ASSERT_NE(it, report.classes.end());
+  EXPECT_EQ(it->second.created_size, 5u);
+  EXPECT_EQ(it->second.created_by, PatternSource::kRandom);
+  EXPECT_EQ(it->second.splits, 1u);
+  EXPECT_EQ(it->second.merges, 1u);
+  EXPECT_EQ(it->second.sat_calls, 2u);
+  EXPECT_EQ(it->second.disproofs, 1u);
+  EXPECT_EQ(it->second.max_cone_vars, 11u);
+  EXPECT_FALSE(it->second.timeline.empty());
+
+  // Phase accounting: the sweep phase saw both in-sweep SAT calls.
+  const auto& sweep_phase =
+      report.phases[static_cast<std::size_t>(PhaseId::kSweep)];
+  EXPECT_EQ(sweep_phase.enters, 1u);
+  EXPECT_EQ(sweep_phase.total_us, 900u);
+  EXPECT_FALSE(report.folded.empty());
+
+  // All writers accept the report without choking.
+  std::ostringstream out;
+  const obs::InspectOptions options;
+  obs::write_text_report(out, report, options);
+  obs::write_timeline(out, report, 0, options);
+  obs::write_folded_stacks(out, report, options);
+  obs::write_html_report(out, report, options);
+  EXPECT_NE(out.str().find("pattern effectiveness"), std::string::npos);
+  EXPECT_NE(out.str().find("<html"), std::string::npos);
+}
+
+#ifndef SIMGEN_NO_TELEMETRY
+
+TEST(JournalWriter, LiveEmitRoundTrips) {
+  const std::string path = temp_path("live.jrnl");
+  ASSERT_FALSE(obs::journal_enabled());
+  ASSERT_TRUE(obs::Journal::instance().open(path));
+  EXPECT_TRUE(obs::journal_enabled());
+  EXPECT_FALSE(obs::Journal::instance().open(temp_path("second.jrnl")))
+      << "a second journal must be refused while one is open";
+
+  const std::vector<JournalEvent> events = sample_events();
+  for (const JournalEvent& event : events) obs::Journal::instance().emit(event);
+  obs::Journal::instance().close();
+  EXPECT_FALSE(obs::journal_enabled());
+
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(loaded[i], events[i]) << "event " << i;
+}
+
+TEST(JournalWriter, EmitStampsMonotonicTimestamps) {
+  const std::string path = temp_path("stamped.jrnl");
+  ASSERT_TRUE(obs::Journal::instance().open(path));
+  for (int i = 0; i < 100; ++i)
+    obs::journal_emit(EventKind::kHeartbeat, 0, static_cast<std::uint64_t>(i));
+  obs::Journal::instance().close();
+
+  std::vector<JournalEvent> loaded;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded));
+  ASSERT_EQ(loaded.size(), 100u);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].a, i) << "single-thread emit order must be preserved";
+    if (i > 0) {
+      EXPECT_GE(loaded[i].t_ns, loaded[i - 1].t_ns);
+    }
+  }
+}
+
+/// The acceptance bar for the whole subsystem: a certified CEC run's
+/// journal, replayed through build_report, must agree with the metrics
+/// registry and the CecResult for the same run.
+TEST(JournalIntegration, CertifiedCecTotalsMatchRegistry) {
+  benchgen::CircuitSpec spec;
+  spec.name = "journal_cec";
+  spec.num_pis = 10;
+  spec.num_pos = 5;
+  spec.num_gates = 150;
+  const aig::Aig graph = benchgen::generate_circuit(spec);
+  const net::Network a = mapping::map_to_luts(graph);
+  const net::Network b = aig::to_network(graph);
+
+  const std::string path = temp_path("cec.jrnl");
+  const obs::TelemetrySnapshot before = obs::capture_snapshot();
+  ASSERT_TRUE(obs::Journal::instance().open(path));
+  sweep::CecOptions options;
+  options.certify = true;
+  const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+  obs::Journal::instance().close();
+  const obs::TelemetrySnapshot delta =
+      obs::diff_snapshots(before, obs::capture_snapshot());
+  ASSERT_TRUE(result.equivalent);
+
+  std::vector<JournalEvent> events;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(path, events, &error)) << error;
+  ASSERT_TRUE(obs::check_journal(events, &error)) << error;
+  const obs::JournalReport report = obs::build_report(events);
+
+  // Journal totals == registry counters for the same run.
+  EXPECT_EQ(report.sat_calls, delta.counter_value("sat.solve_calls"));
+  EXPECT_EQ(report.conflicts, delta.counter_value("sat.conflicts"));
+  EXPECT_EQ(report.decisions, delta.counter_value("sat.decisions"));
+  EXPECT_EQ(report.propagations, delta.counter_value("sat.propagations"));
+  EXPECT_EQ(report.learned, delta.counter_value("sat.learned_clauses"));
+  EXPECT_EQ(report.class_merged, delta.counter_value("sweep.proven"));
+  EXPECT_EQ(report.sat_sat, delta.counter_value("sweep.disproven"));
+  EXPECT_EQ(report.certified_ok, delta.counter_value("sweep.certified_unsat"));
+  EXPECT_EQ(report.class_split, delta.counter_value("eq.splits"));
+  EXPECT_EQ(report.pattern_splits, delta.counter_value("eq.splits"));
+
+  // Journal totals == the CecResult the caller saw.
+  EXPECT_EQ(report.sat_calls,
+            result.sweep_stats.sat_calls + result.output_sat_calls);
+  EXPECT_EQ(report.output_proofs, result.outputs_proven);
+  EXPECT_EQ(report.certified_ok,
+            result.sweep_stats.certified_unsat + result.certified_outputs);
+  EXPECT_EQ(report.certified_fail, 0u);
+
+  // The run is bracketed and phase-attributed.
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, EventKind::kRunBegin);
+  EXPECT_GT(
+      report.phases[static_cast<std::size_t>(PhaseId::kSweep)].enters, 0u);
+  EXPECT_FALSE(report.folded.empty());
+}
+
+#if defined(__unix__)
+/// SIGINT mid-run must leave valid journal/trace/metrics files: the child
+/// raises SIGINT against itself while emitting, the watchdog flushes and
+/// re-raises, and the parent validates everything the child left behind.
+TEST(JournalWatchdog, SigintFlushLeavesValidFiles) {
+  const std::string journal_path = temp_path("wd.jrnl");
+  const std::string trace_path = temp_path("wd.trace.json");
+  const std::string metrics_path = temp_path("wd.metrics.jsonl");
+  std::remove(journal_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: no gtest machinery from here on; _exit on any failure.
+    alarm(30);
+    obs::Tracer::instance().enable();
+    if (!obs::Journal::instance().open(journal_path)) _exit(10);
+    obs::set_exit_outputs(trace_path, metrics_path);
+    obs::WatchdogOptions watchdog;
+    if (!obs::start_watchdog(watchdog)) _exit(11);
+    obs::sweep_progress().begin(1000, 100);
+    obs::counter("watchdog_test.child_events").inc(5000);
+    for (int i = 0; i < 5000; ++i)
+      obs::journal_emit(EventKind::kHeartbeat, 0,
+                        static_cast<std::uint64_t>(i));
+    raise(SIGINT);
+    // The handler only sets a flag; keep emitting until the watchdog
+    // thread flushes and re-raises under the default disposition.
+    for (std::uint64_t i = 0;; ++i)
+      obs::journal_emit(EventKind::kHeartbeat, 0, i);
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child must die of the re-raised signal, not exit normally";
+  EXPECT_EQ(WTERMSIG(status), SIGINT);
+
+  // Journal: parseable (a truncated tail is fine) and structurally valid.
+  std::vector<JournalEvent> events;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(journal_path, events, &error)) << error;
+  EXPECT_TRUE(obs::check_journal(events, &error)) << error;
+  const obs::JournalReport report = obs::build_report(events);
+  EXPECT_GT(report.heartbeats, 0u);
+  EXPECT_EQ(report.watchdog_fires, 1u);
+
+  // Trace: the file must exist and be complete JSON (balanced braces).
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good()) << "trace file missing after SIGINT";
+  std::stringstream trace_text;
+  trace_text << trace.rdbuf();
+  const std::string text = trace_text.str();
+  EXPECT_NE(text.find("traceEvents"), std::string::npos);
+  EXPECT_EQ(text.rfind("]}"), text.size() - 3) << "trace JSON not closed";
+
+  // Metrics: every line is one complete JSON object.
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good()) << "metrics file missing after SIGINT";
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(metrics, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+}
+#endif  // __unix__
+
+#else  // SIMGEN_NO_TELEMETRY
+
+TEST(JournalWriter, CompiledOutWriterRefusesToOpen) {
+  static_assert(!obs::journal_enabled());
+  EXPECT_FALSE(obs::Journal::instance().open(temp_path("nt.jrnl")));
+  // Emitting is a no-op, not a crash.
+  obs::journal_emit(EventKind::kHeartbeat, 0, 1);
+  EXPECT_EQ(obs::Journal::instance().events_written(), 0u);
+}
+
+#endif  // SIMGEN_NO_TELEMETRY
+
+}  // namespace

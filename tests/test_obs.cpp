@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,6 +21,7 @@
 #include "benchgen/generator.hpp"
 #include "mapping/lut_mapper.hpp"
 #include "sweep/cec.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace simgen::obs {
@@ -215,6 +218,54 @@ TEST(MetricsJsonl, EmitsOneValidObjectPerLine) {
 
 TEST(MetricsJsonl, EscapesNames) {
   EXPECT_EQ(detail::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(MetricsJsonl, EscapesControlAndPassesValidUtf8) {
+  EXPECT_EQ(detail::json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(detail::json_escape("caf\xc3\xa9"), "caf\xc3\xa9");          // é
+  EXPECT_EQ(detail::json_escape("\xe4\xbd\xa0"), "\xe4\xbd\xa0");        // 你
+  EXPECT_EQ(detail::json_escape("\xf0\x9f\x98\x80"), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(MetricsJsonl, ReplacesMalformedUtf8WithReplacementChar) {
+  // Stray continuation byte, truncated sequence, overlong encoding,
+  // UTF-16 surrogate, and beyond-U+10FFFF must all degrade to �
+  // instead of leaking invalid bytes into the JSON output.
+  EXPECT_EQ(detail::json_escape("\x80"), "\\ufffd");
+  EXPECT_EQ(detail::json_escape("\xc3"), "\\ufffd");            // cut short
+  EXPECT_EQ(detail::json_escape("\xc0\xaf"), "\\ufffd\\ufffd");  // overlong '/'
+  EXPECT_EQ(detail::json_escape("\xe0\x80\xaf"),
+            "\\ufffd\\ufffd\\ufffd");                           // overlong
+  EXPECT_EQ(detail::json_escape("\xed\xa0\x80"),
+            "\\ufffd\\ufffd\\ufffd");                           // surrogate
+  EXPECT_EQ(detail::json_escape("\xf5\x80\x80\x80"),
+            "\\ufffd\\ufffd\\ufffd\\ufffd");                    // > U+10FFFF
+  EXPECT_EQ(detail::json_escape("ok\x80ok"), "ok\\ufffdok");
+}
+
+TEST(MetricsJsonl, NumbersNeverEmitNanOrInf) {
+  EXPECT_EQ(detail::json_number(1.5), "1.5");
+  EXPECT_EQ(detail::json_number(0.0), "0");
+  EXPECT_EQ(detail::json_number(std::nan("")), "null");
+  EXPECT_EQ(detail::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(detail::json_number(-std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndDigits) {
+  using util::LogLevel;
+  EXPECT_EQ(util::parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(util::parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("4"), LogLevel::kOff);
+  EXPECT_FALSE(util::parse_log_level("loud").has_value());
+  EXPECT_FALSE(util::parse_log_level("").has_value());
+  EXPECT_FALSE(util::parse_log_level("5").has_value());
 }
 
 // ---------------------------------------------------------------------------

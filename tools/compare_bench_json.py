@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare per-run BENCH_*.json files against a committed baseline.
+
+Usage:
+  compare_bench_json.py BASELINE_DIR CANDIDATE_DIR [--rtol R] [--atol A]
+
+Every BENCH_<benchmark>__<strategy>.json in BASELINE_DIR must exist in
+CANDIDATE_DIR with the same "benchmark" and "strategy" keys and with every
+*count* field (cost_after_random, cost, sat_calls, proven, disproven,
+unresolved) within the given relative/absolute tolerance. Timing fields
+(sim_seconds, sat_seconds) are machine-dependent and ignored. Extra
+candidate files are ignored, so the baseline can cover a subset.
+
+Exit code 0 when everything matches, 1 on any mismatch or missing file.
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+EXACT_FIELDS = ("benchmark", "strategy")
+COUNT_FIELDS = (
+    "cost_after_random",
+    "cost",
+    "sat_calls",
+    "proven",
+    "disproven",
+    "unresolved",
+)
+
+
+def within(value, base, rtol, atol):
+    return abs(value - base) <= atol + rtol * abs(base)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("candidate_dir", type=Path)
+    parser.add_argument("--rtol", type=float, default=0.0,
+                        help="relative tolerance on count fields (default: exact)")
+    parser.add_argument("--atol", type=float, default=0.0,
+                        help="absolute tolerance on count fields (default: 0)")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json files in {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    compared = 0
+    for baseline_path in baselines:
+        candidate_path = args.candidate_dir / baseline_path.name
+        if not candidate_path.exists():
+            print(f"MISSING  {baseline_path.name}: not produced by this run")
+            failures += 1
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        candidate = json.loads(candidate_path.read_text())
+        compared += 1
+        for field in EXACT_FIELDS:
+            if baseline.get(field) != candidate.get(field):
+                print(f"MISMATCH {baseline_path.name}: {field} "
+                      f"{candidate.get(field)!r} != baseline "
+                      f"{baseline.get(field)!r}")
+                failures += 1
+        for field in COUNT_FIELDS:
+            if field not in baseline:
+                continue
+            if field not in candidate:
+                print(f"MISMATCH {baseline_path.name}: {field} missing")
+                failures += 1
+                continue
+            if not within(candidate[field], baseline[field], args.rtol,
+                          args.atol):
+                print(f"MISMATCH {baseline_path.name}: {field} "
+                      f"{candidate[field]} vs baseline {baseline[field]} "
+                      f"(rtol={args.rtol}, atol={args.atol})")
+                failures += 1
+
+    if failures:
+        print(f"{failures} mismatches across {compared} compared files",
+              file=sys.stderr)
+        return 1
+    print(f"{compared} BENCH json files match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

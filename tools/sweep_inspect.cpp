@@ -1,0 +1,159 @@
+/// \file sweep_inspect.cpp
+/// \brief Post-mortem inspector for sweep journals (obs/journal.hpp).
+///
+/// Replays a journal written by `cec_two_networks --journal-out` (or any
+/// bench driver) into human-readable cost attributions:
+///
+///   sweep_inspect run.journal                    # text report
+///   sweep_inspect --check run.journal            # validate (CI smoke)
+///   sweep_inspect --timeline run.journal         # top-K class lifecycles
+///   sweep_inspect --class 1234 run.journal       # one class's lifecycle
+///   sweep_inspect --folded out.folded run.journal   # flamegraph.pl input
+///   sweep_inspect --html report.html run.journal    # self-contained HTML
+///   sweep_inspect --rewrite copy.jsonl run.journal  # binary <-> JSONL
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/inspect.hpp"
+#include "obs/journal.hpp"
+#include "simgen/guided_sim.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: sweep_inspect [options] <journal-file>\n"
+               "  --check           validate the journal; exit 2 if invalid\n"
+               "  --top K           rows in top-K tables (default 10)\n"
+               "  --timeline        print lifecycles of the top-K classes\n"
+               "  --class REP       print one class's lifecycle\n"
+               "  --folded FILE     write folded stacks for flamegraph "
+               "tooling\n"
+               "  --html FILE       write a self-contained HTML report\n"
+               "  --rewrite FILE    re-serialize the journal (.jsonl selects "
+               "JSONL)\n"
+               "  --quiet           suppress the default text report\n");
+}
+
+/// Adapts simgen::core::strategy_name to the inspector's C callback.
+const char* strategy_namer(std::uint8_t code) {
+  using simgen::core::Strategy;
+  for (const Strategy strategy : simgen::core::kAllStrategies) {
+    if (static_cast<std::uint8_t>(strategy) == code) {
+      // kAllStrategies names are string literals; the view is terminated.
+      static thread_local std::string name;
+      name = std::string(simgen::core::strategy_name(strategy));
+      return name.c_str();
+    }
+  }
+  return nullptr;
+}
+
+bool write_stream_file(const std::string& path, const char* what,
+                       void (*writer)(std::ostream&,
+                                      const simgen::obs::JournalReport&,
+                                      const simgen::obs::InspectOptions&),
+                       const simgen::obs::JournalReport& report,
+                       const simgen::obs::InspectOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "sweep_inspect: cannot write %s file %s\n", what,
+                 path.c_str());
+    return false;
+  }
+  writer(out, report, options);
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path, folded_path, html_path, rewrite_path;
+  std::uint64_t class_rep = 0;
+  bool check = false, timeline = false, quiet = false;
+  simgen::obs::InspectOptions options;
+  options.strategy_namer = &strategy_namer;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sweep_inspect: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--check") check = true;
+    else if (arg == "--timeline") timeline = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--top") options.top_k = std::atoi(value("--top"));
+    else if (arg == "--class") class_rep = std::strtoull(value("--class"), nullptr, 10);
+    else if (arg == "--folded") folded_path = value("--folded");
+    else if (arg == "--html") html_path = value("--html");
+    else if (arg == "--rewrite") rewrite_path = value("--rewrite");
+    else if (arg == "--help" || arg == "-h") { usage(stdout); return 0; }
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "sweep_inspect: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 1;
+    } else if (journal_path.empty()) {
+      journal_path = arg;
+    } else {
+      std::fprintf(stderr, "sweep_inspect: extra argument %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (journal_path.empty()) {
+    usage(stderr);
+    return 1;
+  }
+  if (options.top_k <= 0) options.top_k = 10;
+
+  std::vector<simgen::obs::JournalEvent> events;
+  std::string error;
+  bool truncated = false;
+  if (!simgen::obs::read_journal_file(journal_path, events, &error, &truncated)) {
+    std::fprintf(stderr, "sweep_inspect: %s: %s\n", journal_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  if (check) {
+    if (!simgen::obs::check_journal(events, &error)) {
+      std::fprintf(stderr, "sweep_inspect: %s: INVALID: %s\n",
+                   journal_path.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("%s: OK (%zu events%s)\n", journal_path.c_str(), events.size(),
+                truncated ? ", truncated tail tolerated" : "");
+  }
+
+  if (!rewrite_path.empty() &&
+      !simgen::obs::write_journal_file(rewrite_path, events)) {
+    std::fprintf(stderr, "sweep_inspect: cannot write %s\n",
+                 rewrite_path.c_str());
+    return 2;
+  }
+
+  const simgen::obs::JournalReport report =
+      simgen::obs::build_report(events, truncated);
+
+  if (!quiet && !check) simgen::obs::write_text_report(std::cout, report, options);
+  if (timeline || class_rep != 0)
+    simgen::obs::write_timeline(std::cout, report, class_rep, options);
+  if (!folded_path.empty() &&
+      !write_stream_file(folded_path, "folded-stack",
+                         &simgen::obs::write_folded_stacks, report, options))
+    return 2;
+  if (!html_path.empty() &&
+      !write_stream_file(html_path, "HTML",
+                         &simgen::obs::write_html_report, report, options))
+    return 2;
+  return 0;
+}
