@@ -68,62 +68,19 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
   return out.good();
 }
 
-TelemetryCli::TelemetryCli(int& argc, char** argv) {
-  double timeout_seconds = 0.0;
+TelemetryCli::TelemetryCli(int& argc, char** argv) : cli_(argc, argv) {
+  // The generic flags are already stripped; pick off --bench-json-dir and
+  // forward the heartbeat interval into the flow runner.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    const auto take_value = [&](const char* flag, std::string& into) {
-      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
-      into = argv[++i];
-      return true;
-    };
-    std::string json_dir;
-    std::string number;
-    if (take_value("--trace-out", trace_out_) ||
-        take_value("--metrics-out", metrics_out_) ||
-        take_value("--journal-out", journal_out_)) {
-      continue;
-    }
-    if (take_value("--bench-json-dir", json_dir)) {
-      set_bench_json_dir(std::move(json_dir));
-      continue;
-    }
-    if (take_value("--progress", number)) {
-      set_progress_interval(std::atof(number.c_str()));
-      continue;
-    }
-    if (take_value("--timeout", number)) {
-      timeout_seconds = std::atof(number.c_str());
+    if (std::strcmp(argv[i], "--bench-json-dir") == 0 && i + 1 < argc) {
+      set_bench_json_dir(argv[++i]);
       continue;
     }
     argv[out++] = argv[i];
   }
   argc = out;
-  if (!trace_out_.empty()) obs::Tracer::instance().enable();
-  if (!journal_out_.empty() && !obs::Journal::instance().open(journal_out_))
-    std::fprintf(stderr, "error: cannot open journal file %s%s\n",
-                 journal_out_.c_str(),
-                 obs::journal_enabled() ? "" : " (telemetry compiled out)");
-  if (progress_interval() > 0.0 && util::log_level() > util::LogLevel::kInfo)
-    util::set_log_level(util::LogLevel::kInfo);
-  // Outputs survive Ctrl-C / --timeout: the finalizer is registered with
-  // atexit and also invoked by the watchdog and by our destructor.
-  obs::set_exit_outputs(trace_out_, metrics_out_);
-  obs::WatchdogOptions watchdog;
-  watchdog.timeout_seconds = timeout_seconds;
-  obs::start_watchdog(watchdog);
-}
-
-TelemetryCli::~TelemetryCli() {
-  const bool journal_open = obs::Journal::instance().is_open();
-  obs::flush_exit_outputs();
-  if (!trace_out_.empty())
-    std::printf("trace written to %s\n", trace_out_.c_str());
-  if (!metrics_out_.empty())
-    std::printf("metrics written to %s\n", metrics_out_.c_str());
-  if (journal_open)
-    std::printf("journal written to %s (inspect with sweep_inspect)\n",
-                journal_out_.c_str());
+  set_progress_interval(cli_.progress_interval());
 }
 
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/telemetry_cli.hpp"
 #include "simgen_all.hpp"
 
 namespace simgen::bench {
@@ -79,35 +80,23 @@ void set_bench_json_dir(std::string dir);
 /// bench_json_dir(); no-op (returning true) when the dir is unset.
 bool write_flow_metrics_json(const FlowMetrics& metrics);
 
-/// Shared telemetry command-line handling for the bench drivers.
-///
-/// Strips the telemetry flags from argc/argv at construction:
-///   --trace-out FILE       enable tracing; write Chrome trace JSON at exit
-///   --metrics-out FILE     write the metrics registry as JSONL at exit
-///   --journal-out FILE     record the sweep decision journal (binary, or
-///                          JSONL with a ".jsonl" suffix); replay with
-///                          tools/sweep_inspect
+/// Shared telemetry command-line handling for the bench drivers: the
+/// generic obs::TelemetryCli flags (--trace-out, --metrics-out,
+/// --journal-out, --progress, --timeout; see obs/telemetry_cli.hpp) plus
+/// the bench-specific
 ///   --bench-json-dir DIR   per-run BENCH_*.json output directory
-///   --progress SECONDS     heartbeat interval for sweeps (implies info
-///                          logging)
-///   --timeout SECONDS      watchdog deadline; dump + flush + exit 124
 /// (SIMGEN_BENCH_JSON_DIR in the environment also sets the JSON dir.)
-/// Construction registers the exit finalizer and (when any output or a
-/// timeout is requested) the signal watchdog, so the requested files are
-/// valid even if the run is interrupted. The destructor writes them on
-/// the normal path; a driver needs only
+/// --progress is forwarded into set_progress_interval so every
+/// run_strategy_flow sweep picks it up. A driver needs only
 ///   int main(int argc, char** argv) { bench::TelemetryCli telemetry(argc, argv); ... }
 class TelemetryCli {
  public:
   TelemetryCli(int& argc, char** argv);
-  ~TelemetryCli();
   TelemetryCli(const TelemetryCli&) = delete;
   TelemetryCli& operator=(const TelemetryCli&) = delete;
 
  private:
-  std::string trace_out_;
-  std::string metrics_out_;
-  std::string journal_out_;
+  obs::TelemetryCli cli_;
 };
 
 }  // namespace simgen::bench

@@ -175,47 +175,21 @@ void run_files(const std::vector<std::string>& args,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The shared telemetry CLI strips --trace-out/--metrics-out/
+  // --journal-out/--progress/--timeout, wires the exit finalizer and
+  // watchdog, and flushes every requested output at destruction.
+  obs::TelemetryCli telemetry(argc, argv);
   std::vector<std::string> args;
   sweep::CecOptions options;
   options.guided_strategy = core::Strategy::kAiDcMffc;
-  std::string trace_out;
-  std::string metrics_out;
-  std::string journal_out;
-  double timeout_seconds = 0.0;
+  options.sweep.progress_interval = telemetry.progress_interval();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--certify") == 0) {
       options.certify = true;
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      trace_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
-      journal_out = argv[++i];
-    } else if (std::strcmp(argv[i], "--progress") == 0 && i + 1 < argc) {
-      options.sweep.progress_interval = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
-      timeout_seconds = std::atof(argv[++i]);
     } else {
       args.emplace_back(argv[i]);
     }
   }
-  if (!trace_out.empty()) obs::Tracer::instance().enable();
-  if (!journal_out.empty() && !obs::Journal::instance().open(journal_out))
-    std::fprintf(stderr, "error: cannot open journal file %s%s\n",
-                 journal_out.c_str(),
-                 obs::journal_enabled() ? "" : " (telemetry compiled out)");
-  // Heartbeat lines go through the info log level; --progress implies the
-  // user wants to see them.
-  if (options.sweep.progress_interval > 0.0 &&
-      util::log_level() > util::LogLevel::kInfo)
-    util::set_log_level(util::LogLevel::kInfo);
-  // Any requested output survives Ctrl-C / --timeout: the finalizer runs
-  // from atexit, the normal teardown below, or the watchdog — whichever
-  // fires first.
-  obs::set_exit_outputs(trace_out, metrics_out);
-  obs::WatchdogOptions watchdog;
-  watchdog.timeout_seconds = timeout_seconds;
-  obs::start_watchdog(watchdog);
   int rc = 0;
   try {
     if (args.empty())
@@ -226,14 +200,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.what());
     rc = 1;
   }
-  const bool journal_open = obs::Journal::instance().is_open();
-  obs::flush_exit_outputs();
-  if (!trace_out.empty())
-    std::printf("trace written to %s\n", trace_out.c_str());
-  if (!metrics_out.empty())
-    std::printf("metrics written to %s\n", metrics_out.c_str());
-  if (journal_open)
-    std::printf("journal written to %s (inspect with sweep_inspect)\n",
-                journal_out.c_str());
   return rc;
 }

@@ -34,13 +34,30 @@ std::vector<Lit> DratChecker::normalize(std::span<const Lit> clause,
 }
 
 std::uint64_t DratChecker::hash_lits(std::span<const Lit> lits) {
-  // FNV-1a over the literal codes of the (sorted) clause.
-  std::uint64_t hash = 1469598103934665603ull;
+  // Order-independent: propagation permutes stored clauses in place to
+  // maintain the watch invariant, so by deletion time a clause's literal
+  // order no longer matches its activation-time (sorted) order. Summing
+  // per-literal mixes keeps the hash stable under permutation.
+  std::uint64_t hash = 0x9e3779b97f4a7c15ull + lits.size();
   for (Lit lit : lits) {
-    hash ^= lit.code();
-    hash *= 1099511628211ull;
+    std::uint64_t x = lit.code() + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    hash += x ^ (x >> 31);
   }
   return hash;
+}
+
+bool DratChecker::same_clause(std::span<const Lit> stored,
+                              std::span<const Lit> sorted_lits) {
+  // \p stored may be an arbitrary permutation of its normalized form;
+  // \p sorted_lits comes straight from normalize().
+  if (stored.size() != sorted_lits.size()) return false;
+  std::vector<Lit> copy(stored.begin(), stored.end());
+  std::sort(copy.begin(), copy.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  return std::equal(copy.begin(), copy.end(), sorted_lits.begin(),
+                    sorted_lits.end());
 }
 
 void DratChecker::ensure_var(Var var) {
@@ -121,7 +138,7 @@ void DratChecker::delete_clause(std::span<const Lit> clause) {
   const auto [begin, end] = index_.equal_range(hash_lits(lits));
   for (auto it = begin; it != end; ++it) {
     const ClauseId id = it->second;
-    if (db_[id].lits == lits) {
+    if (same_clause(db_[id].lits, lits)) {
       deactivate(id);
       journal_.push_back({JournalEntry::Kind::kDelete, id});
       return;

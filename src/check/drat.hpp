@@ -104,6 +104,10 @@ class DratChecker {
   [[nodiscard]] static std::vector<sat::Lit> normalize(
       std::span<const sat::Lit> clause, bool& tautology);
   [[nodiscard]] static std::uint64_t hash_lits(std::span<const sat::Lit> lits);
+  /// Permutation-insensitive equality of a stored clause against a
+  /// normalized (sorted, duplicate-free) literal list.
+  [[nodiscard]] static bool same_clause(std::span<const sat::Lit> stored,
+                                        std::span<const sat::Lit> sorted_lits);
 
   ClauseId store(std::vector<sat::Lit> lits, bool tautology);
   void activate(ClauseId id);

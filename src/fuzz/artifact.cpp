@@ -1,0 +1,85 @@
+#include "fuzz/artifact.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/aiger.hpp"
+#include "io/blif.hpp"
+
+namespace simgen::fuzz {
+
+namespace {
+
+/// The human-facing header lines, without comment markers.
+std::string header_lines(const ReproInfo& info, const std::string& file) {
+  std::string text;
+  text += "simgen_fuzz repro artifact\n";
+  text += "seed: " + std::to_string(info.seed) + "\n";
+  text += "iteration: " + std::to_string(info.iteration) + "\n";
+  text += "oracle: " + info.oracle + "\n";
+  if (!info.detail.empty()) text += "detail: " + info.detail + "\n";
+  if (info.shrunk_from != 0)
+    text += "shrunk from " + std::to_string(info.shrunk_from) + " nodes\n";
+  text += "replay: simgen_fuzz --replay " + file + "\n";
+  return text;
+}
+
+std::string prefix_lines(const std::string& lines, const char* marker) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < lines.size()) {
+    std::size_t end = lines.find('\n', start);
+    if (end == std::string::npos) end = lines.size();
+    out += marker;
+    out.append(lines, start, end - start);
+    out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string write_file(const std::string& dir, const std::string& file,
+                       const std::string& content) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + file;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write repro artifact: " + path);
+  out << content;
+  if (!out.flush())
+    throw std::runtime_error("write failed for repro artifact: " + path);
+  return path;
+}
+
+}  // namespace
+
+std::string sanitize_stem(std::string_view text) {
+  std::string stem;
+  stem.reserve(text.size());
+  for (const char c : text)
+    stem += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  while (!stem.empty() && stem.back() == '_') stem.pop_back();
+  return stem.empty() ? std::string("repro") : stem;
+}
+
+std::string write_blif_repro(const std::string& dir, const std::string& stem,
+                             const ReproInfo& info,
+                             const net::Network& network) {
+  const std::string file = stem + ".blif";
+  const std::string content = prefix_lines(header_lines(info, file), "# ") +
+                              io::write_blif_string(network);
+  return write_file(dir, file, content);
+}
+
+std::string write_aag_repro(const std::string& dir, const std::string& stem,
+                            const ReproInfo& info, const aig::Aig& graph) {
+  const std::string file = stem + ".aag";
+  std::string content = io::write_aiger_string(graph, /*binary=*/false);
+  // AIGER carries free-form comments after a line holding just "c".
+  if (content.empty() || content.back() != '\n') content += '\n';
+  content += "c\n" + header_lines(info, file);
+  return write_file(dir, file, content);
+}
+
+}  // namespace simgen::fuzz

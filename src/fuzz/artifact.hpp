@@ -1,0 +1,47 @@
+/// \file artifact.hpp
+/// \brief Self-contained repro artifacts for fuzz failures.
+///
+/// Every mismatch the campaign finds is written out as a file a human (or
+/// CI) can replay without the fuzzer's RNG state: a `.blif` whose comment
+/// header records the seed, iteration, failing oracle, failure detail,
+/// and the exact replay command line. The BLIF parser strips `#` comments,
+/// so the artifact is directly loadable by every tool in the repo; AIGER
+/// artifacts carry the same header in the format's trailing comment
+/// section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "aig/aig.hpp"
+#include "network/network.hpp"
+
+namespace simgen::fuzz {
+
+/// Provenance recorded in every artifact header.
+struct ReproInfo {
+  std::uint64_t seed = 0;
+  std::uint64_t iteration = 0;
+  std::string oracle;   ///< OracleResult::name that failed.
+  std::string detail;   ///< OracleResult::detail of the failure.
+  /// Node count of the unshrunk circuit; 0 when this artifact *is* the
+  /// unshrunk circuit.
+  std::size_t shrunk_from = 0;
+};
+
+/// Filesystem-safe stem: non-alphanumerics collapse to '_'.
+[[nodiscard]] std::string sanitize_stem(std::string_view text);
+
+/// Writes `<dir>/<stem>.blif` (creating \p dir if needed) with a comment
+/// header followed by the network; returns the path written.
+std::string write_blif_repro(const std::string& dir, const std::string& stem,
+                             const ReproInfo& info,
+                             const net::Network& network);
+
+/// Writes `<dir>/<stem>.aag` with the header in the AIGER comment
+/// section; returns the path written.
+std::string write_aag_repro(const std::string& dir, const std::string& stem,
+                            const ReproInfo& info, const aig::Aig& graph);
+
+}  // namespace simgen::fuzz

@@ -1,0 +1,109 @@
+#include "fuzz/gen.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace simgen::fuzz {
+
+namespace {
+
+unsigned draw_range(util::Rng& rng, unsigned lo, unsigned hi) {
+  if (hi <= lo) return lo;
+  return static_cast<unsigned>(rng.in_range(lo, hi));
+}
+
+/// Random truth table over \p num_vars inputs: fully random words, tail
+/// bits masked by from_words.
+tt::TruthTable random_table(util::Rng& rng, unsigned num_vars) {
+  const std::size_t words = num_vars <= 6 ? 1 : (1u << (num_vars - 6));
+  std::vector<std::uint64_t> data(words);
+  for (auto& word : data) word = rng();
+  return tt::TruthTable::from_words(num_vars, data);
+}
+
+/// A "realistic" gate function of \p arity inputs.
+tt::TruthTable gate_table(util::Rng& rng, unsigned arity) {
+  switch (rng.below(6)) {
+    case 0: return tt::TruthTable::and_gate(arity);
+    case 1: return tt::TruthTable::or_gate(arity);
+    case 2: return tt::TruthTable::nand_gate(arity);
+    case 3: return tt::TruthTable::nor_gate(arity);
+    case 4: return tt::TruthTable::xor_gate(arity);
+    default: return ~tt::TruthTable::xor_gate(arity);
+  }
+}
+
+}  // namespace
+
+benchgen::CircuitSpec random_spec(util::Rng& rng, const GenProfile& profile) {
+  benchgen::CircuitSpec spec;
+  spec.num_pis = draw_range(rng, profile.min_pis, profile.max_pis);
+  spec.num_pos = draw_range(rng, profile.min_pos, profile.max_pos);
+  spec.num_gates = draw_range(rng, profile.min_gates, profile.max_gates);
+  switch (rng.below(3)) {
+    case 0: spec.style = benchgen::CircuitStyle::kControl; break;
+    case 1: spec.style = benchgen::CircuitStyle::kArithmetic; break;
+    default: spec.style = benchgen::CircuitStyle::kRandomLogic; break;
+  }
+  spec.redundancy = rng.uniform01() * profile.max_redundancy;
+  spec.near_miss = rng.uniform01() * profile.max_near_miss;
+  spec.seed = rng();
+  if (spec.seed == 0) spec.seed = 1;  // 0 means "derive from name".
+  spec.name = "fuzz";
+  return spec;
+}
+
+LutGenOptions random_lut_options(util::Rng& rng, const GenProfile& profile) {
+  LutGenOptions options;
+  options.num_pis = draw_range(rng, profile.min_pis, profile.max_pis);
+  options.num_pos = draw_range(rng, profile.min_pos, profile.max_pos);
+  // LUT counts track the gate budget loosely (a LUT covers a few gates).
+  options.num_luts = std::max(4u, draw_range(rng, profile.min_gates,
+                                             profile.max_gates) /
+                                      2);
+  options.max_fanin =
+      std::min<unsigned>(profile.max_lut_fanin, 1 + rng.below(6));
+  options.recent_bias = 0.3 + 0.6 * rng.uniform01();
+  options.random_table_rate = rng.uniform01();
+  return options;
+}
+
+net::Network random_lut_network(util::Rng& rng, const LutGenOptions& options) {
+  net::Network network("fuzz_lut");
+  // Pool of usable driver nodes (PIs, constants, LUTs), in creation order
+  // so recency bias works like the AIG generator's operand pool.
+  std::vector<net::NodeId> pool;
+  pool.reserve(options.num_pis + options.num_luts + 2);
+  for (unsigned i = 0; i < options.num_pis; ++i)
+    pool.push_back(network.add_pi("pi" + std::to_string(i)));
+  // Constants occasionally feed LUTs; that exercises the constant-driver
+  // paths of the writers, encoders, and the mapper-facing code.
+  if (rng.chance(0.25)) pool.push_back(network.add_constant(rng.flip()));
+
+  const auto draw = [&]() -> net::NodeId {
+    if (pool.size() > 12 && rng.chance(options.recent_bias))
+      return pool[pool.size() - 1 - rng.below(12)];
+    return pool[rng.below(pool.size())];
+  };
+
+  for (unsigned g = 0; g < options.num_luts; ++g) {
+    const unsigned arity =
+        1 + static_cast<unsigned>(rng.below(options.max_fanin));
+    std::vector<net::NodeId> fanins;
+    fanins.reserve(arity);
+    for (unsigned i = 0; i < arity; ++i) fanins.push_back(draw());
+    tt::TruthTable function = rng.chance(options.random_table_rate)
+                                  ? random_table(rng, arity)
+                                  : gate_table(rng, arity);
+    pool.push_back(network.add_lut(fanins, std::move(function)));
+  }
+
+  // POs: prefer recent LUTs so most of the circuit is observable, but any
+  // pool node (including a PI or constant) is a legal driver.
+  for (unsigned i = 0; i < options.num_pos; ++i)
+    network.add_po(draw(), "po" + std::to_string(i));
+  return network;
+}
+
+}  // namespace simgen::fuzz

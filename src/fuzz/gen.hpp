@@ -1,0 +1,76 @@
+/// \file gen.hpp
+/// \brief Random circuit generation for the differential fuzzing harness.
+///
+/// Two generator families feed the fuzz campaign:
+///
+///  1. Random AIG specs: seeded benchgen::CircuitSpec instances with
+///     randomized interface sizes, gate budgets, styles, and injected
+///     redundancy/near-miss rates — the same machinery the benchmark
+///     suite uses, but with every knob drawn from a controllable range so
+///     the campaign covers the whole parameter space instead of the
+///     curated suite points.
+///
+///  2. Direct random K-LUT networks: arbitrary truth tables over
+///     recency-biased fanin draws. These reach shapes LUT mapping never
+///     produces — LUTs that ignore fanins, constant functions, duplicate
+///     fanin references, deep single-fanout chains — exactly the inputs
+///     that break parsers, encoders, and simulators in practice.
+///
+/// Everything here is deterministic given the Rng state: equal seeds give
+/// equal circuits, which is what makes fuzz failures replayable.
+#pragma once
+
+#include <cstdint>
+
+#include "benchgen/generator.hpp"
+#include "network/network.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::fuzz {
+
+/// Knob ranges for one generated circuit. The campaign draws every
+/// parameter uniformly from [min, max].
+struct GenProfile {
+  unsigned min_pis = 4;
+  unsigned max_pis = 16;
+  unsigned min_pos = 1;
+  unsigned max_pos = 6;
+  unsigned min_gates = 24;
+  unsigned max_gates = 140;
+  /// Direct LUT-network generation: fanin count per LUT in [1, max_fanin].
+  unsigned max_lut_fanin = 5;
+  /// Upper bounds for benchgen's injected redundancy / near-miss decoys.
+  double max_redundancy = 0.10;
+  double max_near_miss = 0.08;
+};
+
+/// Draws a random benchmark spec (AIG path) from \p profile.
+[[nodiscard]] benchgen::CircuitSpec random_spec(util::Rng& rng,
+                                                const GenProfile& profile);
+
+/// Options for one direct random K-LUT network.
+struct LutGenOptions {
+  unsigned num_pis = 8;
+  unsigned num_pos = 4;
+  unsigned num_luts = 60;
+  unsigned max_fanin = 5;
+  /// Probability that a fanin draw prefers a recently created node; high
+  /// values build depth, low values build width.
+  double recent_bias = 0.7;
+  /// Probability that a LUT's function is a completely random table (the
+  /// remainder uses common gate functions, which keeps some realism).
+  double random_table_rate = 0.5;
+};
+
+/// Draws randomized LutGenOptions from \p profile.
+[[nodiscard]] LutGenOptions random_lut_options(util::Rng& rng,
+                                               const GenProfile& profile);
+
+/// Builds a random K-LUT network directly at the network level. The
+/// result passes the structural lint error checks by construction
+/// (dangling LUTs and duplicate fanins — legal warnings — do occur, on
+/// purpose).
+[[nodiscard]] net::Network random_lut_network(util::Rng& rng,
+                                              const LutGenOptions& options);
+
+}  // namespace simgen::fuzz

@@ -1,0 +1,421 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "tt/isop.hpp"
+
+namespace simgen::fuzz {
+
+namespace {
+
+using net::Network;
+using net::NodeId;
+using tt::TruthTable;
+
+std::vector<NodeId> collect_luts(const Network& network) {
+  std::vector<NodeId> luts;
+  network.for_each_lut([&](NodeId id) { luts.push_back(id); });
+  return luts;
+}
+
+/// Balanced OR of \p terms inside \p dst (chunks of up to 4 per level so
+/// arbitrarily large covers never exceed the truth-table variable limit).
+NodeId build_or_tree(Network& dst, std::vector<NodeId> terms) {
+  if (terms.empty()) return dst.add_constant(false);
+  while (terms.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < terms.size(); i += 4) {
+      const std::size_t n = std::min<std::size_t>(4, terms.size() - i);
+      if (n == 1) {
+        next.push_back(terms[i]);
+        continue;
+      }
+      const std::span<const NodeId> group(terms.data() + i, n);
+      next.push_back(dst.add_lut(
+          group, TruthTable::or_gate(static_cast<unsigned>(n))));
+    }
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+/// AND-of-literals node for one cube: fanins are the cube's literal
+/// variables, polarities folded into the table.
+NodeId build_cube_node(Network& dst, const tt::Cube& cube,
+                       std::span<const NodeId> fanins, unsigned num_vars) {
+  std::vector<NodeId> lits;
+  std::vector<bool> polarity;
+  for (unsigned v = 0; v < num_vars; ++v) {
+    if (!cube.has_literal(v)) continue;
+    lits.push_back(fanins[v]);
+    polarity.push_back(cube.literal_value(v));
+  }
+  if (lits.empty()) return dst.add_constant(true);  // tautology cube
+  const unsigned arity = static_cast<unsigned>(lits.size());
+  TruthTable product = TruthTable::constant(arity, true);
+  for (unsigned v = 0; v < arity; ++v) {
+    const TruthTable proj = TruthTable::projection(arity, v);
+    product &= polarity[v] ? proj : ~proj;
+  }
+  return dst.add_lut(lits, std::move(product));
+}
+
+/// Permutes \p function's variables: result(m) = function(m') where bit
+/// perm[j] of m' is bit j of m — the right table for a node whose fanin j
+/// is the original fanin perm[j].
+TruthTable permute_table(const TruthTable& function,
+                         std::span<const unsigned> perm) {
+  TruthTable result(function.num_vars());
+  for (std::uint64_t m = 0; m < function.num_bits(); ++m) {
+    std::uint64_t original = 0;
+    for (unsigned j = 0; j < function.num_vars(); ++j)
+      original |= ((m >> j) & 1u) << perm[j];
+    result.set_bit(m, function.get_bit(original));
+  }
+  return result;
+}
+
+using LutHook = std::function<NodeId(NodeId, std::span<const NodeId>,
+                                     Network&)>;
+
+/// ISOP re-expression: replace the victim with the two-level AND/OR
+/// structure of its irredundant ON-set cover.
+Network rewrite_isop(const Network& source, NodeId victim) {
+  return copy_network(
+      source, [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        if (id != victim) return net::kNullNode;
+        const TruthTable& function = source.node(id).function;
+        if (function.is_const0()) return dst.add_constant(false);
+        if (function.is_const1()) return dst.add_constant(true);
+        const tt::Cover cover = tt::isop(function);
+        std::vector<NodeId> terms;
+        terms.reserve(cover.size());
+        for (const tt::Cube& cube : cover.cubes)
+          terms.push_back(
+              build_cube_node(dst, cube, fanins, function.num_vars()));
+        return build_or_tree(dst, std::move(terms));
+      });
+}
+
+/// Shannon expansion of the victim around variable \p var:
+/// f = mux(x_var, f|x=1, f|x=0), built as two cofactor LUTs and a mux3.
+Network rewrite_shannon(const Network& source, NodeId victim, unsigned var) {
+  return copy_network(
+      source, [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        if (id != victim) return net::kNullNode;
+        const TruthTable& function = source.node(id).function;
+        const NodeId n0 = dst.add_lut(fanins, function.cofactor0(var));
+        const NodeId n1 = dst.add_lut(fanins, function.cofactor1(var));
+        const NodeId mux_fanins[3] = {n0, n1, fanins[var]};
+        return dst.add_lut(mux_fanins, TruthTable::mux3());
+      });
+}
+
+/// Fanin permutation: shuffle the victim's fanin order and permute the
+/// truth table to compensate. Functionally identical, structurally not
+/// (the encoder, simulator, and hashers all see a different node).
+Network rewrite_permute(const Network& source, NodeId victim,
+                        util::Rng& rng) {
+  const unsigned arity =
+      static_cast<unsigned>(source.fanins(victim).size());
+  std::vector<unsigned> perm(arity);
+  for (unsigned i = 0; i < arity; ++i) perm[i] = i;
+  for (unsigned i = arity - 1; i > 0; --i)
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  return copy_network(
+      source, [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        if (id != victim) return net::kNullNode;
+        std::vector<NodeId> shuffled(arity);
+        for (unsigned j = 0; j < arity; ++j) shuffled[j] = fanins[perm[j]];
+        return dst.add_lut(shuffled,
+                           permute_table(source.node(id).function, perm));
+      });
+}
+
+/// Double inversion: splice NOT(NOT(victim)) after the victim. Readers see
+/// a different driver that the sweeper must prove equivalent.
+Network rewrite_double_not(const Network& source, NodeId victim) {
+  return copy_network(
+      source, [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        if (id != victim) return net::kNullNode;
+        const NodeId base =
+            dst.add_lut(fanins, source.node(id).function);
+        const NodeId inv_fanins[1] = {base};
+        const NodeId inverted =
+            dst.add_lut(inv_fanins, TruthTable::not_gate());
+        const NodeId restore_fanins[1] = {inverted};
+        return dst.add_lut(restore_fanins, TruthTable::not_gate());
+      });
+}
+
+/// Fanout duplication: clone the victim and split its readers randomly
+/// between the original and the clone — a genuine internal equivalence
+/// pair the sweeper has to merge.
+Network rewrite_duplicate(const Network& source, NodeId victim,
+                          util::Rng& rng) {
+  Network dst(source.name());
+  std::vector<NodeId> map(source.num_nodes(), net::kNullNode);
+  NodeId twin = net::kNullNode;
+  const auto resolve = [&](NodeId fanin) {
+    if (fanin == victim && twin != net::kNullNode && rng.flip()) return twin;
+    return map[fanin];
+  };
+  source.for_each_node([&](NodeId id) {
+    const net::Node& node = source.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        map[id] = dst.add_pi(node.name);
+        break;
+      case net::NodeKind::kConstant:
+        map[id] = dst.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kPo:
+        map[id] = dst.add_po(resolve(node.fanins[0]), node.name);
+        break;
+      case net::NodeKind::kLut: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(node.fanins.size());
+        for (NodeId fanin : node.fanins) fanins.push_back(resolve(fanin));
+        map[id] = dst.add_lut(fanins, node.function, node.name);
+        if (id == victim)
+          twin = dst.add_lut(fanins, node.function);
+        break;
+      }
+    }
+  });
+  return dst;
+}
+
+/// Builds the mutant's network by flipping bit \p minterm of \p victim's
+/// truth table.
+Network flip_table_bit(const Network& source, NodeId victim,
+                       unsigned minterm) {
+  return copy_network(
+      source, [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        if (id != victim) return net::kNullNode;
+        TruthTable function = source.node(id).function;
+        function.set_bit(minterm, !function.get_bit(minterm));
+        return dst.add_lut(fanins, std::move(function));
+      });
+}
+
+/// Simulates \p network on the single input vector \p witness and reports
+/// the PO value bits (bit 0 of each PO word).
+std::vector<bool> po_values(const Network& network,
+                            const std::vector<bool>& witness) {
+  sim::Simulator simulator(network);
+  std::vector<sim::PatternWord> words(network.num_pis());
+  for (std::size_t i = 0; i < words.size(); ++i)
+    words[i] = witness[i] ? 1u : 0u;
+  simulator.simulate_word(words);
+  std::vector<bool> values;
+  values.reserve(network.num_pos());
+  for (const NodeId po : network.pos())
+    values.push_back(simulator.value_bit(po, 0));
+  return values;
+}
+
+}  // namespace
+
+Network copy_network(const Network& source, const LutHook& lut_hook) {
+  Network dst(source.name());
+  std::vector<NodeId> map(source.num_nodes(), net::kNullNode);
+  source.for_each_node([&](NodeId id) {
+    const net::Node& node = source.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        map[id] = dst.add_pi(node.name);
+        break;
+      case net::NodeKind::kConstant:
+        map[id] = dst.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kPo:
+        map[id] = dst.add_po(map[node.fanins[0]], node.name);
+        break;
+      case net::NodeKind::kLut: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(node.fanins.size());
+        for (NodeId fanin : node.fanins) fanins.push_back(map[fanin]);
+        NodeId replacement = net::kNullNode;
+        if (lut_hook) replacement = lut_hook(id, fanins, dst);
+        map[id] = replacement != net::kNullNode
+                      ? replacement
+                      : dst.add_lut(fanins, node.function, node.name);
+        break;
+      }
+    }
+  });
+  return dst;
+}
+
+Mutant rewrite_equivalent(const Network& base, util::Rng& rng,
+                          unsigned count) {
+  Mutant mutant;
+  mutant.network = copy_network(base, nullptr);
+  mutant.equivalent = true;
+  for (unsigned step = 0; step < count; ++step) {
+    const std::vector<NodeId> luts = collect_luts(mutant.network);
+    if (luts.empty()) break;  // nothing to rewrite; plain copy is still EQ
+    const NodeId victim = luts[rng.below(luts.size())];
+    const TruthTable& function = mutant.network.node(victim).function;
+    if (!mutant.description.empty()) mutant.description += '+';
+    switch (rng.below(5)) {
+      case 0:
+        mutant.network = rewrite_isop(mutant.network, victim);
+        mutant.description += "isop(n" + std::to_string(victim) + ")";
+        break;
+      case 1:
+        if (function.support_mask() != 0) {
+          unsigned var = 0;
+          while (!function.depends_on(var)) ++var;
+          mutant.network = rewrite_shannon(mutant.network, victim, var);
+          mutant.description += "shannon(n" + std::to_string(victim) + ")";
+        } else {
+          mutant.network = rewrite_double_not(mutant.network, victim);
+          mutant.description += "notnot(n" + std::to_string(victim) + ")";
+        }
+        break;
+      case 2:
+        if (function.num_vars() >= 2) {
+          mutant.network = rewrite_permute(mutant.network, victim, rng);
+          mutant.description += "permute(n" + std::to_string(victim) + ")";
+        } else {
+          mutant.network = rewrite_isop(mutant.network, victim);
+          mutant.description += "isop(n" + std::to_string(victim) + ")";
+        }
+        break;
+      case 3:
+        mutant.network = rewrite_double_not(mutant.network, victim);
+        mutant.description += "notnot(n" + std::to_string(victim) + ")";
+        break;
+      default:
+        mutant.network = rewrite_duplicate(mutant.network, victim, rng);
+        mutant.description += "dup(n" + std::to_string(victim) + ")";
+        break;
+    }
+  }
+  if (mutant.description.empty()) mutant.description = "copy";
+  return mutant;
+}
+
+Mutant inject_fault(const Network& base, util::Rng& rng) {
+  const std::vector<NodeId> luts = collect_luts(base);
+  const std::size_t num_pis = base.num_pis();
+
+  const auto draw_witness = [&]() {
+    std::vector<bool> witness(num_pis);
+    for (std::size_t i = 0; i < num_pis; ++i) witness[i] = rng.flip();
+    return witness;
+  };
+
+  // Preferred: flip a random LUT's table bit at the minterm its fanins
+  // take under a random vector. The flip is guaranteed to change that
+  // LUT's output on the vector; whether it reaches a PO depends on
+  // observability, so verify by simulation and retry a few times. This
+  // finds deep faults (the hardest case for the engines) most of the time.
+  if (!luts.empty() && num_pis > 0) {
+    for (unsigned attempt = 0; attempt < 16; ++attempt) {
+      const NodeId victim = luts[rng.below(luts.size())];
+      const std::vector<bool> witness = draw_witness();
+      sim::Simulator probe(base);
+      std::vector<sim::PatternWord> words(num_pis);
+      for (std::size_t i = 0; i < num_pis; ++i)
+        words[i] = witness[i] ? 1u : 0u;
+      probe.simulate_word(words);
+      unsigned minterm = 0;
+      const auto fanins = base.fanins(victim);
+      for (std::size_t i = 0; i < fanins.size(); ++i)
+        minterm |=
+            static_cast<unsigned>(probe.value(fanins[i]) & 1u) << i;
+      Network mutated = flip_table_bit(base, victim, minterm);
+      if (po_values(base, witness) != po_values(mutated, witness)) {
+        Mutant mutant;
+        mutant.network = std::move(mutated);
+        mutant.equivalent = false;
+        mutant.witness = witness;
+        mutant.description = "fault(n" + std::to_string(victim) + "@" +
+                             std::to_string(minterm) + ")";
+        return mutant;
+      }
+    }
+  }
+
+  // Guaranteed fallback 1: flip the observable bit of a PO driver — the
+  // minterm its fanins take under the chosen vector is a PO bit by
+  // construction, so the witness always works.
+  if (num_pis > 0) {
+    for (const NodeId po : base.pos()) {
+      const NodeId driver = base.fanins(po)[0];
+      if (!base.is_lut(driver)) continue;
+      const std::vector<bool> witness = draw_witness();
+      sim::Simulator probe(base);
+      std::vector<sim::PatternWord> words(num_pis);
+      for (std::size_t i = 0; i < num_pis; ++i)
+        words[i] = witness[i] ? 1u : 0u;
+      probe.simulate_word(words);
+      unsigned minterm = 0;
+      const auto fanins = base.fanins(driver);
+      for (std::size_t i = 0; i < fanins.size(); ++i)
+        minterm |=
+            static_cast<unsigned>(probe.value(fanins[i]) & 1u) << i;
+      Mutant mutant;
+      mutant.network = flip_table_bit(base, driver, minterm);
+      mutant.equivalent = false;
+      mutant.witness = witness;
+      mutant.description = "po-fault(n" + std::to_string(driver) + "@" +
+                           std::to_string(minterm) + ")";
+      return mutant;
+    }
+  }
+
+  // Guaranteed fallback 2 (degenerate networks whose POs read PIs or
+  // constants directly): invert one PO's driver. NOT differs everywhere,
+  // so any vector is a witness.
+  if (base.num_pos() == 0)
+    throw std::invalid_argument("inject_fault: network has no outputs");
+  const std::size_t po_index = rng.below(base.num_pos());
+  Network dst(base.name());
+  std::vector<NodeId> map(base.num_nodes(), net::kNullNode);
+  std::size_t seen_pos = 0;
+  base.for_each_node([&](NodeId id) {
+    const net::Node& node = base.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        map[id] = dst.add_pi(node.name);
+        break;
+      case net::NodeKind::kConstant:
+        map[id] = dst.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kLut: {
+        std::vector<NodeId> fanins;
+        for (NodeId fanin : node.fanins) fanins.push_back(map[fanin]);
+        map[id] = dst.add_lut(fanins, node.function, node.name);
+        break;
+      }
+      case net::NodeKind::kPo: {
+        NodeId driver = map[node.fanins[0]];
+        if (seen_pos++ == po_index) {
+          if (dst.is_constant(driver)) {
+            driver = dst.add_constant(!dst.node(driver).constant_value);
+          } else {
+            const NodeId inv_fanins[1] = {driver};
+            driver = dst.add_lut(inv_fanins, TruthTable::not_gate());
+          }
+        }
+        map[id] = dst.add_po(driver, node.name);
+        break;
+      }
+    }
+  });
+  Mutant mutant;
+  mutant.network = std::move(dst);
+  mutant.equivalent = false;
+  mutant.witness = std::vector<bool>(num_pis, false);
+  mutant.description = "po-invert(po" + std::to_string(po_index) + ")";
+  return mutant;
+}
+
+}  // namespace simgen::fuzz

@@ -1,0 +1,67 @@
+/// \file mutate.hpp
+/// \brief Mutation engine: equivalence-preserving rewrites and
+/// fault-injecting mutants with known counterexample witnesses.
+///
+/// The differential harness needs circuit *pairs* with a known expected
+/// verdict. Equivalence-preserving rewrites produce structurally different
+/// but functionally identical copies (strash-neutral restructures the
+/// sweeper must prove, exactly like real synthesis redundancy):
+///
+///  * ISOP re-expression — a LUT is replaced by the two-level AND/OR
+///    structure of its irredundant cover;
+///  * Shannon expansion — a LUT becomes mux(x, f|x=1, f|x=0) over one of
+///    its support variables;
+///  * fanin permutation — fanins are shuffled and the truth table's
+///    variables permuted to match;
+///  * double inversion — two chained NOT LUTs are spliced after a node;
+///  * fanout duplication — a multi-fanout LUT is cloned and its readers
+///    split between the copies (a genuine internal equivalence pair).
+///
+/// Fault injection flips one *observable* truth-table bit: the minterm a
+/// LUT's fanins take under a concrete simulated input vector, which makes
+/// that vector a guaranteed counterexample witness the oracles can check
+/// engines against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::fuzz {
+
+/// One derived circuit plus ground truth about its relation to the base.
+struct Mutant {
+  net::Network network;
+  bool equivalent = true;
+  /// For inequivalent mutants: a PI assignment on which some PO differs
+  /// from the base network (index i = value of PI i).
+  std::vector<bool> witness;
+  /// Human-readable provenance, e.g. "isop-restructure(n17)".
+  std::string description;
+};
+
+/// Rebuilds \p source node by node. For each internal LUT, \p lut_hook may
+/// return the replacement node id built inside \p dst (given the already
+/// mapped fanins), or net::kNullNode to copy the LUT verbatim. PIs,
+/// constants, and POs are always copied with their names.
+net::Network copy_network(
+    const net::Network& source,
+    const std::function<net::NodeId(net::NodeId, std::span<const net::NodeId>,
+                                    net::Network&)>& lut_hook);
+
+/// Applies \p count random equivalence-preserving rewrites in sequence.
+/// The result is functionally identical to \p base (expected verdict: EQ).
+[[nodiscard]] Mutant rewrite_equivalent(const net::Network& base,
+                                        util::Rng& rng, unsigned count = 1);
+
+/// Builds an inequivalent mutant by flipping one observable truth-table
+/// bit, together with a witness input vector on which the pair differs
+/// (verified by simulation before returning; expected verdict: NEQ).
+[[nodiscard]] Mutant inject_fault(const net::Network& base, util::Rng& rng);
+
+}  // namespace simgen::fuzz

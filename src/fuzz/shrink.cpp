@@ -1,0 +1,238 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "fuzz/mutate.hpp"
+
+namespace simgen::fuzz {
+
+namespace {
+
+using net::Network;
+using net::NodeId;
+using tt::TruthTable;
+
+/// Removes variable \p var from \p table (which must not depend on it):
+/// bit m of the result is the table bit with a 0 inserted at position var.
+TruthTable remove_var(const TruthTable& table, unsigned var) {
+  TruthTable result(table.num_vars() - 1);
+  for (std::uint64_t m = 0; m < result.num_bits(); ++m) {
+    const std::uint64_t low = m & ((1ull << var) - 1);
+    const std::uint64_t high = (m >> var) << (var + 1);
+    result.set_bit(m, table.get_bit(high | low));
+  }
+  return result;
+}
+
+std::vector<std::size_t> all_po_indices(const Network& network) {
+  std::vector<std::size_t> indices(network.num_pos());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  return indices;
+}
+
+/// Replaces LUT \p victim by a constant, then drops the dead cone.
+Network replace_by_constant(const Network& source, NodeId victim,
+                            bool value) {
+  Network replaced = copy_network(
+      source, [&](NodeId id, std::span<const NodeId>, Network& dst) {
+        return id == victim ? dst.add_constant(value) : net::kNullNode;
+      });
+  return extract_cone(replaced, all_po_indices(replaced));
+}
+
+/// Replaces LUT \p victim by its \p fanin_index-th fanin.
+Network replace_by_fanin(const Network& source, NodeId victim,
+                         std::size_t fanin_index) {
+  Network replaced = copy_network(
+      source,
+      [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        (void)dst;
+        return id == victim ? fanins[fanin_index] : net::kNullNode;
+      });
+  return extract_cone(replaced, all_po_indices(replaced));
+}
+
+/// Semantics-preserving cleanup: every LUT loses the fanins outside its
+/// functional support (the truth table shrinks with them); LUTs with
+/// empty support become constants.
+Network prune_supports(const Network& source) {
+  Network pruned = copy_network(
+      source,
+      [&](NodeId id, std::span<const NodeId> fanins, Network& dst) {
+        const TruthTable& function = source.node(id).function;
+        const unsigned arity = function.num_vars();
+        const std::uint32_t support = function.support_mask();
+        if (arity == 0) return dst.add_constant(function.get_bit(0));
+        if (support == (arity >= 32 ? ~0u : (1u << arity) - 1))
+          return net::kNullNode;  // full support: keep verbatim
+        if (support == 0) return dst.add_constant(function.get_bit(0));
+        TruthTable reduced = function;
+        std::vector<NodeId> kept;
+        kept.reserve(arity);
+        for (unsigned v = 0; v < arity; ++v)
+          if ((support >> v) & 1u) kept.push_back(fanins[v]);
+        for (unsigned v = arity; v-- > 0;)
+          if (((support >> v) & 1u) == 0) reduced = remove_var(reduced, v);
+        return dst.add_lut(kept, std::move(reduced));
+      });
+  return extract_cone(pruned, all_po_indices(pruned));
+}
+
+}  // namespace
+
+Network extract_cone(const Network& network,
+                     std::span<const std::size_t> po_indices) {
+  std::vector<bool> keep(network.num_nodes(), false);
+  std::vector<NodeId> stack;
+  for (const std::size_t index : po_indices) {
+    const NodeId po = network.pos()[index];
+    if (!keep[po]) {
+      keep[po] = true;
+      stack.push_back(po);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId fanin : network.fanins(id)) {
+      if (keep[fanin]) continue;
+      keep[fanin] = true;
+      stack.push_back(fanin);
+    }
+  }
+
+  Network cone(network.name());
+  std::vector<NodeId> map(network.num_nodes(), net::kNullNode);
+  network.for_each_node([&](NodeId id) {
+    if (!keep[id]) return;
+    const net::Node& node = network.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        map[id] = cone.add_pi(node.name);
+        break;
+      case net::NodeKind::kConstant:
+        map[id] = cone.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kPo:
+        map[id] = cone.add_po(map[node.fanins[0]], node.name);
+        break;
+      case net::NodeKind::kLut: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(node.fanins.size());
+        for (const NodeId fanin : node.fanins) fanins.push_back(map[fanin]);
+        map[id] = cone.add_lut(fanins, node.function, node.name);
+        break;
+      }
+    }
+  });
+  return cone;
+}
+
+ShrinkResult shrink_network(const Network& failing,
+                            const ShrinkPredicate& still_fails,
+                            const ShrinkOptions& options) {
+  ShrinkResult result;
+  const auto check = [&](const Network& candidate) {
+    if (result.predicate_calls >= options.max_predicate_calls) return false;
+    ++result.predicate_calls;
+    return still_fails(candidate);
+  };
+
+  if (!check(failing))
+    throw std::invalid_argument(
+        "shrink_network: predicate does not hold on the input");
+  result.network = copy_network(failing, nullptr);
+
+  // Step 0: drop anything outside the PO cones — free if the predicate
+  // survives, which it almost always does.
+  {
+    Network cleaned = extract_cone(result.network,
+                                   all_po_indices(result.network));
+    if (cleaned.num_nodes() < result.network.num_nodes() && check(cleaned)) {
+      result.network = std::move(cleaned);
+      ++result.reductions;
+    }
+  }
+
+  bool improved = true;
+  while (improved && result.rounds < options.max_rounds) {
+    ++result.rounds;
+    improved = false;
+
+    // PO subsetting: halves first (big bites), then singles.
+    bool po_retry = true;
+    while (po_retry && result.network.num_pos() > 1) {
+      po_retry = false;
+      const std::size_t n = result.network.num_pos();
+      std::vector<std::vector<std::size_t>> subsets;
+      std::vector<std::size_t> first, second;
+      for (std::size_t i = 0; i < n; ++i)
+        (i < n / 2 ? first : second).push_back(i);
+      if (!first.empty() && first.size() < n) subsets.push_back(first);
+      if (!second.empty() && second.size() < n) subsets.push_back(second);
+      for (std::size_t i = 0; i < n; ++i)
+        subsets.push_back({i});
+      for (const auto& subset : subsets) {
+        Network candidate = extract_cone(result.network, subset);
+        if (candidate.num_nodes() < result.network.num_nodes() &&
+            check(candidate)) {
+          result.network = std::move(candidate);
+          ++result.reductions;
+          improved = po_retry = true;
+          break;
+        }
+      }
+    }
+
+    // Node replacements, outputs-first (reverse creation order reaches
+    // the roots of big cones early). Restart the scan after every
+    // acceptance — node ids change with the rebuild.
+    bool node_retry = true;
+    while (node_retry) {
+      node_retry = false;
+      std::vector<NodeId> luts;
+      result.network.for_each_lut([&](NodeId id) { luts.push_back(id); });
+      std::reverse(luts.begin(), luts.end());
+      for (const NodeId victim : luts) {
+        const std::size_t arity = result.network.fanins(victim).size();
+        std::vector<Network> candidates;
+        candidates.push_back(replace_by_constant(result.network, victim, false));
+        candidates.push_back(replace_by_constant(result.network, victim, true));
+        for (std::size_t i = 0; i < arity; ++i)
+          candidates.push_back(replace_by_fanin(result.network, victim, i));
+        for (Network& candidate : candidates) {
+          if (candidate.num_nodes() < result.network.num_nodes() &&
+              check(candidate)) {
+            result.network = std::move(candidate);
+            ++result.reductions;
+            improved = node_retry = true;
+            break;
+          }
+        }
+        if (node_retry) break;
+        if (result.predicate_calls >= options.max_predicate_calls) break;
+      }
+      if (result.predicate_calls >= options.max_predicate_calls) break;
+    }
+
+    // Support pruning: semantics-preserving, but still gated on the
+    // predicate (the failure might be structural, not functional).
+    {
+      Network candidate = prune_supports(result.network);
+      if (candidate.num_nodes() < result.network.num_nodes() &&
+          check(candidate)) {
+        result.network = std::move(candidate);
+        ++result.reductions;
+        improved = true;
+      }
+    }
+
+    if (result.predicate_calls >= options.max_predicate_calls) break;
+  }
+  return result;
+}
+
+}  // namespace simgen::fuzz

@@ -1,0 +1,60 @@
+/// \file shrink.hpp
+/// \brief Delta-debugging minimizer for failing fuzz circuits.
+///
+/// A raw fuzz failure is a hundred-node circuit; the bug it witnesses
+/// usually needs five of them. The shrinker greedily applies
+/// predicate-preserving reductions until a fixpoint:
+///
+///  * PO reduction — keep only half (then one) of the outputs and the
+///    cone that feeds them;
+///  * node-to-constant — replace an internal LUT by constant 0 or 1;
+///  * node-to-fanin — replace an internal LUT by one of its fanins;
+///  * truth-table simplification — drop fanins outside the functional
+///    support, shrinking the table with them;
+///  * cone extraction — after every accepted reduction, dead nodes and
+///    unused PIs are removed.
+///
+/// Each candidate reduction is kept only if the caller's predicate still
+/// holds ("the oracle still disagrees", "the parser still throws", ...),
+/// so the final circuit provably preserves the failure. Classic
+/// delta debugging, specialized to DAG circuits.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "network/network.hpp"
+
+namespace simgen::fuzz {
+
+/// Returns true while the candidate still exhibits the failure. Must be
+/// deterministic; it is called O(nodes) times per round.
+using ShrinkPredicate = std::function<bool(const net::Network&)>;
+
+struct ShrinkOptions {
+  /// Fixpoint bound: rounds stop early when no reduction is accepted.
+  unsigned max_rounds = 8;
+  /// Hard bound on predicate evaluations (each may run a full CEC).
+  std::size_t max_predicate_calls = 10000;
+};
+
+struct ShrinkResult {
+  net::Network network;           ///< The minimized failing circuit.
+  std::size_t rounds = 0;         ///< Improvement rounds executed.
+  std::size_t reductions = 0;     ///< Accepted reductions.
+  std::size_t predicate_calls = 0;
+};
+
+/// Keeps only the cone of the listed PO indices: nodes unreachable from
+/// them and PIs outside their support are dropped. Exposed for tests.
+[[nodiscard]] net::Network extract_cone(const net::Network& network,
+                                        std::span<const std::size_t> po_indices);
+
+/// Minimizes \p failing while \p still_fails holds. Requires
+/// still_fails(failing) to be true on entry (throws std::invalid_argument
+/// otherwise — shrinking a non-failure hides harness bugs).
+[[nodiscard]] ShrinkResult shrink_network(const net::Network& failing,
+                                          const ShrinkPredicate& still_fails,
+                                          const ShrinkOptions& options = {});
+
+}  // namespace simgen::fuzz

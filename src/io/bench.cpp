@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/names.hpp"
 #include "tt/isop.hpp"
 
 namespace simgen::io {
@@ -135,9 +136,20 @@ net::Network read_bench(std::istream& in) {
     if (state[name] == State::kInProgress)
       fail(def->second.line_number, "combinational cycle through " + name);
     state[name] = State::kInProgress;
-    std::vector<net::NodeId> fanins;
-    for (const std::string& input : def->second.inputs) fanins.push_back(build(input));
-    const net::NodeId id = network.add_lut(fanins, gate_table(def->second), name);
+    net::NodeId id;
+    if (def->second.kind == "CONST0" || def->second.kind == "CONST1") {
+      // Zero-operand constant gates (this writer's own extension — plain
+      // BENCH has no constant literal at all, so round-tripping networks
+      // with constant nodes needs one).
+      if (!def->second.inputs.empty())
+        fail(def->second.line_number, def->second.kind + " expects 0 inputs");
+      id = network.add_constant(def->second.kind == "CONST1");
+    } else {
+      std::vector<net::NodeId> fanins;
+      for (const std::string& input : def->second.inputs)
+        fanins.push_back(build(input));
+      id = network.add_lut(fanins, gate_table(def->second), name);
+    }
     state[name] = State::kDone;
     signal_map.emplace(name, id);
     return id;
@@ -159,33 +171,27 @@ net::Network read_bench_string(const std::string& text) {
   return read_bench(stream);
 }
 
-namespace {
-
-std::string signal_name(const net::Network& network, net::NodeId id) {
-  const auto& node = network.node(id);
-  if (!node.name.empty()) return node.name;
-  // Built with += rather than operator+: GCC 12's -Wrestrict misfires on
-  // the temporary-concatenation pattern at -O3 (GCC bug 105651).
-  std::string name = "n";
-  name += std::to_string(id);
-  return name;
-}
-
-}  // namespace
-
 void write_bench(const net::Network& network, std::ostream& out) {
+  SignalNames names(network);
   for (net::NodeId pi : network.pis())
-    out << "INPUT(" << signal_name(network, pi) << ")\n";
+    out << "INPUT(" << names[pi] << ")\n";
   std::vector<std::string> po_names;
   for (std::size_t i = 0; i < network.num_pos(); ++i) {
-    std::string name = network.node(network.pos()[i]).name;
-    if (name.empty()) name = "po" + std::to_string(i);
-    po_names.push_back(name);
-    out << "OUTPUT(" << name << ")\n";
+    po_names.push_back(names.po_name(i));
+    out << "OUTPUT(" << po_names.back() << ")\n";
   }
 
-  std::size_t aux_counter = 0;
-  const auto aux_name = [&] { return "aux" + std::to_string(aux_counter++); };
+  // Constant nodes first: they can feed any gate or output below. Found
+  // by fuzzing — the writer used to reference constants it never defined,
+  // producing BENCH no reader (including ours) could parse.
+  network.for_each_node([&](net::NodeId id) {
+    if (!network.is_constant(id)) return;
+    out << names[id] << " = "
+        << (network.node(id).constant_value ? "CONST1()" : "CONST0()")
+        << "\n";
+  });
+
+  const auto aux_name = [&] { return names.fresh("aux"); };
 
   // Emits `target = KIND(operands...)`, splitting into a balanced tree of
   // at-most-8-input gates (readers bound gate arity by the truth-table
@@ -225,9 +231,9 @@ void write_bench(const net::Network& network, std::ostream& out) {
   network.for_each_node([&](net::NodeId id) {
     if (!network.is_lut(id)) return;
     const auto& node = network.node(id);
-    const std::string name = signal_name(network, id);
-    const auto fanin_name = [&](unsigned v) {
-      return signal_name(network, node.fanins[v]);
+    const std::string& name = names[id];
+    const auto fanin_name = [&](unsigned v) -> const std::string& {
+      return names[node.fanins[v]];
     };
     const auto num_vars = static_cast<unsigned>(node.fanins.size());
 
@@ -296,7 +302,7 @@ void write_bench(const net::Network& network, std::ostream& out) {
 
   for (std::size_t i = 0; i < network.num_pos(); ++i) {
     const net::NodeId driver = network.fanins(network.pos()[i])[0];
-    const std::string driver_name = signal_name(network, driver);
+    const std::string& driver_name = names[driver];
     if (driver_name != po_names[i])
       out << po_names[i] << " = BUFF(" << driver_name << ")\n";
   }

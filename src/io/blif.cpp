@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/names.hpp"
 #include "tt/isop.hpp"
 
 namespace simgen::io {
@@ -209,45 +210,29 @@ net::Network read_blif_string(const std::string& text) {
   return read_blif(stream);
 }
 
-namespace {
-
-std::string signal_name(const net::Network& network, net::NodeId id) {
-  const auto& node = network.node(id);
-  if (!node.name.empty()) return node.name;
-  // Built with += rather than operator+: GCC 12's -Wrestrict misfires on
-  // the temporary-concatenation pattern at -O3 (GCC bug 105651).
-  std::string name = "n";
-  name += std::to_string(id);
-  return name;
-}
-
-}  // namespace
-
 void write_blif(const net::Network& network, std::ostream& out) {
+  SignalNames names(network);
   out << ".model " << (network.name().empty() ? "simgen" : network.name()) << "\n";
   out << ".inputs";
-  for (net::NodeId pi : network.pis()) out << ' ' << signal_name(network, pi);
+  for (net::NodeId pi : network.pis()) out << ' ' << names[pi];
   out << "\n.outputs";
   std::vector<std::string> po_names;
   for (std::size_t i = 0; i < network.num_pos(); ++i) {
-    const net::NodeId po = network.pos()[i];
-    std::string name = network.node(po).name;
-    if (name.empty()) name = "po" + std::to_string(i);
-    po_names.push_back(name);
-    out << ' ' << name;
+    po_names.push_back(names.po_name(i));
+    out << ' ' << po_names.back();
   }
   out << "\n";
 
   network.for_each_node([&](net::NodeId id) {
     if (network.is_constant(id)) {
-      out << ".names " << signal_name(network, id) << "\n";
+      out << ".names " << names[id] << "\n";
       if (network.node(id).constant_value) out << "1\n";
       return;
     }
     if (!network.is_lut(id)) return;
     out << ".names";
-    for (net::NodeId fanin : network.fanins(id)) out << ' ' << signal_name(network, fanin);
-    out << ' ' << signal_name(network, id) << "\n";
+    for (net::NodeId fanin : network.fanins(id)) out << ' ' << names[fanin];
+    out << ' ' << names[id] << "\n";
     const auto num_vars = static_cast<unsigned>(network.fanins(id).size());
     const auto& function = network.node(id).function;
     if (function.is_const0()) return;  // empty cover == constant 0
@@ -268,7 +253,7 @@ void write_blif(const net::Network& network, std::ostream& out) {
   // it differs from (or aliases) the driver's signal name.
   for (std::size_t i = 0; i < network.num_pos(); ++i) {
     const net::NodeId driver = network.fanins(network.pos()[i])[0];
-    const std::string driver_name = signal_name(network, driver);
+    const std::string& driver_name = names[driver];
     if (driver_name == po_names[i]) continue;
     out << ".names " << driver_name << ' ' << po_names[i] << "\n1 1\n";
   }

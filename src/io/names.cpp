@@ -1,0 +1,54 @@
+#include "io/names.hpp"
+
+namespace simgen::io {
+
+SignalNames::SignalNames(const net::Network& network) : network_(network) {
+  names_.resize(network.num_nodes());
+  network.for_each_node([&](net::NodeId id) {
+    const auto& node = network.node(id);
+    if (node.kind == net::NodeKind::kPo) return;  // resolved via po_name()
+    if (!node.name.empty()) {
+      names_[id] = claim(node.name);
+      return;
+    }
+    // Built with += rather than operator+: GCC 12's -Wrestrict misfires
+    // on the temporary-concatenation pattern at -O3 (GCC bug 105651).
+    std::string fallback = "n";
+    fallback += std::to_string(id);
+    names_[id] = claim(fallback);
+  });
+}
+
+std::string SignalNames::po_name(std::size_t index) {
+  const net::NodeId po = network_.pos()[index];
+  const std::string& explicit_name = network_.node(po).name;
+  const net::NodeId driver = network_.fanins(po)[0];
+  // Aliasing the driver is fine: the writers emit no separate definition
+  // for the output signal in that case.
+  if (!explicit_name.empty() && explicit_name == names_[driver])
+    return explicit_name;
+  if (!explicit_name.empty()) return claim(explicit_name);
+  std::string fallback = "po";
+  fallback += std::to_string(index);
+  return claim(fallback);
+}
+
+std::string SignalNames::fresh(const std::string& prefix) {
+  while (true) {
+    std::string candidate = prefix;
+    candidate += std::to_string(fresh_counter_++);
+    if (used_.insert(candidate).second) return candidate;
+  }
+}
+
+std::string SignalNames::claim(const std::string& candidate) {
+  if (used_.insert(candidate).second) return candidate;
+  for (std::size_t k = 2;; ++k) {
+    std::string variant = candidate;
+    variant += '_';
+    variant += std::to_string(k);
+    if (used_.insert(variant).second) return variant;
+  }
+}
+
+}  // namespace simgen::io

@@ -1,0 +1,53 @@
+/// \file names.hpp
+/// \brief Collision-free signal naming shared by the netlist writers.
+///
+/// Writers used to fall back to "n<id>" for unnamed nodes (the reader
+/// produces those for constants, whose canonical nodes carry no name)
+/// and "aux<k>" for helper signals. Fuzzing found the obvious collision:
+/// after a shrink compacts node ids, an unnamed constant can land on id
+/// 13 while an unrelated LUT is explicitly named "n13", and the emitted
+/// file defines the signal twice. This table assigns every non-PO node a
+/// unique name up front and hands out helper names that dodge the same
+/// namespace.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace simgen::io {
+
+class SignalNames {
+ public:
+  /// Builds the table in node-id order: explicit names are kept when
+  /// unique (the first claimant wins), unnamed non-PO nodes get "n<id>",
+  /// and any collision is suffixed ("x_2", "x_3", ...) until free. The
+  /// result is deterministic for a given network.
+  explicit SignalNames(const net::Network& network);
+
+  /// The assigned name of a non-PO node.
+  const std::string& operator[](net::NodeId id) const { return names_[id]; }
+
+  /// Output name for the \p index-th PO. A PO is allowed to alias exactly
+  /// its own driver's signal (writers skip the buffer in that case); any
+  /// other collision — with an unrelated signal or an earlier PO — is
+  /// renamed, and unnamed POs get "po<index>".
+  std::string po_name(std::size_t index);
+
+  /// A fresh helper-signal name ("<prefix>0", "<prefix>1", ...) that
+  /// collides with nothing assigned or handed out so far.
+  std::string fresh(const std::string& prefix);
+
+ private:
+  std::string claim(const std::string& candidate);
+
+  const net::Network& network_;
+  std::vector<std::string> names_;
+  std::unordered_set<std::string> used_;
+  std::size_t fresh_counter_ = 0;
+};
+
+}  // namespace simgen::io

@@ -1,0 +1,54 @@
+/// \file telemetry_cli.hpp
+/// \brief Shared command-line handling for the telemetry subsystem.
+///
+/// Every driver binary (bench harnesses, examples, tools/simgen_fuzz)
+/// accepts the same telemetry flags; this class strips them from
+/// argc/argv at construction and wires up the corresponding outputs:
+///   --trace-out FILE       enable tracing; write Chrome trace JSON at exit
+///   --metrics-out FILE     write the metrics registry as JSONL at exit
+///   --journal-out FILE     record the sweep decision journal (binary, or
+///                          JSONL with a ".jsonl" suffix); replay with
+///                          tools/sweep_inspect
+///   --progress SECONDS     heartbeat interval for sweeps (implies info
+///                          logging); read back via progress_interval()
+///   --timeout SECONDS      watchdog deadline; dump + flush + exit 124
+/// Construction registers the exit finalizer and (when any output or a
+/// timeout is requested) the signal watchdog, so the requested files are
+/// valid even if the run is interrupted. The destructor writes them on
+/// the normal path. A driver needs only
+///   int main(int argc, char** argv) { obs::TelemetryCli telemetry(argc, argv); ... }
+/// Domain-specific wrappers (bench::TelemetryCli) layer extra flags on top.
+#pragma once
+
+#include <string>
+
+namespace simgen::obs {
+
+class TelemetryCli {
+ public:
+  /// Parses and removes the telemetry flags from \p argc/\p argv, then
+  /// enables the requested outputs, the exit finalizer, and the watchdog.
+  TelemetryCli(int& argc, char** argv);
+  /// Flushes all requested outputs and reports where they were written.
+  ~TelemetryCli();
+  TelemetryCli(const TelemetryCli&) = delete;
+  TelemetryCli& operator=(const TelemetryCli&) = delete;
+
+  /// Value of --progress (seconds between sweep heartbeats; 0 = off).
+  [[nodiscard]] double progress_interval() const noexcept {
+    return progress_interval_;
+  }
+  /// Value of --timeout (watchdog deadline in seconds; 0 = none).
+  [[nodiscard]] double timeout_seconds() const noexcept {
+    return timeout_seconds_;
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::string journal_out_;
+  double progress_interval_ = 0.0;
+  double timeout_seconds_ = 0.0;
+};
+
+}  // namespace simgen::obs

@@ -137,6 +137,40 @@ TEST(Drat, BogusDeletionMarksProofCorrupt) {
   EXPECT_FALSE(check::check_recorded_proof(mutated, {}));
 }
 
+// Regression (fuzz-found, tests/repros/drat_clause_permutation.blif):
+// RUP propagation permutes stored clauses in place to maintain the watch
+// invariant, so by deletion time a clause's literal order no longer
+// matches its normalized (sorted) form. Deletion used an exact vector
+// compare and an order-dependent hash, failed to find the permuted
+// clause, and marked sound proofs corrupt — which only fired on
+// instances big enough to trigger the solver's learnt-clause reduction.
+TEST(Drat, DeletionRecognizesPropagationPermutedClauses) {
+  check::DratChecker checker;
+  const sat::Var a = 0, b = 1, c = 2, d = 3;
+  const sat::Lit big[] = {sat::pos(a), sat::pos(b), sat::pos(c), sat::pos(d)};
+  const sat::Lit not_a[] = {sat::neg(a)};
+  const sat::Lit not_b[] = {sat::neg(b)};
+  checker.add_axiom(big);
+  checker.add_axiom(not_a);
+  checker.add_axiom(not_b);
+
+  // Certifying {c, d} runs RUP with ~c, ~d asserted: propagating ~a
+  // visits the 4-clause through its watch on `a` and swaps literals to
+  // restore the watch invariant, leaving the stored clause permuted.
+  const sat::Lit target[] = {sat::pos(c), sat::pos(d)};
+  EXPECT_TRUE(checker.certify(target));
+
+  // The deletion names the clause in a (re-)normalized order; it must
+  // still be recognized against the permuted stored copy.
+  const sat::Lit del[] = {sat::pos(d), sat::pos(c), sat::pos(b), sat::pos(a)};
+  checker.delete_clause(del);
+
+  // A corrupt checker refuses every later target; a healthy one still
+  // certifies what the remaining units entail.
+  EXPECT_TRUE(checker.certify(not_a));
+  EXPECT_EQ(checker.stats().failed_targets.value(), 0u);
+}
+
 TEST(Drat, AssumptionUnsatCertifiesNegatedAssumptions) {
   // x & (x -> y) & (y -> z); assuming ~z is UNSAT, and the checker can
   // certify the clause (z) — the negated assumption.

@@ -1,0 +1,198 @@
+/// \file test_fuzz.cpp
+/// \brief The differential fuzzing harness itself: generators, mutation
+/// engine, oracles, shrinker, artifacts, and campaign determinism.
+///
+/// The harness is only a trustworthy oracle if its own ground truth is
+/// sound — equivalence-preserving rewrites must actually preserve the
+/// function, injected faults must carry a real witness, the shrinker
+/// must preserve the failing property while reducing, and a campaign
+/// must be a pure function of its seed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "check/lint.hpp"
+#include "fuzz/artifact.hpp"
+#include "fuzz/campaign.hpp"
+#include "fuzz/gen.hpp"
+#include "fuzz/mutate.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "io/blif.hpp"
+#include "obs/metrics.hpp"
+#include "sweep/cec.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::fuzz {
+namespace {
+
+sweep::CecOptions fast_cec() {
+  sweep::CecOptions options;
+  options.random_rounds = 4;
+  options.use_guided_simulation = false;
+  options.sweep_internal_nodes = false;
+  return options;
+}
+
+net::Network random_network(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return random_lut_network(rng, random_lut_options(rng, GenProfile{}));
+}
+
+TEST(Fuzz, GeneratedNetworksAreLintCleanAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const net::Network network = random_network(seed);
+    EXPECT_FALSE(check::lint_network(network).has_errors());
+    EXPECT_GT(network.num_pis(), 0u);
+    EXPECT_GT(network.num_pos(), 0u);
+    // Same seed, same bytes.
+    const net::Network again = random_network(seed);
+    EXPECT_EQ(io::write_blif_string(network), io::write_blif_string(again));
+  }
+}
+
+TEST(Fuzz, EquivalentRewritesPreserveTheFunction) {
+  util::Rng rng(21);
+  for (int i = 0; i < 6; ++i) {
+    const net::Network base = random_network(100 + i);
+    const Mutant mutant = rewrite_equivalent(base, rng, 1 + rng.below(3));
+    ASSERT_TRUE(mutant.equivalent);
+    EXPECT_FALSE(mutant.description.empty());
+    EXPECT_FALSE(check::lint_network(mutant.network).has_errors());
+    EXPECT_TRUE(
+        sweep::check_equivalence(base, mutant.network, fast_cec()).equivalent)
+        << "rewrite " << mutant.description << " changed the function";
+  }
+}
+
+TEST(Fuzz, InjectedFaultsCarryAValidWitness) {
+  util::Rng rng(22);
+  for (int i = 0; i < 6; ++i) {
+    const net::Network base = random_network(200 + i);
+    const Mutant mutant = inject_fault(base, rng);
+    ASSERT_FALSE(mutant.equivalent);
+    ASSERT_EQ(mutant.witness.size(), base.num_pis());
+    EXPECT_TRUE(counterexample_valid(base, mutant.network, mutant.witness))
+        << "fault " << mutant.description << " witness does not propagate";
+    const sweep::CecResult verdict =
+        sweep::check_equivalence(base, mutant.network, fast_cec());
+    EXPECT_FALSE(verdict.equivalent);
+    EXPECT_TRUE(counterexample_valid(base, mutant.network, verdict.counterexample));
+  }
+}
+
+// Acceptance-criterion shape: a seeded injected-fault miter shrinks to
+// <= 20 nodes while the miter stays provably nonzero, and the emitted
+// .blif artifact reproduces the failure standalone.
+TEST(Fuzz, ShrinkerReducesFaultMiterBelowTwentyNodes) {
+  util::Rng rng(7);
+  const net::Network base = random_network(300);
+  const Mutant mutant = inject_fault(base, rng);
+  ASSERT_FALSE(mutant.equivalent);
+  const net::Network miter =
+      sweep::make_miter(base, mutant.network).network;
+  const auto still_fails = [](const net::Network& candidate) {
+    return miter_nonzero(candidate, 7);
+  };
+  ASSERT_TRUE(still_fails(miter));
+  const ShrinkResult shrunk = shrink_network(miter, still_fails);
+  EXPECT_LE(shrunk.network.num_nodes(), 20u)
+      << "shrinker stalled at " << shrunk.network.num_nodes() << " nodes";
+  EXPECT_LT(shrunk.network.num_nodes(), miter.num_nodes());
+  EXPECT_TRUE(still_fails(shrunk.network));
+  EXPECT_GT(shrunk.reductions, 0u);
+
+  // Artifact round trip: the written repro reproduces standalone.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "simgen_fuzz_test_artifacts";
+  std::filesystem::remove_all(dir);
+  const ReproInfo info{/*seed=*/7, /*iteration=*/0, "sat-miter",
+                       "miter nonzero", miter.num_nodes()};
+  const std::string path =
+      write_blif_repro(dir.string(), "shrunk_fault_miter", info, shrunk.network);
+  const net::Network reloaded = io::read_blif_file(path);
+  EXPECT_TRUE(still_fails(reloaded));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fuzz, ShrinkerRejectsPassingInput) {
+  const net::Network network = random_network(301);
+  EXPECT_THROW(
+      (void)shrink_network(network,
+                           [](const net::Network&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(Fuzz, PairOraclesAgreeOnGroundTruth) {
+  util::Rng rng(23);
+  const net::Network base = random_network(400);
+  PairOracleOptions options;
+  options.seed = 23;
+  const Mutant eq = rewrite_equivalent(base, rng);
+  for (const OracleResult& result : check_pair(base, eq, options))
+    EXPECT_TRUE(result.pass) << result.name << ": " << result.detail;
+  const Mutant neq = inject_fault(base, rng);
+  for (const OracleResult& result : check_pair(base, neq, options))
+    EXPECT_TRUE(result.pass) << result.name << ": " << result.detail;
+}
+
+// The determinism satellite: two runs of the same campaign produce
+// byte-identical verdict logs and identical eq.*/sat.* counter deltas.
+TEST(Fuzz, CampaignIsDeterministicPerSeed) {
+  CampaignOptions options;
+  options.seed = 5;
+  options.iterations = 6;
+  options.shrink = false;  // no artifacts, keep it quick
+
+  const obs::TelemetrySnapshot before1 = obs::capture_snapshot();
+  const CampaignResult run1 = run_campaign(options);
+  const obs::TelemetrySnapshot after1 = obs::capture_snapshot();
+  const CampaignResult run2 = run_campaign(options);
+  const obs::TelemetrySnapshot after2 = obs::capture_snapshot();
+
+  EXPECT_EQ(run1.failures, 0u);
+  EXPECT_EQ(run2.failures, 0u);
+  ASSERT_EQ(run1.verdict_log, run2.verdict_log);
+  EXPECT_EQ(run1.checks, run2.checks);
+
+  const obs::TelemetrySnapshot delta1 = obs::diff_snapshots(before1, after1);
+  const obs::TelemetrySnapshot delta2 = obs::diff_snapshots(after1, after2);
+  for (const auto& [name, value] : delta1.counters) {
+    if (name.rfind("eq.", 0) != 0 && name.rfind("sat.", 0) != 0) continue;
+    EXPECT_EQ(delta2.counter_value(name), value)
+        << "counter " << name << " differs between identical runs";
+  }
+}
+
+TEST(Fuzz, FirstIterationReplaysTheSameContent) {
+  CampaignOptions options;
+  options.seed = 9;
+  options.iterations = 3;
+  options.shrink = false;
+  const CampaignResult full = run_campaign(options);
+
+  options.first_iteration = 2;
+  options.iterations = 1;
+  const CampaignResult tail = run_campaign(options);
+  ASSERT_EQ(tail.iterations, 1u);
+  // The replayed line is exactly the full run's final line.
+  const std::string& log = full.verdict_log;
+  const std::size_t last_line =
+      log.rfind("iter ", log.size() - 2);  // log ends with '\n'
+  ASSERT_NE(last_line, std::string::npos);
+  EXPECT_EQ(tail.verdict_log, log.substr(last_line));
+}
+
+TEST(Fuzz, ReplayOracleSetCoversEnginesAndRoundtrips) {
+  const net::Network network = random_network(500);
+  const std::vector<OracleResult> results = replay_network(network, 500);
+  // All six arms + sat-miter + bdd + blif/bench round trips.
+  EXPECT_GE(results.size(), 10u);
+  for (const OracleResult& result : results)
+    EXPECT_TRUE(result.pass) << result.name << ": " << result.detail;
+}
+
+}  // namespace
+}  // namespace simgen::fuzz

@@ -1,0 +1,124 @@
+/// \file test_isop_prop.cpp
+/// \brief Property tests for truth tables and ISOP extraction.
+///
+/// The fuzz harness trusts tt:: as ground truth (witness validation,
+/// table mutation, shrinking all evaluate truth tables), so this file
+/// pins the algebra down on bulk random inputs: 10k random tables across
+/// 1-10 variables, checking that ISOP covers re-evaluate to exactly the
+/// source function, that interval ISOP stays inside its bounds, and that
+/// the cofactor/support identities hold.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "tt/isop.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::tt {
+namespace {
+
+constexpr unsigned kMinVars = 1;
+constexpr unsigned kMaxPropVars = 10;
+constexpr unsigned kTablesPerWidth = 1000;  // 10 widths -> 10k tables
+
+TruthTable random_table(unsigned num_vars, util::Rng& rng) {
+  TruthTable table(num_vars);
+  for (std::size_t w = 0; w < table.num_words(); ++w) {
+    std::uint64_t word = rng();
+    for (std::uint64_t bit = 0; bit < 64 && (w * 64 + bit) < table.num_bits();
+         ++bit)
+      table.set_bit(w * 64 + bit, (word >> bit) & 1u);
+  }
+  return table;
+}
+
+TEST(IsopProp, CoverReevaluatesToExactFunction) {
+  util::Rng rng(0xC0FFEEull);
+  for (unsigned n = kMinVars; n <= kMaxPropVars; ++n) {
+    for (unsigned t = 0; t < kTablesPerWidth; ++t) {
+      const TruthTable f = random_table(n, rng);
+      const Cover cover = isop(f);
+      ASSERT_EQ(cover.to_truth_table(n), f)
+          << "isop cover does not re-evaluate to f (" << n << " vars)";
+      // Every cube is an implicant: it never asserts 1 where f is 0.
+      for (const Cube& cube : cover.cubes)
+        ASSERT_TRUE(cube.to_truth_table(n).implies(f))
+            << "cube " << cube.to_string(n) << " is not an implicant";
+    }
+  }
+}
+
+TEST(IsopProp, RowSetCoversAreExactComplements) {
+  util::Rng rng(0xBEEFull);
+  for (unsigned n = kMinVars; n <= kMaxPropVars; ++n) {
+    for (unsigned t = 0; t < kTablesPerWidth / 4; ++t) {
+      const TruthTable f = random_table(n, rng);
+      const RowSet rows = compute_rows(f);
+      ASSERT_EQ(rows.on.to_truth_table(n), f);
+      ASSERT_EQ(rows.off.to_truth_table(n), ~f);
+    }
+  }
+}
+
+TEST(IsopProp, IntervalIsopStaysInsideItsBounds) {
+  util::Rng rng(0xDECAFull);
+  for (unsigned n = kMinVars; n <= kMaxPropVars; ++n) {
+    for (unsigned t = 0; t < kTablesPerWidth / 4; ++t) {
+      const TruthTable f = random_table(n, rng);
+      const TruthTable dc = random_table(n, rng) & ~f;  // disjoint from on
+      const Cover cover = isop(f, dc);
+      const TruthTable realized = cover.to_truth_table(n);
+      ASSERT_TRUE(f.implies(realized)) << "interval isop dropped ON minterms";
+      ASSERT_TRUE(realized.implies(f | dc)) << "interval isop left [on, on|dc]";
+    }
+  }
+}
+
+TEST(IsopProp, CofactorAndSupportIdentities) {
+  util::Rng rng(0xF00Dull);
+  for (unsigned n = kMinVars; n <= kMaxPropVars; ++n) {
+    for (unsigned t = 0; t < kTablesPerWidth / 4; ++t) {
+      const TruthTable f = random_table(n, rng);
+      std::uint32_t expected_support = 0;
+      for (unsigned var = 0; var < n; ++var) {
+        const TruthTable c0 = f.cofactor0(var);
+        const TruthTable c1 = f.cofactor1(var);
+        // Shannon expansion rebuilds the function exactly.
+        const TruthTable x = TruthTable::projection(n, var);
+        ASSERT_EQ((~x & c0) | (x & c1), f);
+        // Cofactors keep num_vars but drop var from the support.
+        ASSERT_FALSE(c0.depends_on(var));
+        ASSERT_FALSE(c1.depends_on(var));
+        // Each minterm value of a cofactor appears twice (both var
+        // phases), so the ON-counts add to exactly twice f's.
+        ASSERT_EQ(c0.count_ones() + c1.count_ones(), 2 * f.count_ones());
+        // depends_on is exactly "the cofactors differ".
+        ASSERT_EQ(f.depends_on(var), c0 != c1);
+        if (f.depends_on(var)) expected_support |= 1u << var;
+      }
+      ASSERT_EQ(f.support_mask(), expected_support);
+      ASSERT_EQ(f.support_size(),
+                static_cast<unsigned>(std::popcount(expected_support)));
+    }
+  }
+}
+
+TEST(IsopProp, ConstantAndProjectionEdgeCases) {
+  for (unsigned n = kMinVars; n <= kMaxPropVars; ++n) {
+    ASSERT_TRUE(isop(TruthTable::constant(n, false)).empty());
+    const Cover ones = isop(TruthTable::constant(n, true));
+    ASSERT_EQ(ones.size(), 1u);
+    ASSERT_EQ(ones.cubes[0].num_literals(), 0u);
+    for (unsigned var = 0; var < n; ++var) {
+      const Cover proj = isop(TruthTable::projection(n, var));
+      ASSERT_EQ(proj.size(), 1u);
+      ASSERT_EQ(proj.cubes[0].num_literals(), 1u);
+      ASSERT_TRUE(proj.cubes[0].has_literal(var));
+      ASSERT_TRUE(proj.cubes[0].literal_value(var));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simgen::tt

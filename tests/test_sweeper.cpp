@@ -7,8 +7,12 @@
 
 #include <array>
 
+#include "aig/aig_to_network.hpp"
 #include "benchgen/generator.hpp"
+#include "mapping/lut_mapper.hpp"
 #include "sim/random_sim.hpp"
+#include "simgen/guided_sim.hpp"
+#include "sweep/cec.hpp"
 #include "util/rng.hpp"
 
 namespace simgen::sweep {
@@ -182,6 +186,45 @@ TEST(Sweeper, EqualityClausesAccelerateLaterProofs) {
   EXPECT_EQ(sweeper.check_pair(g1, g2), sat::Result::kUnsat);
   EXPECT_EQ(sweeper.check_pair(n1, n2), sat::Result::kUnsat);
   EXPECT_EQ(sweeper.totals().proven_equivalent, 2u);
+}
+
+TEST(Sweeper, EveryStrategyArmIsDeterministicForAFixedSeed) {
+  // Differential-fuzzing prerequisite: with a fixed seed, every guided
+  // simulation strategy must reach the same verdict with the same work
+  // profile on repeat runs — a flaky arm would make fuzz mismatches
+  // unreproducible. One fixed seed per arm, two runs, identical stats
+  // (timings excluded).
+  benchgen::CircuitSpec spec;
+  spec.name = "cec_arm_determinism";
+  spec.num_pis = 12;
+  spec.num_pos = 6;
+  spec.num_gates = 220;
+  const aig::Aig graph = benchgen::generate_circuit(spec);
+  const net::Network mapped = mapping::map_to_luts(graph);
+  const net::Network direct = aig::to_network(graph);
+
+  std::uint64_t seed = 1000;
+  for (const core::Strategy arm : core::kAllStrategies) {
+    SCOPED_TRACE(std::string(core::strategy_name(arm)));
+    CecOptions options;
+    options.seed = ++seed;  // a distinct fixed seed per arm
+    options.guided_strategy = arm;
+    const CecResult first = check_equivalence(mapped, direct, options);
+    const CecResult second = check_equivalence(mapped, direct, options);
+    EXPECT_TRUE(first.equivalent);
+    EXPECT_EQ(first.equivalent, second.equivalent);
+    EXPECT_EQ(first.counterexample, second.counterexample);
+    EXPECT_EQ(first.outputs_proven, second.outputs_proven);
+    EXPECT_EQ(first.certified_outputs, second.certified_outputs);
+    EXPECT_EQ(first.output_sat_calls, second.output_sat_calls);
+    EXPECT_EQ(first.sweep_stats.sat_calls, second.sweep_stats.sat_calls);
+    EXPECT_EQ(first.sweep_stats.proven_equivalent,
+              second.sweep_stats.proven_equivalent);
+    EXPECT_EQ(first.sweep_stats.disproven, second.sweep_stats.disproven);
+    EXPECT_EQ(first.sweep_stats.unresolved, second.sweep_stats.unresolved);
+    EXPECT_EQ(first.sweep_stats.resimulations, second.sweep_stats.resimulations);
+    EXPECT_EQ(first.sweep_stats.proven_pairs, second.sweep_stats.proven_pairs);
+  }
 }
 
 }  // namespace
