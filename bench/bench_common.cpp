@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace simgen::bench {
 
 namespace {
@@ -31,6 +33,11 @@ double& progress_interval_storage() {
   return seconds;
 }
 
+unsigned& num_threads_storage() {
+  static unsigned threads = 1;
+  return threads;
+}
+
 }  // namespace
 
 void set_progress_interval(double seconds) {
@@ -38,6 +45,23 @@ void set_progress_interval(double seconds) {
 }
 
 double progress_interval() { return progress_interval_storage(); }
+
+void set_num_threads(unsigned num_threads) {
+  num_threads_storage() = num_threads;
+}
+
+unsigned num_threads() { return num_threads_storage(); }
+
+void for_each_cell(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) {
+  const unsigned threads = util::resolve_num_threads(num_threads());
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  util::ThreadPool pool(threads);
+  pool.run_tasks(count, [&](std::size_t index, unsigned) { fn(index); });
+}
 
 void set_bench_json_dir(std::string dir) { json_dir_storage() = std::move(dir); }
 
@@ -63,7 +87,8 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
       << "  \"sat_seconds\": " << metrics.sat_seconds << ",\n"
       << "  \"proven\": " << metrics.proven << ",\n"
       << "  \"disproven\": " << metrics.disproven << ",\n"
-      << "  \"unresolved\": " << metrics.unresolved << "\n"
+      << "  \"unresolved\": " << metrics.unresolved << ",\n"
+      << "  \"num_threads\": " << metrics.num_threads << "\n"
       << "}\n";
   return out.good();
 }
@@ -81,6 +106,7 @@ TelemetryCli::TelemetryCli(int& argc, char** argv) : cli_(argc, argv) {
   }
   argc = out;
   set_progress_interval(cli_.progress_interval());
+  set_num_threads(cli_.num_threads());
 }
 
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
@@ -108,11 +134,15 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
   metrics.cost = classes.cost();
   metrics.sim_seconds = guided_result.runtime_seconds;
 
+  metrics.num_threads = num_threads();
   if (config.run_sweep) {
     sweep::SweepOptions sweep_options;
     sweep_options.seed = config.seed;
     sweep_options.conflict_limit = config.sat_conflict_limit;
     sweep_options.progress_interval = progress_interval();
+    // Benches parallelize across cells (see for_each_cell), so each flow
+    // keeps the sequential engine: metrics stay byte-identical to a
+    // single-thread run and workers are never nested.
     sweep::Sweeper sweeper(network, sweep_options);
     const sweep::SweepResult sweep_result = sweeper.run(classes, simulator);
     metrics.sat_calls = sweep_result.sat_calls;

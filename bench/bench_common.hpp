@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "obs/telemetry_cli.hpp"
@@ -29,6 +30,12 @@ struct FlowMetrics {
   std::uint64_t proven = 0;
   std::uint64_t disproven = 0;
   std::uint64_t unresolved = 0;  ///< Conflict-limited pairs (if capped).
+  /// Bench worker threads active when this flow ran (1 = sequential).
+  /// Recorded in the BENCH_*.json: counts stay byte-identical under cell
+  /// sharding, but wall-clock fields pick up scheduling noise, so
+  /// compare_bench_json.py widens its timing tolerance for multithreaded
+  /// candidates.
+  unsigned num_threads = 1;
 };
 
 struct FlowConfig {
@@ -51,6 +58,27 @@ struct FlowConfig {
 /// drivers pick it up without threading a new parameter through.
 void set_progress_interval(double seconds);
 [[nodiscard]] double progress_interval();
+
+/// Worker threads for the bench drivers (same storage pattern as the
+/// progress interval): 1 = sequential, 0 = one per hardware thread. Set
+/// by TelemetryCli's --threads. Bench drivers parallelize at *cell*
+/// granularity — whole (benchmark, strategy) flows sharded across
+/// workers via for_each_cell — because a flow's wall time is dominated
+/// by word-parallel simulation, not sweeping; each flow keeps the
+/// sequential sweep engine inside, so every FlowMetrics value (and thus
+/// every table row and BENCH json count) is byte-identical to a
+/// single-thread run. Only the wall-clock fields see scheduling noise.
+void set_num_threads(unsigned num_threads);
+[[nodiscard]] unsigned num_threads();
+
+/// Runs fn(0), ..., fn(count - 1), sharding the calls across the
+/// --threads worker pool when more than one thread is requested. Cells
+/// must be independent (each is typically one benchmark's whole flow);
+/// the caller collects results by index and prints them afterwards, so
+/// output order never depends on the schedule. With one thread this is
+/// a plain sequential loop.
+void for_each_cell(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
 
 /// Runs the flow for one strategy on a prepared LUT network.
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
@@ -86,8 +114,8 @@ bool write_flow_metrics_json(const FlowMetrics& metrics);
 /// the bench-specific
 ///   --bench-json-dir DIR   per-run BENCH_*.json output directory
 /// (SIMGEN_BENCH_JSON_DIR in the environment also sets the JSON dir.)
-/// --progress is forwarded into set_progress_interval so every
-/// run_strategy_flow sweep picks it up. A driver needs only
+/// --progress is forwarded into set_progress_interval and --threads into
+/// set_num_threads so every run_strategy_flow sweep picks them up. A driver needs only
 ///   int main(int argc, char** argv) { bench::TelemetryCli telemetry(argc, argv); ... }
 class TelemetryCli {
  public:

@@ -34,12 +34,13 @@ int main(int argc, char** argv) {
   simgen::bench::TelemetryCli telemetry(argc, argv);
   (void)argc;
   (void)argv;
-  std::vector<Row> rows;
   std::printf("Figure 5: SimGen vs RevS, normalized per benchmark\n");
   std::printf("(ratio < 1.0 means SimGen better; '|' marks parity at 1.0)\n\n");
 
-  for (const benchgen::CircuitSpec& spec : benchgen::benchmark_suite()) {
-    const net::Network network = bench::prepare_benchmark(spec.name);
+  const auto suite = benchgen::benchmark_suite();
+  std::vector<Row> rows(suite.size());
+  bench::for_each_cell(suite.size(), [&](std::size_t i) {
+    const net::Network network = bench::prepare_benchmark(suite[i].name);
     bench::FlowConfig config;
     config.run_sweep = true;
     const bench::FlowMetrics revs =
@@ -47,22 +48,22 @@ int main(int argc, char** argv) {
     const bench::FlowMetrics sgen =
         bench::run_strategy_flow(network, core::Strategy::kAiDcMffc, config);
 
-    Row row;
-    row.name = spec.name;
+    Row& row = rows[i];
+    row.name = suite[i].name;
     row.cost = bench::ratio(static_cast<double>(sgen.cost),
                             static_cast<double>(revs.cost));
     row.sim = bench::ratio(sgen.sim_seconds, revs.sim_seconds);
     row.calls = bench::ratio(static_cast<double>(sgen.sat_calls),
                              static_cast<double>(revs.sat_calls));
     row.sat = bench::ratio(sgen.sat_seconds, revs.sat_seconds);
-    rows.push_back(row);
+  });
 
+  for (const Row& row : rows) {
     std::printf("%-10s cost %6.3f %-20s\n", row.name.c_str(), row.cost,
                 bar(row.cost).c_str());
     std::printf("%-10s sim  %6.2f\n", "", row.sim);
     std::printf("%-10s call %6.3f %-20s\n", "", row.calls, bar(row.calls).c_str());
     std::printf("%-10s sat  %6.3f %-20s\n", "", row.sat, bar(row.sat).c_str());
-    std::fflush(stdout);
   }
 
   std::printf("\n==== Figure 5 data (CSV) ====\n");

@@ -19,10 +19,12 @@ int main(int argc, char** argv) {
   std::printf("%-13s %10s %10s %10s %10s\n", "bmk(copies)", "cost", "sim",
               "sat_calls", "sat_time");
 
-  std::vector<std::array<double, 4>> ratios;
+  const auto suite = benchgen::stacked_suite();
+  std::vector<std::array<double, 4>> ratios(suite.size());
+  std::vector<std::string> names(suite.size());
   std::printf("\n");
-  for (const benchgen::StackedSpec& spec : benchgen::stacked_suite()) {
-    const net::Network network = bench::prepare_stacked(spec, kGateScale);
+  bench::for_each_cell(suite.size(), [&](std::size_t i) {
+    const net::Network network = bench::prepare_stacked(suite[i], kGateScale);
     bench::FlowConfig config;
     config.run_sweep = true;
     config.max_targets_per_class = 8;
@@ -32,18 +34,17 @@ int main(int argc, char** argv) {
     const bench::FlowMetrics sgen =
         bench::run_strategy_flow(network, core::Strategy::kAiDcMffc, config);
 
-    const std::array<double, 4> row{
-        bench::ratio(static_cast<double>(sgen.cost),
-                     static_cast<double>(revs.cost)),
-        bench::ratio(sgen.sim_seconds, revs.sim_seconds),
-        bench::ratio(static_cast<double>(sgen.sat_calls),
-                     static_cast<double>(revs.sat_calls)),
-        bench::ratio(sgen.sat_seconds, revs.sat_seconds)};
-    ratios.push_back(row);
-    std::printf("%-13s %10.3f %10.2f %10.3f %10.3f\n", network.name().c_str(),
-                row[0], row[1], row[2], row[3]);
-    std::fflush(stdout);
-  }
+    names[i] = network.name();
+    ratios[i] = {bench::ratio(static_cast<double>(sgen.cost),
+                              static_cast<double>(revs.cost)),
+                 bench::ratio(sgen.sim_seconds, revs.sim_seconds),
+                 bench::ratio(static_cast<double>(sgen.sat_calls),
+                              static_cast<double>(revs.sat_calls)),
+                 bench::ratio(sgen.sat_seconds, revs.sat_seconds)};
+  });
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    std::printf("%-13s %10.3f %10.2f %10.3f %10.3f\n", names[i].c_str(),
+                ratios[i][0], ratios[i][1], ratios[i][2], ratios[i][3]);
 
   std::array<double, 4> mean{};
   for (const auto& row : ratios)

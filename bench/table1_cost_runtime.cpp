@@ -7,6 +7,7 @@
 /// gets one round of random simulation, then 20 iterations of the guided
 /// strategy; Cost is Equation 5 over the resulting classes. Values are
 /// normalized per benchmark against RevS and averaged.
+#include <array>
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
   const auto suite = benchgen::benchmark_suite();
   std::map<core::Strategy, std::vector<double>> cost_ratios;
   std::map<core::Strategy, std::vector<double>> runtime_ratios;
+  constexpr std::array<core::Strategy, 4> kArms{
+      core::Strategy::kSiRd, core::Strategy::kAiRd, core::Strategy::kAiDc,
+      core::Strategy::kAiDcMffc};
 
   std::printf("Table 1: cost and simulation runtime, normalized to RevS\n");
   std::printf("(42 benchmarks, 1 random round, 20 guided iterations)\n\n");
@@ -29,21 +33,29 @@ int main(int argc, char** argv) {
               "arm");
   std::printf("  %10s %12s\n", "cost/RevS", "sim/RevS");
 
-  for (const benchgen::CircuitSpec& spec : suite) {
-    const net::Network network = bench::prepare_benchmark(spec.name);
+  struct Cell {
+    bench::FlowMetrics baseline;
+    std::array<bench::FlowMetrics, 4> arms;
+  };
+  std::vector<Cell> cells(suite.size());
+  bench::for_each_cell(suite.size(), [&](std::size_t i) {
+    const net::Network network = bench::prepare_benchmark(suite[i].name);
     bench::FlowConfig config;
-
-    const bench::FlowMetrics baseline =
+    cells[i].baseline =
         bench::run_strategy_flow(network, core::Strategy::kRevS, config);
-    std::printf("%-10s %10llu %10.4f |\n", spec.name.c_str(),
+    for (std::size_t a = 0; a < kArms.size(); ++a)
+      cells[i].arms[a] = bench::run_strategy_flow(network, kArms[a], config);
+  });
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const bench::FlowMetrics& baseline = cells[i].baseline;
+    std::printf("%-10s %10llu %10.4f |\n", suite[i].name.c_str(),
                 static_cast<unsigned long long>(baseline.cost),
                 baseline.sim_seconds);
 
-    for (const core::Strategy strategy :
-         {core::Strategy::kSiRd, core::Strategy::kAiRd, core::Strategy::kAiDc,
-          core::Strategy::kAiDcMffc}) {
-      const bench::FlowMetrics metrics =
-          bench::run_strategy_flow(network, strategy, config);
+    for (std::size_t a = 0; a < kArms.size(); ++a) {
+      const bench::FlowMetrics& metrics = cells[i].arms[a];
+      const core::Strategy strategy = kArms[a];
       const double cost_ratio = bench::ratio(static_cast<double>(metrics.cost),
                                              static_cast<double>(baseline.cost));
       const double runtime_ratio =
@@ -54,7 +66,6 @@ int main(int argc, char** argv) {
                   std::string(core::strategy_name(strategy)).c_str(), cost_ratio,
                   runtime_ratio);
     }
-    std::fflush(stdout);
   }
 
   const auto average = [](const std::vector<double>& values) {

@@ -10,6 +10,8 @@
 /// the 9-entry sweep stays at laptop runtimes. Stack heights are exactly
 /// the paper's.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -24,26 +26,38 @@ int main(int argc, char** argv) {
   std::printf("%-13s %7s | %9s %9s | %10s %10s\n", "bmk(copies)", "luts", "RevS",
               "SGen", "RevS s", "SGen s");
 
-  std::uint64_t total_calls_revs = 0, total_calls_sgen = 0;
-  double total_time_revs = 0.0, total_time_sgen = 0.0;
-
-  for (const benchgen::StackedSpec& spec : benchgen::stacked_suite()) {
-    const net::Network network = bench::prepare_stacked(spec, kGateScale);
+  const auto suite = benchgen::stacked_suite();
+  struct Cell {
+    std::string name;
+    std::size_t luts = 0;
+    bench::FlowMetrics revs;
+    bench::FlowMetrics sgen;
+  };
+  std::vector<Cell> cells(suite.size());
+  bench::for_each_cell(suite.size(), [&](std::size_t i) {
+    const net::Network network = bench::prepare_stacked(suite[i], kGateScale);
     bench::FlowConfig config;
     config.run_sweep = true;
     config.max_targets_per_class = 8;
-
-    const bench::FlowMetrics revs =
+    cells[i].name = network.name();
+    cells[i].luts = network.num_luts();
+    cells[i].revs =
         bench::run_strategy_flow(network, core::Strategy::kRevS, config);
-    const bench::FlowMetrics sgen =
+    cells[i].sgen =
         bench::run_strategy_flow(network, core::Strategy::kAiDcMffc, config);
+  });
 
+  std::uint64_t total_calls_revs = 0, total_calls_sgen = 0;
+  double total_time_revs = 0.0, total_time_sgen = 0.0;
+
+  for (const Cell& cell : cells) {
+    const bench::FlowMetrics& revs = cell.revs;
+    const bench::FlowMetrics& sgen = cell.sgen;
     std::printf("%-13s %7zu | %9llu %9llu | %10.2f %10.2f\n",
-                network.name().c_str(), network.num_luts(),
+                cell.name.c_str(), cell.luts,
                 static_cast<unsigned long long>(revs.sat_calls),
                 static_cast<unsigned long long>(sgen.sat_calls),
                 revs.sat_seconds, sgen.sat_seconds);
-    std::fflush(stdout);
 
     total_calls_revs += revs.sat_calls;
     total_calls_sgen += sgen.sat_calls;

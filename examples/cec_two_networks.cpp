@@ -8,6 +8,14 @@
 ///
 /// Options:
 ///   --certify            DRAT-certify every UNSAT verdict
+///   --threads N          sweep worker threads (1 = sequential engine,
+///                        0 = one per hardware thread; results are
+///                        deterministic for any N)
+///   --output-conflict-limit N
+///                        conflict budget per final output proof
+///                        (0 = unlimited, the default); a proof that
+///                        hits the budget makes the verdict UNDECIDED
+///                        (exit 2) instead of running forever
 ///   --trace-out FILE     write a Chrome trace-event JSON of the run
 ///                        (load in chrome://tracing or ui.perfetto.dev)
 ///   --metrics-out FILE   write all telemetry counters/gauges/histograms
@@ -23,6 +31,9 @@
 ///
 /// All telemetry outputs are flushed on SIGINT/SIGTERM and via atexit, so
 /// an interrupted run still leaves valid, parseable files behind.
+///
+/// Exit codes: 0 = checked (equivalent or a verified counterexample),
+/// 1 = error, 2 = undecided (an output proof hit the conflict budget).
 ///
 /// Accepts BLIF (.blif), BENCH (.bench), and AIGER (.aig/.aag; mapped to
 /// 6-LUTs before checking), or the name of a seed benchmark — the latter
@@ -56,7 +67,17 @@ net::Network load_network(const std::string& path) {
   throw std::runtime_error("unsupported file extension: " + path);
 }
 
-void report(const sweep::CecResult& result, const net::Network& a) {
+/// Prints the verdict; returns the matching exit code (0 decided, 2
+/// undecided).
+int report(const sweep::CecResult& result, const net::Network& a) {
+  if (result.undecided) {
+    std::printf("UNDECIDED  (%zu of %zu output proofs hit the conflict "
+                "budget; rerun with a larger "
+                "output_proof_conflict_limit)\n",
+                result.unresolved_outputs,
+                result.unresolved_outputs + result.outputs_proven);
+    return 2;
+  }
   if (result.equivalent) {
     std::printf("EQUIVALENT  (%zu outputs proven, %llu sweep SAT calls, "
                 "%.1f ms total)\n",
@@ -72,7 +93,7 @@ void report(const sweep::CecResult& result, const net::Network& a) {
                   static_cast<unsigned long long>(
                       result.sweep_stats.certified_unsat),
                   static_cast<unsigned long long>(result.certified_outputs));
-    return;
+    return 0;
   }
   std::printf("NOT EQUIVALENT — counterexample (PI assignment):\n  ");
   for (std::size_t i = 0; i < result.counterexample.size(); ++i) {
@@ -84,6 +105,7 @@ void report(const sweep::CecResult& result, const net::Network& a) {
     if (i % 8 == 7) std::printf("\n  ");
   }
   std::printf("\n");
+  return 0;
 }
 
 int self_demo(const sweep::CecOptions& options) {
@@ -101,7 +123,7 @@ int self_demo(const sweep::CecOptions& options) {
   const net::Network direct = aig::to_network(golden_aig);
   std::printf("[1] mapped (%zu LUTs) vs direct (%zu LUTs): ",
               mapped.num_luts(), direct.num_luts());
-  report(sweep::check_equivalence(mapped, direct, options), mapped);
+  int rc = report(sweep::check_equivalence(mapped, direct, options), mapped);
 
   // Failing check: flip one *observable* truth-table bit in a copy — the
   // bit a PO driver produces under the all-zero input. (Flipping an
@@ -143,12 +165,13 @@ int self_demo(const sweep::CecOptions& options) {
     }
   });
   std::printf("\n[2] mapped vs single-bit mutant: ");
-  report(sweep::check_equivalence(mapped, mutated, options), mapped);
-  return 0;
+  const int rc2 =
+      report(sweep::check_equivalence(mapped, mutated, options), mapped);
+  return rc != 0 ? rc : rc2;
 }
 
-void run_files(const std::vector<std::string>& args,
-               const sweep::CecOptions& options) {
+int run_files(const std::vector<std::string>& args,
+              const sweep::CecOptions& options) {
   net::Network a;
   net::Network b;
   if (args.size() == 1) {
@@ -169,7 +192,7 @@ void run_files(const std::vector<std::string>& args,
                 net::to_string(net::compute_stats(a)).c_str(),
                 net::to_string(net::compute_stats(b)).c_str());
   }
-  report(sweep::check_equivalence(a, b, options), a);
+  return report(sweep::check_equivalence(a, b, options), a);
 }
 
 }  // namespace
@@ -183,9 +206,14 @@ int main(int argc, char** argv) {
   sweep::CecOptions options;
   options.guided_strategy = core::Strategy::kAiDcMffc;
   options.sweep.progress_interval = telemetry.progress_interval();
+  options.num_threads = telemetry.num_threads();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--certify") == 0) {
       options.certify = true;
+    } else if (std::strcmp(argv[i], "--output-conflict-limit") == 0 &&
+               i + 1 < argc) {
+      options.sweep.output_proof_conflict_limit =
+          std::strtoull(argv[++i], nullptr, 10);
     } else {
       args.emplace_back(argv[i]);
     }
@@ -195,7 +223,7 @@ int main(int argc, char** argv) {
     if (args.empty())
       rc = self_demo(options);
     else
-      run_files(args, options);
+      rc = run_files(args, options);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     rc = 1;

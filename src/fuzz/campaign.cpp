@@ -182,6 +182,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       pair_options.all_arms = options.all_arms;
       pair_options.arm = arm;
       pair_options.certify = options.certify;
+      pair_options.num_threads = options.num_threads;
 
       const auto check_mutant = [&](const Mutant& mutant,
                                     const char* tag) {

@@ -50,6 +50,10 @@ struct CampaignOptions {
   bool all_arms = false;
   bool certify = true;
   bool shrink = true;
+  /// When > 1, cross-check every sweeping oracle against the parallel
+  /// engine with this many workers (see PairOracleOptions::num_threads);
+  /// verdict-log bytes are unchanged while the engines agree.
+  unsigned num_threads = 1;
   /// Where to write repro artifacts; empty disables writing.
   std::string artifact_dir;
   GenProfile profile;

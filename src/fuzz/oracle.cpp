@@ -53,10 +53,13 @@ sweep::CecOptions roundtrip_cec_options(std::uint64_t seed) {
 }
 
 /// Runs one sweeping-engine oracle on the pair and scores it against the
-/// expected verdict.
+/// expected verdict. With \p cross_check_threads > 1 the same check is
+/// rerun on the parallel engine and the two verdicts must agree — the
+/// differential leg that pins the parallel sweeper to the sequential one.
 OracleResult run_cec_oracle(std::string name, const Network& base,
                             const Mutant& mutant,
-                            const sweep::CecOptions& options) {
+                            const sweep::CecOptions& options,
+                            unsigned cross_check_threads = 1) {
   OracleResult result;
   result.name = std::move(name);
   try {
@@ -75,6 +78,33 @@ OracleResult run_cec_oracle(std::string name, const Network& base,
       result.pass = false;
       result.detail = "counterexample does not simulate to a difference";
       return result;
+    }
+    if (cross_check_threads > 1) {
+      sweep::CecOptions parallel_options = options;
+      parallel_options.num_threads = cross_check_threads;
+      const sweep::CecResult parallel_verdict =
+          sweep::check_equivalence(base, mutant.network, parallel_options);
+      if (parallel_verdict.equivalent != verdict.equivalent ||
+          parallel_verdict.undecided != verdict.undecided) {
+        result.pass = false;
+        result.detail =
+            std::string("parallel engine verdict ") +
+            (parallel_verdict.undecided
+                 ? "UNDECIDED"
+                 : (parallel_verdict.equivalent ? "EQ" : "NEQ")) +
+            " disagrees with single-thread " +
+            (verdict.equivalent ? "EQ" : "NEQ") + " [" + mutant.description +
+            "]";
+        return result;
+      }
+      if (!parallel_verdict.equivalent &&
+          !counterexample_valid(base, mutant.network,
+                                parallel_verdict.counterexample)) {
+        result.pass = false;
+        result.detail =
+            "parallel engine counterexample does not simulate to a difference";
+        return result;
+      }
     }
     result.pass = true;
   } catch (const std::exception& error) {
@@ -199,17 +229,20 @@ std::vector<OracleResult> check_pair(const Network& base,
     for (const core::Strategy arm : core::kAllStrategies)
       results.push_back(run_cec_oracle(
           "cec[" + std::string(core::strategy_name(arm)) + "]", base, mutant,
-          arm_options(arm, options.seed, options.certify)));
+          arm_options(arm, options.seed, options.certify),
+          options.num_threads));
   } else {
     results.push_back(run_cec_oracle(
         "cec[" + std::string(core::strategy_name(options.arm)) + "]", base,
-        mutant, arm_options(options.arm, options.seed, options.certify)));
+        mutant, arm_options(options.arm, options.seed, options.certify),
+        options.num_threads));
   }
 
   // Plain SAT miter.
   results.push_back(run_cec_oracle(
       "sat-miter", base, mutant,
-      sat_miter_options(options.seed, options.certify)));
+      sat_miter_options(options.seed, options.certify),
+      options.num_threads));
 
   // BDD engine. Node-limit blow-up is a pass (the engine is *allowed* to
   // give up), but a completed wrong verdict is a mismatch.

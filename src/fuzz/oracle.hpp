@@ -49,6 +49,11 @@ struct PairOracleOptions {
   /// BDD manager bound; blow-up is reported as a pass with detail
   /// "incomplete", never as a failure.
   std::size_t bdd_node_limit = 1u << 20;
+  /// When > 1, every sweeping oracle is run twice — single-thread, then
+  /// with this many worker threads — and any verdict disagreement is an
+  /// oracle failure. Oracle names and verdict-log bytes stay identical to
+  /// a single-thread campaign while both engines agree.
+  unsigned num_threads = 1;
 };
 
 /// Simulates \p network on one input vector; returns the PO value bits.

@@ -306,7 +306,7 @@ bool check_journal(const std::vector<JournalEvent>& events, std::string* error) 
         break;
       case EventKind::kRunEnd:
         if (!run_begun) return fail(i, "run_end without run_begin");
-        if (event.code > 1) return fail(i, "run_end outcome out of range");
+        if (event.code > 2) return fail(i, "run_end outcome out of range");
         break;
       case EventKind::kPhaseBegin:
         if (event.code >= kNumPhases) return fail(i, "phase id out of range");

@@ -41,7 +41,8 @@ namespace simgen::obs {
 enum class EventKind : std::uint8_t {
   kNone = 0,
   kRunBegin = 1,      ///< a=PIs, b=nodes, v0=LUTs, v1=POs.
-  kRunEnd = 2,        ///< code=outcome (0 not-eq, 1 eq), v0=outputs proven.
+  kRunEnd = 2,        ///< code=outcome (0 not-eq, 1 eq, 2 undecided),
+                      ///< v0=outputs proven, v1=unresolved outputs.
   kPhaseBegin = 3,    ///< code=PhaseId.
   kPhaseEnd = 4,      ///< code=PhaseId, v0=cost after, v1=classes live, dur_us.
   kClassCreated = 5,  ///< a=representative, code=PatternSource, v0=size.

@@ -147,7 +147,7 @@ Counter::~Counter() {
   const std::lock_guard<std::mutex> lock(registry.mutex);
   const auto it = registry.live_counters.find(this);
   if (it == registry.live_counters.end()) return;
-  registry.retired_counters[it->second] += value_;
+  registry.retired_counters[it->second] += value();
   registry.live_counters.erase(it);
 }
 

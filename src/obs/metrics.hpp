@@ -7,9 +7,13 @@
 /// decision counts — as first-class, exportable instruments instead of
 /// ad-hoc per-module structs. Design constraints:
 ///
-///  * Hot-path increments are a single non-atomic 64-bit add on a plain
-///    member (the code base is single-threaded by design; registration,
-///    retirement and export are mutex-guarded cold paths).
+///  * Counter increments are a single relaxed atomic 64-bit add — the
+///    parallel sweep engine bumps shared registry counters from worker
+///    threads, and relaxed ordering keeps the hot path one lock-free
+///    instruction (registration, retirement and export are mutex-guarded
+///    cold paths). Histograms stay non-atomic: every histogram lives in a
+///    per-instance stats struct (one solver, one generator) that is only
+///    ever touched by the thread owning the instance.
 ///  * Instruments can live inside module stats structs (sat::SolverStats,
 ///    core::GeneratorStats, ...) so `stats()` accessors stay per-instance
 ///    views while the registry aggregates by name across instances: the
@@ -26,6 +30,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <iosfwd>
@@ -55,21 +60,28 @@ class Counter {
 
   /// Copies and moves detach: the new object holds the value but is not
   /// registered, so aggregation never double-counts.
-  Counter(const Counter& other) noexcept : value_(other.value_) {}
-  Counter(Counter&& other) noexcept : value_(other.value_) {}
+  Counter(const Counter& other) noexcept : value_(other.value()) {}
+  Counter(Counter&& other) noexcept : value_(other.value()) {}
   /// Assignment copies the value only; the left side keeps its own
   /// registration state.
   Counter& operator=(const Counter& other) noexcept {
-    value_ = other.value_;
+    value_.store(other.value(), std::memory_order_relaxed);
     return *this;
   }
 
-  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
-  void reset() noexcept { value_ = 0; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  /// Relaxed: counters are statistics, not synchronization. Concurrent
+  /// increments from sweep workers never lose counts; readers see some
+  /// recent value.
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
   bool registered_ = false;
 };
 

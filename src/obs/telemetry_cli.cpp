@@ -33,6 +33,10 @@ TelemetryCli::TelemetryCli(int& argc, char** argv) {
       timeout_seconds_ = std::atof(number.c_str());
       continue;
     }
+    if (take_value("--threads", number)) {
+      num_threads_ = static_cast<unsigned>(std::atoi(number.c_str()));
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;

@@ -12,6 +12,10 @@
 ///   --progress SECONDS     heartbeat interval for sweeps (implies info
 ///                          logging); read back via progress_interval()
 ///   --timeout SECONDS      watchdog deadline; dump + flush + exit 124
+///   --threads N            sweep worker threads (1 = sequential engine,
+///                          0 = one per hardware thread); read back via
+///                          num_threads() and forwarded by the driver into
+///                          SweepOptions/CecOptions::num_threads
 /// Construction registers the exit finalizer and (when any output or a
 /// timeout is requested) the signal watchdog, so the requested files are
 /// valid even if the run is interrupted. The destructor writes them on
@@ -42,6 +46,9 @@ class TelemetryCli {
   [[nodiscard]] double timeout_seconds() const noexcept {
     return timeout_seconds_;
   }
+  /// Value of --threads (sweep worker threads; default 1 = sequential,
+  /// 0 = auto-detect the hardware concurrency).
+  [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
 
  private:
   std::string trace_out_;
@@ -49,6 +56,7 @@ class TelemetryCli {
   std::string journal_out_;
   double progress_interval_ = 0.0;
   double timeout_seconds_ = 0.0;
+  unsigned num_threads_ = 1;
 };
 
 }  // namespace simgen::obs

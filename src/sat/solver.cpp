@@ -450,6 +450,14 @@ Result Solver::search() {
       stats_.learned_clause_size.observe(learnt.size());
       decay_var_activity();
       decay_clause_activity();
+      // Budget check on the conflict path too: a chain of consecutive
+      // conflicts (propagate -> conflict -> backjump -> propagate ->
+      // conflict ...) never reaches the no-conflict check below and would
+      // otherwise overshoot the limit unboundedly. The learnt clause is
+      // still recorded first, so an interrupted solve leaves a consistent
+      // proof log.
+      if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_)
+        return Result::kUnknown;
       continue;
     }
 

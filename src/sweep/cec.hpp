@@ -40,11 +40,24 @@ struct CecOptions {
   /// output proofs — with the in-repo backward checker. Forwarded into
   /// sweep.certify; an uncertifiable verdict throws std::logic_error.
   bool certify = false;
+  /// Worker threads for the sweep and the output proofs. 1 (default) is
+  /// the sequential flow; 0 = one per hardware thread; N >= 2 enables the
+  /// deterministic parallel engine. Forwarded into sweep.num_threads
+  /// (unless that is itself set to a non-default value).
+  unsigned num_threads = 1;
   SweepOptions sweep;
 };
 
 struct CecResult {
   bool equivalent = false;
+  /// True when the checker could not decide: some output proof hit the
+  /// conflict budget (SweepOptions::output_proof_conflict_limit) and no
+  /// counterexample was found either. equivalent is false but means
+  /// "unknown", not "not equivalent" — counterexample is empty.
+  bool undecided = false;
+  /// Output proofs that hit the conflict budget (only nonzero when
+  /// undecided).
+  std::size_t unresolved_outputs = 0;
   /// On non-equivalence: a PI assignment on which some PO pair differs
   /// (verified by simulation before being returned).
   std::vector<bool> counterexample;

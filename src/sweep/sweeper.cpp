@@ -1,5 +1,6 @@
 #include "sweep/sweeper.hpp"
 
+#include <span>
 #include <stdexcept>
 
 #include "obs/journal.hpp"
@@ -8,6 +9,7 @@
 #include "obs/watchdog.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace simgen::sweep {
 
@@ -197,6 +199,9 @@ void Sweeper::resimulate_counterexample(const std::vector<bool>& vector,
 }
 
 SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) {
+  const unsigned num_threads = util::resolve_num_threads(options_.num_threads);
+  if (num_threads > 1) return run_parallel(classes, simulator, num_threads);
+
   obs::Span span("sweep.run");
   obs::PhaseScope phase(obs::PhaseId::kSweep);
   span.arg("classes_in", static_cast<double>(classes.num_classes()));
@@ -292,6 +297,287 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
   phase.set_result(classes.cost(), classes.num_classes());
   span.arg("sat_calls",
            static_cast<double>(totals_.sat_calls - before.sat_calls));
+  return delta_since(before);
+}
+
+SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
+                                  sim::Simulator& simulator,
+                                  unsigned num_threads) {
+  obs::Span span("sweep.run");
+  obs::PhaseScope phase(obs::PhaseId::kSweep);
+  span.arg("classes_in", static_cast<double>(classes.num_classes()));
+  span.arg("threads", static_cast<double>(num_threads));
+  const SweepResult before = totals_;
+
+  obs::SweepProgress& progress = obs::sweep_progress();
+  const std::uint64_t initial_live = classes.num_live_nodes();
+  progress.begin(initial_live, classes.num_classes());
+  util::Stopwatch watch;
+  watch.start();
+  double next_heartbeat = options_.progress_interval;
+
+  util::ThreadPool pool(num_threads);
+  // One lazily constructed simulator per worker for counterexample
+  // resimulation: slot w is touched only by worker w, so no locking.
+  std::vector<std::unique_ptr<sim::Simulator>> worker_sims(pool.num_threads());
+
+  // One candidate pair discharged on one worker with one throwaway
+  // cone-local solver. The outcome is a pure function of the task fields
+  // and the round-start proven-pair snapshot, so results are identical
+  // for every worker count and schedule.
+  struct PairTask {
+    net::NodeId rep = net::kNullNode;
+    net::NodeId cand = net::kNullNode;
+    std::uint64_t rng_seed = 0;  ///< Seeds counterexample fill patterns.
+  };
+  struct PairOutcome {
+    sat::Result verdict = sat::Result::kUnknown;
+    bool certified_ok = true;
+    double solve_seconds = 0.0;
+    /// SAT only: node value words of the resimulated counterexample batch
+    /// (indexed by NodeId), ready for EquivClasses::refine.
+    std::vector<sim::PatternWord> values;
+  };
+
+  // Monotone across rounds so every task in the whole run draws from its
+  // own deterministic random stream.
+  std::uint64_t task_sequence = 0;
+
+  while (!classes.fully_refined()) {
+    // Snapshot every candidate pair of the current partition, in class
+    // order: (members[0], members[i]) for each class. Every member is
+    // either merged away, dropped, or split apart from its representative
+    // by its own counterexample, so each round strictly refines.
+    std::vector<PairTask> tasks;
+    for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+      const auto members = classes.class_members(c);
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        PairTask task;
+        task.rep = members[0];
+        task.cand = members[i];
+        task.rng_seed = util::splitmix64(options_.seed) ^
+                        util::splitmix64(0x7a3a11edull + task_sequence);
+        ++task_sequence;
+        tasks.push_back(task);
+      }
+    }
+
+    // Round-start snapshot of the proven equalities: workers inject them
+    // as clauses into their cone-local solvers (fraig-style
+    // strengthening). Snapshotting keeps the injected set independent of
+    // reduction progress mid-round.
+    const std::vector<std::pair<net::NodeId, net::NodeId>> proven =
+        totals_.proven_pairs;
+    std::vector<PairOutcome> outcomes(tasks.size());
+
+    pool.run_tasks(tasks.size(), [&](std::size_t index, unsigned worker) {
+      const PairTask& task = tasks[index];
+      PairOutcome& out = outcomes[index];
+
+      sat::Solver solver;
+      solver.set_conflict_limit(options_.conflict_limit);
+      // Attached before the encoder so the certifier mirrors every clause.
+      std::unique_ptr<check::Certifier> certifier;
+      if (options_.certify)
+        certifier = std::make_unique<check::Certifier>(solver);
+      sat::CnfEncoder encoder(network_, solver);
+      const sat::Var var_a = encoder.ensure_encoded(task.rep);
+      const sat::Var var_b = encoder.ensure_encoded(task.cand);
+      if (options_.add_equality_clauses) {
+        std::uint64_t injected = 0;
+        for (const auto& [x, y] : proven) {
+          if (!encoder.is_encoded(x) || !encoder.is_encoded(y)) continue;
+          const sat::Var vx = encoder.var_of(x);
+          const sat::Var vy = encoder.var_of(y);
+          solver.add_clause({sat::pos(vx), sat::neg(vy)});
+          solver.add_clause({sat::neg(vx), sat::pos(vy)});
+          injected += 2;
+        }
+        if (injected != 0) {
+          static obs::Counter& eq_clauses =
+              obs::counter("sweep.equality_clauses");
+          eq_clauses.inc(injected);
+        }
+      }
+
+      const sat::Var t = solver.new_var();
+      solver.add_clause({sat::neg(t), sat::pos(var_a), sat::pos(var_b)});
+      solver.add_clause({sat::neg(t), sat::neg(var_a), sat::neg(var_b)});
+      solver.add_clause({sat::pos(t), sat::pos(var_a), sat::neg(var_b)});
+      solver.add_clause({sat::pos(t), sat::neg(var_a), sat::pos(var_b)});
+
+      util::Stopwatch solve_watch;
+      solve_watch.start();
+      out.verdict = solver.solve({sat::pos(t)});
+      solve_watch.stop();
+      out.solve_seconds = solve_watch.seconds();
+
+      if (obs::journal_enabled()) {
+        // Fresh solver: absolute stats are already per-call deltas, and
+        // num_vars is the whole (freshly encoded) cone.
+        const sat::SolverStats& stats = solver.stats();
+        obs::journal_emit(
+            obs::EventKind::kSatCall,
+            static_cast<std::uint8_t>(to_verdict(out.verdict)), task.rep,
+            task.cand, stats.conflicts.value(), stats.propagations.value(),
+            stats.decisions.value(),
+            obs::pack_cone_learned(solver.num_vars(),
+                                   stats.learned_clauses.value()),
+            obs::saturate_us(out.solve_seconds));
+      }
+
+      if (out.verdict == sat::Result::kUnsat && certifier) {
+        const sat::Lit assumption = sat::pos(t);
+        util::Stopwatch certify_watch;
+        certify_watch.start();
+        out.certified_ok = certifier->certify_unsat({&assumption, 1});
+        certify_watch.stop();
+        if (obs::journal_enabled()) {
+          const check::DratStats& stats = certifier->stats();
+          obs::journal_emit(obs::EventKind::kCertified,
+                            out.certified_ok ? 1 : 0, task.rep, task.cand,
+                            stats.checked_lemmas.value(),
+                            stats.rup_checks.value(),
+                            stats.propagations.value(), 0,
+                            obs::saturate_us(certify_watch.seconds()));
+        }
+      } else if (out.verdict == sat::Result::kSat) {
+        // Build the counterexample word exactly like the sequential
+        // engine (model bits, random fill for unencoded PIs, 1-distance
+        // neighbours) but from the task's own random stream.
+        util::Rng rng(task.rng_seed);
+        const std::size_t num_pis = network_.num_pis();
+        std::vector<sim::PatternWord> words(num_pis, 0);
+        for (std::size_t i = 0; i < num_pis; ++i) {
+          const net::NodeId pi = network_.pis()[i];
+          const bool bit = encoder.is_encoded(pi)
+                               ? solver.model_value(encoder.var_of(pi))
+                               : rng.flip();
+          if (bit) words[i] = ~sim::PatternWord{0};
+        }
+        if (options_.distance_one_fill && num_pis > 0) {
+          for (unsigned pattern = 1; pattern < 64; ++pattern) {
+            const std::size_t flip = rng.below(num_pis);
+            words[flip] ^= sim::PatternWord{1} << pattern;
+          }
+        }
+        if (!worker_sims[worker])
+          worker_sims[worker] = std::make_unique<sim::Simulator>(network_);
+        worker_sims[worker]->simulate_word(words);
+        const auto values = worker_sims[worker]->values();
+        out.values.assign(values.begin(), values.end());
+      }
+    });
+
+    // Deterministic reduction: apply the outcomes in task order on this
+    // thread. Merges and refinements are order-sensitive; everything the
+    // workers did is not.
+    for (std::size_t index = 0; index < tasks.size(); ++index) {
+      const PairTask& task = tasks[index];
+      PairOutcome& out = outcomes[index];
+      ++totals_.sat_calls;
+      totals_.sat_seconds += out.solve_seconds;
+      static obs::Counter& sat_calls = obs::counter("sweep.sat_calls");
+      sat_calls.inc();
+      switch (out.verdict) {
+        case sat::Result::kUnsat: {
+          if (options_.certify) {
+            if (!out.certified_ok)
+              throw std::logic_error(
+                  "sweeper: UNSAT verdict failed DRAT certification");
+            ++totals_.certified_unsat;
+            static obs::Counter& certified =
+                obs::counter("sweep.certified_unsat");
+            certified.inc();
+          }
+          if (obs::journal_enabled())
+            obs::journal_emit(obs::EventKind::kClassMerged, 0, task.rep,
+                              task.cand);
+          ++totals_.proven_equivalent;
+          totals_.proven_pairs.emplace_back(task.rep, task.cand);
+          static obs::Counter& proven_counter = obs::counter("sweep.proven");
+          proven_counter.inc();
+          classes.remove_node(task.cand);
+          break;
+        }
+        case sat::Result::kSat: {
+          ++totals_.disproven;
+          static obs::Counter& disproven = obs::counter("sweep.disproven");
+          disproven.inc();
+          {
+            obs::PatternScope scope(obs::PatternSource::kCounterexample, 1);
+            classes.refine(std::span<const sim::PatternWord>(out.values));
+          }
+          ++totals_.resimulations;
+          static obs::Counter& resims = obs::counter("sweep.resimulations");
+          resims.inc();
+          obs::Tracer::instance().instant("sweep.counterexample");
+          break;
+        }
+        case sat::Result::kUnknown: {
+          ++totals_.unresolved;
+          static obs::Counter& unresolved = obs::counter("sweep.unresolved");
+          unresolved.inc();
+          classes.remove_node(task.cand);
+          break;
+        }
+      }
+    }
+
+    const std::uint64_t live = classes.num_live_nodes();
+    const std::uint64_t resolved = initial_live - live;
+    progress.live_nodes.store(live, std::memory_order_relaxed);
+    progress.classes_live.store(classes.num_classes(), std::memory_order_relaxed);
+    progress.resolved_nodes.store(resolved, std::memory_order_relaxed);
+    progress.proved.store(totals_.proven_equivalent - before.proven_equivalent,
+                          std::memory_order_relaxed);
+    progress.disproved.store(totals_.disproven - before.disproven,
+                             std::memory_order_relaxed);
+    progress.unresolved.store(totals_.unresolved - before.unresolved,
+                              std::memory_order_relaxed);
+    progress.sat_calls.store(totals_.sat_calls - before.sat_calls,
+                             std::memory_order_relaxed);
+
+    if (options_.progress_interval > 0.0 && watch.seconds() >= next_heartbeat) {
+      const double elapsed = watch.seconds();
+      while (next_heartbeat <= elapsed)
+        next_heartbeat += options_.progress_interval;
+      const double rate =
+          resolved > 0 ? static_cast<double>(resolved) / elapsed : 0.0;
+      const double eta = rate > 0.0 ? static_cast<double>(live) / rate : 0.0;
+      util::infof(
+          "sweep[%u threads]: %zu classes live, %llu/%llu nodes resolved, "
+          "proved %llu, disproved %llu, %llu SAT calls, %.1fs elapsed, "
+          "ETA %.1fs",
+          pool.num_threads(), classes.num_classes(),
+          static_cast<unsigned long long>(resolved),
+          static_cast<unsigned long long>(initial_live),
+          static_cast<unsigned long long>(totals_.proven_equivalent -
+                                          before.proven_equivalent),
+          static_cast<unsigned long long>(totals_.disproven - before.disproven),
+          static_cast<unsigned long long>(totals_.sat_calls - before.sat_calls),
+          elapsed, eta);
+      if (obs::journal_enabled()) {
+        obs::journal_emit(
+            obs::EventKind::kHeartbeat, 0, live, resolved,
+            classes.num_classes(),
+            totals_.proven_equivalent - before.proven_equivalent,
+            totals_.disproven - before.disproven,
+            totals_.sat_calls - before.sat_calls, obs::saturate_us(elapsed));
+        obs::Journal::instance().flush();
+      }
+    }
+  }
+
+  (void)simulator;  // per-worker simulators resimulate counterexamples
+  progress.end();
+  phase.set_result(classes.cost(), classes.num_classes());
+  span.arg("sat_calls",
+           static_cast<double>(totals_.sat_calls - before.sat_calls));
+  return delta_since(before);
+}
+
+SweepResult Sweeper::delta_since(const SweepResult& before) const {
   SweepResult delta = totals_;
   delta.sat_calls -= before.sat_calls;
   delta.proven_equivalent -= before.proven_equivalent;

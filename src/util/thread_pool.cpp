@@ -1,0 +1,164 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace simgen::util {
+
+unsigned resolve_num_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+struct ThreadPool::Impl {
+  /// One mutex-guarded deque per worker. The owner pops from the back
+  /// (LIFO, cache-warm), thieves steal from the front (FIFO, so the
+  /// oldest work travels).
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  explicit Impl(unsigned num_threads) : queues(num_threads) {
+    workers.reserve(num_threads);
+    for (unsigned w = 0; w < num_threads; ++w)
+      workers.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      shutting_down = true;
+    }
+    work_available.notify_all();
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  void run_tasks(std::size_t num_tasks,
+                 const std::function<void(std::size_t, unsigned)>& fn) {
+    if (num_tasks == 0) return;
+    const unsigned n = static_cast<unsigned>(workers.size());
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      batch_fn = &fn;
+      pending = num_tasks;
+      failed_task = num_tasks;  // sentinel: no failure yet
+      failure = nullptr;
+      // Seed the deques block-cyclically so neighbouring (same-class,
+      // similar-cone) tasks start on the same worker and stealing only
+      // happens at the tail of the batch.
+      const std::size_t block = (num_tasks + n - 1) / n;
+      for (unsigned w = 0; w < n; ++w) {
+        std::unique_lock<std::mutex> queue_lock(queues[w].mutex);
+        queues[w].tasks.clear();
+        const std::size_t begin = static_cast<std::size_t>(w) * block;
+        const std::size_t end = std::min(begin + block, num_tasks);
+        for (std::size_t task = begin; task < end; ++task)
+          queues[w].tasks.push_back(task);
+      }
+      ++epoch;  // wakes every worker exactly once per batch
+    }
+    work_available.notify_all();
+    std::unique_lock<std::mutex> lock(mutex);
+    batch_done.wait(lock, [this] { return pending == 0; });
+    if (failure) {
+      std::exception_ptr error = failure;
+      failure = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Pops a task for worker \p self: own deque first, then steals.
+  bool try_pop(unsigned self, std::size_t& task) {
+    {
+      std::unique_lock<std::mutex> lock(queues[self].mutex);
+      if (!queues[self].tasks.empty()) {
+        task = queues[self].tasks.back();
+        queues[self].tasks.pop_back();
+        return true;
+      }
+    }
+    const unsigned n = static_cast<unsigned>(queues.size());
+    for (unsigned offset = 1; offset < n; ++offset) {
+      const unsigned victim = (self + offset) % n;
+      std::unique_lock<std::mutex> lock(queues[victim].mutex);
+      if (!queues[victim].tasks.empty()) {
+        task = queues[victim].tasks.front();
+        queues[victim].tasks.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(unsigned self) {
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+      const std::function<void(std::size_t, unsigned)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_available.wait(lock, [this, seen_epoch] {
+          return shutting_down || epoch != seen_epoch;
+        });
+        if (shutting_down) return;
+        seen_epoch = epoch;
+        fn = batch_fn;
+      }
+      std::size_t task = 0;
+      while (try_pop(self, task)) {
+        try {
+          (*fn)(task, self);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(mutex);
+          // Keep the lowest-index failure so rethrowing is deterministic
+          // regardless of which worker hit its exception first.
+          if (task < failed_task) {
+            failed_task = task;
+            failure = std::current_exception();
+          }
+        }
+        std::unique_lock<std::mutex> lock(mutex);
+        if (--pending == 0) {
+          batch_done.notify_all();
+          break;
+        }
+      }
+      // Deques drained (remaining tasks, if any, are in flight on other
+      // workers and cannot be stolen): sleep until the next batch.
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable work_available;
+  std::condition_variable batch_done;
+  std::vector<Queue> queues;
+  std::vector<std::thread> workers;
+  const std::function<void(std::size_t, unsigned)>* batch_fn = nullptr;
+  std::uint64_t epoch = 0;
+  std::size_t pending = 0;
+  std::size_t failed_task = 0;
+  std::exception_ptr failure = nullptr;
+  bool shutting_down = false;
+};
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : impl_(new Impl(resolve_num_threads(num_threads))) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+unsigned ThreadPool::num_threads() const noexcept {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void ThreadPool::run_tasks(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, unsigned)>& fn) {
+  impl_->run_tasks(num_tasks, fn);
+}
+
+}  // namespace simgen::util

@@ -1,0 +1,58 @@
+/// \file thread_pool.hpp
+/// \brief Work-stealing thread pool for the parallel sweep engine.
+///
+/// The sweeping flow produces batches of independent proof obligations
+/// (one candidate pair, one fanin cone, one solver each); this pool runs
+/// such a batch across a fixed set of worker threads and blocks the
+/// caller until every task finished. Design constraints:
+///
+///  * Deterministic task identity: tasks are indices [0, n). The pool
+///    guarantees nothing about *which* worker runs a task or in what
+///    order — parallel callers must make each task a pure function of its
+///    index and reduce the results in index order afterwards.
+///  * Work stealing with per-worker deques guarded by plain mutexes. The
+///    tasks this pool exists for are SAT calls (microseconds to seconds),
+///    so queue overhead is noise; plain locks keep the pool trivially
+///    ThreadSanitizer-clean.
+///  * Exceptions propagate: if tasks throw, run_tasks rethrows the one
+///    with the lowest task index on the calling thread, after all workers
+///    have drained (so the failure surface is deterministic too).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace simgen::util {
+
+/// Resolves a --threads style request: 0 means "auto" (the hardware
+/// concurrency, at least 1), anything else is taken literally.
+[[nodiscard]] unsigned resolve_num_threads(unsigned requested) noexcept;
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (0 = auto, see resolve_num_threads).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned num_threads() const noexcept;
+
+  /// Runs fn(task_index, worker_index) for every task_index in
+  /// [0, num_tasks), distributing the indices across the workers
+  /// (block-cyclic seeding, then stealing). Blocks until all tasks are
+  /// done. worker_index < num_threads() identifies the executing worker
+  /// so callers can keep per-worker scratch (simulators, buffers) without
+  /// locking. Rethrows the lowest-index task exception, if any.
+  void run_tasks(std::size_t num_tasks,
+                 const std::function<void(std::size_t, unsigned)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace simgen::util

@@ -1,0 +1,466 @@
+// Parallel sweeping tests: thread-pool semantics, determinism of the
+// parallel engine across thread counts, the conflict-budget bugfixes
+// (solver conflict-path check, separate output-proof budget, unresolved
+// CEC verdicts), and the fuzz campaign's cross-engine leg.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "aig/aig_to_network.hpp"
+#include "benchgen/generator.hpp"
+#include "fuzz/campaign.hpp"
+#include "mapping/lut_mapper.hpp"
+#include "obs/journal.hpp"
+#include "sat/solver.hpp"
+#include "sim/random_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sweep/cec.hpp"
+#include "sweep/sweeper.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace simgen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Thread pool
+
+TEST(ThreadPool, ResolvesThreadCounts) {
+  EXPECT_EQ(util::resolve_num_threads(1), 1u);
+  EXPECT_EQ(util::resolve_num_threads(7), 7u);
+  EXPECT_GE(util::resolve_num_threads(0), 1u) << "0 = auto, never zero";
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run_tasks(kTasks, [&](std::size_t task, unsigned worker) {
+    ASSERT_LT(worker, pool.num_threads());
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  util::ThreadPool pool(2);
+  bool ran = false;
+  pool.run_tasks(0, [&](std::size_t, unsigned) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusesWorkersAcrossBatches) {
+  util::ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 20; ++batch)
+    pool.run_tasks(50, [&](std::size_t, unsigned) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 20u * 50u);
+}
+
+TEST(ThreadPool, PropagatesTheLowestFailingTask) {
+  // Several tasks throw; the batch must rethrow the exception of the
+  // lowest task index so failures are deterministic under any schedule.
+  util::ThreadPool pool(4);
+  try {
+    pool.run_tasks(200, [](std::size_t task, unsigned) {
+      if (task == 17 || task == 42 || task == 170)
+        throw std::runtime_error("task " + std::to_string(task));
+    });
+    FAIL() << "batch with throwing tasks must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 17");
+  }
+  // The pool survives a failed batch.
+  std::atomic<int> count{0};
+  pool.run_tasks(8, [&](std::size_t, unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep determinism
+
+net::Network parallel_bench(unsigned num_gates = 260) {
+  benchgen::CircuitSpec spec;
+  spec.name = "parallel_sweep";
+  spec.num_pis = 14;
+  spec.num_pos = 8;
+  spec.num_gates = num_gates;
+  spec.redundancy = 0.12;
+  return benchgen::generate_mapped(spec);
+}
+
+sweep::SweepResult run_sweep(const net::Network& network,
+                             unsigned num_threads) {
+  sim::Simulator simulator(network);
+  sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
+  sim::RandomSimOptions random_options;
+  random_options.max_rounds = 4;
+  run_random_simulation(simulator, classes, random_options);
+  sweep::SweepOptions options;
+  options.num_threads = num_threads;
+  sweep::Sweeper sweeper(network, options);
+  sweep::SweepResult result = sweeper.run(classes, simulator);
+  EXPECT_TRUE(classes.fully_refined());
+  return result;
+}
+
+using Pairs = std::vector<std::pair<net::NodeId, net::NodeId>>;
+
+Pairs sorted_pairs(const sweep::SweepResult& result) {
+  Pairs pairs = result.proven_pairs;
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(ParallelSweep, ProvenPairsMatchTheSequentialEngine) {
+  // With an unlimited conflict budget the set of proven merges is a
+  // function of the circuit alone: simulation never splits a truly
+  // equivalent pair, so every engine must converge on the same merges.
+  const net::Network network = parallel_bench();
+  const sweep::SweepResult seq = run_sweep(network, 1);
+  const sweep::SweepResult par = run_sweep(network, 2);
+  EXPECT_EQ(seq.unresolved, 0u);
+  EXPECT_EQ(par.unresolved, 0u);
+  EXPECT_EQ(sorted_pairs(seq), sorted_pairs(par));
+  EXPECT_EQ(seq.proven_equivalent, par.proven_equivalent);
+}
+
+TEST(ParallelSweep, IsThreadCountInvariant) {
+  // Among parallel runs the *full* result — including the schedule-shaped
+  // counters — is identical for every thread count >= 2: task content and
+  // round snapshots depend only on the seed, never on the interleaving.
+  const net::Network network = parallel_bench();
+  const sweep::SweepResult two = run_sweep(network, 2);
+  const sweep::SweepResult eight = run_sweep(network, 8);
+  EXPECT_EQ(two.sat_calls, eight.sat_calls);
+  EXPECT_EQ(two.proven_equivalent, eight.proven_equivalent);
+  EXPECT_EQ(two.disproven, eight.disproven);
+  EXPECT_EQ(two.unresolved, eight.unresolved);
+  EXPECT_EQ(two.resimulations, eight.resimulations);
+  EXPECT_EQ(two.proven_pairs, eight.proven_pairs)
+      << "even the merge order must match";
+}
+
+TEST(ParallelSweep, ProvenPairsAreSound) {
+  const net::Network network = parallel_bench();
+  const sweep::SweepResult result = run_sweep(network, 4);
+  sim::Simulator simulator(network);
+  util::Rng rng(5);
+  for (int round = 0; round < 32; ++round) {
+    simulator.simulate_random_word(rng);
+    for (const auto& [x, y] : result.proven_pairs)
+      ASSERT_EQ(simulator.value(x), simulator.value(y))
+          << "proven pair disagrees under simulation";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel CEC
+
+TEST(ParallelCec, VerdictsMatchAcrossThreadCounts) {
+  benchgen::CircuitSpec spec;
+  spec.name = "parallel_cec";
+  spec.num_pis = 12;
+  spec.num_pos = 6;
+  spec.num_gates = 200;
+  const aig::Aig graph = benchgen::generate_circuit(spec);
+  const net::Network a = mapping::map_to_luts(graph);
+  const net::Network b = aig::to_network(graph);
+
+  sweep::CecOptions options;
+  options.num_threads = 1;
+  const sweep::CecResult seq = sweep::check_equivalence(a, b, options);
+  options.num_threads = 2;
+  const sweep::CecResult two = sweep::check_equivalence(a, b, options);
+  options.num_threads = 8;
+  const sweep::CecResult eight = sweep::check_equivalence(a, b, options);
+
+  EXPECT_TRUE(seq.equivalent);
+  EXPECT_TRUE(two.equivalent);
+  EXPECT_TRUE(eight.equivalent);
+  EXPECT_EQ(seq.outputs_proven, two.outputs_proven);
+  EXPECT_EQ(two.sweep_stats.sat_calls, eight.sweep_stats.sat_calls);
+  EXPECT_EQ(two.sweep_stats.proven_equivalent,
+            eight.sweep_stats.proven_equivalent);
+  EXPECT_EQ(two.output_sat_calls, eight.output_sat_calls);
+}
+
+TEST(ParallelCec, CertifiesEveryUnsatVerdict) {
+  benchgen::CircuitSpec spec;
+  spec.name = "parallel_certify";
+  spec.num_pis = 10;
+  spec.num_pos = 5;
+  spec.num_gates = 150;
+  const aig::Aig graph = benchgen::generate_circuit(spec);
+  const net::Network a = mapping::map_to_luts(graph);
+  const net::Network b = aig::to_network(graph);
+
+  sweep::CecOptions options;
+  options.certify = true;
+  options.num_threads = 2;
+  const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.sweep_stats.certified_unsat,
+            result.sweep_stats.proven_equivalent);
+  EXPECT_EQ(result.certified_outputs, result.outputs_proven);
+}
+
+TEST(ParallelCec, FindsCounterexamplesWithAnyThreadCount) {
+  // One truth-table bit flipped on a PO driver under the all-zero input:
+  // all engines must find and verify a counterexample.
+  const net::Network a = parallel_bench(120);
+  sim::Simulator probe(a);
+  probe.simulate_word(std::vector<sim::PatternWord>(a.num_pis(), 0));
+  net::NodeId victim = net::kNullNode;
+  unsigned minterm = 0;
+  for (const net::NodeId po : a.pos()) {
+    const net::NodeId driver = a.fanins(po)[0];
+    if (!a.is_lut(driver)) continue;
+    victim = driver;
+    const auto fanins = a.fanins(driver);
+    for (std::size_t i = 0; i < fanins.size(); ++i)
+      minterm |= static_cast<unsigned>(probe.value(fanins[i]) & 1u) << i;
+    break;
+  }
+  ASSERT_NE(victim, net::kNullNode);
+
+  net::Network b("mutant");
+  std::vector<net::NodeId> map(a.num_nodes());
+  a.for_each_node([&](net::NodeId id) {
+    const auto& node = a.node(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi: map[id] = b.add_pi(node.name); break;
+      case net::NodeKind::kConstant:
+        map[id] = b.add_constant(node.constant_value);
+        break;
+      case net::NodeKind::kPo: map[id] = b.add_po(map[node.fanins[0]]); break;
+      case net::NodeKind::kLut: {
+        std::vector<net::NodeId> fanins;
+        for (net::NodeId fanin : node.fanins) fanins.push_back(map[fanin]);
+        tt::TruthTable function = node.function;
+        if (id == victim) function.set_bit(minterm, !function.get_bit(minterm));
+        map[id] = b.add_lut(fanins, function);
+        break;
+      }
+    }
+  });
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    sweep::CecOptions options;
+    options.num_threads = threads;
+    const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+    EXPECT_FALSE(result.equivalent) << threads << " threads";
+    EXPECT_FALSE(result.undecided) << threads << " threads";
+    ASSERT_EQ(result.counterexample.size(), a.num_pis());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-budget bugfixes
+
+/// PHP(n+1, n): classically hard UNSAT, no short proofs.
+void encode_pigeonhole(sat::Solver& solver, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<sat::Var>> slot(pigeons,
+                                          std::vector<sat::Var>(holes));
+  for (auto& row : slot)
+    for (auto& var : row) var = solver.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(sat::pos(slot[p][h]));
+    solver.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        solver.add_clause({sat::neg(slot[p1][h]), sat::neg(slot[p2][h])});
+}
+
+TEST(ConflictBudget, SolverStopsWithinLimitPlusOne) {
+  // Regression: the budget check used to sit only on the no-conflict
+  // path, so a chain of consecutive conflicts could overshoot the limit
+  // unboundedly. A hard instance must now stop within limit + 1.
+  sat::Solver solver;
+  encode_pigeonhole(solver, 8);
+  const std::uint64_t limit = 5;
+  solver.set_conflict_limit(limit);
+  const std::uint64_t before = solver.stats().conflicts.value();
+  EXPECT_EQ(solver.solve(), sat::Result::kUnknown);
+  const std::uint64_t spent = solver.stats().conflicts.value() - before;
+  EXPECT_GE(spent, limit);
+  EXPECT_LE(spent, limit + 1);
+}
+
+/// Two structurally different xor trees over the same 10 inputs: an
+/// equivalent pair whose miter needs many conflicts to refute.
+net::Network xor_tree_pair() {
+  net::Network network;
+  std::vector<net::NodeId> pis;
+  for (int i = 0; i < 10; ++i) pis.push_back(network.add_pi());
+  const auto xor2 = tt::TruthTable::xor_gate(2);
+  net::NodeId left = pis[0];
+  for (int i = 1; i < 10; ++i) {
+    const std::array<net::NodeId, 2> f{left, pis[i]};
+    left = network.add_lut(f, xor2);
+  }
+  net::NodeId right = pis[9];
+  for (int i = 8; i >= 0; --i) {
+    const std::array<net::NodeId, 2> f{right, pis[i]};
+    right = network.add_lut(f, xor2);
+  }
+  network.add_po(left);
+  network.add_po(right);
+  return network;
+}
+
+/// The two xor trees as separate single-output networks, so CEC must
+/// prove the hard xor miter as an output proof.
+std::pair<net::Network, net::Network> xor_tree_networks() {
+  net::Network a;
+  net::Network b;
+  std::vector<net::NodeId> pa;
+  std::vector<net::NodeId> pb;
+  for (int i = 0; i < 10; ++i) {
+    pa.push_back(a.add_pi());
+    pb.push_back(b.add_pi());
+  }
+  const auto xor2 = tt::TruthTable::xor_gate(2);
+  net::NodeId left = pa[0];
+  for (int i = 1; i < 10; ++i) {
+    const std::array<net::NodeId, 2> f{left, pa[i]};
+    left = a.add_lut(f, xor2);
+  }
+  net::NodeId right = pb[9];
+  for (int i = 8; i >= 0; --i) {
+    const std::array<net::NodeId, 2> f{right, pb[i]};
+    right = b.add_lut(f, xor2);
+  }
+  a.add_po(left);
+  b.add_po(right);
+  return {std::move(a), std::move(b)};
+}
+
+sweep::CecOptions hard_output_proof_options() {
+  // Disable everything that could prove the pair before the final output
+  // proofs: the xor miter goes to the solver monolithically.
+  sweep::CecOptions options;
+  options.random_rounds = 0;
+  options.use_guided_simulation = false;
+  options.sweep_internal_nodes = false;
+  return options;
+}
+
+TEST(ConflictBudget, LimitedOutputProofReturnsUndecided) {
+  // Regression: a conflict-limited output proof used to throw; it must
+  // report a proper unresolved verdict instead.
+  const auto [a, b] = xor_tree_networks();
+  sweep::CecOptions options = hard_output_proof_options();
+  options.sweep.output_proof_conflict_limit = 1;
+  const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+  EXPECT_FALSE(result.equivalent) << "undecided must read as not-proven";
+  EXPECT_TRUE(result.undecided);
+  EXPECT_GE(result.unresolved_outputs, 1u);
+  EXPECT_TRUE(result.counterexample.empty());
+}
+
+TEST(ConflictBudget, ParallelLimitedOutputProofReturnsUndecided) {
+  const auto [a, b] = xor_tree_networks();
+  sweep::CecOptions options = hard_output_proof_options();
+  options.sweep.output_proof_conflict_limit = 1;
+  options.num_threads = 2;
+  const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+  EXPECT_TRUE(result.undecided);
+  EXPECT_GE(result.unresolved_outputs, 1u);
+}
+
+TEST(ConflictBudget, OutputProofsHaveTheirOwnBudget) {
+  // Regression: the pair budget used to leak into the output proofs. A
+  // tight pair budget with the (unlimited) default output budget must
+  // still decide the hard pair EQUIVALENT.
+  const auto [a, b] = xor_tree_networks();
+  sweep::CecOptions options = hard_output_proof_options();
+  options.sweep.conflict_limit = 1;
+  const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_FALSE(result.undecided);
+  EXPECT_EQ(result.unresolved_outputs, 0u);
+}
+
+TEST(ConflictBudget, SweeperDropsLimitedPairsWithoutThrowing) {
+  // The pair budget inside the parallel engine: conflict-limited pairs
+  // are dropped and counted, never fatal.
+  const net::Network network = xor_tree_pair();
+  sim::Simulator simulator(network);
+  sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
+  sim::RandomSimOptions random_options;
+  random_options.max_rounds = 4;
+  run_random_simulation(simulator, classes, random_options);
+
+  sweep::SweepOptions options;
+  options.conflict_limit = 1;
+  options.num_threads = 2;
+  sweep::Sweeper sweeper(network, options);
+  const sweep::SweepResult result = sweeper.run(classes, simulator);
+  EXPECT_TRUE(classes.fully_refined());
+  EXPECT_GE(result.unresolved, 1u);
+}
+
+#ifndef SIMGEN_NO_TELEMETRY
+TEST(ConflictBudget, UndecidedRunsJournalARunEndEvent) {
+  const std::string path =
+      ::testing::TempDir() + "/parallel_undecided.jrnl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::Journal::instance().open(path));
+  const auto [a, b] = xor_tree_networks();
+  sweep::CecOptions options = hard_output_proof_options();
+  options.sweep.output_proof_conflict_limit = 1;
+  const sweep::CecResult result = sweep::check_equivalence(a, b, options);
+  obs::Journal::instance().close();
+  ASSERT_TRUE(result.undecided);
+
+  std::vector<obs::JournalEvent> events;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(path, events, &error)) << error;
+  const auto run_end =
+      std::find_if(events.begin(), events.end(), [](const auto& event) {
+        return event.kind == obs::EventKind::kRunEnd;
+      });
+  ASSERT_NE(run_end, events.end());
+  EXPECT_EQ(run_end->code, 2u) << "run-end outcome 2 = undecided";
+  EXPECT_EQ(run_end->v1, result.unresolved_outputs);
+  std::remove(path.c_str());
+}
+#endif  // SIMGEN_NO_TELEMETRY
+
+// ---------------------------------------------------------------------------
+// Fuzz cross-check leg
+
+TEST(ParallelFuzz, CampaignVerdictLogMatchesSingleThread) {
+  fuzz::CampaignOptions options;
+  options.iterations = 2;
+  options.shrink = false;
+  options.artifact_dir.clear();
+  options.echo = nullptr;
+
+  const fuzz::CampaignResult seq = fuzz::run_campaign(options);
+  options.num_threads = 2;
+  const fuzz::CampaignResult par = fuzz::run_campaign(options);
+  EXPECT_EQ(seq.failures, 0u);
+  EXPECT_EQ(par.failures, 0u)
+      << "parallel engine disagreed with the single-thread oracle";
+  EXPECT_EQ(seq.verdict_log, par.verdict_log)
+      << "cross-checking must not change the verdict-log bytes";
+}
+
+}  // namespace
+}  // namespace simgen

@@ -11,6 +11,15 @@ unresolved) within the given relative/absolute tolerance. Timing fields
 (sim_seconds, sat_seconds) are machine-dependent and ignored. Extra
 candidate files are ignored, so the baseline can cover a subset.
 
+Multithreaded runs gate with the same strictness: bench drivers
+parallelize across whole (benchmark, strategy) cells while each flow
+keeps the sequential sweep engine, so every count field is
+thread-invariant by construction (only the ignored timing fields pick up
+scheduling noise). The "num_threads" field each run records is compared
+for information only — a count mismatch against a multithreaded
+candidate is a real regression, never schedule noise, and is reported as
+such.
+
 Exit code 0 when everything matches, 1 on any mismatch or missing file.
 """
 import argparse
@@ -60,6 +69,12 @@ def main():
         baseline = json.loads(baseline_path.read_text())
         candidate = json.loads(candidate_path.read_text())
         compared += 1
+        base_threads = baseline.get("num_threads", 1)
+        cand_threads = candidate.get("num_threads", 1)
+        if base_threads != cand_threads:
+            print(f"note     {baseline_path.name}: candidate ran with "
+                  f"{cand_threads} bench threads (baseline {base_threads}); "
+                  f"counts are thread-invariant and still gate exactly")
         for field in EXACT_FIELDS:
             if baseline.get(field) != candidate.get(field):
                 print(f"MISMATCH {baseline_path.name}: {field} "
