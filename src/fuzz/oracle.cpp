@@ -52,6 +52,13 @@ sweep::CecOptions roundtrip_cec_options(std::uint64_t seed) {
   return options;
 }
 
+/// Three-way rendering of a CEC verdict for oracle failure details:
+/// undecided must not masquerade as NEQ or it misdirects triage.
+const char* verdict_str(const sweep::CecResult& verdict) {
+  if (verdict.undecided) return "UNDECIDED";
+  return verdict.equivalent ? "EQ" : "NEQ";
+}
+
 /// Runs one sweeping-engine oracle on the pair and scores it against the
 /// expected verdict. With \p cross_check_threads > 1 the same check is
 /// rerun on the parallel engine and the two verdicts must agree — the
@@ -67,10 +74,9 @@ OracleResult run_cec_oracle(std::string name, const Network& base,
         sweep::check_equivalence(base, mutant.network, options);
     if (verdict.equivalent != mutant.equivalent) {
       result.pass = false;
-      result.detail = std::string("verdict ") +
-                      (verdict.equivalent ? "EQ" : "NEQ") + ", expected " +
-                      (mutant.equivalent ? "EQ" : "NEQ") + " [" +
-                      mutant.description + "]";
+      result.detail = std::string("verdict ") + verdict_str(verdict) +
+                      ", expected " + (mutant.equivalent ? "EQ" : "NEQ") +
+                      " [" + mutant.description + "]";
       return result;
     }
     if (!verdict.equivalent &&
@@ -87,14 +93,10 @@ OracleResult run_cec_oracle(std::string name, const Network& base,
       if (parallel_verdict.equivalent != verdict.equivalent ||
           parallel_verdict.undecided != verdict.undecided) {
         result.pass = false;
-        result.detail =
-            std::string("parallel engine verdict ") +
-            (parallel_verdict.undecided
-                 ? "UNDECIDED"
-                 : (parallel_verdict.equivalent ? "EQ" : "NEQ")) +
-            " disagrees with single-thread " +
-            (verdict.equivalent ? "EQ" : "NEQ") + " [" + mutant.description +
-            "]";
+        result.detail = std::string("parallel engine verdict ") +
+                        verdict_str(parallel_verdict) +
+                        " disagrees with single-thread " + verdict_str(verdict) +
+                        " [" + mutant.description + "]";
         return result;
       }
       if (!parallel_verdict.equivalent &&

@@ -42,7 +42,8 @@ enum class EventKind : std::uint8_t {
   kNone = 0,
   kRunBegin = 1,      ///< a=PIs, b=nodes, v0=LUTs, v1=POs.
   kRunEnd = 2,        ///< code=outcome (0 not-eq, 1 eq, 2 undecided),
-                      ///< v0=outputs proven, v1=unresolved outputs.
+                      ///< v0=outputs proven, v1=unresolved outputs
+                      ///< (nonzero only for outcome 2).
   kPhaseBegin = 3,    ///< code=PhaseId.
   kPhaseEnd = 4,      ///< code=PhaseId, v0=cost after, v1=classes live, dur_us.
   kClassCreated = 5,  ///< a=representative, code=PatternSource, v0=size.

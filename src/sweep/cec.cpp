@@ -281,6 +281,10 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
               "cec: SAT counterexample failed re-simulation");
         result.equivalent = false;
         result.undecided = false;
+        // A counterexample decides the run: earlier budget-limited output
+        // proofs are moot, and CecResult documents unresolved_outputs as
+        // nonzero only when undecided.
+        result.unresolved_outputs = 0;
         total.stop();
         result.total_seconds = total.seconds();
         journal_run_end(result);
@@ -343,6 +347,9 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
           throw std::logic_error("cec: SAT counterexample failed re-simulation");
         result.equivalent = false;
         result.undecided = false;
+        // See the parallel path: a counterexample decides the run, so the
+        // unresolved_outputs invariant (nonzero only when undecided) holds.
+        result.unresolved_outputs = 0;
         total.stop();
         result.total_seconds = total.seconds();
         journal_run_end(result);

@@ -55,8 +55,9 @@ struct CecResult {
   /// counterexample was found either. equivalent is false but means
   /// "unknown", not "not equivalent" — counterexample is empty.
   bool undecided = false;
-  /// Output proofs that hit the conflict budget (only nonzero when
-  /// undecided).
+  /// Output proofs that hit the conflict budget. Nonzero only when
+  /// undecided: if a later output yields a counterexample, the run is
+  /// decided NOT EQUIVALENT and this count is reset to 0.
   std::size_t unresolved_outputs = 0;
   /// On non-equivalence: a PI assignment on which some PO pair differs
   /// (verified by simulation before being returned).

@@ -18,10 +18,18 @@ unsigned resolve_num_threads(unsigned requested) noexcept {
 struct ThreadPool::Impl {
   /// One mutex-guarded deque per worker. The owner pops from the back
   /// (LIFO, cache-warm), thieves steal from the front (FIFO, so the
-  /// oldest work travels).
+  /// oldest work travels). Each entry carries the epoch of the batch it
+  /// was seeded for: a worker that went to sleep during batch N can wake
+  /// and pop a batch-N+1 task before noticing the epoch bump, and the
+  /// tag is what tells it to re-read batch_fn instead of invoking the
+  /// (destroyed) previous batch's function.
+  struct Item {
+    std::uint64_t epoch;
+    std::size_t task;
+  };
   struct Queue {
     std::mutex mutex;
-    std::deque<std::size_t> tasks;
+    std::deque<Item> tasks;
   };
 
   explicit Impl(unsigned num_threads) : queues(num_threads) {
@@ -49,9 +57,12 @@ struct ThreadPool::Impl {
       pending = num_tasks;
       failed_task = num_tasks;  // sentinel: no failure yet
       failure = nullptr;
+      ++epoch;  // wakes every worker exactly once per batch
       // Seed the deques block-cyclically so neighbouring (same-class,
       // similar-cone) tasks start on the same worker and stealing only
-      // happens at the tail of the batch.
+      // happens at the tail of the batch. The previous batch drained
+      // completely (pending hit 0 implies every index was popped), so the
+      // deques are empty here; clear() is belt and braces.
       const std::size_t block = (num_tasks + n - 1) / n;
       for (unsigned w = 0; w < n; ++w) {
         std::unique_lock<std::mutex> queue_lock(queues[w].mutex);
@@ -59,9 +70,8 @@ struct ThreadPool::Impl {
         const std::size_t begin = static_cast<std::size_t>(w) * block;
         const std::size_t end = std::min(begin + block, num_tasks);
         for (std::size_t task = begin; task < end; ++task)
-          queues[w].tasks.push_back(task);
+          queues[w].tasks.push_back(Item{epoch, task});
       }
-      ++epoch;  // wakes every worker exactly once per batch
     }
     work_available.notify_all();
     std::unique_lock<std::mutex> lock(mutex);
@@ -74,11 +84,11 @@ struct ThreadPool::Impl {
   }
 
   /// Pops a task for worker \p self: own deque first, then steals.
-  bool try_pop(unsigned self, std::size_t& task) {
+  bool try_pop(unsigned self, Item& item) {
     {
       std::unique_lock<std::mutex> lock(queues[self].mutex);
       if (!queues[self].tasks.empty()) {
-        task = queues[self].tasks.back();
+        item = queues[self].tasks.back();
         queues[self].tasks.pop_back();
         return true;
       }
@@ -88,7 +98,7 @@ struct ThreadPool::Impl {
       const unsigned victim = (self + offset) % n;
       std::unique_lock<std::mutex> lock(queues[victim].mutex);
       if (!queues[victim].tasks.empty()) {
-        task = queues[victim].tasks.front();
+        item = queues[victim].tasks.front();
         queues[victim].tasks.pop_front();
         return true;
       }
@@ -109,8 +119,20 @@ struct ThreadPool::Impl {
         seen_epoch = epoch;
         fn = batch_fn;
       }
-      std::size_t task = 0;
-      while (try_pop(self, task)) {
+      Item item{0, 0};
+      while (try_pop(self, item)) {
+        if (item.epoch != seen_epoch) {
+          // Stale wake: we captured fn for an earlier batch, that batch
+          // completed while we were descheduled, and this task belongs to
+          // a batch issued since. The popped task holds its own batch
+          // pending (run_tasks cannot return until it is executed and
+          // decremented), so the current batch_fn is alive and is this
+          // task's function — re-read it under the lock.
+          std::unique_lock<std::mutex> lock(mutex);
+          seen_epoch = item.epoch;
+          fn = batch_fn;
+        }
+        const std::size_t task = item.task;
         try {
           (*fn)(task, self);
         } catch (...) {

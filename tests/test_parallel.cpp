@@ -67,6 +67,43 @@ TEST(ThreadPool, ReusesWorkersAcrossBatches) {
   EXPECT_EQ(total.load(), 20u * 50u);
 }
 
+TEST(ThreadPool, ConsecutiveBatchesNeverRunAStaleFunction) {
+  // Regression: a worker that woke for batch N but was descheduled before
+  // its first pop could outlive run_tasks(N) (the other workers drain the
+  // batch), then pop batch N+1's tasks and invoke the destroyed batch-N
+  // std::function — use-after-free plus tasks run with the wrong body.
+  // Hammer the window: an oversubscribed pool (so workers are frequently
+  // descheduled right after waking), many consecutive tiny batches, and
+  // two alternating lambda shapes with different capture layouts — if the
+  // consecutive std::function temporaries reused the same stack slot with
+  // the same layout, a stale call could accidentally look correct. A
+  // stale-function invocation stamps the wrong id or corrupts the pending
+  // count (run_tasks returns with slots unset).
+  util::ThreadPool pool(32);
+  constexpr int kBatches = 4000;
+  constexpr std::size_t kTasks = 3;
+  std::array<std::atomic<int>, kTasks> slot{};
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (auto& s : slot) s.store(-1, std::memory_order_relaxed);
+    if (batch % 2 == 0) {
+      pool.run_tasks(kTasks, [&slot, batch](std::size_t task, unsigned) {
+        slot[task].store(batch, std::memory_order_relaxed);
+      });
+    } else {
+      const int copy0 = batch, copy1 = batch;
+      pool.run_tasks(kTasks,
+                     [&slot, copy0, copy1](std::size_t task, unsigned) {
+                       slot[task].store(copy0 == copy1 ? copy0 : -2,
+                                        std::memory_order_relaxed);
+                     });
+    }
+    for (std::size_t task = 0; task < kTasks; ++task)
+      ASSERT_EQ(slot[task].load(std::memory_order_relaxed), batch)
+          << "batch " << batch << " task " << task
+          << " ran a stale or missing function";
+  }
+}
+
 TEST(ThreadPool, PropagatesTheLowestFailingTask) {
   // Several tasks throw; the batch must rethrow the exception of the
   // lowest task index so failures are deterministic under any schedule.
