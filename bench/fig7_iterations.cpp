@@ -42,6 +42,10 @@ Trace run_trace(const net::Network& network, Mode mode) {
   // Phase 1: random simulation until stagnation (or the whole budget for
   // the RandS-only arm).
   for (; iteration < kTotalIterations; ++iteration) {
+    // Attribute this batch's splits (journal + refine telemetry); without
+    // the scope every split would be logged as PatternSource::kNone and
+    // sweep_inspect --check would reject the journal.
+    const obs::PatternScope scope(obs::PatternSource::kRandom, /*patterns=*/0);
     simulator.simulate_random_word(rng);
     classes.refine(simulator);
     const std::uint64_t cost = classes.cost();

@@ -325,23 +325,23 @@ LintReport lint_aig(const aig::Aig& aig) {
     const aig::Lit f0 = aig.fanin0(node);
     const aig::Lit f1 = aig.fanin1(node);
     if (aig::lit_node(f0) >= node || aig::lit_node(f1) >= node)
-      report.add("aig-topo-order", Severity::kError, node,
+      report.add("aig-topo-order", Severity::kError, net::NodeId{node},
                  "AND node " + std::to_string(node) +
                      " has a fanin that is not topologically earlier");
     if (f0 > f1)
-      report.add("aig-fanin-order", Severity::kError, node,
+      report.add("aig-fanin-order", Severity::kError, net::NodeId{node},
                  "AND node " + std::to_string(node) +
                      " fanins are not canonically ordered");
     if (f0 == f1 || f0 == aig::lit_not(f1) || f0 == aig::kLitFalse ||
         f0 == aig::kLitTrue)
-      report.add("aig-trivial-and", Severity::kError, node,
+      report.add("aig-trivial-and", Severity::kError, net::NodeId{node},
                  "AND node " + std::to_string(node) +
                      " survives a folding rule (constant/equal/complement fanin)");
     const std::uint64_t key =
         (static_cast<std::uint64_t>(f0) << 32) | static_cast<std::uint64_t>(f1);
     const auto [it, inserted] = pairs.emplace(key, node);
     if (!inserted)
-      report.add("aig-strash-canonical", Severity::kError, node,
+      report.add("aig-strash-canonical", Severity::kError, net::NodeId{node},
                  "AND nodes " + std::to_string(it->second) + " and " +
                      std::to_string(node) + " share the fanin pair (" +
                      std::to_string(f0) + ", " + std::to_string(f1) +
@@ -361,7 +361,7 @@ LintReport lint_eqclasses(const sim::EquivClasses& classes,
                           const sim::Simulator* simulator) {
   LintReport report;
   std::unordered_set<NodeId> seen;
-  for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+  for (sim::ClassId c{0}; c < classes.num_classes(); ++c) {
     const auto members = classes.class_members(c);
     if (members.size() < 2)
       report.add("eqclass-min-size", Severity::kError, net::kNullNode,

@@ -95,14 +95,14 @@ unsigned Network::depth() const {
 
 std::vector<NodeId> Network::topological_order() const {
   std::vector<NodeId> order(nodes_.size());
-  for (NodeId id = 0; id < nodes_.size(); ++id) order[id] = id;
+  for (NodeId id{0}; id < nodes_.size(); ++id) order[id] = id;
   return order;
 }
 
 void Network::ensure_levels() const {
   if (levels_valid_) return;
   levels_.assign(nodes_.size(), 0);
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  for (NodeId id{0}; id < nodes_.size(); ++id) {
     const Node& node = nodes_[id];
     unsigned lev = 0;
     for (NodeId fanin : node.fanins) lev = std::max(lev, levels_[fanin] + 1);

@@ -16,12 +16,18 @@
 #include <vector>
 
 #include "tt/truth_table.hpp"
+#include "util/strong_id.hpp"
 
 namespace simgen::net {
 
 /// Dense node identifier; also the index into all per-node side arrays.
-using NodeId = std::uint32_t;
-inline constexpr NodeId kNullNode = std::numeric_limits<NodeId>::max();
+/// A strong type (util::StrongId): constructing one from an integer is
+/// explicit, decaying back for array indexing is implicit, and mixing it
+/// with other index spaces (sat::Var, class indices) at a function
+/// boundary is a compile error.
+struct NodeIdTag {};
+using NodeId = util::StrongId<NodeIdTag>;
+inline constexpr NodeId kNullNode{std::numeric_limits<std::uint32_t>::max()};
 
 enum class NodeKind : std::uint8_t {
   kConstant,  ///< Constant 0 or 1; no fanins.
@@ -117,13 +123,13 @@ class Network {
   /// Calls \p fn(NodeId) for every node in creation (topological) order.
   template <typename Fn>
   void for_each_node(Fn&& fn) const {
-    for (NodeId id = 0; id < nodes_.size(); ++id) fn(id);
+    for (NodeId id{0}; id < nodes_.size(); ++id) fn(id);
   }
 
   /// Calls \p fn(NodeId) for every internal LUT node in topological order.
   template <typename Fn>
   void for_each_lut(Fn&& fn) const {
-    for (NodeId id = 0; id < nodes_.size(); ++id)
+    for (NodeId id{0}; id < nodes_.size(); ++id)
       if (nodes_[id].kind == NodeKind::kLut) fn(id);
   }
 

@@ -324,9 +324,21 @@ bool check_journal(const std::vector<JournalEvent>& events, std::string* error) 
         phase_stack.pop_back();
         break;
       case EventKind::kClassCreated:
+        if (event.code >= kNumPatternSources)
+          return fail(i, "pattern source out of range");
+        break;
       case EventKind::kClassSplit:
         if (event.code >= kNumPatternSources)
           return fail(i, "pattern source out of range");
+        // Attribution cross-check: a split was by definition caused by
+        // some pattern batch, so kNone means refine() ran outside a
+        // PatternScope and the Table 3 attribution data is silently
+        // corrupt. The simgen-pattern-scope tidy check catches this at
+        // analysis time; this is the runtime backstop.
+        if (event.code == static_cast<std::uint8_t>(PatternSource::kNone))
+          return fail(i,
+                      "class_split with no pattern-source attribution "
+                      "(refine called outside an obs::PatternScope)");
         break;
       case EventKind::kSatCall:
         if (event.code > static_cast<std::uint8_t>(SatVerdict::kUnknown))

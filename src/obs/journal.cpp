@@ -8,10 +8,11 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string_view>
 #include <thread>
+
+#include "util/mutex.hpp"
 
 namespace simgen::obs {
 
@@ -141,19 +142,26 @@ struct ThreadBuffer {
 /// Process-wide writer state. Leaked, like the metrics registry, so
 /// emits from static-storage destructors stay safe.
 struct JournalState {
+  /// True while recording. The release store in open() is the publication
+  /// point for `epoch`; every reader that dereferences epoch-derived state
+  /// must load this with acquire (see now_ns/emit).
   std::atomic<bool> recording{false};
 
-  std::mutex lifecycle_mutex;  ///< Serializes open/close.
-  std::mutex sink_mutex;       ///< Guards the file and all consumer sides.
-  std::FILE* file = nullptr;
-  bool jsonl = false;
+  util::Mutex lifecycle_mutex;  ///< Serializes open/close.
+  util::Mutex sink_mutex;       ///< Guards the file and all consumer sides.
+  std::FILE* file SIMGEN_GUARDED_BY(sink_mutex) = nullptr;
+  bool jsonl SIMGEN_GUARDED_BY(sink_mutex) = false;
   std::atomic<std::uint64_t> written{0};
+  /// Written in open() before recording goes true (its release store
+  /// publishes the value); read lock-free afterwards. Not guarded: the
+  /// recording flag's acquire/release pair is the synchronization.
   std::chrono::steady_clock::time_point epoch{};
 
-  std::mutex buffers_mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  util::Mutex buffers_mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers
+      SIMGEN_GUARDED_BY(buffers_mutex);
 
-  std::thread drain_thread;
+  std::thread drain_thread SIMGEN_GUARDED_BY(lifecycle_mutex);
   std::atomic<bool> stop_drain{false};
 
   static JournalState& get() {
@@ -161,12 +169,12 @@ struct JournalState {
     return *state;
   }
 
-  /// Moves every pending event to the file. Caller holds sink_mutex.
-  void drain_locked() {
+  /// Moves every pending event to the file.
+  void drain_locked() SIMGEN_REQUIRES(sink_mutex) {
     if (file == nullptr) return;
     std::vector<std::shared_ptr<ThreadBuffer>> snapshot;
     {
-      const std::lock_guard<std::mutex> lock(buffers_mutex);
+      const util::LockGuard lock(buffers_mutex);
       snapshot = buffers;
     }
     for (const auto& buffer : snapshot) {
@@ -186,7 +194,7 @@ struct JournalState {
       written.fetch_add(count, std::memory_order_relaxed);
     }
     // Retired (thread-exited) buffers that are fully drained can go.
-    const std::lock_guard<std::mutex> lock(buffers_mutex);
+    const util::LockGuard lock(buffers_mutex);
     std::erase_if(buffers, [](const std::shared_ptr<ThreadBuffer>& buffer) {
       return buffer->retired.load(std::memory_order_acquire) &&
              buffer->head.load(std::memory_order_acquire) ==
@@ -201,7 +209,7 @@ struct ThreadBufferHolder {
   std::shared_ptr<ThreadBuffer> buffer = std::make_shared<ThreadBuffer>();
   ThreadBufferHolder() {
     JournalState& state = JournalState::get();
-    const std::lock_guard<std::mutex> lock(state.buffers_mutex);
+    const util::LockGuard lock(state.buffers_mutex);
     state.buffers.push_back(buffer);
   }
   ~ThreadBufferHolder() { buffer->retired.store(true, std::memory_order_release); }
@@ -216,7 +224,7 @@ void drain_loop() {
   JournalState& state = JournalState::get();
   while (!state.stop_drain.load(std::memory_order_acquire)) {
     {
-      const std::lock_guard<std::mutex> lock(state.sink_mutex);
+      const util::LockGuard lock(state.sink_mutex);
       state.drain_locked();
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -236,8 +244,11 @@ Journal& Journal::instance() {
 
 bool Journal::open(const std::string& path, JournalFormat format) {
   JournalState& state = JournalState::get();
-  const std::lock_guard<std::mutex> lifecycle(state.lifecycle_mutex);
-  if (state.file != nullptr) return false;
+  const util::LockGuard lifecycle(state.lifecycle_mutex);
+  {
+    const util::LockGuard lock(state.sink_mutex);
+    if (state.file != nullptr) return false;
+  }
   const bool jsonl = path_is_jsonl(path, format);
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) return false;
@@ -246,7 +257,7 @@ bool Journal::open(const std::string& path, JournalFormat format) {
   else
     write_binary_header(file);
   {
-    const std::lock_guard<std::mutex> lock(state.sink_mutex);
+    const util::LockGuard lock(state.sink_mutex);
     state.file = file;
     state.jsonl = jsonl;
     state.written.store(0, std::memory_order_relaxed);
@@ -260,12 +271,15 @@ bool Journal::open(const std::string& path, JournalFormat format) {
 
 void Journal::close() {
   JournalState& state = JournalState::get();
-  const std::lock_guard<std::mutex> lifecycle(state.lifecycle_mutex);
-  if (state.file == nullptr) return;
+  const util::LockGuard lifecycle(state.lifecycle_mutex);
+  {
+    const util::LockGuard lock(state.sink_mutex);
+    if (state.file == nullptr) return;
+  }
   state.recording.store(false, std::memory_order_release);
   state.stop_drain.store(true, std::memory_order_release);
   if (state.drain_thread.joinable()) state.drain_thread.join();
-  const std::lock_guard<std::mutex> lock(state.sink_mutex);
+  const util::LockGuard lock(state.sink_mutex);
   state.drain_locked();
   std::fclose(state.file);
   state.file = nullptr;
@@ -273,7 +287,7 @@ void Journal::close() {
 
 void Journal::flush() {
   JournalState& state = JournalState::get();
-  const std::lock_guard<std::mutex> lock(state.sink_mutex);
+  const util::LockGuard lock(state.sink_mutex);
   if (state.file == nullptr) return;
   state.drain_locked();
   std::fflush(state.file);
@@ -285,7 +299,11 @@ bool Journal::is_open() const noexcept {
 
 std::uint64_t Journal::now_ns() const noexcept {
   JournalState& state = JournalState::get();
-  if (!state.recording.load(std::memory_order_relaxed)) return 0;
+  // Acquire pairs with the release store in open(): seeing recording ==
+  // true guarantees the epoch written just before is visible. A relaxed
+  // load here could read a stale epoch on a thread that never took a
+  // journal lock (first emit after another thread opened the journal).
+  if (!state.recording.load(std::memory_order_acquire)) return 0;
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - state.epoch)
@@ -298,7 +316,9 @@ std::uint64_t Journal::events_written() const noexcept {
 
 void Journal::emit(JournalEvent event) {
   JournalState& state = JournalState::get();
-  if (!state.recording.load(std::memory_order_relaxed)) return;
+  // Acquire for the same epoch-publication reason as now_ns(): the t_ns
+  // stamp below computes against state.epoch.
+  if (!state.recording.load(std::memory_order_acquire)) return;
   if (event.t_ns == 0) event.t_ns = now_ns();
   ThreadBuffer& buffer = local_buffer();
   const std::uint64_t head = buffer.head.load(std::memory_order_relaxed);
@@ -306,7 +326,7 @@ void Journal::emit(JournalEvent event) {
       ThreadBuffer::kCapacity) {
     // Ring full: the drain thread fell behind. Drain synchronously (cold
     // path); afterwards the ring is empty again.
-    const std::lock_guard<std::mutex> lock(state.sink_mutex);
+    const util::LockGuard lock(state.sink_mutex);
     state.drain_locked();
   }
   buffer.ring[head & ThreadBuffer::kMask] = event;

@@ -15,8 +15,8 @@
 ///  * The hot path is allocation-free: an event is a trivially-copyable
 ///    64-byte struct written into a per-thread lock-free SPSC ring; a
 ///    background drain thread moves filled rings to the file. When the
-///    journal is closed (the default), emitting costs one relaxed atomic
-///    load.
+///    journal is closed (the default), emitting costs one acquire atomic
+///    load (free on x86; the acquire publishes the epoch, see journal.cpp).
 ///  * Two on-disk formats share one event model: a binary framing (32-byte
 ///    file header + raw little-endian event records, the default) and a
 ///    JSON-Lines fallback (chosen by a ".jsonl" path suffix) for ad-hoc
@@ -153,8 +153,8 @@ enum class JournalFormat : std::uint8_t {
 #ifdef SIMGEN_NO_TELEMETRY
 [[nodiscard]] constexpr bool journal_enabled() noexcept { return false; }
 #else
-/// True while a journal file is open and recording. One relaxed atomic
-/// load; every emit helper checks it first.
+/// True while a journal file is open and recording. One atomic load;
+/// every emit helper checks it first.
 [[nodiscard]] bool journal_enabled() noexcept;
 #endif
 

@@ -5,9 +5,10 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <unordered_map>
+
+#include "util/mutex.hpp"
 
 namespace simgen::obs {
 
@@ -94,24 +95,30 @@ namespace {
 /// instruments in static storage can retire during program teardown
 /// without static-destruction-order hazards.
 struct Registry {
-  std::mutex mutex;
+  util::Mutex mutex;
 
   // Live instruments, keyed by object identity. Multiple live instances
   // may share a name (e.g. two Solvers); aggregation sums them.
-  std::unordered_map<Counter*, std::string> live_counters;
-  std::unordered_map<Histogram*, std::string> live_histograms;
+  std::unordered_map<Counter*, std::string> live_counters
+      SIMGEN_GUARDED_BY(mutex);
+  std::unordered_map<Histogram*, std::string> live_histograms
+      SIMGEN_GUARDED_BY(mutex);
 
   // Final values of destroyed instruments, accumulated per name.
-  std::map<std::string, std::uint64_t> retired_counters;
-  std::map<std::string, HistogramSnapshot> retired_histograms;
+  std::map<std::string, std::uint64_t> retired_counters
+      SIMGEN_GUARDED_BY(mutex);
+  std::map<std::string, HistogramSnapshot> retired_histograms
+      SIMGEN_GUARDED_BY(mutex);
 
-  std::map<std::string, double> gauges;
+  std::map<std::string, double> gauges SIMGEN_GUARDED_BY(mutex);
 
   // Registry-owned instruments handed out by counter()/histogram().
   // unique_ptr keeps addresses stable; the objects also appear in the
   // live maps through their registering constructors.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> owned_counters;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> owned_histograms;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> owned_counters
+      SIMGEN_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      owned_histograms SIMGEN_GUARDED_BY(mutex);
 
   static Registry& get() {
     static Registry* instance = new Registry();
@@ -137,14 +144,14 @@ void trim_buckets(HistogramSnapshot& snapshot) {
 
 Counter::Counter(const char* name) : registered_(true) {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   registry.live_counters.emplace(this, name);
 }
 
 Counter::~Counter() {
   if (!registered_) return;
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   const auto it = registry.live_counters.find(this);
   if (it == registry.live_counters.end()) return;
   registry.retired_counters[it->second] += value();
@@ -153,14 +160,14 @@ Counter::~Counter() {
 
 Histogram::Histogram(const char* name) : registered_(true) {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   registry.live_histograms.emplace(this, name);
 }
 
 Histogram::~Histogram() {
   if (!registered_) return;
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   const auto it = registry.live_histograms.find(this);
   if (it == registry.live_histograms.end()) return;
   merge_histogram(registry.retired_histograms[it->second], buckets_.data(),
@@ -171,13 +178,13 @@ Histogram::~Histogram() {
 Counter& counter(std::string_view name) {
   Registry& registry = Registry::get();
   {
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const util::LockGuard lock(registry.mutex);
     const auto it = registry.owned_counters.find(name);
     if (it != registry.owned_counters.end()) return *it->second;
   }
   // Construct outside the lock: the registering constructor takes it too.
   auto owned = std::make_unique<Counter>(std::string(name).c_str());
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   const auto [it, inserted] =
       registry.owned_counters.emplace(std::string(name), std::move(owned));
   return *it->second;
@@ -186,12 +193,12 @@ Counter& counter(std::string_view name) {
 Histogram& histogram(std::string_view name) {
   Registry& registry = Registry::get();
   {
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const util::LockGuard lock(registry.mutex);
     const auto it = registry.owned_histograms.find(name);
     if (it != registry.owned_histograms.end()) return *it->second;
   }
   auto owned = std::make_unique<Histogram>(std::string(name).c_str());
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   const auto [it, inserted] =
       registry.owned_histograms.emplace(std::string(name), std::move(owned));
   return *it->second;
@@ -199,26 +206,26 @@ Histogram& histogram(std::string_view name) {
 
 void set_gauge(std::string_view name, double value) {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   registry.gauges[std::string(name)] = value;
 }
 
 void add_gauge(std::string_view name, double delta) {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   registry.gauges[std::string(name)] += delta;
 }
 
 double gauge_value(std::string_view name) {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   const auto it = registry.gauges.find(std::string(name));
   return it == registry.gauges.end() ? 0.0 : it->second;
 }
 
 TelemetrySnapshot capture_snapshot() {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   TelemetrySnapshot snapshot;
   snapshot.counters = registry.retired_counters;
   for (const auto& [instance, name] : registry.live_counters)
@@ -235,7 +242,7 @@ TelemetrySnapshot capture_snapshot() {
 
 void reset_all_metrics() {
   Registry& registry = Registry::get();
-  const std::lock_guard<std::mutex> lock(registry.mutex);
+  const util::LockGuard lock(registry.mutex);
   for (const auto& [instance, name] : registry.live_counters) instance->reset();
   for (const auto& [instance, name] : registry.live_histograms)
     instance->reset();

@@ -20,7 +20,7 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::enable() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   events_.clear();
   open_spans_.clear();
   epoch_.start();
@@ -31,7 +31,7 @@ void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 std::size_t Tracer::begin_span(std::string_view name) {
   if (!enabled_.load(std::memory_order_relaxed)) return kNoSpan;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const std::size_t index = events_.size();
   Event event;
   event.name = std::string(name);
@@ -44,7 +44,7 @@ std::size_t Tracer::begin_span(std::string_view name) {
 
 void Tracer::end_span(std::size_t index) {
   if (index == kNoSpan) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (index >= events_.size()) return;
   events_[index].dur_us = epoch_.seconds() * 1e6 - events_[index].ts_us;
   const auto it = std::find(open_spans_.rbegin(), open_spans_.rend(), index);
@@ -53,14 +53,14 @@ void Tracer::end_span(std::size_t index) {
 
 void Tracer::span_arg(std::size_t index, std::string_view key, double value) {
   if (index == kNoSpan) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (index >= events_.size()) return;
   events_[index].args.emplace_back(std::string(key), value);
 }
 
 void Tracer::instant(std::string_view name) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   Event event;
   event.name = std::string(name);
   event.phase = 'i';
@@ -71,12 +71,12 @@ void Tracer::instant(std::string_view name) {
 }
 
 std::vector<Tracer::Event> Tracer::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return events_;
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   // Timestamps are microsecond offsets; default stream precision (6
   // significant digits) would round them after a few seconds of run.
   out.precision(15);

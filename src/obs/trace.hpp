@@ -9,20 +9,21 @@
 /// load. With SIMGEN_NO_TELEMETRY the enabled check is constexpr false
 /// and every span compiles away entirely.
 ///
-/// The tracer is single-writer by design (the code base is
-/// single-threaded); the internal mutex only guards enable/export
-/// against in-flight spans.
+/// The tracer is fully thread-safe: sweep workers record SAT-call spans
+/// concurrently with the coordinator's phase spans, all serialized on one
+/// internal annotated mutex (see util/annotations.hpp for the analysis
+/// this enables).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 
 namespace simgen::obs {
@@ -78,10 +79,12 @@ class Tracer {
  private:
   Tracer() = default;
 
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
-  std::vector<std::size_t> open_spans_;  ///< Indices of unfinished spans.
-  util::Stopwatch epoch_;
+  mutable util::Mutex mutex_;
+  std::vector<Event> events_ SIMGEN_GUARDED_BY(mutex_);
+  /// Indices of unfinished spans.
+  std::vector<std::size_t> open_spans_ SIMGEN_GUARDED_BY(mutex_);
+  /// Restarted under mutex_ in enable(); read under mutex_ thereafter.
+  util::Stopwatch epoch_ SIMGEN_GUARDED_BY(mutex_);
   std::atomic<bool> enabled_{false};
 };
 

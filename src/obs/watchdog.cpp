@@ -4,13 +4,13 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -21,9 +21,9 @@ namespace simgen::obs {
 namespace {
 
 struct ExitState {
-  std::mutex mutex;
-  std::string trace_path;
-  std::string metrics_path;
+  util::Mutex mutex;
+  std::string trace_path SIMGEN_GUARDED_BY(mutex);
+  std::string metrics_path SIMGEN_GUARDED_BY(mutex);
   std::atomic<bool> flushed{false};
   std::atomic<bool> flush_done{false};
   std::atomic<bool> atexit_registered{false};
@@ -40,8 +40,15 @@ struct ExitState {
   }
 };
 
-void signal_handler(int sig) {
-  // Only an atomic store: everything else happens on the watchdog thread.
+/// Async-signal-safe by construction: the handler body is exactly one
+/// lock-free atomic store into the leaked ExitState singleton, whose
+/// construction start_watchdog forces *before* installing the handler (the
+/// ExitState::get() below cannot be the first call). Everything that needs
+/// locks — journal flush, progress dump, file writes — happens later on the
+/// watchdog thread, which polls pending_signal from a normal context. The
+/// EXCLUDES annotation lets -Wthread-safety prove the handler can never
+/// block on (or self-deadlock against) the ExitState mutex.
+void signal_handler(int sig) SIMGEN_EXCLUDES(ExitState::get().mutex) {
   ExitState::get().pending_signal.store(sig, std::memory_order_release);
 }
 
@@ -118,7 +125,7 @@ void set_exit_outputs(const std::string& trace_path,
                       const std::string& metrics_path) {
   ExitState& state = ExitState::get();
   {
-    const std::lock_guard<std::mutex> lock(state.mutex);
+    const util::LockGuard lock(state.mutex);
     state.trace_path = trace_path;
     state.metrics_path = metrics_path;
   }
@@ -141,7 +148,7 @@ void flush_exit_outputs() {
   Journal::instance().close();
   std::string trace_path, metrics_path;
   {
-    const std::lock_guard<std::mutex> lock(state.mutex);
+    const util::LockGuard lock(state.mutex);
     trace_path = state.trace_path;
     metrics_path = state.metrics_path;
   }

@@ -43,7 +43,7 @@ class CnfEncoder {
  private:
   void encode_node(net::NodeId node);
 
-  static constexpr Var kUnencoded = ~Var{0};
+  static constexpr Var kUnencoded{~std::uint32_t{0}};
   const net::Network& network_;
   Solver& solver_;
   std::vector<Var> vars_;

@@ -42,12 +42,13 @@ void ProofRecorder::write_drat(std::ostream& out) const {
 }
 
 void ProofRecorder::write_dimacs(std::ostream& out) const {
-  Var max_var = 0;
+  std::uint32_t max_var = 0;
   std::size_t num_clauses = 0;
   for (const ProofStep& step : steps_) {
     if (step.kind != ProofStep::Kind::kAxiom) continue;
     ++num_clauses;
-    for (Lit lit : step.clause) max_var = std::max(max_var, lit.var() + 1);
+    for (Lit lit : step.clause)
+      max_var = std::max(max_var, lit.var().value() + 1);
   }
   out << "p cnf " << max_var << ' ' << num_clauses << '\n';
   for (const ProofStep& step : steps_)

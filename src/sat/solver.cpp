@@ -504,7 +504,7 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   const Result result = search();
   if (result == Result::kSat) {
     model_.assign(num_vars(), false);
-    for (Var var = 0; var < num_vars(); ++var)
+    for (Var var{0}; var < num_vars(); ++var)
       model_[var] = assigns_[var] == LBool::kUndef ? phase_[var]
                                                    : assigns_[var] == LBool::kTrue;
   }

@@ -14,20 +14,25 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/strong_id.hpp"
 
 namespace simgen::sat {
 
-/// Variable index, 0-based.
-using Var = std::uint32_t;
+/// Variable index, 0-based. A strong type: a sat::Var is not a
+/// net::NodeId (the CNF encoder owns the mapping between the two spaces),
+/// and handing one across that boundary without going through the encoder
+/// is a compile error.
+struct VarTag {};
+using Var = util::StrongId<VarTag>;
 
 /// Literal: 2*var + sign (sign 1 = negated).
 class Lit {
  public:
   constexpr Lit() = default;
   constexpr Lit(Var var, bool negated) noexcept
-      : code_((var << 1) | static_cast<std::uint32_t>(negated)) {}
+      : code_((var.value() << 1) | static_cast<std::uint32_t>(negated)) {}
 
-  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr Var var() const noexcept { return Var{code_ >> 1}; }
   [[nodiscard]] constexpr bool negated() const noexcept { return code_ & 1u; }
   [[nodiscard]] constexpr Lit operator~() const noexcept { return from_code(code_ ^ 1u); }
   [[nodiscard]] constexpr std::uint32_t code() const noexcept { return code_; }

@@ -18,6 +18,14 @@
 
 namespace simgen::sim {
 
+/// Dense index of a live equivalence class within one EquivClasses
+/// snapshot. Strong type: a class index is not a node id, and refine /
+/// remove_node invalidate it (classes are renumbered as they split or
+/// drop), so holding one across a mutation is a bug the explicit
+/// re-construction makes visible.
+struct ClassIdTag {};
+using ClassId = util::StrongId<ClassIdTag>;
+
 /// Partition of candidate nodes into simulation-equivalence classes.
 ///
 /// Singleton classes are dropped eagerly (they contribute nothing to the
@@ -54,7 +62,7 @@ class EquivClasses {
   /// Number of live (size >= 2) classes.
   [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
 
-  [[nodiscard]] std::span<const net::NodeId> class_members(std::size_t index) const {
+  [[nodiscard]] std::span<const net::NodeId> class_members(ClassId index) const {
     return classes_[index];
   }
 

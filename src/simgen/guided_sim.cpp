@@ -173,7 +173,7 @@ GuidedSimResult run_guided_simulation(sim::Simulator& simulator,
     // heuristic concern.
     std::vector<std::vector<net::NodeId>> snapshot;
     snapshot.reserve(classes.num_classes());
-    for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+    for (sim::ClassId c{0}; c < classes.num_classes(); ++c) {
       const auto members = classes.class_members(c);
       snapshot.emplace_back(members.begin(), members.end());
     }

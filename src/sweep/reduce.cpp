@@ -114,7 +114,7 @@ net::Network reduce_network(
   UnionFind classes(network.num_nodes());
   for (const auto& [a, b] : proven_pairs) classes.merge(a, b);
   std::vector<net::NodeId> representative(network.num_nodes());
-  for (net::NodeId id = 0; id < network.num_nodes(); ++id)
+  for (net::NodeId id{0}; id < network.num_nodes(); ++id)
     representative[id] = classes.find(id);
   return rebuild(network, representative, stats);
 }
@@ -122,7 +122,7 @@ net::Network reduce_network(
 net::Network remove_dead_logic(const net::Network& network,
                                ReductionStats* stats) {
   std::vector<net::NodeId> identity(network.num_nodes());
-  for (net::NodeId id = 0; id < network.num_nodes(); ++id) identity[id] = id;
+  for (net::NodeId id{0}; id < network.num_nodes(); ++id) identity[id] = id;
   return rebuild(network, identity, stats);
 }
 

@@ -220,9 +220,9 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
     // Prove pairs in topological order (shallowest candidate first), the
     // fraig sweep schedule: equality clauses learned for shallow pairs
     // become lemmas that keep the deep miters tractable.
-    std::size_t best_class = 0;
+    sim::ClassId best_class{0};
     net::NodeId best_candidate = net::kNullNode;
-    for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+    for (sim::ClassId c{0}; c < classes.num_classes(); ++c) {
       const net::NodeId candidate_here = classes.class_members(c)[1];
       if (candidate_here < best_candidate) {
         best_candidate = candidate_here;
@@ -349,7 +349,7 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
     // either merged away, dropped, or split apart from its representative
     // by its own counterexample, so each round strictly refines.
     std::vector<PairTask> tasks;
-    for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+    for (sim::ClassId c{0}; c < classes.num_classes(); ++c) {
       const auto members = classes.class_members(c);
       for (std::size_t i = 1; i < members.size(); ++i) {
         PairTask task;
@@ -368,6 +368,17 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
     // reduction progress mid-round.
     const std::vector<std::pair<net::NodeId, net::NodeId>> proven =
         totals_.proven_pairs;
+    // Coordinator/worker sharing discipline (lock-free by partitioning,
+    // which is why nothing here carries a GUARDED_BY):
+    //  * tasks, proven, network_, options_ — read-only inside the batch;
+    //  * outcomes[index]               — written only by the worker that
+    //    owns task `index` (disjoint elements, no two tasks share one);
+    //  * worker_sims[worker]           — touched only by worker `worker`;
+    //  * totals_, classes              — coordinator-only, never from a
+    //    worker.
+    // run_tasks is a full barrier: everything the workers wrote is
+    // visible (and exclusively owned) here when it returns, so the
+    // reduction below needs no synchronization at all.
     std::vector<PairOutcome> outcomes(tasks.size());
 
     pool.run_tasks(tasks.size(), [&](std::size_t index, unsigned worker) {

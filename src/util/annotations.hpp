@@ -1,0 +1,92 @@
+/// \file annotations.hpp
+/// \brief Clang Thread Safety Analysis annotation macros.
+///
+/// Wrappers over Clang's `-Wthread-safety` attributes
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so lock
+/// discipline is *proven at compile time* instead of sampled at runtime:
+/// TSan only catches the interleavings the test suite happens to
+/// schedule, while these annotations make "member X is only touched under
+/// mutex M" a compile error to violate, on every path, including the ones
+/// no test reaches.
+///
+/// Usage pattern (see util/mutex.hpp for the annotated primitives):
+///
+///   class Coordinator {
+///     util::Mutex mutex_;
+///     std::vector<Item> items_ SIMGEN_GUARDED_BY(mutex_);
+///     void push(Item item) {
+///       util::LockGuard lock(mutex_);
+///       items_.push_back(std::move(item));   // OK: lock held.
+///     }
+///     void drain_locked() SIMGEN_REQUIRES(mutex_);  // caller holds it.
+///   };
+///
+/// Every macro expands to nothing on non-Clang compilers (GCC builds are
+/// unaffected) and under SIMGEN_NO_THREAD_SAFETY_ANALYSIS_MACROS (escape
+/// hatch for exotic toolchains). The analysis itself only runs when the
+/// build adds `-Wthread-safety` (the `static-analysis` CI leg does, with
+/// `-Werror`).
+#pragma once
+
+#if defined(__clang__) && !defined(SIMGEN_NO_THREAD_SAFETY_ANALYSIS_MACROS) && \
+    defined(__has_attribute)
+#if __has_attribute(capability)
+#define SIMGEN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef SIMGEN_THREAD_ANNOTATION
+#define SIMGEN_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex", "role", ...).
+#define SIMGEN_CAPABILITY(x) SIMGEN_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (LockGuard).
+#define SIMGEN_SCOPED_CAPABILITY SIMGEN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member: may only be read or written while holding \p x.
+#define SIMGEN_GUARDED_BY(x) SIMGEN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding \p x
+/// (the pointer itself is unguarded).
+#define SIMGEN_PT_GUARDED_BY(x) SIMGEN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the caller must hold the capability (and still
+/// holds it on return).
+#define SIMGEN_REQUIRES(...) \
+  SIMGEN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define SIMGEN_ACQUIRE(...) \
+  SIMGEN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held.
+#define SIMGEN_RELEASE(...) \
+  SIMGEN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns \p result first arg.
+#define SIMGEN_TRY_ACQUIRE(...) \
+  SIMGEN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the capability held (it will take it
+/// itself, or it must never block on it — e.g. a signal-adjacent path).
+#define SIMGEN_EXCLUDES(...) \
+  SIMGEN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to a capability (accessor pattern).
+#define SIMGEN_RETURN_CAPABILITY(x) SIMGEN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Declares a required acquisition order between two capabilities.
+#define SIMGEN_ACQUIRED_BEFORE(...) \
+  SIMGEN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SIMGEN_ACQUIRED_AFTER(...) \
+  SIMGEN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Turns the analysis off for one function. Use ONLY where the analysis
+/// cannot express a sound pattern (the async-signal path in
+/// obs/watchdog.cpp); every use must carry a comment saying why.
+#define SIMGEN_NO_THREAD_SAFETY_ANALYSIS \
+  SIMGEN_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,94 @@
+/// \file mutex.hpp
+/// \brief Annotated mutex / lock-guard / condition-variable wrappers.
+///
+/// Thin, zero-overhead wrappers over the std synchronization primitives
+/// carrying the Clang Thread Safety Analysis attributes from
+/// util/annotations.hpp. All multi-threaded SimGen code outside this
+/// directory must use these instead of raw std::mutex/std::lock_guard —
+/// the `simgen-no-naked-mutex` clang-tidy check enforces it — so that
+/// `-Wthread-safety -Werror` (the static-analysis CI leg) can prove lock
+/// discipline over every shared structure at compile time.
+///
+/// The condition-variable API is deliberately predicate-free:
+///
+///   util::LockGuard lock(mutex_);
+///   while (pending_ != 0) done_.wait(mutex_);
+///
+/// Keeping the predicate loop in the caller means every read of guarded
+/// state is in a scope the analysis can see under the held lock; a
+/// predicate lambda would be analyzed as a separate unlocked function and
+/// produce false positives on every guarded member it touches.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace simgen::util {
+
+/// Annotated exclusive mutex. Same cost and semantics as std::mutex.
+class SIMGEN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SIMGEN_ACQUIRE() { mutex_.lock(); }
+  void unlock() SIMGEN_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() SIMGEN_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock for util::Mutex, annotated as a scoped capability so the
+/// analysis treats the guarded scope as "mutex held".
+class SIMGEN_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) SIMGEN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() SIMGEN_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable working with util::Mutex. wait() atomically
+/// releases and reacquires the mutex around the underlying wait, exactly
+/// like std::condition_variable — the caller keeps (and the analysis
+/// keeps believing in) its LockGuard across the call, which is sound
+/// because the capability is held again whenever control is in the
+/// caller's frame.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible: always wait in a
+  /// `while (!predicate)` loop under the held lock).
+  void wait(Mutex& mutex) SIMGEN_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the caller's LockGuard remains the
+    // one true owner. std::mutex carries no analysis attributes, so this
+    // body needs no analysis escape.
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace simgen::util

@@ -1,0 +1,101 @@
+/// \file strong_id.hpp
+/// \brief Tagged index wrapper: distinct ID types over one integer rep.
+///
+/// SimGen juggles several dense 32-bit index spaces at once — network
+/// node ids, SAT variables, literal codes, equivalence-class indices —
+/// and plain `using X = std::uint32_t` aliases let any of them silently
+/// stand in for any other at a function boundary (the classic
+/// swapped-arguments bug survives every test that happens to pass equal
+/// values). StrongId<Tag> makes each space a distinct type:
+///
+///   struct NodeIdTag {};
+///   using NodeId = util::StrongId<NodeIdTag>;
+///
+/// Design rules (see DESIGN.md "Static analysis" for the migration
+/// guide):
+///  * Construction from an integer is explicit — `NodeId id = 3;` is a
+///    compile error, `NodeId id{3};` states intent.
+///  * Conversion *to* the underlying integer is implicit, so the
+///    overwhelmingly common uses — indexing a side array
+///    (`values[node]`), comparing against a size, widening into a
+///    uint64 journal operand — stay untouched. The cost is that
+///    *expression-level* mixing (`node + var`) still compiles by decay;
+///    the `simgen-id-type-mixing` clang-tidy check closes that gap,
+///    which is exactly the split the static-analysis layer is built
+///    around: the type system enforces boundaries, the tidy plugin
+///    enforces expressions.
+///  * ++ / -- are provided (dense ids are loop counters); arithmetic is
+///    not — `id + offset` decays to the underlying type and must be
+///    re-wrapped explicitly, keeping derived indices visibly deliberate.
+///  * Passing a StrongId through printf-style varargs is a -Wformat
+///    error (it is a class type): write `id.value()`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+namespace simgen::util {
+
+template <typename Tag, typename Underlying = std::uint32_t>
+class StrongId {
+  static_assert(std::is_unsigned_v<Underlying>,
+                "SimGen index spaces are dense unsigned ranges");
+
+ public:
+  using underlying_type = Underlying;
+  using tag_type = Tag;
+
+  constexpr StrongId() = default;
+
+  /// Explicit on purpose: every integer-to-id conversion is a claim that
+  /// the integer really is an index of *this* space. Accepts any integral
+  /// type (loop bounds are usually std::size_t) and truncates like the
+  /// aliases it replaces did.
+  template <typename Int, typename = std::enable_if_t<std::is_integral_v<Int>>>
+  explicit constexpr StrongId(Int value) noexcept
+      : value_(static_cast<Underlying>(value)) {}
+
+  /// Implicit decay to the underlying integer: array indexing,
+  /// size comparisons, and widening conversions keep working.
+  constexpr operator Underlying() const noexcept { return value_; }
+
+  [[nodiscard]] constexpr Underlying value() const noexcept { return value_; }
+
+  constexpr StrongId& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) noexcept {
+    const StrongId old = *this;
+    ++value_;
+    return old;
+  }
+  constexpr StrongId& operator--() noexcept {
+    --value_;
+    return *this;
+  }
+  constexpr StrongId operator--(int) noexcept {
+    const StrongId old = *this;
+    --value_;
+    return old;
+  }
+
+  friend constexpr bool operator==(StrongId, StrongId) noexcept = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  Underlying value_ = 0;
+};
+
+}  // namespace simgen::util
+
+/// Hash support so StrongId keys work in unordered containers.
+template <typename Tag, typename Underlying>
+struct std::hash<simgen::util::StrongId<Tag, Underlying>> {
+  std::size_t operator()(
+      simgen::util::StrongId<Tag, Underlying> id) const noexcept {
+    return std::hash<Underlying>{}(id.value());
+  }
+};

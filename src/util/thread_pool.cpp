@@ -1,11 +1,11 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.hpp"
 
 namespace simgen::util {
 
@@ -28,8 +28,8 @@ struct ThreadPool::Impl {
     std::size_t task;
   };
   struct Queue {
-    std::mutex mutex;
-    std::deque<Item> tasks;
+    Mutex mutex;
+    std::deque<Item> tasks SIMGEN_GUARDED_BY(mutex);
   };
 
   explicit Impl(unsigned num_threads) : queues(num_threads) {
@@ -40,7 +40,7 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::unique_lock<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       shutting_down = true;
     }
     work_available.notify_all();
@@ -52,7 +52,7 @@ struct ThreadPool::Impl {
     if (num_tasks == 0) return;
     const unsigned n = static_cast<unsigned>(workers.size());
     {
-      std::unique_lock<std::mutex> lock(mutex);
+      LockGuard lock(mutex);
       batch_fn = &fn;
       pending = num_tasks;
       failed_task = num_tasks;  // sentinel: no failure yet
@@ -65,7 +65,7 @@ struct ThreadPool::Impl {
       // deques are empty here; clear() is belt and braces.
       const std::size_t block = (num_tasks + n - 1) / n;
       for (unsigned w = 0; w < n; ++w) {
-        std::unique_lock<std::mutex> queue_lock(queues[w].mutex);
+        LockGuard queue_lock(queues[w].mutex);
         queues[w].tasks.clear();
         const std::size_t begin = static_cast<std::size_t>(w) * block;
         const std::size_t end = std::min(begin + block, num_tasks);
@@ -74,8 +74,8 @@ struct ThreadPool::Impl {
       }
     }
     work_available.notify_all();
-    std::unique_lock<std::mutex> lock(mutex);
-    batch_done.wait(lock, [this] { return pending == 0; });
+    LockGuard lock(mutex);
+    while (pending != 0) batch_done.wait(mutex);
     if (failure) {
       std::exception_ptr error = failure;
       failure = nullptr;
@@ -86,7 +86,7 @@ struct ThreadPool::Impl {
   /// Pops a task for worker \p self: own deque first, then steals.
   bool try_pop(unsigned self, Item& item) {
     {
-      std::unique_lock<std::mutex> lock(queues[self].mutex);
+      LockGuard lock(queues[self].mutex);
       if (!queues[self].tasks.empty()) {
         item = queues[self].tasks.back();
         queues[self].tasks.pop_back();
@@ -96,7 +96,7 @@ struct ThreadPool::Impl {
     const unsigned n = static_cast<unsigned>(queues.size());
     for (unsigned offset = 1; offset < n; ++offset) {
       const unsigned victim = (self + offset) % n;
-      std::unique_lock<std::mutex> lock(queues[victim].mutex);
+      LockGuard lock(queues[victim].mutex);
       if (!queues[victim].tasks.empty()) {
         item = queues[victim].tasks.front();
         queues[victim].tasks.pop_front();
@@ -111,10 +111,8 @@ struct ThreadPool::Impl {
     while (true) {
       const std::function<void(std::size_t, unsigned)>* fn = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_available.wait(lock, [this, seen_epoch] {
-          return shutting_down || epoch != seen_epoch;
-        });
+        LockGuard lock(mutex);
+        while (!shutting_down && epoch == seen_epoch) work_available.wait(mutex);
         if (shutting_down) return;
         seen_epoch = epoch;
         fn = batch_fn;
@@ -128,15 +126,20 @@ struct ThreadPool::Impl {
           // pending (run_tasks cannot return until it is executed and
           // decremented), so the current batch_fn is alive and is this
           // task's function — re-read it under the lock.
-          std::unique_lock<std::mutex> lock(mutex);
+          LockGuard lock(mutex);
           seen_epoch = item.epoch;
           fn = batch_fn;
         }
+        // No pool or queue lock is held across the task invocation: a
+        // task is free to block (SAT calls run for seconds) or to submit
+        // telemetry that takes unrelated locks, without stalling stealing
+        // or the other workers. -Wthread-safety verifies this: fn is a
+        // local copy, and every guarded access below reacquires `mutex`.
         const std::size_t task = item.task;
         try {
           (*fn)(task, self);
         } catch (...) {
-          std::unique_lock<std::mutex> lock(mutex);
+          LockGuard lock(mutex);
           // Keep the lowest-index failure so rethrowing is deterministic
           // regardless of which worker hit its exception first.
           if (task < failed_task) {
@@ -144,7 +147,7 @@ struct ThreadPool::Impl {
             failure = std::current_exception();
           }
         }
-        std::unique_lock<std::mutex> lock(mutex);
+        LockGuard lock(mutex);
         if (--pending == 0) {
           batch_done.notify_all();
           break;
@@ -155,17 +158,25 @@ struct ThreadPool::Impl {
     }
   }
 
-  std::mutex mutex;
-  std::condition_variable work_available;
-  std::condition_variable batch_done;
-  std::vector<Queue> queues;
-  std::vector<std::thread> workers;
-  const std::function<void(std::size_t, unsigned)>* batch_fn = nullptr;
-  std::uint64_t epoch = 0;
-  std::size_t pending = 0;
-  std::size_t failed_task = 0;
-  std::exception_ptr failure = nullptr;
-  bool shutting_down = false;
+  /// Pool-wide batch state. `mutex` orders batch handoff (epoch bump +
+  /// batch_fn publication) against worker wakes and completion counting;
+  /// the per-queue mutexes above only guard their own deque.
+  Mutex mutex;
+  CondVar work_available;
+  CondVar batch_done;
+  std::vector<Queue> queues;    ///< Sized in the ctor, const thereafter.
+  std::vector<std::thread> workers;  ///< Written only in ctor/dtor.
+  /// Borrowed pointer to the caller's batch function. Valid from batch
+  /// publication until `pending` hits 0 (run_tasks keeps the referent
+  /// alive exactly that long); workers re-read it under `mutex` whenever
+  /// a popped task's epoch tag disagrees with their wake epoch.
+  const std::function<void(std::size_t, unsigned)>* batch_fn
+      SIMGEN_GUARDED_BY(mutex) = nullptr;
+  std::uint64_t epoch SIMGEN_GUARDED_BY(mutex) = 0;
+  std::size_t pending SIMGEN_GUARDED_BY(mutex) = 0;
+  std::size_t failed_task SIMGEN_GUARDED_BY(mutex) = 0;
+  std::exception_ptr failure SIMGEN_GUARDED_BY(mutex) = nullptr;
+  bool shutting_down SIMGEN_GUARDED_BY(mutex) = false;
 };
 
 ThreadPool::ThreadPool(unsigned num_threads)

@@ -17,9 +17,9 @@ TEST(Dimacs, ParsesSimpleProblem) {
       "2 3 0\n");
   EXPECT_EQ(problem.num_vars, 3u);
   ASSERT_EQ(problem.clauses.size(), 2u);
-  EXPECT_EQ(problem.clauses[0][0], pos(0));
-  EXPECT_EQ(problem.clauses[0][1], neg(1));
-  EXPECT_EQ(problem.clauses[1][1], pos(2));
+  EXPECT_EQ(problem.clauses[0][0], pos(sat::Var{0}));
+  EXPECT_EQ(problem.clauses[0][1], neg(sat::Var{1}));
+  EXPECT_EQ(problem.clauses[1][1], pos(sat::Var{2}));
 }
 
 TEST(Dimacs, MultiLineClausesAndComments) {

@@ -131,7 +131,7 @@ TEST(Drat, BogusDeletionMarksProofCorrupt) {
 
   // Deleting a clause that was never added is an inconsistent stream.
   std::vector<sat::ProofStep> mutated;
-  mutated.push_back({sat::ProofStep::Kind::kDelete, {sat::pos(0), sat::pos(1)}});
+  mutated.push_back({sat::ProofStep::Kind::kDelete, {sat::pos(sat::Var{0}), sat::pos(sat::Var{1})}});
   mutated.insert(mutated.end(), recorder.steps().begin(),
                  recorder.steps().end());
   EXPECT_FALSE(check::check_recorded_proof(mutated, {}));
@@ -146,7 +146,7 @@ TEST(Drat, BogusDeletionMarksProofCorrupt) {
 // instances big enough to trigger the solver's learnt-clause reduction.
 TEST(Drat, DeletionRecognizesPropagationPermutedClauses) {
   check::DratChecker checker;
-  const sat::Var a = 0, b = 1, c = 2, d = 3;
+  const sat::Var a{0}, b{1}, c{2}, d{3};
   const sat::Lit big[] = {sat::pos(a), sat::pos(b), sat::pos(c), sat::pos(d)};
   const sat::Lit not_a[] = {sat::neg(a)};
   const sat::Lit not_b[] = {sat::neg(b)};

@@ -10,7 +10,7 @@ namespace simgen::sim {
 namespace {
 
 TEST(EquivClasses, StartsAsOneClass) {
-  EquivClasses classes({1, 2, 3, 4});
+  EquivClasses classes({net::NodeId{1}, net::NodeId{2}, net::NodeId{3}, net::NodeId{4}});
   EXPECT_EQ(classes.num_classes(), 1u);
   EXPECT_EQ(classes.cost(), 3u);  // Eq. 5: size-1
   EXPECT_EQ(classes.num_live_nodes(), 4u);
@@ -18,13 +18,13 @@ TEST(EquivClasses, StartsAsOneClass) {
 }
 
 TEST(EquivClasses, SingleCandidateIsAlreadyRefined) {
-  EquivClasses classes({7});
+  EquivClasses classes({net::NodeId{7}});
   EXPECT_TRUE(classes.fully_refined());
   EXPECT_EQ(classes.cost(), 0u);
 }
 
 TEST(EquivClasses, RefineSplitsByValue) {
-  EquivClasses classes({0, 1, 2, 3});
+  EquivClasses classes({net::NodeId{0}, net::NodeId{1}, net::NodeId{2}, net::NodeId{3}});
   // Node values indexed by NodeId: {0,1}->0xA, {2}->0xB, {3}->0xC.
   const std::array<PatternWord, 4> values{0xA, 0xA, 0xB, 0xC};
   const std::size_t splits = classes.refine(values);
@@ -35,7 +35,7 @@ TEST(EquivClasses, RefineSplitsByValue) {
 }
 
 TEST(EquivClasses, RefineIsStableWhenValuesAgree) {
-  EquivClasses classes({0, 1, 2});
+  EquivClasses classes({net::NodeId{0}, net::NodeId{1}, net::NodeId{2}});
   const std::array<PatternWord, 3> values{5, 5, 5};
   EXPECT_EQ(classes.refine(values), 0u);
   EXPECT_EQ(classes.num_classes(), 1u);
@@ -43,7 +43,7 @@ TEST(EquivClasses, RefineIsStableWhenValuesAgree) {
 }
 
 TEST(EquivClasses, CostIsMonotoneUnderRefinement) {
-  EquivClasses classes({0, 1, 2, 3, 4, 5});
+  EquivClasses classes({net::NodeId{0}, net::NodeId{1}, net::NodeId{2}, net::NodeId{3}, net::NodeId{4}, net::NodeId{5}});
   std::uint64_t last = classes.cost();
   const std::array<PatternWord, 6> round1{1, 1, 1, 2, 2, 2};
   classes.refine(round1);
@@ -55,7 +55,7 @@ TEST(EquivClasses, CostIsMonotoneUnderRefinement) {
 }
 
 TEST(EquivClasses, FullRefinementEmptiesClasses) {
-  EquivClasses classes({0, 1, 2});
+  EquivClasses classes({net::NodeId{0}, net::NodeId{1}, net::NodeId{2}});
   const std::array<PatternWord, 3> values{1, 2, 3};
   classes.refine(values);
   EXPECT_TRUE(classes.fully_refined());
@@ -64,24 +64,24 @@ TEST(EquivClasses, FullRefinementEmptiesClasses) {
 }
 
 TEST(EquivClasses, RemoveNodeMergesProvenPair) {
-  EquivClasses classes({0, 1, 2});
-  classes.remove_node(1);
+  EquivClasses classes({net::NodeId{0}, net::NodeId{1}, net::NodeId{2}});
+  classes.remove_node(net::NodeId{1});
   EXPECT_EQ(classes.num_classes(), 1u);
   EXPECT_EQ(classes.cost(), 1u);
-  classes.remove_node(2);
+  classes.remove_node(net::NodeId{2});
   // The class is now a singleton {0}: dropped.
   EXPECT_TRUE(classes.fully_refined());
 }
 
 TEST(EquivClasses, RemoveUnknownNodeIsNoOp) {
-  EquivClasses classes({0, 1, 2});
-  classes.remove_node(99);
+  EquivClasses classes({net::NodeId{0}, net::NodeId{1}, net::NodeId{2}});
+  classes.remove_node(net::NodeId{99});
   EXPECT_EQ(classes.cost(), 2u);
 }
 
 TEST(EquivClasses, RepresentativeIsFirstMember) {
-  EquivClasses classes({5, 3, 9});
-  const auto members = classes.class_members(0);
+  EquivClasses classes({net::NodeId{5}, net::NodeId{3}, net::NodeId{9}});
+  const auto members = classes.class_members(ClassId{0});
   EXPECT_EQ(members[0], 5u);  // candidate order preserved
 }
 

@@ -4,11 +4,14 @@
 /// metrics registry, and the watchdog's flush-on-signal guarantee.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simgen_all.hpp"
@@ -201,6 +204,29 @@ TEST(JournalCheck, RejectsStructuralViolations) {
   EXPECT_FALSE(obs::check_journal(bad_verdict, &error));
 }
 
+TEST(JournalCheck, RejectsUnattributedClassSplit) {
+  // The attribution cross-check: every split must name the pattern
+  // source that caused it. kNone means refine() ran outside a
+  // PatternScope — the runtime counterpart of the simgen-pattern-scope
+  // tidy check.
+  std::string error;
+  std::vector<JournalEvent> split(1);
+  split[0].kind = EventKind::kClassSplit;
+  split[0].code = static_cast<std::uint8_t>(PatternSource::kNone);
+  EXPECT_FALSE(obs::check_journal(split, &error));
+  EXPECT_NE(error.find("attribution"), std::string::npos) << error;
+
+  split[0].code = static_cast<std::uint8_t>(PatternSource::kCounterexample);
+  EXPECT_TRUE(obs::check_journal(split, &error)) << error;
+
+  // kClassCreated keeps allowing kNone: initial classes exist before any
+  // pattern has run.
+  std::vector<JournalEvent> created(1);
+  created[0].kind = EventKind::kClassCreated;
+  created[0].code = static_cast<std::uint8_t>(PatternSource::kNone);
+  EXPECT_TRUE(obs::check_journal(created, &error)) << error;
+}
+
 TEST(JournalReportTest, AggregatesSampleSequence) {
   const obs::JournalReport report = obs::build_report(sample_events());
   EXPECT_EQ(report.num_events, sample_events().size());
@@ -288,6 +314,44 @@ TEST(JournalWriter, EmitStampsMonotonicTimestamps) {
       EXPECT_GE(loaded[i].t_ns, loaded[i - 1].t_ns);
     }
   }
+}
+
+/// Regression test for the epoch publication ordering in Journal::open.
+/// emit() stamps t_ns against state.epoch, which open() writes just
+/// before flipping `recording` to true; emitters must observe that write
+/// via an acquire load of the flag. With the old relaxed load a thread
+/// that raced open() could stamp against the stale (zero) epoch —
+/// yielding a t_ns of the full steady_clock reading, hours not
+/// microseconds — and TSan flags the unsynchronized epoch read. The
+/// emitter threads here start before open() precisely to exercise that
+/// window.
+TEST(JournalWriter, ConcurrentEmitDuringOpenSeesFreshEpoch) {
+  const std::string path = temp_path("race.jrnl");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  emitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    emitters.emplace_back([&stop, t] {
+      while (!stop.load(std::memory_order_acquire))
+        obs::journal_emit(EventKind::kHeartbeat, 0,
+                          static_cast<std::uint64_t>(t));
+    });
+  }
+  ASSERT_TRUE(obs::Journal::instance().open(path));
+  // Let the emitters run against the open journal for a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : emitters) thread.join();
+  obs::Journal::instance().close();
+
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error)) << error;
+  EXPECT_FALSE(loaded.empty());
+  // Every stamp must be measured from open(), not from the steady-clock
+  // origin: anything over a minute means a stale epoch was used.
+  for (const JournalEvent& event : loaded)
+    EXPECT_LT(event.t_ns, 60ull * 1000 * 1000 * 1000);
 }
 
 /// The acceptance bar for the whole subsystem: a certified CEC run's

@@ -63,7 +63,7 @@ TEST(Lint, UnknownCheckNameIsReported) {
 TEST(Lint, TopoOrderFiresOnBackEdge) {
   Network network = make_fixture();
   // Point g1 (node 3) at g2 (node 4): a back edge, i.e. a cycle.
-  network.mutable_node(3).fanins[0] = 4;
+  network.mutable_node(NodeId{3}).fanins[0] = NodeId{4};
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("topo-order")) << report.to_string();
   EXPECT_THROW(network.check_invariants(), std::logic_error);
@@ -71,21 +71,21 @@ TEST(Lint, TopoOrderFiresOnBackEdge) {
 
 TEST(Lint, SymmetryFiresOnDroppedFanout) {
   Network network = make_fixture();
-  network.mutable_node(0).fanouts.clear();  // PI a forgets its reader g1.
+  network.mutable_node(NodeId{0}).fanouts.clear();  // PI a forgets its reader g1.
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("fanin-fanout-symmetry")) << report.to_string();
 }
 
 TEST(Lint, KindShapeFiresOnSourceWithFanin) {
   Network network = make_fixture();
-  network.mutable_node(1).fanins.push_back(0);  // PI b grows a fanin.
+  network.mutable_node(NodeId{1}).fanins.push_back(NodeId{0});  // PI b grows a fanin.
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("kind-shape")) << report.to_string();
 }
 
 TEST(Lint, KindShapeFiresOnWidePo) {
   Network network = make_fixture();
-  network.mutable_node(5).fanins.push_back(3);  // PO reads two drivers.
+  network.mutable_node(NodeId{5}).fanins.push_back(NodeId{3});  // PO reads two drivers.
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("kind-shape")) << report.to_string();
 }
@@ -93,7 +93,7 @@ TEST(Lint, KindShapeFiresOnWidePo) {
 TEST(Lint, LutArityFiresOnTableMismatch) {
   Network network = make_fixture();
   // Swap g1's 2-input AND for a 3-input one without adding a fanin.
-  network.mutable_node(3).function = tt::TruthTable::and_gate(3);
+  network.mutable_node(NodeId{3}).function = tt::TruthTable::and_gate(3);
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("lut-arity")) << report.to_string();
 }
@@ -102,11 +102,11 @@ TEST(Lint, LevelMonotoneFiresOnStaleCache) {
   Network network = make_fixture();
   // Warm the level cache, then splice g2's fanin from g1 to PI a. The
   // recomputed level of g2 drops, but the cache still claims depth 2.
-  ASSERT_EQ(network.level(4), 2u);
-  network.mutable_node(4).fanins[0] = 0;
-  network.mutable_node(0).fanouts.push_back(4);
-  auto& old_fanouts = network.mutable_node(3).fanouts;
-  old_fanouts.erase(std::find(old_fanouts.begin(), old_fanouts.end(), 4));
+  ASSERT_EQ(network.level(NodeId{4}), 2u);
+  network.mutable_node(NodeId{4}).fanins[0] = NodeId{0};
+  network.mutable_node(NodeId{0}).fanouts.push_back(NodeId{4});
+  auto& old_fanouts = network.mutable_node(NodeId{3}).fanouts;
+  old_fanouts.erase(std::find(old_fanouts.begin(), old_fanouts.end(), NodeId{4}));
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("level-monotone")) << report.to_string();
 }
@@ -114,7 +114,7 @@ TEST(Lint, LevelMonotoneFiresOnStaleCache) {
 TEST(Lint, IoListsFireOnRetypedPi) {
   Network network = make_fixture();
   // Retype PI c as a constant: the PI list now names a non-PI node.
-  network.mutable_node(2).kind = net::NodeKind::kConstant;
+  network.mutable_node(NodeId{2}).kind = net::NodeKind::kConstant;
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("io-lists")) << report.to_string();
 }
@@ -125,14 +125,14 @@ TEST(Lint, ConstCanonicalFiresOnDuplicateConstant) {
   const NodeId pi = network.add_pi("a");
   network.add_po(pi);
   // Retype the PI into a second constant-0 node.
-  network.mutable_node(1).kind = net::NodeKind::kConstant;
+  network.mutable_node(NodeId{1}).kind = net::NodeKind::kConstant;
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("const-canonical")) << report.to_string();
 }
 
 TEST(Lint, DanglingIsAWarningNotAnError) {
   Network network = make_fixture();
-  const std::array<NodeId, 2> fanins{0, 1};
+  const std::array<NodeId, 2> fanins{NodeId{0}, NodeId{1}};
   network.add_lut(fanins, tt::TruthTable::or_gate(2), "dead");
   const check::LintReport report = check::lint_network(network);
   EXPECT_TRUE(report.fired("dangling")) << report.to_string();
@@ -167,17 +167,17 @@ TEST(Lint, EqclassChecksFireOnCorruptPartitions) {
   const Network network = make_fixture();  // LUTs are nodes 3 and 4.
 
   // Singleton class.
-  auto singleton = sim::EquivClasses::from_classes({{3}});
+  auto singleton = sim::EquivClasses::from_classes({{NodeId{3}}});
   EXPECT_TRUE(check::lint_eqclasses(singleton, network).fired("eqclass-min-size"));
 
   // Non-LUT and out-of-range members.
-  auto bad_members = sim::EquivClasses::from_classes({{0, 99}});
+  auto bad_members = sim::EquivClasses::from_classes({{NodeId{0}, NodeId{99}}});
   const check::LintReport members_report =
       check::lint_eqclasses(bad_members, network);
   EXPECT_TRUE(members_report.fired("eqclass-members"));
 
   // Overlapping classes.
-  auto overlap = sim::EquivClasses::from_classes({{3, 4}, {4, 3}});
+  auto overlap = sim::EquivClasses::from_classes({{NodeId{3}, NodeId{4}}, {NodeId{4}, NodeId{3}}});
   EXPECT_TRUE(check::lint_eqclasses(overlap, network).fired("eqclass-disjoint"));
 }
 
@@ -188,8 +188,8 @@ TEST(Lint, EqclassHomogeneityNeedsMatchingSignatures) {
   simulator.simulate_random_word(rng);
   // g1 = a & b and g2 = g1 ^ c differ on random patterns with
   // overwhelming probability; a class holding both is not homogeneous.
-  auto classes = sim::EquivClasses::from_classes({{3, 4}});
-  ASSERT_NE(simulator.value(3), simulator.value(4));
+  auto classes = sim::EquivClasses::from_classes({{NodeId{3}, NodeId{4}}});
+  ASSERT_NE(simulator.value(NodeId{3}), simulator.value(NodeId{4}));
   const check::LintReport report =
       check::lint_eqclasses(classes, network, &simulator);
   EXPECT_TRUE(report.fired("eqclass-homogeneous")) << report.to_string();

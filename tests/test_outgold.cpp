@@ -9,7 +9,7 @@ namespace simgen::core {
 namespace {
 
 TEST(OutGold, AlternatesByNodeIdOrder) {
-  const std::array<net::NodeId, 4> members{9, 3, 7, 5};
+  const std::array<net::NodeId, 4> members{net::NodeId{9}, net::NodeId{3}, net::NodeId{7}, net::NodeId{5}};
   const auto targets = make_outgold(members);
   ASSERT_EQ(targets.size(), 4u);
   // Sorted: 3, 5, 7, 9 — alternating starting at false.
@@ -25,7 +25,7 @@ TEST(OutGold, AlternatesByNodeIdOrder) {
 
 TEST(OutGold, EqualZeroOneSplit) {
   std::vector<net::NodeId> members(10);
-  for (net::NodeId i = 0; i < 10; ++i) members[i] = i;
+  for (net::NodeId i{0}; i < 10; ++i) members[i] = i;
   const auto targets = make_outgold(members);
   int ones = 0;
   for (const Target& target : targets) ones += target.gold ? 1 : 0;
@@ -34,7 +34,7 @@ TEST(OutGold, EqualZeroOneSplit) {
 
 TEST(OutGold, OddSizeIsBalancedWithinOne) {
   std::vector<net::NodeId> members(7);
-  for (net::NodeId i = 0; i < 7; ++i) members[i] = i;
+  for (net::NodeId i{0}; i < 7; ++i) members[i] = i;
   const auto targets = make_outgold(members);
   int ones = 0;
   for (const Target& target : targets) ones += target.gold ? 1 : 0;
@@ -42,7 +42,7 @@ TEST(OutGold, OddSizeIsBalancedWithinOne) {
 }
 
 TEST(OutGold, FirstValueFlipsPolarity) {
-  const std::array<net::NodeId, 2> members{1, 2};
+  const std::array<net::NodeId, 2> members{net::NodeId{1}, net::NodeId{2}};
   const auto targets = make_outgold(members, /*first_value=*/true);
   EXPECT_TRUE(targets[0].gold);
   EXPECT_FALSE(targets[1].gold);

@@ -16,7 +16,7 @@ TEST(TVal, Conversions) {
 
 TEST(NodeValues, StartsUnassigned) {
   const NodeValues values(5);
-  for (net::NodeId id = 0; id < 5; ++id) {
+  for (net::NodeId id{0}; id < 5; ++id) {
     EXPECT_EQ(values.get(id), TVal::kUnknown);
     EXPECT_FALSE(values.is_assigned(id));
   }
@@ -25,11 +25,11 @@ TEST(NodeValues, StartsUnassigned) {
 
 TEST(NodeValues, AssignAndTrail) {
   NodeValues values(5);
-  values.assign(2, TVal::kOne);
-  values.assign(0, TVal::kZero);
-  EXPECT_TRUE(values.is_assigned(2));
-  EXPECT_EQ(values.get(2), TVal::kOne);
-  EXPECT_EQ(values.get(0), TVal::kZero);
+  values.assign(net::NodeId{2}, TVal::kOne);
+  values.assign(net::NodeId{0}, TVal::kZero);
+  EXPECT_TRUE(values.is_assigned(net::NodeId{2}));
+  EXPECT_EQ(values.get(net::NodeId{2}), TVal::kOne);
+  EXPECT_EQ(values.get(net::NodeId{0}), TVal::kZero);
   ASSERT_EQ(values.trail().size(), 2u);
   EXPECT_EQ(values.trail()[0], 2u);
   EXPECT_EQ(values.trail()[1], 0u);
@@ -37,46 +37,46 @@ TEST(NodeValues, AssignAndTrail) {
 
 TEST(NodeValues, RollbackRestoresExactly) {
   NodeValues values(6);
-  values.assign(1, TVal::kOne);
+  values.assign(net::NodeId{1}, TVal::kOne);
   const std::size_t mark = values.mark();
-  values.assign(2, TVal::kZero);
-  values.assign(3, TVal::kOne);
+  values.assign(net::NodeId{2}, TVal::kZero);
+  values.assign(net::NodeId{3}, TVal::kOne);
   values.rollback_to(mark);
-  EXPECT_TRUE(values.is_assigned(1));
-  EXPECT_FALSE(values.is_assigned(2));
-  EXPECT_FALSE(values.is_assigned(3));
+  EXPECT_TRUE(values.is_assigned(net::NodeId{1}));
+  EXPECT_FALSE(values.is_assigned(net::NodeId{2}));
+  EXPECT_FALSE(values.is_assigned(net::NodeId{3}));
   EXPECT_EQ(values.num_assigned(), 1u);
 }
 
 TEST(NodeValues, RollbackToCurrentMarkIsNoOp) {
   NodeValues values(3);
-  values.assign(0, TVal::kOne);
+  values.assign(net::NodeId{0}, TVal::kOne);
   values.rollback_to(values.mark());
-  EXPECT_TRUE(values.is_assigned(0));
+  EXPECT_TRUE(values.is_assigned(net::NodeId{0}));
 }
 
 TEST(NodeValues, NestedRollbacks) {
   NodeValues values(8);
-  values.assign(0, TVal::kOne);
+  values.assign(net::NodeId{0}, TVal::kOne);
   const std::size_t outer = values.mark();
-  values.assign(1, TVal::kZero);
+  values.assign(net::NodeId{1}, TVal::kZero);
   const std::size_t inner = values.mark();
-  values.assign(2, TVal::kOne);
+  values.assign(net::NodeId{2}, TVal::kOne);
   values.rollback_to(inner);
-  EXPECT_FALSE(values.is_assigned(2));
-  EXPECT_TRUE(values.is_assigned(1));
+  EXPECT_FALSE(values.is_assigned(net::NodeId{2}));
+  EXPECT_TRUE(values.is_assigned(net::NodeId{1}));
   values.rollback_to(outer);
-  EXPECT_FALSE(values.is_assigned(1));
-  EXPECT_TRUE(values.is_assigned(0));
+  EXPECT_FALSE(values.is_assigned(net::NodeId{1}));
+  EXPECT_TRUE(values.is_assigned(net::NodeId{0}));
 }
 
 TEST(NodeValues, ResetClearsEverything) {
   NodeValues values(4);
-  values.assign(0, TVal::kOne);
-  values.assign(3, TVal::kZero);
+  values.assign(net::NodeId{0}, TVal::kOne);
+  values.assign(net::NodeId{3}, TVal::kZero);
   values.reset();
   EXPECT_EQ(values.num_assigned(), 0u);
-  for (net::NodeId id = 0; id < 4; ++id) EXPECT_FALSE(values.is_assigned(id));
+  for (net::NodeId id{0}; id < 4; ++id) EXPECT_FALSE(values.is_assigned(id));
 }
 
 }  // namespace

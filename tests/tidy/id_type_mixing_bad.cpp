@@ -1,0 +1,14 @@
+// simgen-id-type-mixing fixture: MUST produce the diagnostic.
+// A node id and a SAT variable decay to the same uint32_t, so the
+// compiler accepts every one of these; the check must not.
+#include "network/network.hpp"
+#include "sat/solver.hpp"
+#include "sim/eqclass.hpp"
+
+unsigned long long mix_add(simgen::net::NodeId node, simgen::sat::Var var) {
+  return node + var;
+}
+
+bool mix_compare(simgen::net::NodeId node, simgen::sim::ClassId cls) {
+  return node == cls;
+}

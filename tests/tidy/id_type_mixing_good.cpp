@@ -1,0 +1,17 @@
+// simgen-id-type-mixing fixture: MUST be clean.
+// Same-space arithmetic and explicit .value() escapes are allowed.
+#include "network/network.hpp"
+#include "sat/solver.hpp"
+#include "sim/eqclass.hpp"
+
+unsigned long long same_space(simgen::net::NodeId a, simgen::net::NodeId b) {
+  return a + b;  // offsets within one index space stay legal
+}
+
+unsigned long long explicit_mix(simgen::net::NodeId node, simgen::sat::Var var) {
+  return node.value() + var.value();  // sanctioned escape hatch
+}
+
+bool against_plain_int(simgen::sim::ClassId cls, std::size_t count) {
+  return cls < count;  // strong id vs plain integer is fine (loop bounds)
+}

@@ -1,0 +1,28 @@
+// simgen-journal-event-layout fixture: MUST produce the diagnostic.
+// A decoy simgen::obs::JournalEvent whose first field is 32-bit: the
+// record would still be trivially copyable and could even be padded back
+// to 64 bytes, but every field after t_ns lands at the wrong offset and
+// archived journals would be misread. (This file deliberately does NOT
+// include the real obs/journal.hpp.)
+#include <cstdint>
+
+namespace simgen::obs {
+
+enum class EventKind : std::uint8_t { kNone = 0 };
+
+struct JournalEvent {
+  std::uint32_t t_ns = 0;  // wrong: v1 format has 64 bits at offset 0
+  std::uint32_t pad = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t v0 = 0;
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+  std::uint64_t v3 = 0;
+  std::uint32_t dur_us = 0;
+  std::uint16_t flags = 0;
+  EventKind kind = EventKind::kNone;
+  std::uint8_t code = 0;
+};
+
+}  // namespace simgen::obs

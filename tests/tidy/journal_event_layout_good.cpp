@@ -1,0 +1,7 @@
+// simgen-journal-event-layout fixture: MUST be clean.
+// The real record: the check's independent offset table must agree with
+// the shipped header, otherwise either the struct drifted or the check's
+// table did — both need a human.
+#include "obs/journal.hpp"
+
+simgen::obs::JournalEvent make_event() { return {}; }

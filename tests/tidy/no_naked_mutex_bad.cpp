@@ -1,0 +1,20 @@
+// simgen-no-naked-mutex fixture: MUST produce the diagnostic.
+// Raw std synchronization outside src/util is invisible to
+// -Wthread-safety; each declaration below should be flagged.
+#include <condition_variable>
+#include <mutex>
+
+namespace demo {
+
+struct Queue {
+  std::mutex mutex;                  // naked field
+  std::condition_variable ready_cv;  // naked field
+  int depth = 0;
+};
+
+int drain(Queue& queue) {
+  std::lock_guard<std::mutex> lock(queue.mutex);  // naked local
+  return queue.depth;
+}
+
+}  // namespace demo

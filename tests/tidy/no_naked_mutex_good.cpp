@@ -1,0 +1,20 @@
+// simgen-no-naked-mutex fixture: MUST be clean.
+// The annotated wrappers are the sanctioned vocabulary everywhere
+// outside src/util (their internals are exempted by AllowedFilesRegex).
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace demo {
+
+struct Queue {
+  simgen::util::Mutex mutex;
+  simgen::util::CondVar ready_cv;
+  int depth SIMGEN_GUARDED_BY(mutex) = 0;
+};
+
+int drain(Queue& queue) {
+  const simgen::util::LockGuard lock(queue.mutex);
+  return queue.depth;
+}
+
+}  // namespace demo

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Negative-compile driver for the simgen-tidy plugin.
+
+Runs one check from the plugin over one fixture and asserts the outcome:
+
+  run_tidy_test.py --clang-tidy BIN --plugin SO --check NAME \
+      --fixture FILE --expect {diagnostic,clean} -- [compile args...]
+
+'diagnostic' fixtures must trigger the named check at least once (and the
+run must fail, since the check is promoted via --warnings-as-errors);
+'clean' fixtures must pass with zero simgen-* output. Compiler errors in
+the fixture itself always fail the test: a fixture that does not compile
+exercises nothing.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--check", required=True)
+    parser.add_argument("--fixture", required=True)
+    parser.add_argument("--expect", required=True,
+                        choices=("diagnostic", "clean"))
+    parser.add_argument("compile_args", nargs="*",
+                        help="arguments after '--' go to the compile line")
+    args = parser.parse_args()
+
+    command = [
+        args.clang_tidy,
+        f"--load={args.plugin}",
+        f"--checks=-*,{args.check}",
+        f"--warnings-as-errors={args.check}",
+        args.fixture,
+        "--",
+    ] + args.compile_args
+    result = subprocess.run(command, capture_output=True, text=True)
+    output = result.stdout + result.stderr
+    sys.stdout.write(output)
+
+    if "[clang-diagnostic-error]" in output:
+        print(f"FAIL: fixture {args.fixture} did not compile", file=sys.stderr)
+        return 1
+
+    fired = re.search(rf"\[{re.escape(args.check)}\]", output) is not None
+    if args.expect == "diagnostic":
+        if not fired:
+            print(f"FAIL: expected a [{args.check}] diagnostic, got none",
+                  file=sys.stderr)
+            return 1
+        if result.returncode == 0:
+            print("FAIL: diagnostic fired but --warnings-as-errors did not "
+                  "fail the run", file=sys.stderr)
+            return 1
+    else:
+        if fired:
+            print(f"FAIL: clean fixture triggered [{args.check}]",
+                  file=sys.stderr)
+            return 1
+        if result.returncode != 0:
+            print(f"FAIL: clean fixture exited {result.returncode}",
+                  file=sys.stderr)
+            return 1
+    print(f"PASS: {args.fixture} ({args.expect})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+//===--- IdTypeMixingCheck.cpp - simgen-tidy -----------------------------===//
+#include "IdTypeMixingCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace simgen_tidy {
+
+namespace {
+
+/// Returns the StrongId specialization behind \p Type, or null if the
+/// type is not a simgen::util::StrongId instantiation.
+const ClassTemplateSpecializationDecl *strongIdSpecialization(QualType Type) {
+  const auto *Record = Type.getCanonicalType()->getAs<RecordType>();
+  if (Record == nullptr) return nullptr;
+  const auto *Spec =
+      dyn_cast<ClassTemplateSpecializationDecl>(Record->getDecl());
+  if (Spec == nullptr) return nullptr;
+  if (Spec->getName() != "StrongId") return nullptr;
+  const DeclContext *Ctx = Spec->getDeclContext();
+  const auto *Util = dyn_cast_or_null<NamespaceDecl>(Ctx);
+  if (Util == nullptr || Util->getName() != "util") return nullptr;
+  const auto *Simgen =
+      dyn_cast_or_null<NamespaceDecl>(Util->getDeclContext());
+  return Simgen != nullptr && Simgen->getName() == "simgen" ? Spec : nullptr;
+}
+
+/// Peels the implicit decay (the `operator Underlying()` conversion call
+/// the compiler inserts) off an operand and returns the pre-decay
+/// expression. Explicit escapes — `id.value()`, `static_cast<...>(id)` —
+/// are deliberately NOT peeled: writing them is how a mixed expression
+/// declares itself intentional.
+const Expr *stripImplicitDecay(const Expr *E) {
+  E = E->IgnoreParenImpCasts();
+  if (const auto *Call = dyn_cast<CXXMemberCallExpr>(E)) {
+    if (isa_and_nonnull<CXXConversionDecl>(Call->getMethodDecl()))
+      return Call->getImplicitObjectArgument()->IgnoreParenImpCasts();
+  }
+  return E;
+}
+
+bool isMixableOpcode(BinaryOperatorKind Op) {
+  switch (Op) {
+    case BO_Add:
+    case BO_Sub:
+    case BO_Mul:
+    case BO_Div:
+    case BO_Rem:
+    case BO_Shl:
+    case BO_Shr:
+    case BO_And:
+    case BO_Or:
+    case BO_Xor:
+    case BO_LT:
+    case BO_GT:
+    case BO_LE:
+    case BO_GE:
+    case BO_EQ:
+    case BO_NE:
+    case BO_Cmp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void IdTypeMixingCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      binaryOperator(unless(isExpansionInSystemHeader())).bind("op"), this);
+}
+
+void IdTypeMixingCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Op = Result.Nodes.getNodeAs<BinaryOperator>("op");
+  if (Op == nullptr || !isMixableOpcode(Op->getOpcode())) return;
+
+  const Expr *Lhs = stripImplicitDecay(Op->getLHS());
+  const Expr *Rhs = stripImplicitDecay(Op->getRHS());
+  const auto *LhsId = strongIdSpecialization(Lhs->getType());
+  const auto *RhsId = strongIdSpecialization(Rhs->getType());
+  if (LhsId == nullptr || RhsId == nullptr) return;
+  if (Result.Context->hasSameType(Lhs->getType().getCanonicalType(),
+                                  Rhs->getType().getCanonicalType()))
+    return;
+
+  diag(Op->getOperatorLoc(),
+       "binary expression mixes distinct ID spaces %0 and %1 through their "
+       "integer decay; convert one side explicitly (.value()) if the mix is "
+       "intentional")
+      << Lhs->getType() << Rhs->getType();
+}
+
+}  // namespace simgen_tidy

@@ -1,0 +1,41 @@
+//===--- IdTypeMixingCheck.h - simgen-tidy -------------------------------===//
+//
+// simgen-id-type-mixing: flags expressions that mix two different strong
+// ID spaces (util::StrongId specializations with different tags) through
+// their implicit decay to the underlying integer.
+//
+//===----------------------------------------------------------------------===//
+#ifndef SIMGEN_TIDY_ID_TYPE_MIXING_CHECK_H
+#define SIMGEN_TIDY_ID_TYPE_MIXING_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace simgen_tidy {
+
+/// StrongId construction from an integer is explicit and there is no
+/// implicit StrongId<A> -> StrongId<B> conversion, so *function
+/// boundaries* between ID spaces are already compile errors. What the
+/// type system cannot catch is expression-level mixing: both sides of
+/// `node + var` or `node == var` decay to std::uint32_t and the operator
+/// applies to the raw integers. This check closes that gap: any binary
+/// arithmetic or comparison whose two operands are different StrongId
+/// specializations is diagnosed. Same-space arithmetic (offsets within
+/// one index space) and explicit escapes (`id.value()`,
+/// `static_cast<...>(id)`) stay allowed.
+class IdTypeMixingCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  IdTypeMixingCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace simgen_tidy
+
+#endif  // SIMGEN_TIDY_ID_TYPE_MIXING_CHECK_H

@@ -1,0 +1,100 @@
+//===--- JournalEventLayoutCheck.cpp - simgen-tidy -----------------------===//
+#include "JournalEventLayoutCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/RecordLayout.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace simgen_tidy {
+
+namespace {
+
+/// The journal v1 record layout, spelled independently of the struct
+/// definition (that independence is the point of the check). Offsets and
+/// widths in bits.
+struct ExpectedField {
+  llvm::StringRef name;
+  unsigned offset_bits;
+  unsigned width_bits;
+};
+
+constexpr ExpectedField kExpectedLayout[] = {
+    {"t_ns", 0, 64},    {"a", 64, 64},      {"b", 128, 64},
+    {"v0", 192, 64},    {"v1", 256, 64},    {"v2", 320, 64},
+    {"v3", 384, 64},    {"dur_us", 448, 32}, {"flags", 480, 16},
+    {"kind", 496, 8},   {"code", 504, 8},
+};
+constexpr unsigned kExpectedSizeBits = 512;  // 64 bytes
+
+}  // namespace
+
+void JournalEventLayoutCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(cxxRecordDecl(hasName("::simgen::obs::JournalEvent"),
+                                   isDefinition())
+                         .bind("record"),
+                     this);
+}
+
+void JournalEventLayoutCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Record = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  if (Record == nullptr || Record->isDependentType() ||
+      !Record->isCompleteDefinition())
+    return;
+  ASTContext &Ctx = *Result.Context;
+
+  if (!Record->isTriviallyCopyable() || !Record->isStandardLayout()) {
+    diag(Record->getLocation(),
+         "JournalEvent must stay trivially copyable and standard-layout; "
+         "journal files are read back by memcpy");
+    return;
+  }
+
+  const uint64_t SizeBits = Ctx.getTypeSize(Ctx.getRecordType(Record));
+  if (SizeBits != kExpectedSizeBits) {
+    diag(Record->getLocation(),
+         "JournalEvent is %0 bytes; the journal v1 record format is %1 "
+         "bytes — bump the format version and update readers before "
+         "changing the record")
+        << static_cast<unsigned>(SizeBits / 8)
+        << static_cast<unsigned>(kExpectedSizeBits / 8);
+    return;
+  }
+
+  const ASTRecordLayout &Layout = Ctx.getASTRecordLayout(Record);
+  unsigned Index = 0;
+  for (const FieldDecl *Field : Record->fields()) {
+    if (Index >= std::size(kExpectedLayout)) {
+      diag(Field->getLocation(),
+           "unexpected extra field '%0' in JournalEvent; the journal v1 "
+           "record has exactly %1 fields")
+          << Field->getName()
+          << static_cast<unsigned>(std::size(kExpectedLayout));
+      return;
+    }
+    const ExpectedField &Expected = kExpectedLayout[Index];
+    const uint64_t Offset = Layout.getFieldOffset(Field->getFieldIndex());
+    const uint64_t Width = Ctx.getTypeSize(Field->getType());
+    if (Field->getName() != Expected.name || Offset != Expected.offset_bits ||
+        Width != Expected.width_bits) {
+      diag(Field->getLocation(),
+           "JournalEvent field #%0 is '%1' (%2 bits at bit offset %3); the "
+           "journal v1 record expects '%4' (%5 bits at bit offset %6)")
+          << Index << Field->getName() << static_cast<unsigned>(Width)
+          << static_cast<unsigned>(Offset) << Expected.name
+          << Expected.width_bits << Expected.offset_bits;
+      return;
+    }
+    ++Index;
+  }
+  if (Index != std::size(kExpectedLayout)) {
+    diag(Record->getLocation(),
+         "JournalEvent has %0 fields; the journal v1 record has %1")
+        << Index << static_cast<unsigned>(std::size(kExpectedLayout));
+  }
+}
+
+}  // namespace simgen_tidy

@@ -1,0 +1,40 @@
+//===--- JournalEventLayoutCheck.h - simgen-tidy -------------------------===//
+//
+// simgen-journal-event-layout: the on-disk journal record
+// (obs::JournalEvent) must stay a 64-byte trivially-copyable POD with the
+// exact field offsets existing journal files were written with.
+//
+//===----------------------------------------------------------------------===//
+#ifndef SIMGEN_TIDY_JOURNAL_EVENT_LAYOUT_CHECK_H
+#define SIMGEN_TIDY_JOURNAL_EVENT_LAYOUT_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace simgen_tidy {
+
+/// Journal files are raw arrays of JournalEvent records; readers
+/// (journal_load, sweep_inspect, offline analysis scripts) memcpy them
+/// back. The header's static_asserts pin size and trivial copyability,
+/// but not individual field offsets — reordering two same-size fields
+/// compiles clean and silently corrupts every archived journal. This
+/// check re-derives the record layout from the AST and compares it
+/// against an independently spelled offset table, so any drift needs a
+/// deliberate two-place edit (struct + check) and a format-version bump.
+class JournalEventLayoutCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  JournalEventLayoutCheck(llvm::StringRef Name,
+                          clang::tidy::ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace simgen_tidy
+
+#endif  // SIMGEN_TIDY_JOURNAL_EVENT_LAYOUT_CHECK_H

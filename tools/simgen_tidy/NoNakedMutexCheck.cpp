@@ -1,0 +1,64 @@
+//===--- NoNakedMutexCheck.cpp - simgen-tidy -----------------------------===//
+#include "NoNakedMutexCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace simgen_tidy {
+
+NoNakedMutexCheck::NoNakedMutexCheck(llvm::StringRef Name,
+                                     clang::tidy::ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFilesRegex(Options.get("AllowedFilesRegex", "(^|/)src/util/")) {}
+
+void NoNakedMutexCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void NoNakedMutexCheck::registerMatchers(MatchFinder *Finder) {
+  // Canonical type so aliases (`using Guard = std::lock_guard<...>`) and
+  // template specializations are both caught.
+  const auto NakedSyncType = hasType(hasCanonicalType(hasDeclaration(
+      namedDecl(hasAnyName("::std::mutex", "::std::timed_mutex",
+                           "::std::recursive_mutex",
+                           "::std::recursive_timed_mutex",
+                           "::std::shared_mutex", "::std::shared_timed_mutex",
+                           "::std::lock_guard", "::std::unique_lock",
+                           "::std::scoped_lock", "::std::shared_lock",
+                           "::std::condition_variable",
+                           "::std::condition_variable_any")))));
+  Finder->addMatcher(varDecl(NakedSyncType, unless(parmVarDecl()),
+                             unless(isExpansionInSystemHeader()))
+                         .bind("decl"),
+                     this);
+  Finder->addMatcher(
+      fieldDecl(NakedSyncType, unless(isExpansionInSystemHeader()))
+          .bind("decl"),
+      this);
+}
+
+void NoNakedMutexCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Decl = Result.Nodes.getNodeAs<DeclaratorDecl>("decl");
+  if (Decl == nullptr) return;
+
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Decl->getLocation());
+  if (Loc.isInvalid()) return;
+  const llvm::StringRef File = SM.getFilename(Loc);
+  if (llvm::Regex(AllowedFilesRegex).match(File)) return;
+
+  diag(Loc,
+       "%0 declared with naked standard-library type %1, which "
+       "-Wthread-safety cannot analyze; use the annotated util::Mutex / "
+       "util::LockGuard / util::CondVar wrappers (src/util/mutex.hpp)")
+      << Decl << Decl->getType();
+}
+
+}  // namespace simgen_tidy

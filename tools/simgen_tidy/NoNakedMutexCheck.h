@@ -1,0 +1,45 @@
+//===--- NoNakedMutexCheck.h - simgen-tidy -------------------------------===//
+//
+// simgen-no-naked-mutex: outside src/util, synchronization must go
+// through the annotated util::Mutex / util::LockGuard / util::CondVar
+// wrappers so Clang thread-safety analysis can see it.
+//
+//===----------------------------------------------------------------------===//
+#ifndef SIMGEN_TIDY_NO_NAKED_MUTEX_CHECK_H
+#define SIMGEN_TIDY_NO_NAKED_MUTEX_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace simgen_tidy {
+
+/// A raw std::mutex is invisible to -Wthread-safety: locking it guards
+/// nothing, and data it protects can be annotated against nothing. One
+/// naked mutex in a translation unit quietly exempts every structure it
+/// protects from the analysis the rest of the codebase relies on. This
+/// check flags variable and field declarations of the std locking
+/// vocabulary (mutex, lock_guard, unique_lock, scoped_lock,
+/// condition_variable, ...) everywhere except the wrapper implementation
+/// itself (option AllowedFilesRegex, default matching src/util/).
+class NoNakedMutexCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  NoNakedMutexCheck(llvm::StringRef Name,
+                    clang::tidy::ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string AllowedFilesRegex;
+};
+
+}  // namespace simgen_tidy
+
+#endif  // SIMGEN_TIDY_NO_NAKED_MUTEX_CHECK_H

@@ -1,0 +1,65 @@
+//===--- PatternScopeCheck.cpp - simgen-tidy -----------------------------===//
+#include "PatternScopeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace simgen_tidy {
+
+namespace {
+
+/// Walks up the dynamic AST parents to the function (or lambda operator())
+/// that lexically contains \p Node.
+const FunctionDecl *enclosingFunction(const DynTypedNode &Node,
+                                      ASTContext &Ctx) {
+  for (const DynTypedNode &Parent : Ctx.getParents(Node)) {
+    if (const auto *Func = Parent.get<FunctionDecl>()) return Func;
+    if (const FunctionDecl *Up = enclosingFunction(Parent, Ctx)) return Up;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void PatternScopeCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasName("refine"),
+              ofClass(cxxRecordDecl(hasName("::simgen::sim::EquivClasses"))))))
+          .bind("call"),
+      this);
+}
+
+void PatternScopeCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("call");
+  if (Call == nullptr) return;
+  ASTContext &Ctx = *Result.Context;
+
+  const FunctionDecl *Func =
+      enclosingFunction(DynTypedNode::create(*Call), Ctx);
+  if (Func == nullptr || !Func->hasBody()) return;
+
+  // Any local of type obs::PatternScope anywhere in the enclosing
+  // function's body counts — scope objects placed in an outer block or
+  // before a loop cover refine() calls further in.
+  const auto ScopeLocals = match(
+      findAll(varDecl(hasType(hasCanonicalType(recordType(hasDeclaration(
+                  cxxRecordDecl(hasName("::simgen::obs::PatternScope")))))))
+                  .bind("scope")),
+      *Func->getBody(), Ctx);
+  if (!ScopeLocals.empty()) return;
+
+  diag(Call->getExprLoc(),
+       "EquivClasses::refine called with no obs::PatternScope in the "
+       "enclosing function; class-split journal events will carry "
+       "PatternSource::kNone (if a caller owns the scope, add "
+       "NOLINT(simgen-pattern-scope) with a comment naming it)");
+}
+
+}  // namespace simgen_tidy

@@ -1,0 +1,44 @@
+//===--- PatternScopeCheck.h - simgen-tidy -------------------------------===//
+//
+// simgen-pattern-scope: every call to EquivClasses::refine must happen
+// inside a function that establishes an obs::PatternScope, so class-split
+// journal events carry a real PatternSource attribution.
+//
+//===----------------------------------------------------------------------===//
+#ifndef SIMGEN_TIDY_PATTERN_SCOPE_CHECK_H
+#define SIMGEN_TIDY_PATTERN_SCOPE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace simgen_tidy {
+
+/// The journal's per-split attribution (which pattern source caused a
+/// class to split — random, guided, counterexample...) is carried by a
+/// thread-local set up by obs::PatternScope. A refine() call reached with
+/// no scope on the stack logs PatternSource::kNone and silently corrupts
+/// the Table 3 attribution data. The runtime lint (check::lint_journal
+/// attribution cross-check) catches this after the fact; this check
+/// catches it at analysis time.
+///
+/// Heuristic, deliberately local: the *enclosing function* of the
+/// refine() call must declare a PatternScope local somewhere in its body.
+/// Callers that inherit a scope from further up the stack are expected to
+/// be rare and can annotate the call site with NOLINT(simgen-pattern-scope)
+/// plus a comment naming the scope owner.
+class PatternScopeCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  PatternScopeCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder *Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace simgen_tidy
+
+#endif  // SIMGEN_TIDY_PATTERN_SCOPE_CHECK_H
