@@ -6,6 +6,11 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pool_obs.hpp"
+#include "obs/resource.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace simgen::bench {
@@ -60,7 +65,19 @@ void for_each_cell(std::size_t count,
     return;
   }
   util::ThreadPool pool(threads);
-  pool.run_tasks(count, [&](std::size_t index, unsigned) { fn(index); });
+  const obs::PoolProfileScope pool_scope(pool);
+  pool.run_tasks(count, [&](std::size_t index, unsigned worker) {
+    util::Stopwatch cell_watch;
+    if (obs::journal_enabled()) cell_watch.start();
+    fn(index);
+    if (obs::journal_enabled()) {
+      // Code 2 = bench cell; the payload is the cell index again (cells
+      // have no node identity).
+      obs::journal_emit(obs::EventKind::kTaskRun, 2, index, worker,
+                        /*round=*/0, index, 0, 0,
+                        obs::saturate_us(cell_watch.seconds()));
+    }
+  });
 }
 
 void set_bench_json_dir(std::string dir) { json_dir_storage() = std::move(dir); }
@@ -88,7 +105,13 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
       << "  \"proven\": " << metrics.proven << ",\n"
       << "  \"disproven\": " << metrics.disproven << ",\n"
       << "  \"unresolved\": " << metrics.unresolved << ",\n"
-      << "  \"num_threads\": " << metrics.num_threads << "\n"
+      << "  \"num_threads\": " << metrics.num_threads << ",\n"
+      << "  \"wall_seconds\": " << metrics.wall_seconds << ",\n"
+      << "  \"peak_rss_mb\": " << metrics.peak_rss_mb << ",\n"
+      << "  \"pool_tasks\": " << metrics.pool_tasks << ",\n"
+      << "  \"pool_steal_successes\": " << metrics.pool_steal_successes
+      << ",\n"
+      << "  \"pool_utilization\": " << metrics.pool_utilization << "\n"
       << "}\n";
   return out.good();
 }
@@ -111,6 +134,8 @@ TelemetryCli::TelemetryCli(int& argc, char** argv) : cli_(argc, argv) {
 
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
                               const FlowConfig& config) {
+  util::Stopwatch flow_watch;
+  flow_watch.start();
   FlowMetrics metrics;
   metrics.benchmark = network.name();
   metrics.strategy = strategy;
@@ -151,6 +176,16 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
     metrics.disproven = sweep_result.disproven;
     metrics.unresolved = sweep_result.unresolved;
   }
+  flow_watch.stop();
+  metrics.wall_seconds = flow_watch.seconds();
+  // Resource/scheduler context at flow end. All of these read 0 under
+  // SIMGEN_NO_TELEMETRY (dummy instruments), keeping the JSON schema
+  // identical in both builds.
+  metrics.peak_rss_mb =
+      static_cast<double>(obs::sample_resources().peak_rss_kb) / 1024.0;
+  metrics.pool_tasks = obs::counter("pool.tasks").value();
+  metrics.pool_steal_successes = obs::counter("pool.steal_successes").value();
+  metrics.pool_utilization = obs::gauge_value("pool.utilization");
   if (!write_flow_metrics_json(metrics))
     std::fprintf(stderr, "warning: cannot write BENCH json for %s\n",
                  metrics.benchmark.c_str());

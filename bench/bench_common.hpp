@@ -36,6 +36,17 @@ struct FlowMetrics {
   /// compare_bench_json.py widens its timing tolerance for multithreaded
   /// candidates.
   unsigned num_threads = 1;
+  /// Whole-flow wall time (generate-to-JSON), for tools/perf_trend.py.
+  /// Like sim/sat_seconds this is a timing field, never count-gated.
+  double wall_seconds = 0.0;
+  /// Process peak RSS when the flow finished (0 without telemetry).
+  double peak_rss_mb = 0.0;
+  /// Process-cumulative pool.* rollups at flow end (0 without telemetry
+  /// or when no profiled pool ran). Cumulative — not per-flow deltas —
+  /// so trend tooling diffs consecutive runs, not consecutive cells.
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_steal_successes = 0;
+  double pool_utilization = 0.0;  ///< Last exported busy/(busy+idle).
 };
 
 struct FlowConfig {

@@ -89,6 +89,55 @@ void append_folded(JournalReport& report, const std::string& stack,
   if (us > 0) report.folded[stack] += us;
 }
 
+/// Start of a lane task in journal time: kTaskRun events are stamped at
+/// task end, so the occupied interval is [t_end - dur, t_end].
+std::uint64_t lane_task_begin_ns(const LaneTask& task) {
+  const std::uint64_t dur_ns = static_cast<std::uint64_t>(task.dur_us) * 1000;
+  return task.t_end_ns > dur_ns ? task.t_end_ns - dur_ns : 0;
+}
+
+/// Min/max journal time over every lane task; false when no lane spans
+/// a nonzero interval (then there is nothing to scale a timeline to).
+bool lane_span(const JournalReport& report, std::uint64_t& min_ns,
+               std::uint64_t& max_ns) {
+  min_ns = ~0ull;
+  max_ns = 0;
+  for (const auto& [worker, lane] : report.lanes)
+    for (const LaneTask& task : lane.timeline) {
+      min_ns = std::min(min_ns, lane_task_begin_ns(task));
+      max_ns = std::max(max_ns, task.t_end_ns);
+    }
+  return max_ns > min_ns && min_ns != ~0ull;
+}
+
+/// Busy fraction of one lane: the kWorkerStats rollup when recorded
+/// (busy vs busy+idle over the pool lifetime), else task time over the
+/// lane span.
+double lane_busy_percent(const WorkerLane& lane, bool have_span,
+                         std::uint64_t span_us) {
+  if (lane.has_stats && lane.stats_busy_us + lane.stats_idle_us > 0)
+    return 100.0 * static_cast<double>(lane.stats_busy_us) /
+           static_cast<double>(lane.stats_busy_us + lane.stats_idle_us);
+  if (have_span && span_us > 0)
+    return 100.0 * static_cast<double>(lane.busy_us) /
+           static_cast<double>(span_us);
+  return 0.0;
+}
+
+/// Marks the bins of a width-|bins| lane that \p task overlaps.
+void mark_lane_bins(std::vector<bool>& bins, const LaneTask& task,
+                    std::uint64_t min_ns, std::uint64_t max_ns) {
+  const int width = static_cast<int>(bins.size());
+  const double scale = static_cast<double>(width) /
+                       static_cast<double>(max_ns - min_ns);
+  int lo = static_cast<int>(
+      static_cast<double>(lane_task_begin_ns(task) - min_ns) * scale);
+  int hi = static_cast<int>(static_cast<double>(task.t_end_ns - min_ns) * scale);
+  lo = std::clamp(lo, 0, width - 1);
+  hi = std::clamp(hi, lo, width - 1);
+  for (int i = lo; i <= hi; ++i) bins[i] = true;
+}
+
 std::string html_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
@@ -267,6 +316,33 @@ JournalReport build_report(const std::vector<JournalEvent>& events,
       case EventKind::kWatchdog:
         report.watchdog_fires += 1;
         break;
+      case EventKind::kTaskRun: {
+        report.task_runs += 1;
+        WorkerLane& lane = report.lanes[event.b];
+        lane.worker = event.b;
+        lane.tasks_run += 1;
+        lane.busy_us += event.dur_us;
+        lane.timeline.push_back(
+            {event.t_ns, event.dur_us, event.a, event.v1, event.code});
+        break;
+      }
+      case EventKind::kWorkerStats: {
+        report.worker_stats += 1;
+        WorkerLane& lane = report.lanes[event.a];
+        lane.worker = event.a;
+        lane.has_stats = true;
+        lane.stats_tasks += event.b;
+        lane.steal_attempts += event.v0;
+        lane.steal_successes += event.v1;
+        lane.stats_busy_us += event.v2;
+        lane.stats_idle_us += event.v3;
+        lane.lock_blocks += event.dur_us;
+        break;
+      }
+      case EventKind::kResourceSample:
+        report.resource_samples += 1;
+        report.peak_rss_kb = std::max(report.peak_rss_kb, event.b);
+        break;
       default:
         break;
     }
@@ -298,7 +374,7 @@ bool check_journal(const std::vector<JournalEvent>& events, std::string* error) 
     const JournalEvent& event = events[i];
     const auto kind_value = static_cast<std::uint8_t>(event.kind);
     if (event.kind == EventKind::kNone ||
-        kind_value > static_cast<std::uint8_t>(EventKind::kWatchdog))
+        kind_value > static_cast<std::uint8_t>(EventKind::kResourceSample))
       return fail(i, "unknown event kind " + std::to_string(kind_value));
     switch (event.kind) {
       case EventKind::kRunBegin:
@@ -355,6 +431,9 @@ bool check_journal(const std::vector<JournalEvent>& events, std::string* error) 
         if (event.code != 1 && event.code != 2)
           return fail(i, "watchdog code out of range");
         break;
+      case EventKind::kTaskRun:
+        if (event.code > 2) return fail(i, "task_run task kind out of range");
+        break;
       default:
         break;
     }
@@ -401,6 +480,20 @@ void write_text_report(std::ostream& out, const JournalReport& report,
                 report.certified_ok, report.certified_fail,
                 report.checked_lemmas);
   out << line;
+  if (report.task_runs > 0 || report.worker_stats > 0) {
+    std::snprintf(line, sizeof line,
+                  "pool:    %" PRIu64 " pool tasks across %zu worker lanes "
+                  "(--lanes for the timeline)\n",
+                  report.task_runs, report.lanes.size());
+    out << line;
+  }
+  if (report.resource_samples > 0) {
+    std::snprintf(line, sizeof line,
+                  "rss:     peak %.1f MB over %" PRIu64 " resource samples\n",
+                  static_cast<double>(report.peak_rss_kb) / 1024.0,
+                  report.resource_samples);
+    out << line;
+  }
 
   out << "\nphases:\n";
   for (std::size_t phase = 1; phase < kNumPhases; ++phase) {
@@ -542,6 +635,42 @@ void write_folded_stacks(std::ostream& out, const JournalReport& report,
     out << stack << ' ' << us << '\n';
 }
 
+void write_lanes(std::ostream& out, const JournalReport& report,
+                 const InspectOptions&) {
+  char line[256];
+  if (report.lanes.empty()) {
+    out << "worker lanes: no task_run events in this journal (profiling "
+           "compiled out or a single-threaded run)\n";
+    return;
+  }
+  std::uint64_t min_ns = 0, max_ns = 0;
+  const bool have_span = lane_span(report, min_ns, max_ns);
+  const std::uint64_t span_us = have_span ? (max_ns - min_ns) / 1000 : 0;
+  std::snprintf(line, sizeof line,
+                "worker lanes: %zu workers, %" PRIu64
+                " tasks, span %s ('#' busy, '.' idle)\n",
+                report.lanes.size(), report.task_runs,
+                format_duration_us(span_us).c_str());
+  out << line;
+  constexpr int kWidth = 64;
+  for (const auto& [worker, lane] : report.lanes) {
+    std::vector<bool> bins(kWidth, false);
+    if (have_span)
+      for (const LaneTask& task : lane.timeline)
+        mark_lane_bins(bins, task, min_ns, max_ns);
+    std::string cells(static_cast<std::size_t>(kWidth), '.');
+    for (int i = 0; i < kWidth; ++i)
+      if (bins[i]) cells[static_cast<std::size_t>(i)] = '#';
+    std::snprintf(line, sizeof line,
+                  "  w%-2" PRIu64 " |%s| tasks %" PRIu64 " busy %.1f%% steals "
+                  "%" PRIu64 "/%" PRIu64 " lock-blocks %" PRIu64 "\n",
+                  worker, cells.c_str(), lane.tasks_run,
+                  lane_busy_percent(lane, have_span, span_us),
+                  lane.steal_successes, lane.steal_attempts, lane.lock_blocks);
+    out << line;
+  }
+}
+
 void write_html_report(std::ostream& out, const JournalReport& report,
                        const InspectOptions& options) {
   out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
@@ -590,6 +719,8 @@ void write_html_report(std::ostream& out, const JournalReport& report,
   row("certified ok", report.certified_ok);
   row("certified failed", report.certified_fail);
   row("heartbeats", report.heartbeats);
+  row("pool tasks", report.task_runs);
+  if (report.resource_samples > 0) row("peak RSS (kB)", report.peak_rss_kb);
   out << "</table>\n";
 
   out << "<h2>Phases</h2>\n<table>\n"
@@ -616,6 +747,60 @@ void write_html_report(std::ostream& out, const JournalReport& report,
     out << line;
   }
   out << "</table>\n";
+
+  if (!report.lanes.empty()) {
+    out << "<h2>Worker lanes</h2>\n";
+    std::uint64_t min_ns = 0, max_ns = 0;
+    const bool have_span = lane_span(report, min_ns, max_ns);
+    const std::uint64_t span_us = have_span ? (max_ns - min_ns) / 1000 : 0;
+    std::snprintf(line, sizeof line,
+                  "<p>%zu workers, %" PRIu64 " pool tasks over %s. Filled "
+                  "stretches are task execution; gaps are idle or stolen-away "
+                  "time.</p>\n",
+                  report.lanes.size(), report.task_runs,
+                  format_duration_us(span_us).c_str());
+    out << line;
+    out << "<table>\n<tr><th>worker</th><th>tasks</th><th>busy</th>"
+           "<th>steals ok/try</th><th>lock blocks</th><th>timeline</th>"
+           "</tr>\n";
+    constexpr int kPixels = 600;
+    for (const auto& [worker, lane] : report.lanes) {
+      std::vector<bool> bins(kPixels, false);
+      if (have_span)
+        for (const LaneTask& task : lane.timeline)
+          mark_lane_bins(bins, task, min_ns, max_ns);
+      // Merge adjacent occupied pixels into one span each so the page
+      // stays small no matter how many tasks the lane ran.
+      std::string bars;
+      int run_begin = -1;
+      for (int i = 0; i <= kPixels; ++i) {
+        const bool on = i < kPixels && bins[static_cast<std::size_t>(i)];
+        if (on && run_begin < 0) run_begin = i;
+        if (!on && run_begin >= 0) {
+          char span_buf[128];
+          std::snprintf(span_buf, sizeof span_buf,
+                        "<span class=\"bar\" style=\"position:absolute;"
+                        "left:%dpx;width:%dpx\"></span>",
+                        run_begin, i - run_begin);
+          bars += span_buf;
+          run_begin = -1;
+        }
+      }
+      std::snprintf(line, sizeof line,
+                    "<tr><td>w%" PRIu64 "</td><td>%" PRIu64
+                    "</td><td>%.1f%%</td><td>%" PRIu64 "/%" PRIu64
+                    "</td><td>%" PRIu64 "</td>"
+                    "<td style=\"text-align:left\"><div style=\""
+                    "position:relative;height:11px;width:600px;"
+                    "background:#eee\">",
+                    worker, lane.tasks_run,
+                    lane_busy_percent(lane, have_span, span_us),
+                    lane.steal_successes, lane.steal_attempts,
+                    lane.lock_blocks);
+      out << line << bars << "</div></td></tr>\n";
+    }
+    out << "</table>\n";
+  }
 
   out << "<h2>Top classes by SAT time</h2>\n<table>\n"
          "<tr><th>representative</th><th>SAT calls</th><th>SAT time</th>"

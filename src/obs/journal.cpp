@@ -85,6 +85,9 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kCertified: return "certified";
     case EventKind::kHeartbeat: return "heartbeat";
     case EventKind::kWatchdog: return "watchdog";
+    case EventKind::kTaskRun: return "task_run";
+    case EventKind::kWorkerStats: return "worker_stats";
+    case EventKind::kResourceSample: return "resource_sample";
   }
   return "?";
 }
@@ -419,8 +422,8 @@ PatternSource PatternScope::current_source() noexcept {
 namespace {
 
 EventKind kind_from_name(std::string_view name) {
-  for (std::uint8_t k = 0; k <= static_cast<std::uint8_t>(EventKind::kWatchdog);
-       ++k) {
+  for (std::uint8_t k = 0;
+       k <= static_cast<std::uint8_t>(EventKind::kResourceSample); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == kind_name(kind)) return kind;
   }

@@ -114,6 +114,16 @@ class Histogram {
     ++count_;
     sum_ += value;
   }
+  /// Folds an externally accumulated bucket array in (e.g. a thread
+  /// pool's per-worker latency buckets, already in bucket_of() layout).
+  /// Extra source buckets beyond kNumBuckets are ignored.
+  void merge_from(const std::uint64_t* buckets, std::size_t num_buckets,
+                  std::uint64_t count, std::uint64_t sum) noexcept {
+    if (num_buckets > kNumBuckets) num_buckets = kNumBuckets;
+    for (std::size_t i = 0; i < num_buckets; ++i) buckets_[i] += buckets[i];
+    count_ += count;
+    sum_ += sum;
+  }
   void reset() noexcept {
     buckets_.fill(0);
     count_ = 0;

@@ -1,0 +1,121 @@
+#include "obs/pool_obs.hpp"
+
+#ifndef SIMGEN_NO_TELEMETRY
+
+#include <cinttypes>
+#include <cstddef>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_pool.hpp"
+
+namespace simgen::obs {
+namespace {
+
+/// The registered live pool. Leaked-singleton state (like the registry)
+/// so late readers — the watchdog thread in particular — never race a
+/// static destructor.
+struct PoolObsState {
+  util::Mutex mutex;
+  const util::ThreadPool* pool SIMGEN_GUARDED_BY(mutex) = nullptr;
+
+  static PoolObsState& get() {
+    static PoolObsState* state = new PoolObsState();
+    return *state;
+  }
+};
+
+double utilization_of(std::uint64_t busy_ns, std::uint64_t idle_ns) {
+  const double busy = static_cast<double>(busy_ns);
+  const double idle = static_cast<double>(idle_ns);
+  return busy + idle > 0.0 ? busy / (busy + idle) : 0.0;
+}
+
+std::uint32_t saturate_u32(std::uint64_t value) {
+  return value > 0xffffffffULL ? 0xffffffffU
+                               : static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+PoolProfileScope::PoolProfileScope(const util::ThreadPool& pool)
+    : pool_(&pool) {
+  PoolObsState& state = PoolObsState::get();
+  const util::LockGuard lock(state.mutex);
+  if (state.pool == nullptr) {
+    state.pool = pool_;
+    registered_ = true;
+  }
+}
+
+PoolProfileScope::~PoolProfileScope() {
+  if (registered_) {
+    PoolObsState& state = PoolObsState::get();
+    const util::LockGuard lock(state.mutex);
+    state.pool = nullptr;
+  }
+  export_pool_profile(*pool_);
+}
+
+std::uint64_t current_pool_queue_depth() noexcept {
+  PoolObsState& state = PoolObsState::get();
+  const util::LockGuard lock(state.mutex);
+  return state.pool != nullptr ? state.pool->pending_tasks() : 0;
+}
+
+void write_pool_utilization(std::FILE* out) {
+  PoolObsState& state = PoolObsState::get();
+  const util::LockGuard lock(state.mutex);
+  if (state.pool == nullptr) {
+    std::fprintf(out, "  pool: none registered\n");
+    return;
+  }
+  const util::PoolProfile profile = state.pool->profile();
+  std::fprintf(out, "  pool: %zu workers, %" PRIu64 " pending tasks\n",
+               profile.workers.size(), state.pool->pending_tasks());
+  for (std::size_t w = 0; w < profile.workers.size(); ++w) {
+    const util::WorkerProfile& worker = profile.workers[w];
+    std::fprintf(out,
+                 "    w%zu: %" PRIu64 " tasks, busy %.1f%%, steals %" PRIu64
+                 "/%" PRIu64 ", lock blocks %" PRIu64 "\n",
+                 w, worker.tasks,
+                 100.0 * utilization_of(worker.busy_ns, worker.idle_ns),
+                 worker.steal_successes, worker.steal_attempts,
+                 worker.lock_blocks);
+  }
+}
+
+void export_pool_profile(const util::ThreadPool& pool) {
+  const util::PoolProfile profile = pool.profile();
+  const util::WorkerProfile totals = profile.totals();
+
+  counter("pool.batches").inc(profile.batches);
+  counter("pool.tasks").inc(totals.tasks);
+  counter("pool.steal_attempts").inc(totals.steal_attempts);
+  counter("pool.steal_successes").inc(totals.steal_successes);
+  counter("pool.lock_acquires").inc(totals.lock_acquires);
+  counter("pool.lock_blocks").inc(totals.lock_blocks);
+  counter("pool.busy_us").inc(totals.busy_ns / 1000);
+  counter("pool.idle_us").inc(totals.idle_ns / 1000);
+  histogram("pool.task_us")
+      .merge_from(totals.task_us_buckets.data(), totals.task_us_buckets.size(),
+                  totals.tasks, totals.task_us_sum);
+  set_gauge("pool.workers", static_cast<double>(profile.workers.size()));
+  set_gauge("pool.utilization", utilization_of(totals.busy_ns, totals.idle_ns));
+  set_gauge("pool.max_queue_depth",
+            static_cast<double>(totals.max_queue_depth));
+
+  if (!journal_enabled()) return;
+  for (std::size_t w = 0; w < profile.workers.size(); ++w) {
+    const util::WorkerProfile& worker = profile.workers[w];
+    journal_emit(EventKind::kWorkerStats, 0, w, worker.tasks,
+                 worker.steal_attempts, worker.steal_successes,
+                 worker.busy_ns / 1000, worker.idle_ns / 1000,
+                 saturate_u32(worker.lock_blocks));
+  }
+}
+
+}  // namespace simgen::obs
+
+#endif  // SIMGEN_NO_TELEMETRY

@@ -1,0 +1,84 @@
+/// \file pool_obs.hpp
+/// \brief obs-layer export of util::ThreadPool scheduler profiles.
+///
+/// The thread pool (util layer, below obs) collects per-worker counters
+/// but cannot publish them itself; this module is the bridge. A
+/// PoolProfileScope registers a live pool as the process's current one —
+/// so heartbeats can print the live queue depth and the watchdog can dump
+/// per-worker utilization at fire time — and at scope exit exports the
+/// final profile as pool.* registry metrics plus one kWorkerStats journal
+/// event per worker.
+///
+/// Exported instruments:
+///   counters   pool.batches, pool.tasks, pool.steal_attempts,
+///              pool.steal_successes, pool.lock_acquires,
+///              pool.lock_blocks, pool.busy_us, pool.idle_us
+///   gauges     pool.workers, pool.utilization (busy/(busy+idle)),
+///              pool.max_queue_depth
+///   histogram  pool.task_us (per-task latency, log2 buckets)
+///
+/// Under SIMGEN_NO_TELEMETRY everything here is an inline no-op (the
+/// pool's profiling API does not exist either).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace simgen::util {
+class ThreadPool;
+}  // namespace simgen::util
+
+namespace simgen::obs {
+
+#ifndef SIMGEN_NO_TELEMETRY
+
+/// RAII registration + export for one pool's lifetime. Declare *after*
+/// the pool at the call site so the scope unregisters (and exports)
+/// before the pool is destroyed. If another pool is already registered
+/// (nested pools), the inner scope skips registration but still exports
+/// its own pool's profile at exit.
+class PoolProfileScope {
+ public:
+  explicit PoolProfileScope(const util::ThreadPool& pool);
+  ~PoolProfileScope();
+  PoolProfileScope(const PoolProfileScope&) = delete;
+  PoolProfileScope& operator=(const PoolProfileScope&) = delete;
+
+ private:
+  const util::ThreadPool* pool_;
+  bool registered_ = false;
+};
+
+/// Live queue depth (unfinished tasks of the current batch) of the
+/// registered pool; 0 when no pool is registered. Async-safe with
+/// respect to running batches — heartbeats and the watchdog call this
+/// mid-flight.
+[[nodiscard]] std::uint64_t current_pool_queue_depth() noexcept;
+
+/// Writes a per-worker utilization snapshot of the registered pool to
+/// \p out (used by the watchdog's fire-time dump); no-op when no pool is
+/// registered.
+void write_pool_utilization(std::FILE* out);
+
+/// Exports \p pool's current profile into the pool.* instruments and —
+/// when a journal is recording — emits one kWorkerStats event per
+/// worker. Called by ~PoolProfileScope; call directly only for pools
+/// not wrapped in a scope.
+void export_pool_profile(const util::ThreadPool& pool);
+
+#else
+
+class PoolProfileScope {
+ public:
+  explicit PoolProfileScope(const util::ThreadPool&) {}
+};
+
+[[nodiscard]] inline std::uint64_t current_pool_queue_depth() noexcept {
+  return 0;
+}
+inline void write_pool_utilization(std::FILE*) {}
+inline void export_pool_profile(const util::ThreadPool&) {}
+
+#endif  // SIMGEN_NO_TELEMETRY
+
+}  // namespace simgen::obs

@@ -8,6 +8,8 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pool_obs.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/mutex.hpp"
@@ -77,6 +79,15 @@ void dump_progress(const char* why) {
                    progress.sat_calls.load(std::memory_order_relaxed)),
                static_cast<unsigned long long>(
                    Journal::instance().events_written()));
+#ifndef SIMGEN_NO_TELEMETRY
+  const ResourceSample res = sample_resources();
+  std::fprintf(stderr, "[simgen watchdog] rss %.1f MB (peak %.1f MB)\n",
+               static_cast<double>(res.current_rss_kb) / 1024.0,
+               static_cast<double>(res.peak_rss_kb) / 1024.0);
+  // Mid-batch per-worker utilization of the registered pool (if any) —
+  // the relaxed per-worker counters are safe to read while workers run.
+  write_pool_utilization(stderr);
+#endif
   std::fflush(stderr);
 }
 

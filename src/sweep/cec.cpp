@@ -9,6 +9,7 @@
 #include "check/lint.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pool_obs.hpp"
 #include "obs/trace.hpp"
 #include "sim/random_sim.hpp"
 #include "util/stopwatch.hpp"
@@ -202,9 +203,12 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
         sweeper.totals().proven_pairs;
     std::vector<OutputOutcome> outcomes(pos_list.size());
     util::ThreadPool pool(num_threads);
-    pool.run_tasks(pos_list.size(), [&](std::size_t index, unsigned) {
+    const obs::PoolProfileScope pool_scope(pool);
+    pool.run_tasks(pos_list.size(), [&](std::size_t index, unsigned worker) {
       const net::NodeId po = pos_list[index];
       OutputOutcome& out = outcomes[index];
+      util::Stopwatch task_watch;
+      if (obs::journal_enabled()) task_watch.start();
       sat::Solver solver;
       solver.set_conflict_limit(sweep_options.output_proof_conflict_limit);
       std::unique_ptr<check::Certifier> certifier;
@@ -268,6 +272,13 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
                             obs::saturate_us(certify_watch.seconds()),
                             /*flags=*/1);
         }
+      }
+      if (obs::journal_enabled()) {
+        // Stamped at task end (code 1 = output proof); the payload is the
+        // PO node so lanes can be joined back to kSatCall events.
+        obs::journal_emit(obs::EventKind::kTaskRun, 1, index, worker,
+                          /*round=*/0, po, 0, 0,
+                          obs::saturate_us(task_watch.seconds()));
       }
     });
     for (std::size_t index = 0; index < pos_list.size(); ++index) {

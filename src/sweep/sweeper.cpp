@@ -5,6 +5,8 @@
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pool_obs.hpp"
+#include "obs/resource.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "util/logging.hpp"
@@ -279,6 +281,14 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
           static_cast<unsigned long long>(totals_.disproven - before.disproven),
           static_cast<unsigned long long>(totals_.sat_calls - before.sat_calls),
           elapsed, eta);
+#ifndef SIMGEN_NO_TELEMETRY
+      const obs::ResourceSample res = obs::sample_resource_gauges();
+      util::infof("sweep: rss %.1f MB (peak %.1f MB), pool queue depth %llu",
+                  static_cast<double>(res.current_rss_kb) / 1024.0,
+                  static_cast<double>(res.peak_rss_kb) / 1024.0,
+                  static_cast<unsigned long long>(
+                      obs::current_pool_queue_depth()));
+#endif
       if (obs::journal_enabled()) {
         obs::journal_emit(
             obs::EventKind::kHeartbeat, 0, live, resolved,
@@ -286,6 +296,11 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
             totals_.proven_equivalent - before.proven_equivalent,
             totals_.disproven - before.disproven,
             totals_.sat_calls - before.sat_calls, obs::saturate_us(elapsed));
+#ifndef SIMGEN_NO_TELEMETRY
+        obs::journal_emit(obs::EventKind::kResourceSample, 0,
+                          res.current_rss_kb, res.peak_rss_kb, res.alloc_count,
+                          res.alloc_bytes);
+#endif
         // Keep the on-disk journal near-complete so a kill right after a
         // heartbeat loses almost nothing.
         obs::Journal::instance().flush();
@@ -317,6 +332,9 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
   double next_heartbeat = options_.progress_interval;
 
   util::ThreadPool pool(num_threads);
+  // Declared after the pool so it unregisters (and exports the pool.*
+  // metrics plus per-worker journal rollups) before the pool dies.
+  const obs::PoolProfileScope pool_scope(pool);
   // One lazily constructed simulator per worker for counterexample
   // resimulation: slot w is touched only by worker w, so no locking.
   std::vector<std::unique_ptr<sim::Simulator>> worker_sims(pool.num_threads());
@@ -342,8 +360,10 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
   // Monotone across rounds so every task in the whole run draws from its
   // own deterministic random stream.
   std::uint64_t task_sequence = 0;
+  std::uint64_t round_index = 0;
 
   while (!classes.fully_refined()) {
+    ++round_index;
     // Snapshot every candidate pair of the current partition, in class
     // order: (members[0], members[i]) for each class. Every member is
     // either merged away, dropped, or split apart from its representative
@@ -384,6 +404,8 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
     pool.run_tasks(tasks.size(), [&](std::size_t index, unsigned worker) {
       const PairTask& task = tasks[index];
       PairOutcome& out = outcomes[index];
+      util::Stopwatch task_watch;
+      if (obs::journal_enabled()) task_watch.start();
 
       sat::Solver solver;
       solver.set_conflict_limit(options_.conflict_limit);
@@ -478,6 +500,14 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
         const auto values = worker_sims[worker]->values();
         out.values.assign(values.begin(), values.end());
       }
+
+      if (obs::journal_enabled()) {
+        // Stamped at task end: the task occupied [t_ns - dur_us*1000, t_ns]
+        // on lane `worker` (code 0 = sweep pair).
+        obs::journal_emit(obs::EventKind::kTaskRun, 0, index, worker,
+                          round_index, task.rep, 0, 0,
+                          obs::saturate_us(task_watch.seconds()));
+      }
     });
 
     // Deterministic reduction: apply the outcomes in task order on this
@@ -568,6 +598,14 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
           static_cast<unsigned long long>(totals_.disproven - before.disproven),
           static_cast<unsigned long long>(totals_.sat_calls - before.sat_calls),
           elapsed, eta);
+#ifndef SIMGEN_NO_TELEMETRY
+      const obs::ResourceSample res = obs::sample_resource_gauges();
+      util::infof(
+          "sweep[%u threads]: rss %.1f MB (peak %.1f MB), queue depth %llu",
+          pool.num_threads(), static_cast<double>(res.current_rss_kb) / 1024.0,
+          static_cast<double>(res.peak_rss_kb) / 1024.0,
+          static_cast<unsigned long long>(pool.pending_tasks()));
+#endif
       if (obs::journal_enabled()) {
         obs::journal_emit(
             obs::EventKind::kHeartbeat, 0, live, resolved,
@@ -575,6 +613,11 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
             totals_.proven_equivalent - before.proven_equivalent,
             totals_.disproven - before.disproven,
             totals_.sat_calls - before.sat_calls, obs::saturate_us(elapsed));
+#ifndef SIMGEN_NO_TELEMETRY
+        obs::journal_emit(obs::EventKind::kResourceSample, 0,
+                          res.current_rss_kb, res.peak_rss_kb, res.alloc_count,
+                          res.alloc_bytes);
+#endif
         obs::Journal::instance().flush();
       }
     }

@@ -121,6 +121,48 @@ TEST(JournalFile, JsonlRoundTripIsExact) {
     EXPECT_EQ(loaded[i], events[i]) << "event " << i;
 }
 
+TEST(JournalFile, SchedulerKindsRoundTripThroughJsonl) {
+  // The PR-7 scheduler/resource kinds must survive the text format: the
+  // JSONL writer prints kind_name() and the reader maps the string back,
+  // so an exact round trip proves "task_run", "worker_stats", and
+  // "resource_sample" are all registered on both sides.
+  std::vector<JournalEvent> events;
+  const auto push = [&](EventKind kind, std::uint8_t code, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t v0, std::uint64_t v1,
+                        std::uint32_t dur_us) {
+    JournalEvent event;
+    event.t_ns = (events.size() + 1) * 500;
+    event.kind = kind;
+    event.code = code;
+    event.a = a;
+    event.b = b;
+    event.v0 = v0;
+    event.v1 = v1;
+    event.dur_us = dur_us;
+    events.push_back(event);
+  };
+  push(EventKind::kTaskRun, 0, /*task=*/3, /*worker=*/1, /*round=*/2,
+       /*payload=*/77, 1200);
+  push(EventKind::kTaskRun, 1, 0, 0, 0, 5, 900);
+  push(EventKind::kTaskRun, 2, 4, 2, 0, 4, 15000);
+  push(EventKind::kWorkerStats, 0, /*worker=*/1, /*tasks=*/12,
+       /*steal_attempts=*/9, /*steal_successes=*/4, /*lock blocks=*/2);
+  push(EventKind::kResourceSample, 0, /*rss kb=*/81234, /*peak kb=*/90111,
+       /*allocs=*/0, /*bytes=*/0, 0);
+
+  const std::string path = temp_path("scheduler_kinds.jsonl");
+  ASSERT_TRUE(obs::write_journal_file(path, events));
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(loaded[i], events[i]) << "event " << i;
+  EXPECT_STREQ(obs::kind_name(EventKind::kTaskRun), "task_run");
+  EXPECT_STREQ(obs::kind_name(EventKind::kWorkerStats), "worker_stats");
+  EXPECT_STREQ(obs::kind_name(EventKind::kResourceSample), "resource_sample");
+}
+
 TEST(JournalFile, BinaryToleratesTruncatedTail) {
   const std::string path = temp_path("truncated.jrnl");
   const std::vector<JournalEvent> events = sample_events();

@@ -16,6 +16,7 @@
 #include "benchgen/generator.hpp"
 #include "fuzz/campaign.hpp"
 #include "mapping/lut_mapper.hpp"
+#include "obs/inspect.hpp"
 #include "obs/journal.hpp"
 #include "sat/solver.hpp"
 #include "sim/random_sim.hpp"
@@ -476,6 +477,54 @@ TEST(ConflictBudget, UndecidedRunsJournalARunEndEvent) {
   EXPECT_EQ(run_end->code, 2u) << "run-end outcome 2 = undecided";
   EXPECT_EQ(run_end->v1, result.unresolved_outputs);
   std::remove(path.c_str());
+}
+// Runs the parallel sweep with the journal capturing scheduler profiling
+// events and returns the aggregated report.
+obs::JournalReport profiled_sweep_report(const net::Network& network,
+                                         unsigned num_threads) {
+  const std::string path = ::testing::TempDir() + "/profiled_sweep_" +
+                           std::to_string(num_threads) + ".jrnl";
+  std::remove(path.c_str());
+  EXPECT_TRUE(obs::Journal::instance().open(path));
+  run_sweep(network, num_threads);
+  obs::Journal::instance().close();
+
+  std::vector<obs::JournalEvent> events;
+  std::string error;
+  EXPECT_TRUE(obs::read_journal_file(path, events, &error)) << error;
+  std::remove(path.c_str());
+  return obs::build_report(events, /*truncated=*/false);
+}
+
+TEST(PoolProfiling, JournalTotalsAreThreadCountInvariant) {
+  // Scheduler profiling is pure observation: with it enabled, the
+  // engine-level journal totals still depend only on the circuit, never
+  // on the worker count or the interleaving. Only the scheduler's own
+  // shape (number of worker-stats lanes) may differ.
+  const net::Network network = parallel_bench();
+  const obs::JournalReport two = profiled_sweep_report(network, 2);
+  const obs::JournalReport four = profiled_sweep_report(network, 4);
+
+  EXPECT_EQ(two.sat_calls, four.sat_calls);
+  EXPECT_EQ(two.sat_unsat, four.sat_unsat);
+  EXPECT_EQ(two.class_merged, four.class_merged);
+  EXPECT_EQ(two.certified_ok, four.certified_ok);
+  EXPECT_EQ(two.certified_fail, four.certified_fail);
+  EXPECT_EQ(two.task_runs, four.task_runs)
+      << "every SAT task must journal exactly one kTaskRun at any width";
+
+  // The profiling layer itself scales with the pool width.
+  EXPECT_EQ(two.worker_stats, 2u);
+  EXPECT_EQ(four.worker_stats, 4u);
+  EXPECT_EQ(two.lanes.size(), 2u);
+  EXPECT_EQ(four.lanes.size(), 4u);
+  std::uint64_t lane_tasks = 0;
+  for (const auto& [worker, lane] : four.lanes) {
+    EXPECT_LT(worker, 4u);
+    lane_tasks += lane.tasks_run;
+  }
+  EXPECT_EQ(lane_tasks, four.task_runs)
+      << "every task run must land on exactly one worker lane";
 }
 #endif  // SIMGEN_NO_TELEMETRY
 

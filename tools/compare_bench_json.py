@@ -20,7 +20,10 @@ for information only — a count mismatch against a multithreaded
 candidate is a real regression, never schedule noise, and is reported as
 such.
 
-Exit code 0 when everything matches, 1 on any mismatch or missing file.
+Exit code 0 when everything matches, 1 on any mismatch, on a missing or
+unreadable baseline/candidate file, or on a baseline directory with no
+BENCH_*.json files at all — a gate that cannot read its baseline must
+fail loudly, never skip.
 """
 import argparse
 import json
@@ -42,6 +45,16 @@ def within(value, base, rtol, atol):
     return abs(value - base) <= atol + rtol * abs(base)
 
 
+def load_json(path, role):
+    """Reads one BENCH json; returns (dict, None) or (None, error line)."""
+    try:
+        return json.loads(path.read_text()), None
+    except OSError as error:
+        return None, f"UNREADABLE {path.name}: cannot read {role}: {error}"
+    except json.JSONDecodeError as error:
+        return None, f"CORRUPT  {path.name}: {role} is not valid JSON: {error}"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir", type=Path)
@@ -52,6 +65,10 @@ def main():
                         help="absolute tolerance on count fields (default: 0)")
     args = parser.parse_args()
 
+    if not args.baseline_dir.is_dir():
+        print(f"error: baseline directory {args.baseline_dir} does not exist",
+              file=sys.stderr)
+        return 1
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
     if not baselines:
         print(f"error: no BENCH_*.json files in {args.baseline_dir}",
@@ -66,8 +83,16 @@ def main():
             print(f"MISSING  {baseline_path.name}: not produced by this run")
             failures += 1
             continue
-        baseline = json.loads(baseline_path.read_text())
-        candidate = json.loads(candidate_path.read_text())
+        baseline, error = load_json(baseline_path, "baseline")
+        if baseline is None:
+            print(error)
+            failures += 1
+            continue
+        candidate, error = load_json(candidate_path, "candidate")
+        if candidate is None:
+            print(error)
+            failures += 1
+            continue
         compared += 1
         base_threads = baseline.get("num_threads", 1)
         cand_threads = candidate.get("num_threads", 1)

@@ -8,6 +8,7 @@
 ///   sweep_inspect --check run.journal            # validate (CI smoke)
 ///   sweep_inspect --timeline run.journal         # top-K class lifecycles
 ///   sweep_inspect --class 1234 run.journal       # one class's lifecycle
+///   sweep_inspect --lanes run.journal            # per-worker task lanes
 ///   sweep_inspect --folded out.folded run.journal   # flamegraph.pl input
 ///   sweep_inspect --html report.html run.journal    # self-contained HTML
 ///   sweep_inspect --rewrite copy.jsonl run.journal  # binary <-> JSONL
@@ -33,6 +34,7 @@ void usage(std::FILE* out) {
                "  --top K           rows in top-K tables (default 10)\n"
                "  --timeline        print lifecycles of the top-K classes\n"
                "  --class REP       print one class's lifecycle\n"
+               "  --lanes           print the per-worker task timeline\n"
                "  --folded FILE     write folded stacks for flamegraph "
                "tooling\n"
                "  --html FILE       write a self-contained HTML report\n"
@@ -76,7 +78,7 @@ bool write_stream_file(const std::string& path, const char* what,
 int main(int argc, char** argv) {
   std::string journal_path, folded_path, html_path, rewrite_path;
   std::uint64_t class_rep = 0;
-  bool check = false, timeline = false, quiet = false;
+  bool check = false, timeline = false, lanes = false, quiet = false;
   simgen::obs::InspectOptions options;
   options.strategy_namer = &strategy_namer;
 
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
     };
     if (arg == "--check") check = true;
     else if (arg == "--timeline") timeline = true;
+    else if (arg == "--lanes") lanes = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--top") options.top_k = std::atoi(value("--top"));
     else if (arg == "--class") class_rep = std::strtoull(value("--class"), nullptr, 10);
@@ -147,6 +150,7 @@ int main(int argc, char** argv) {
   if (!quiet && !check) simgen::obs::write_text_report(std::cout, report, options);
   if (timeline || class_rep != 0)
     simgen::obs::write_timeline(std::cout, report, class_rep, options);
+  if (lanes) simgen::obs::write_lanes(std::cout, report, options);
   if (!folded_path.empty() &&
       !write_stream_file(folded_path, "folded-stack",
                          &simgen::obs::write_folded_stacks, report, options))
