@@ -102,6 +102,10 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
       << "  \"sim_seconds\": " << metrics.sim_seconds << ",\n"
       << "  \"sat_calls\": " << metrics.sat_calls << ",\n"
       << "  \"sat_seconds\": " << metrics.sat_seconds << ",\n"
+      << "  \"sat_wall_seconds\": " << metrics.sat_wall_seconds << ",\n"
+      << "  \"sat_conflicts\": " << metrics.sat_conflicts << ",\n"
+      << "  \"sat_propagations\": " << metrics.sat_propagations << ",\n"
+      << "  \"sat_restarts\": " << metrics.sat_restarts << ",\n"
       << "  \"proven\": " << metrics.proven << ",\n"
       << "  \"disproven\": " << metrics.disproven << ",\n"
       << "  \"unresolved\": " << metrics.unresolved << ",\n"
@@ -175,6 +179,13 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
     metrics.proven = sweep_result.proven_equivalent;
     metrics.disproven = sweep_result.disproven;
     metrics.unresolved = sweep_result.unresolved;
+    // SAT hardness rollups from this flow's own solver instance — the
+    // registry totals would mix in concurrently sharded cells.
+    const sat::SolverStats& solver_stats = sweeper.solver().stats();
+    metrics.sat_wall_seconds = sweep_result.sat_seconds;
+    metrics.sat_conflicts = solver_stats.conflicts.value();
+    metrics.sat_propagations = solver_stats.propagations.value();
+    metrics.sat_restarts = solver_stats.restarts.value();
   }
   flow_watch.stop();
   metrics.wall_seconds = flow_watch.seconds();

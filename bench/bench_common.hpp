@@ -27,6 +27,16 @@ struct FlowMetrics {
   double sim_seconds = 0.0;        ///< Guided-simulation runtime.
   std::uint64_t sat_calls = 0;     ///< Sweeping SAT calls (if swept).
   double sat_seconds = 0.0;        ///< Time inside the SAT solver.
+  /// SAT hardness rollups for the trend radar (perf_trend.py gates
+  /// sat_wall_seconds via its generic --gate flag). sat_wall_seconds is
+  /// the flow's wall time inside Solver::solve — a timing field, never
+  /// count-gated; the counts come from the flow's own solver instance
+  /// (not the process registry), so they stay byte-identical under cell
+  /// sharding like the other counts. All 0 when the flow did not sweep.
+  double sat_wall_seconds = 0.0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_propagations = 0;
+  std::uint64_t sat_restarts = 0;
   std::uint64_t proven = 0;
   std::uint64_t disproven = 0;
   std::uint64_t unresolved = 0;  ///< Conflict-limited pairs (if capped).

@@ -1,10 +1,14 @@
 #include "obs/inspect.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace simgen::obs {
 
@@ -110,7 +114,7 @@ bool lane_span(const JournalReport& report, std::uint64_t& min_ns,
   return max_ns > min_ns && min_ns != ~0ull;
 }
 
-/// Busy fraction of one lane: the kWorkerStats rollup when recorded
+///// Busy fraction of one lane: the kWorkerStats rollup when recorded
 /// (busy vs busy+idle over the pool lifetime), else task time over the
 /// lane span.
 double lane_busy_percent(const WorkerLane& lane, bool have_span,
@@ -136,6 +140,64 @@ void mark_lane_bins(std::vector<bool>& bins, const LaneTask& task,
   lo = std::clamp(lo, 0, width - 1);
   hi = std::clamp(hi, lo, width - 1);
   for (int i = lo; i <= hi; ++i) bins[i] = true;
+}
+
+/// Per-call log2 distribution in the shared bucket_of() layout, so the
+/// --sat report quotes p50/p90/p99 through the same bucket_percentile
+/// estimator as the pool-profile exporter.
+struct CallDistribution {
+  std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void observe(std::uint64_t value) {
+    ++buckets[Histogram::bucket_of(value)];
+    ++count;
+    sum += value;
+    max = std::max(max, value);
+  }
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    return bucket_percentile(buckets.data(), buckets.size(), q);
+  }
+};
+
+/// Pooled per-task latency distribution over every worker lane, in the
+/// shared bucket layout so the lane reports quote p50/p90/p99 through
+/// the same bucket_percentile estimator as the --sat tables.
+CallDistribution lane_latency_distribution(const JournalReport& report) {
+  CallDistribution dist;
+  for (const auto& [worker, lane] : report.lanes)
+    for (const LaneTask& task : lane.timeline) dist.observe(task.dur_us);
+  return dist;
+}
+
+std::string arm_label(std::uint8_t arm, const InspectOptions& options) {
+  if (options.strategy_namer != nullptr)
+    if (const char* name = options.strategy_namer(arm); name != nullptr)
+      return name;
+  return "arm" + std::to_string(arm);
+}
+
+/// Value range of log2 bucket \p i ("0", "1", "2-3", "4-7", ...).
+std::string bucket_range_label(std::size_t i) {
+  if (i == 0) return "0";
+  if (i == 1) return "1";
+  const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+  const std::uint64_t hi = i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+/// Target column of a SAT call: "(a, b)" for pairs, "output N" for
+/// output proofs.
+std::string call_target(const SatCallRecord& call) {
+  char pair[48];
+  if (call.output_proof)
+    std::snprintf(pair, sizeof pair, "output %" PRIu64, call.a);
+  else
+    std::snprintf(pair, sizeof pair, "(%" PRIu64 ", %" PRIu64 ")", call.a,
+                  call.b);
+  return pair;
 }
 
 std::string html_escape(const std::string& text) {
@@ -179,6 +241,24 @@ JournalReport build_report(const std::vector<JournalEvent>& events,
     if (record.first_ns == 0 || event.t_ns < record.first_ns)
       record.first_ns = event.t_ns;
     if (event.t_ns > record.last_ns) record.last_ns = event.t_ns;
+  };
+
+  // Solver-introspection events precede their kSatCall in every worker's
+  // ring (fingerprint before the solve, milestones and the solve-stats
+  // rollup inside it), and a join key only ever comes from one thread, so
+  // accumulating per key until the kSatCall arrives is order-safe even
+  // though the drain interleaves rings.
+  struct PendingSolve {
+    bool has_fingerprint = false;
+    std::uint8_t arm = 0;
+    std::uint64_t support = 0, nodes = 0, depth = 0;
+    bool has_stats = false;
+    std::uint64_t restarts = 0, reduces = 0, budget_hits = 0;
+    std::uint64_t learned = 0, lbd_sum = 0, lbd_max = 0;
+  };
+  std::map<std::array<std::uint64_t, 3>, PendingSolve> pending;
+  const auto pending_key = [](const JournalEvent& event) {
+    return std::array<std::uint64_t, 3>{event.a, event.b, event.flags & 1u};
   };
 
   for (const JournalEvent& event : events) {
@@ -254,6 +334,24 @@ JournalReport build_report(const std::vector<JournalEvent>& events,
         call.cone_vars = unpack_cone(event.v3);
         call.learned = unpack_learned(event.v3);
         call.dur_us = event.dur_us;
+        call.phase = static_cast<std::uint8_t>(current_phase());
+        if (const auto it = pending.find(pending_key(event));
+            it != pending.end()) {
+          const PendingSolve& join = it->second;
+          call.has_fingerprint = join.has_fingerprint;
+          call.strategy_arm = join.arm;
+          call.cone_support = join.support;
+          call.cone_nodes = join.nodes;
+          call.cone_depth = join.depth;
+          call.has_solve_stats = join.has_stats;
+          call.restarts = join.restarts;
+          call.reduces = join.reduces;
+          call.budget_hits = join.budget_hits;
+          call.lbd_sum = join.lbd_sum;
+          call.lbd_max = join.lbd_max;
+          if (join.has_stats) call.learned = join.learned;
+          pending.erase(it);
+        }
         report.calls.push_back(call);
         if (!output_proof) {
           ClassRecord& record = class_of(event.a);
@@ -343,6 +441,51 @@ JournalReport build_report(const std::vector<JournalEvent>& events,
         report.resource_samples += 1;
         report.peak_rss_kb = std::max(report.peak_rss_kb, event.b);
         break;
+      case EventKind::kConeFingerprint: {
+        report.cone_fingerprints += 1;
+        PendingSolve& join = pending[pending_key(event)];
+        join.has_fingerprint = true;
+        join.arm = event.code;
+        join.support = event.v0;
+        join.nodes = event.v1;
+        join.depth = event.v2;
+        break;
+      }
+      case EventKind::kSolverRestart: {
+        report.solver_restarts += 1;
+        pending[pending_key(event)].restarts += 1;
+        report.restart_timeline.push_back({event.t_ns, event.a, event.b,
+                                           (event.flags & 1u) != 0, event.v0,
+                                           event.v1, event.v2});
+        break;
+      }
+      case EventKind::kSolverReduce: {
+        report.solver_reduces += 1;
+        report.reduce_deleted += event.v0;
+        pending[pending_key(event)].reduces += 1;
+        break;
+      }
+      case EventKind::kSolverBudget: {
+        report.solver_budget_hits += 1;
+        pending[pending_key(event)].budget_hits += 1;
+        break;
+      }
+      case EventKind::kSolverSolveStats: {
+        report.solver_solve_stats += 1;
+        report.lbd_count += event.v0;
+        report.lbd_sum += event.v1;
+        report.lbd_max = std::max(report.lbd_max, event.v2);
+        PendingSolve& join = pending[pending_key(event)];
+        join.has_stats = true;
+        join.learned = event.v0;
+        join.lbd_sum = event.v1;
+        join.lbd_max = event.v2;
+        // The rollup's restart count supersedes event counting (identical
+        // on complete journals; authoritative when restarts were lost to
+        // truncation).
+        join.restarts = event.v3;
+        break;
+      }
       default:
         break;
     }
@@ -374,7 +517,7 @@ bool check_journal(const std::vector<JournalEvent>& events, std::string* error) 
     const JournalEvent& event = events[i];
     const auto kind_value = static_cast<std::uint8_t>(event.kind);
     if (event.kind == EventKind::kNone ||
-        kind_value > static_cast<std::uint8_t>(EventKind::kResourceSample))
+        kind_value > static_cast<std::uint8_t>(EventKind::kSolverSolveStats))
       return fail(i, "unknown event kind " + std::to_string(kind_value));
     switch (event.kind) {
       case EventKind::kRunBegin:
@@ -433,6 +576,36 @@ bool check_journal(const std::vector<JournalEvent>& events, std::string* error) 
         break;
       case EventKind::kTaskRun:
         if (event.code > 2) return fail(i, "task_run task kind out of range");
+        break;
+      case EventKind::kSolverRestart:
+        if (event.v0 == 0)
+          return fail(i, "solver_restart ordinal must be 1-based");
+        // Every restart needs at least one conflict behind it, so the
+        // ordinal can never exceed the conflict count.
+        if (event.v0 > event.v1)
+          return fail(i, "solver_restart ordinal exceeds conflict count");
+        break;
+      case EventKind::kSolverReduce:
+        if (event.v2 > event.v1)
+          return fail(i, "solver_reduce grew the learnt DB");
+        if (event.v0 > event.v1)
+          return fail(i, "solver_reduce deleted more clauses than it had");
+        break;
+      case EventKind::kSolverBudget:
+        if (event.v0 == 0)
+          return fail(i, "solver_budget without a conflict limit");
+        if (event.v1 < event.v0)
+          return fail(i, "solver_budget before the conflict limit");
+        break;
+      case EventKind::kSolverSolveStats:
+        // Every learnt clause has LBD >= 1, so sum >= count and the max
+        // is bounded by the sum; a zero-learnt solve has all-zero fields.
+        if (event.v1 < event.v0)
+          return fail(i, "solver_solve_stats LBD sum below learnt count");
+        if (event.v2 > event.v1)
+          return fail(i, "solver_solve_stats LBD max exceeds LBD sum");
+        if (event.v0 == 0 && (event.v1 != 0 || event.v2 != 0))
+          return fail(i, "solver_solve_stats LBD fields without learnt clauses");
         break;
       default:
         break;
@@ -652,6 +825,16 @@ void write_lanes(std::ostream& out, const JournalReport& report,
                 report.lanes.size(), report.task_runs,
                 format_duration_us(span_us).c_str());
   out << line;
+  const CallDistribution latency = lane_latency_distribution(report);
+  if (latency.count > 0) {
+    std::snprintf(line, sizeof line,
+                  "task latency: p50 %s  p90 %s  p99 %s  max %s\n",
+                  format_duration_us(latency.percentile(0.50)).c_str(),
+                  format_duration_us(latency.percentile(0.90)).c_str(),
+                  format_duration_us(latency.percentile(0.99)).c_str(),
+                  format_duration_us(latency.max).c_str());
+    out << line;
+  }
   constexpr int kWidth = 64;
   for (const auto& [worker, lane] : report.lanes) {
     std::vector<bool> bins(kWidth, false);
@@ -668,6 +851,203 @@ void write_lanes(std::ostream& out, const JournalReport& report,
                   lane_busy_percent(lane, have_span, span_us),
                   lane.steal_successes, lane.steal_attempts, lane.lock_blocks);
     out << line;
+  }
+}
+
+void write_sat_report(std::ostream& out, const JournalReport& report,
+                      const InspectOptions& options) {
+  char line[512];
+  std::uint64_t total_us = 0;
+  for (const SatCallRecord& call : report.calls) total_us += call.dur_us;
+
+  std::snprintf(line, sizeof line,
+                "SAT hardness: %" PRIu64 " calls (unsat %" PRIu64 ", sat %" PRIu64
+                ", unknown %" PRIu64 ", output proofs %" PRIu64 ") totaling %s\n",
+                report.sat_calls, report.sat_unsat, report.sat_sat,
+                report.sat_unknown, report.output_proofs,
+                format_duration_us(total_us).c_str());
+  out << line;
+  std::snprintf(line, sizeof line,
+                "solver:       %" PRIu64 " restarts, %" PRIu64
+                " learnt-DB reductions (%" PRIu64 " clauses deleted), %" PRIu64
+                " budget hits\n",
+                report.solver_restarts, report.solver_reduces,
+                report.reduce_deleted, report.solver_budget_hits);
+  out << line;
+  if (report.lbd_count > 0) {
+    std::snprintf(line, sizeof line,
+                  "learnt:       %" PRIu64 " clauses with LBD recorded, mean LBD "
+                  "%.2f, max %" PRIu64 "\n",
+                  report.lbd_count,
+                  static_cast<double>(report.lbd_sum) /
+                      static_cast<double>(report.lbd_count),
+                  report.lbd_max);
+    out << line;
+  }
+  if (report.solver_solve_stats == 0 && report.cone_fingerprints == 0) {
+    out << "  (no solver-introspection events: the journal predates format "
+           "version 2\n   or the run compiled telemetry out)\n";
+    return;
+  }
+
+  // Per-call distributions, through the shared percentile estimator.
+  CallDistribution dur, conflicts, propagations, decisions, learned, lbd_mean;
+  for (const SatCallRecord& call : report.calls) {
+    dur.observe(call.dur_us);
+    conflicts.observe(call.conflicts);
+    propagations.observe(call.propagations);
+    decisions.observe(call.decisions);
+    learned.observe(call.learned);
+    if (call.has_solve_stats && call.learned > 0)
+      lbd_mean.observe(call.lbd_sum / call.learned);
+  }
+  out << "\nper-call distributions (log2-bucket estimates):\n";
+  out << "  metric         p50          p90          p99          max\n";
+  std::snprintf(line, sizeof line, "  %-13s  %-11s  %-11s  %-11s  %s\n",
+                "duration", format_duration_us(dur.percentile(0.50)).c_str(),
+                format_duration_us(dur.percentile(0.90)).c_str(),
+                format_duration_us(dur.percentile(0.99)).c_str(),
+                format_duration_us(dur.max).c_str());
+  out << line;
+  const auto distribution_row = [&](const char* name,
+                                    const CallDistribution& dist) {
+    std::snprintf(line, sizeof line,
+                  "  %-13s  %-11" PRIu64 "  %-11" PRIu64 "  %-11" PRIu64
+                  "  %" PRIu64 "\n",
+                  name, dist.percentile(0.50), dist.percentile(0.90),
+                  dist.percentile(0.99), dist.max);
+    out << line;
+  };
+  distribution_row("conflicts", conflicts);
+  distribution_row("propagations", propagations);
+  distribution_row("decisions", decisions);
+  distribution_row("learned", learned);
+  if (lbd_mean.count > 0) distribution_row("mean LBD", lbd_mean);
+
+  const auto ranked = rank_calls(report);
+  out << "\nhardest cones:\n";
+  out << "  target               verdict  duration     conflicts  restarts"
+         "  support  nodes   depth  arm\n";
+  int shown = 0;
+  for (const SatCallRecord* call : ranked) {
+    if (shown >= options.top_k) break;
+    std::snprintf(
+        line, sizeof line,
+        "  %-19s  %-7s  %-11s  %-9" PRIu64 "  %-8" PRIu64 "  %-7" PRIu64
+        "  %-6" PRIu64 "  %-5" PRIu64 "  %s\n",
+        call_target(*call).c_str(), verdict_name(call->verdict),
+        format_duration_us(call->dur_us).c_str(), call->conflicts,
+        call->restarts, call->cone_support, call->cone_nodes, call->cone_depth,
+        call->has_fingerprint ? arm_label(call->strategy_arm, options).c_str()
+                              : "-");
+    out << line;
+    ++shown;
+  }
+  if (shown == 0) out << "  (none)\n";
+
+  // SAT time bucketed by cone size (internal nodes, log2 buckets).
+  std::array<std::uint64_t, Histogram::kNumBuckets> size_time{};
+  std::array<std::uint64_t, Histogram::kNumBuckets> size_calls{};
+  std::uint64_t unfingerprinted_time = 0, unfingerprinted_calls = 0;
+  for (const SatCallRecord& call : report.calls) {
+    if (!call.has_fingerprint) {
+      unfingerprinted_time += call.dur_us;
+      ++unfingerprinted_calls;
+      continue;
+    }
+    const std::size_t bucket = Histogram::bucket_of(call.cone_nodes);
+    size_time[bucket] += call.dur_us;
+    size_calls[bucket] += 1;
+  }
+  std::uint64_t max_bucket_time = 1;
+  for (const std::uint64_t t : size_time)
+    max_bucket_time = std::max(max_bucket_time, t);
+  out << "\nSAT time by cone size (internal nodes):\n";
+  out << "  nodes            calls  time         share\n";
+  for (std::size_t i = 0; i < size_time.size(); ++i) {
+    if (size_calls[i] == 0) continue;
+    const int bar = static_cast<int>(24.0 * static_cast<double>(size_time[i]) /
+                                     static_cast<double>(max_bucket_time));
+    std::snprintf(line, sizeof line, "  %-15s  %-5" PRIu64 "  %-11s  %.*s\n",
+                  bucket_range_label(i).c_str(), size_calls[i],
+                  format_duration_us(size_time[i]).c_str(), bar > 0 ? bar : 1,
+                  "########################");
+    out << line;
+  }
+  if (unfingerprinted_calls > 0) {
+    std::snprintf(line, sizeof line, "  %-15s  %-5" PRIu64 "  %s\n",
+                  "(no fingerprint)", unfingerprinted_calls,
+                  format_duration_us(unfingerprinted_time).c_str());
+    out << line;
+  }
+
+  // SAT time by strategy arm.
+  struct ArmCost {
+    std::uint64_t calls = 0;
+    std::uint64_t time_us = 0;
+  };
+  std::map<std::uint8_t, ArmCost> arms;
+  for (const SatCallRecord& call : report.calls) {
+    if (!call.has_fingerprint) continue;
+    ArmCost& cost = arms[call.strategy_arm];
+    cost.calls += 1;
+    cost.time_us += call.dur_us;
+  }
+  if (!arms.empty()) {
+    out << "\nSAT time by strategy arm:\n";
+    out << "  arm              calls  time\n";
+    for (const auto& [arm, cost] : arms) {
+      std::snprintf(line, sizeof line, "  %-15s  %-5" PRIu64 "  %s\n",
+                    arm_label(arm, options).c_str(), cost.calls,
+                    format_duration_us(cost.time_us).c_str());
+      out << line;
+    }
+  }
+
+  // SAT time by phase (the phase open when the call was journaled).
+  std::array<ArmCost, kNumPhases> phase_cost{};
+  for (const SatCallRecord& call : report.calls) {
+    if (call.phase >= kNumPhases) continue;
+    phase_cost[call.phase].calls += 1;
+    phase_cost[call.phase].time_us += call.dur_us;
+  }
+  out << "\nSAT time by phase:\n";
+  out << "  phase            calls  time\n";
+  for (std::size_t phase = 0; phase < kNumPhases; ++phase) {
+    if (phase_cost[phase].calls == 0) continue;
+    std::snprintf(line, sizeof line, "  %-15s  %-5" PRIu64 "  %s\n",
+                  phase_name(static_cast<PhaseId>(phase)),
+                  phase_cost[phase].calls,
+                  format_duration_us(phase_cost[phase].time_us).c_str());
+    out << line;
+  }
+
+  // Restart timeline of the hardest cone that restarted at all.
+  for (const SatCallRecord* call : ranked) {
+    if (call->restarts == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "\nrestart timeline of the hardest restarting cone %s "
+                  "(%" PRIu64 " restarts):\n",
+                  call_target(*call).c_str(), call->restarts);
+    out << line;
+    out << "  restart  conflicts  learnt-db\n";
+    constexpr int kMaxRows = 24;
+    int rows = 0;
+    for (const SolverRestartRecord& restart : report.restart_timeline) {
+      if (restart.a != call->a || restart.b != call->b ||
+          restart.output_proof != call->output_proof)
+        continue;
+      if (rows >= kMaxRows) {
+        out << "  ...\n";
+        break;
+      }
+      std::snprintf(line, sizeof line,
+                    "  %-7" PRIu64 "  %-9" PRIu64 "  %" PRIu64 "\n",
+                    restart.ordinal, restart.conflicts, restart.learnt_db);
+      out << line;
+      ++rows;
+    }
+    break;
   }
 }
 
@@ -760,6 +1140,16 @@ void write_html_report(std::ostream& out, const JournalReport& report,
                   report.lanes.size(), report.task_runs,
                   format_duration_us(span_us).c_str());
     out << line;
+    const CallDistribution lane_latency = lane_latency_distribution(report);
+    if (lane_latency.count > 0) {
+      std::snprintf(line, sizeof line,
+                    "<p>Task latency: p50 %s, p90 %s, p99 %s, max %s.</p>\n",
+                    format_duration_us(lane_latency.percentile(0.50)).c_str(),
+                    format_duration_us(lane_latency.percentile(0.90)).c_str(),
+                    format_duration_us(lane_latency.percentile(0.99)).c_str(),
+                    format_duration_us(lane_latency.max).c_str());
+      out << line;
+    }
     out << "<table>\n<tr><th>worker</th><th>tasks</th><th>busy</th>"
            "<th>steals ok/try</th><th>lock blocks</th><th>timeline</th>"
            "</tr>\n";
@@ -868,7 +1258,82 @@ void write_html_report(std::ostream& out, const JournalReport& report,
                   format_duration_us(effect.time_us).c_str(), per_batch);
     out << line;
   }
-  out << "</table>\n</body></html>\n";
+  out << "</table>\n";
+
+  if (report.solver_solve_stats > 0 || report.cone_fingerprints > 0) {
+    out << "<h2>SAT hardness</h2>\n<table>\n"
+           "<tr><th>metric</th><th>value</th></tr>\n";
+    row("solver restarts", report.solver_restarts);
+    row("learnt-DB reductions", report.solver_reduces);
+    row("&nbsp;&nbsp;clauses deleted", report.reduce_deleted);
+    row("budget hits", report.solver_budget_hits);
+    row("cone fingerprints", report.cone_fingerprints);
+    row("learnt clauses with LBD", report.lbd_count);
+    if (report.lbd_count > 0) {
+      std::snprintf(line, sizeof line,
+                    "<tr><td>mean LBD</td><td>%.2f</td></tr>\n",
+                    static_cast<double>(report.lbd_sum) /
+                        static_cast<double>(report.lbd_count));
+      out << line;
+      row("max LBD", report.lbd_max);
+    }
+    out << "</table>\n";
+
+    out << "<h2>Hardest cones</h2>\n<table>\n"
+           "<tr><th>target</th><th>verdict</th><th>duration</th>"
+           "<th>conflicts</th><th>restarts</th><th>support</th>"
+           "<th>nodes</th><th>depth</th><th>arm</th></tr>\n";
+    shown = 0;
+    for (const SatCallRecord* call : rank_calls(report)) {
+      if (shown >= options.top_k) break;
+      std::snprintf(
+          line, sizeof line,
+          "<tr><td>%s</td><td>%s</td><td>%s</td><td>%" PRIu64
+          "</td><td>%" PRIu64 "</td><td>%" PRIu64 "</td><td>%" PRIu64
+          "</td><td>%" PRIu64 "</td><td>%s</td></tr>\n",
+          call_target(*call).c_str(), verdict_name(call->verdict),
+          format_duration_us(call->dur_us).c_str(), call->conflicts,
+          call->restarts, call->cone_support, call->cone_nodes,
+          call->cone_depth,
+          call->has_fingerprint
+              ? html_escape(arm_label(call->strategy_arm, options)).c_str()
+              : "-");
+      out << line;
+      ++shown;
+    }
+    out << "</table>\n";
+
+    std::array<std::uint64_t, Histogram::kNumBuckets> size_time{};
+    std::array<std::uint64_t, Histogram::kNumBuckets> size_calls{};
+    for (const SatCallRecord& call : report.calls) {
+      if (!call.has_fingerprint) continue;
+      const std::size_t bucket = Histogram::bucket_of(call.cone_nodes);
+      size_time[bucket] += call.dur_us;
+      size_calls[bucket] += 1;
+    }
+    std::uint64_t max_bucket_time = 1;
+    for (const std::uint64_t t : size_time)
+      max_bucket_time = std::max(max_bucket_time, t);
+    out << "<h2>SAT time by cone size</h2>\n<table>\n"
+           "<tr><th>internal nodes</th><th>calls</th><th>time</th>"
+           "<th></th></tr>\n";
+    for (std::size_t i = 0; i < size_time.size(); ++i) {
+      if (size_calls[i] == 0) continue;
+      const int width =
+          static_cast<int>(200.0 * static_cast<double>(size_time[i]) /
+                           static_cast<double>(max_bucket_time));
+      std::snprintf(line, sizeof line,
+                    "<tr><td>%s</td><td>%" PRIu64 "</td><td>%s</td>"
+                    "<td style=\"text-align:left\"><span class=\"bar\" "
+                    "style=\"width:%dpx\"></span></td></tr>\n",
+                    bucket_range_label(i).c_str(), size_calls[i],
+                    format_duration_us(size_time[i]).c_str(), width);
+      out << line;
+    }
+    out << "</table>\n";
+  }
+
+  out << "</body></html>\n";
 }
 
 }  // namespace simgen::obs

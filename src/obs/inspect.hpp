@@ -60,6 +60,34 @@ struct SatCallRecord {
   std::uint64_t cone_vars = 0;
   std::uint64_t learned = 0;
   std::uint32_t dur_us = 0;
+  /// Phase open at the time the call was journaled (PhaseId value).
+  std::uint8_t phase = 0;
+
+  // Solver introspection joined by (a, b, output_proof) from the format
+  // >= 2 events; all-zero when the journal predates them.
+  bool has_fingerprint = false;    ///< A kConeFingerprint was joined.
+  std::uint8_t strategy_arm = 0;   ///< Guided-simulation arm (fingerprint).
+  std::uint64_t cone_support = 0;  ///< Distinct PIs feeding the cone.
+  std::uint64_t cone_nodes = 0;    ///< Internal nodes in the cone.
+  std::uint64_t cone_depth = 0;    ///< Max logic level over the roots.
+  bool has_solve_stats = false;    ///< A kSolverSolveStats was joined.
+  std::uint64_t restarts = 0;      ///< Restarts inside this solve.
+  std::uint64_t reduces = 0;       ///< Learnt-DB reductions inside it.
+  std::uint64_t budget_hits = 0;   ///< kSolverBudget events (0 or 1).
+  std::uint64_t lbd_sum = 0;       ///< Sum of learnt-clause LBDs.
+  std::uint64_t lbd_max = 0;       ///< Max learnt-clause LBD.
+};
+
+/// One solver restart (kSolverRestart), in journal order, for the --sat
+/// restart timeline.
+struct SolverRestartRecord {
+  std::uint64_t t_ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool output_proof = false;
+  std::uint64_t ordinal = 0;    ///< 1-based within its solve.
+  std::uint64_t conflicts = 0;  ///< Conflicts so far in the solve.
+  std::uint64_t learnt_db = 0;  ///< Learnt DB size at the restart.
 };
 
 /// Pattern effectiveness bucket, keyed by (source, strategy code).
@@ -135,9 +163,21 @@ struct JournalReport {
   std::uint64_t resource_samples = 0;  ///< kResourceSample events.
   std::uint64_t peak_rss_kb = 0;       ///< Max over resource samples.
 
+  // Solver introspection totals (journal format >= 2; zero otherwise).
+  std::uint64_t solver_restarts = 0;     ///< kSolverRestart events.
+  std::uint64_t solver_reduces = 0;      ///< kSolverReduce events.
+  std::uint64_t solver_budget_hits = 0;  ///< kSolverBudget events.
+  std::uint64_t solver_solve_stats = 0;  ///< kSolverSolveStats events.
+  std::uint64_t cone_fingerprints = 0;   ///< kConeFingerprint events.
+  std::uint64_t reduce_deleted = 0;      ///< Clauses deleted by reductions.
+  std::uint64_t lbd_count = 0;  ///< Learnt clauses with a recorded LBD.
+  std::uint64_t lbd_sum = 0;    ///< Sum of those LBDs.
+  std::uint64_t lbd_max = 0;    ///< Max LBD seen in any solve.
+
   std::map<std::uint64_t, ClassRecord> classes;  ///< Keyed by rep.
   std::map<std::uint64_t, WorkerLane> lanes;     ///< Keyed by worker index.
   std::vector<SatCallRecord> calls;              ///< Journal order.
+  std::vector<SolverRestartRecord> restart_timeline;  ///< Journal order.
   /// Keyed by (PatternSource value, strategy code).
   std::map<std::pair<std::uint8_t, std::uint8_t>, StrategyEffect> strategies;
   PhaseCost phases[kNumPhases];
@@ -180,6 +220,15 @@ void write_timeline(std::ostream& out, const JournalReport& report,
 /// flamegraph.pl / speedscope. Values are microseconds.
 void write_folded_stacks(std::ostream& out, const JournalReport& report,
                          const InspectOptions& options);
+
+/// SAT hardness report (from the format >= 2 solver-introspection
+/// events): solver totals, per-call log2 distributions with
+/// p50/p90/p99, the top-K hardest cones with their structural
+/// fingerprints, SAT time bucketed by cone size / strategy arm / phase,
+/// and the restart timeline of the hardest cone. Degrades gracefully on
+/// journals that predate the introspection events.
+void write_sat_report(std::ostream& out, const JournalReport& report,
+                      const InspectOptions& options);
 
 /// Worker-lane timeline (from kTaskRun/kWorkerStats events): one line
 /// per worker scaled to the lane span —

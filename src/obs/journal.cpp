@@ -19,7 +19,11 @@ namespace simgen::obs {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'G', 'J', 'R', 'N', 'L', '0', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+/// Version history: 1 = original event set (kinds 0..15); 2 = solver
+/// introspection kinds (kSolverRestart/kSolverReduce/kSolverBudget/
+/// kConeFingerprint/kSolverSolveStats). The event layout is unchanged, so the reader
+/// accepts every version from 1 up to this.
+constexpr std::uint32_t kFormatVersion = 2;
 
 /// 32-byte binary file header; everything after it is raw little-endian
 /// JournalEvent records.
@@ -88,6 +92,11 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kTaskRun: return "task_run";
     case EventKind::kWorkerStats: return "worker_stats";
     case EventKind::kResourceSample: return "resource_sample";
+    case EventKind::kSolverRestart: return "solver_restart";
+    case EventKind::kSolverReduce: return "solver_reduce";
+    case EventKind::kSolverBudget: return "solver_budget";
+    case EventKind::kConeFingerprint: return "cone_fingerprint";
+    case EventKind::kSolverSolveStats: return "solver_solve_stats";
   }
   return "?";
 }
@@ -423,7 +432,7 @@ namespace {
 
 EventKind kind_from_name(std::string_view name) {
   for (std::uint8_t k = 0;
-       k <= static_cast<std::uint8_t>(EventKind::kResourceSample); ++k) {
+       k <= static_cast<std::uint8_t>(EventKind::kSolverSolveStats); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == kind_name(kind)) return kind;
   }
@@ -546,7 +555,7 @@ bool read_journal_file(const std::string& path, std::vector<JournalEvent>& out,
       return fail(error, "truncated header");
     FileHeader header{};
     std::memcpy(&header, data.data(), sizeof header);
-    if (header.version != kFormatVersion)
+    if (header.version < 1 || header.version > kFormatVersion)
       return fail(error, "unsupported journal version " +
                              std::to_string(header.version));
     if (header.event_size != sizeof(JournalEvent))

@@ -77,6 +77,34 @@ enum class EventKind : std::uint8_t {
   kResourceSample = 15,  ///< a=current RSS kB, b=peak RSS kB,
                          ///< v0=allocation count, v1=allocated bytes
                          ///< (both 0 unless SIMGEN_ALLOC_STATS is set).
+  // --- Solver introspection (format version >= 2) -----------------------
+  // The next three kinds are milestone events emitted from *inside* a
+  // SAT solve, tagged with the same (a, b, flags bit0) key as the
+  // kSatCall that brackets them, so the inspector can attribute restart
+  // and clause-DB behavior to the cone being solved.
+  kSolverRestart = 16,  ///< One solver restart: a,b=target pair, v0=restart
+                        ///< ordinal within this solve (1-based),
+                        ///< v1=conflicts so far this solve, v2=learnt DB
+                        ///< size, flags bit0 = output proof.
+  kSolverReduce = 17,   ///< One learnt-clause DB reduction: a,b=target
+                        ///< pair, v0=clauses deleted, v1=DB size before,
+                        ///< v2=DB size after, flags bit0 = output proof.
+  kSolverBudget = 18,   ///< Conflict budget exhausted (verdict kUnknown):
+                        ///< a,b=target pair, v0=conflict limit,
+                        ///< v1=conflicts this solve, flags bit0 = output
+                        ///< proof.
+  kConeFingerprint = 19,  ///< Structural fingerprint of a solved cone,
+                          ///< joined to its kSatCall by (a, b, flags
+                          ///< bit0): a,b=target pair, code=strategy arm
+                          ///< (core::Strategy), v0=cone support (PI
+                          ///< count), v1=cone node count, v2=cone depth
+                          ///< (max level), flags bit0 = output proof.
+  kSolverSolveStats = 20,  ///< Per-solve learnt-quality rollup, emitted at
+                           ///< the end of every context-tagged solve and
+                           ///< joined like the milestones: a,b=target pair,
+                           ///< v0=learnt clauses this solve, v1=LBD sum,
+                           ///< v2=LBD max, v3=restarts this solve, flags
+                           ///< bit0 = output proof.
 };
 
 /// Verdict codes for kSatCall (mirrors sat::Result's meaning without

@@ -276,6 +276,40 @@ void reset_all_metrics() {}
 
 #endif  // SIMGEN_NO_TELEMETRY
 
+std::uint64_t bucket_percentile(const std::uint64_t* buckets,
+                                std::size_t num_buckets, double q) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < num_buckets; ++i) total += buckets[i];
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; q == 0 degenerates to the minimum.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    if (i == 0) return 0;  // bucket 0 holds exactly the value 0
+    // Interpolate the rank's position inside this bucket's value range
+    // [2^(i-1), 2^i - 1], assuming samples spread evenly across it.
+    const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+    const double within =
+        static_cast<double>(rank - seen - 1) / static_cast<double>(buckets[i]);
+    return static_cast<std::uint64_t>(lo + (hi - lo) * within);
+  }
+  return 0;  // unreachable: rank <= total
+}
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  return bucket_percentile(buckets_.data(), buckets_.size(), q);
+}
+
 TelemetrySnapshot diff_snapshots(const TelemetrySnapshot& before,
                                  const TelemetrySnapshot& after) {
   TelemetrySnapshot delta;

@@ -140,12 +140,28 @@ class Histogram {
     return buckets_;
   }
 
+  /// Estimated value at quantile \p q (see bucket_percentile below).
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
  private:
   std::array<std::uint64_t, kNumBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   bool registered_ = false;
 };
+
+/// Estimated value at quantile \p q in (0, 1] of a bucket_of()-layout
+/// log2 bucket distribution: locates the bucket holding the ceil(q*count)-th
+/// sample and interpolates linearly inside its [2^(i-1), 2^i - 1] value
+/// range. Exact for bucket 0 (the value 0); within a factor of 2 above.
+/// Returns 0 for an empty distribution. This is the one percentile
+/// estimator shared by the pool-profile exporter and the SAT hardness
+/// report, so p50/p90/p99 mean the same thing everywhere. Available in
+/// every build (the inspector replays foreign journals under
+/// SIMGEN_NO_TELEMETRY too).
+[[nodiscard]] std::uint64_t bucket_percentile(const std::uint64_t* buckets,
+                                              std::size_t num_buckets,
+                                              double q) noexcept;
 
 /// Registry-owned instruments for modules without a per-instance stats
 /// struct: find-or-create by name, returning a reference that stays valid

@@ -87,6 +87,10 @@ void write_pool_utilization(std::FILE* out) {
 }
 
 void export_pool_profile(const util::ThreadPool& pool) {
+  // Close every worker's trailing idle interval first: the export is the
+  // pool's final accounting, and without the settle the idle tail after
+  // each worker's last task would be dropped, inflating busy%.
+  pool.settle_idle();
   const util::PoolProfile profile = pool.profile();
   const util::WorkerProfile totals = profile.totals();
 

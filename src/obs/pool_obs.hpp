@@ -62,8 +62,10 @@ void write_pool_utilization(std::FILE* out);
 
 /// Exports \p pool's current profile into the pool.* instruments and —
 /// when a journal is recording — emits one kWorkerStats event per
-/// worker. Called by ~PoolProfileScope; call directly only for pools
-/// not wrapped in a scope.
+/// worker. Settles each worker's trailing idle interval first
+/// (ThreadPool::settle_idle) so the exported idle_us includes the tail
+/// after every worker's last task. Called by ~PoolProfileScope; call
+/// directly only for pools not wrapped in a scope.
 void export_pool_profile(const util::ThreadPool& pool);
 
 #else

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/journal.hpp"
 #include "sat/proof.hpp"
 
 namespace simgen::sat {
@@ -37,7 +38,9 @@ SolverStats::SolverStats(obs::register_t)
       restarts("sat.restarts"),
       learned_clauses("sat.learned_clauses"),
       deleted_clauses("sat.deleted_clauses"),
-      learned_clause_size("sat.learned_clause_size") {}
+      db_reductions("sat.db_reductions"),
+      learned_clause_size("sat.learned_clause_size"),
+      learned_clause_lbd("sat.learned_clause_lbd") {}
 
 Solver::Solver() = default;
 
@@ -318,6 +321,7 @@ Lit Solver::pick_branch_literal() {
 }
 
 void Solver::reduce_learnt_db() {
+  const std::size_t size_before = learnt_clauses_.size();
   // Delete the least active half of learnt clauses, sparing reasons of
   // current assignments and binary clauses.
   std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
@@ -345,6 +349,12 @@ void Solver::reduce_learnt_db() {
     }
   }
   learnt_clauses_.resize(kept);
+  stats_.db_reductions.inc();
+#ifndef SIMGEN_NO_TELEMETRY
+  emit_introspection_reduce(deleted, size_before, kept);
+#else
+  (void)size_before;
+#endif
 }
 
 void Solver::bump_var(Var var) {
@@ -433,6 +443,15 @@ Result Solver::search() {
 
       unsigned backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);
+#ifndef SIMGEN_NO_TELEMETRY
+      // level_[] of the learnt literals is still valid here (backtrack
+      // has not run), which is exactly when LBD is defined.
+      const unsigned lbd = compute_introspection_lbd(learnt);
+      stats_.learned_clause_lbd.observe(lbd);
+      ++lbd_count_this_solve_;
+      lbd_sum_this_solve_ += lbd;
+      if (lbd > lbd_max_this_solve_) lbd_max_this_solve_ = lbd;
+#endif
       if (proof_) proof_->on_lemma(learnt);
       // Never undo assumption levels beyond what the learnt clause allows:
       // backtrack_level may land inside the assumption prefix, which is
@@ -456,20 +475,32 @@ Result Solver::search() {
       // otherwise overshoot the limit unboundedly. The learnt clause is
       // still recorded first, so an interrupted solve leaves a consistent
       // proof log.
-      if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_)
+      if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_) {
+#ifndef SIMGEN_NO_TELEMETRY
+        emit_introspection_budget();
+#endif
         return Result::kUnknown;
+      }
       continue;
     }
 
     // No conflict.
-    if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_)
+    if (conflict_limit_ != 0 && conflicts_this_solve_ >= conflict_limit_) {
+#ifndef SIMGEN_NO_TELEMETRY
+      emit_introspection_budget();
+#endif
       return Result::kUnknown;
+    }
     if (conflicts_since_restart >= conflicts_until_restart) {
       stats_.restarts.inc();
       ++restart_count;
       conflicts_since_restart = 0;
       conflicts_until_restart = kRestartBase * luby(restart_count);
       backtrack(0);
+#ifndef SIMGEN_NO_TELEMETRY
+      ++restarts_this_solve_;
+      emit_introspection_restart(restarts_this_solve_);
+#endif
       continue;
     }
     if (decision_level() == 0 && learnt_clauses_.size() >= max_learnt_)
@@ -499,9 +530,18 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   backtrack(0);
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflicts_this_solve_ = 0;
+#ifndef SIMGEN_NO_TELEMETRY
+  restarts_this_solve_ = 0;
+  lbd_count_this_solve_ = 0;
+  lbd_sum_this_solve_ = 0;
+  lbd_max_this_solve_ = 0;
+#endif
   max_learnt_ = std::max<std::size_t>(1000, problem_clauses_.size() / 3);
 
   const Result result = search();
+#ifndef SIMGEN_NO_TELEMETRY
+  emit_introspection_solve_stats();
+#endif
   if (result == Result::kSat) {
     model_.assign(num_vars(), false);
     for (Var var{0}; var < num_vars(); ++var)
@@ -511,5 +551,65 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   backtrack(0);
   return result;
 }
+
+#ifndef SIMGEN_NO_TELEMETRY
+
+void Solver::set_introspection_context(std::uint64_t a, std::uint64_t b,
+                                       bool output_proof) noexcept {
+  probe_a_ = a;
+  probe_b_ = b;
+  probe_flags_ = output_proof ? 1 : 0;
+  probe_active_ = true;
+}
+
+void Solver::clear_introspection_context() noexcept { probe_active_ = false; }
+
+unsigned Solver::compute_introspection_lbd(std::span<const Lit> learnt) {
+  // Stamp-per-level distinct count: no clearing between conflicts, one
+  // pass over the (small) learnt clause.
+  ++lbd_stamp_;
+  unsigned lbd = 0;
+  for (const Lit lit : learnt) {
+    const unsigned lvl = level_[lit.var()];
+    if (lvl >= lbd_mark_.size()) lbd_mark_.resize(lvl + 1, 0);
+    if (lbd_mark_[lvl] != lbd_stamp_) {
+      lbd_mark_[lvl] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::emit_introspection_restart(std::uint64_t ordinal) {
+  if (!probe_active_ || !obs::journal_enabled()) return;
+  obs::journal_emit(obs::EventKind::kSolverRestart, 0, probe_a_, probe_b_,
+                    ordinal, conflicts_this_solve_, learnt_clauses_.size(), 0,
+                    0, probe_flags_);
+}
+
+void Solver::emit_introspection_reduce(std::uint64_t deleted,
+                                       std::uint64_t before,
+                                       std::uint64_t after) {
+  if (!probe_active_ || !obs::journal_enabled()) return;
+  obs::journal_emit(obs::EventKind::kSolverReduce, 0, probe_a_, probe_b_,
+                    deleted, before, after, 0, 0, probe_flags_);
+}
+
+void Solver::emit_introspection_budget() {
+  if (!probe_active_ || !obs::journal_enabled()) return;
+  obs::journal_emit(obs::EventKind::kSolverBudget, 0, probe_a_, probe_b_,
+                    conflict_limit_, conflicts_this_solve_, 0, 0, 0,
+                    probe_flags_);
+}
+
+void Solver::emit_introspection_solve_stats() {
+  if (!probe_active_ || !obs::journal_enabled()) return;
+  obs::journal_emit(obs::EventKind::kSolverSolveStats, 0, probe_a_, probe_b_,
+                    lbd_count_this_solve_, lbd_sum_this_solve_,
+                    lbd_max_this_solve_, restarts_this_solve_, 0,
+                    probe_flags_);
+}
+
+#endif  // SIMGEN_NO_TELEMETRY
 
 }  // namespace simgen::sat

@@ -76,8 +76,14 @@ struct SolverStats {
   obs::Counter restarts;
   obs::Counter learned_clauses;
   obs::Counter deleted_clauses;
+  /// Learnt-clause DB reductions (reduce_learnt_db invocations).
+  obs::Counter db_reductions;
   /// Log2-bucket size distribution of learned clauses.
   obs::Histogram learned_clause_size;
+  /// Log2-bucket LBD (literal block distance: distinct decision levels in
+  /// a learnt clause) distribution — the standard learnt-quality measure.
+  /// Observed only when telemetry is compiled in.
+  obs::Histogram learned_clause_lbd;
 };
 
 /// Incremental CDCL solver.
@@ -124,6 +130,21 @@ class Solver {
   [[nodiscard]] ProofTracer* proof_tracer() const noexcept { return proof_; }
 
   [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+#ifndef SIMGEN_NO_TELEMETRY
+  /// Tags subsequent solves with the identity of the cone being solved —
+  /// the same (a, b, output-proof) key the surrounding kSatCall event
+  /// carries — so the solver-emitted introspection milestones
+  /// (kSolverRestart / kSolverReduce / kSolverBudget) can be joined to
+  /// their call post-mortem. Milestones are emitted only while a context
+  /// is set and a journal is recording. The whole introspection surface
+  /// (these methods, the emit helpers, the LBD computation) exists only
+  /// in telemetry builds; CI nm-checks that NO_TELEMETRY binaries contain
+  /// no symbol with "introspection" in its name.
+  void set_introspection_context(std::uint64_t a, std::uint64_t b,
+                                 bool output_proof) noexcept;
+  void clear_introspection_context() noexcept;
+#endif
 
  private:
   using ClauseRef = std::uint32_t;
@@ -224,6 +245,30 @@ class Solver {
   std::size_t max_learnt_ = 0;
   std::vector<Lit> assumptions_;
   std::vector<bool> model_;
+
+#ifndef SIMGEN_NO_TELEMETRY
+  // Solver introspection (journal milestones + LBD), telemetry-only.
+  [[nodiscard]] unsigned compute_introspection_lbd(
+      std::span<const Lit> learnt);
+  void emit_introspection_restart(std::uint64_t ordinal);
+  void emit_introspection_reduce(std::uint64_t deleted, std::uint64_t before,
+                                 std::uint64_t after);
+  void emit_introspection_budget();
+  void emit_introspection_solve_stats();
+
+  std::uint64_t probe_a_ = 0;
+  std::uint64_t probe_b_ = 0;
+  std::uint64_t restarts_this_solve_ = 0;
+  std::uint64_t lbd_count_this_solve_ = 0;
+  std::uint64_t lbd_sum_this_solve_ = 0;
+  std::uint64_t lbd_max_this_solve_ = 0;
+  std::uint16_t probe_flags_ = 0;
+  bool probe_active_ = false;
+  // Level -> stamp scratch for the LBD count (distinct levels in a
+  // learnt clause) without clearing between conflicts.
+  std::vector<std::uint32_t> lbd_mark_;
+  std::uint32_t lbd_stamp_ = 0;
+#endif
 
   SolverStats stats_{obs::kRegister};
 };

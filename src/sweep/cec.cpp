@@ -168,6 +168,10 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   SweepOptions sweep_options = options.sweep;
   sweep_options.seed = options.seed;
   sweep_options.certify = sweep_options.certify || options.certify;
+  // Stamp the configured guided-simulation arm into every cone
+  // fingerprint so the SAT report can slice hardness by arm.
+  sweep_options.strategy_code =
+      static_cast<std::uint8_t>(options.guided_strategy);
   if (options.num_threads != 1 && sweep_options.num_threads == 1)
     sweep_options.num_threads = options.num_threads;
   const unsigned num_threads =
@@ -225,11 +229,19 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
           solver.add_clause({sat::neg(vx), sat::pos(vy)});
         }
       }
+      emit_cone_fingerprint(miter.network, po, net::kNullNode, po, 0,
+                            sweep_options.strategy_code, /*output_proof=*/true);
+#ifndef SIMGEN_NO_TELEMETRY
+      solver.set_introspection_context(po, 0, /*output_proof=*/true);
+#endif
       util::Stopwatch watch;
       watch.start();
       out.verdict = solver.solve({sat::pos(po_var)});
       watch.stop();
       out.solve_seconds = watch.seconds();
+#ifndef SIMGEN_NO_TELEMETRY
+      solver.clear_introspection_context();
+#endif
       if (obs::journal_enabled()) {
         const sat::SolverStats& stats = solver.stats();
         const std::uint8_t code =
@@ -329,10 +341,18 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
         vars0 = sweeper.solver().num_vars();
       }
       const sat::Var po_var = sweeper.encoder().ensure_encoded(po);
+      emit_cone_fingerprint(miter.network, po, net::kNullNode, po, 0,
+                            sweep_options.strategy_code, /*output_proof=*/true);
+#ifndef SIMGEN_NO_TELEMETRY
+      sweeper.solver().set_introspection_context(po, 0, /*output_proof=*/true);
+#endif
       util::Stopwatch watch;
       watch.start();
       const sat::Result verdict = sweeper.solver().solve({sat::pos(po_var)});
       watch.stop();
+#ifndef SIMGEN_NO_TELEMETRY
+      sweeper.solver().clear_introspection_context();
+#endif
       ++result.output_sat_calls;
       result.output_sat_seconds += watch.seconds();
       if (journal) {

@@ -28,6 +28,46 @@ obs::SatVerdict to_verdict(sat::Result result) noexcept {
 
 }  // namespace
 
+ConeFingerprint fingerprint_cone(const net::Network& network, net::NodeId a,
+                                 net::NodeId b) {
+  ConeFingerprint fp;
+  std::vector<bool> visited(network.num_nodes(), false);
+  std::vector<net::NodeId> stack;
+  const auto push_root = [&](net::NodeId root) {
+    if (root == net::kNullNode) return;
+    stack.push_back(root);
+    const std::uint64_t level = network.level(root);
+    if (level > fp.depth) fp.depth = level;
+  };
+  push_root(a);
+  push_root(b);
+  while (!stack.empty()) {
+    const net::NodeId node = stack.back();
+    stack.pop_back();
+    if (visited[node]) continue;
+    visited[node] = true;
+    if (network.is_pi(node)) {
+      ++fp.support;
+      continue;
+    }
+    if (network.is_constant(node)) continue;
+    if (network.is_lut(node)) ++fp.nodes;
+    for (const net::NodeId fanin : network.fanins(node)) stack.push_back(fanin);
+  }
+  return fp;
+}
+
+void emit_cone_fingerprint(const net::Network& network, net::NodeId root_a,
+                           net::NodeId root_b, std::uint64_t journal_a,
+                           std::uint64_t journal_b, std::uint8_t strategy_code,
+                           bool output_proof) {
+  if (!obs::journal_enabled()) return;
+  const ConeFingerprint fp = fingerprint_cone(network, root_a, root_b);
+  obs::journal_emit(obs::EventKind::kConeFingerprint, strategy_code, journal_a,
+                    journal_b, fp.support, fp.nodes, fp.depth, 0, 0,
+                    output_proof ? 1 : 0);
+}
+
 Sweeper::Sweeper(const net::Network& network, SweepOptions options)
     : network_(network),
       options_(options),
@@ -96,6 +136,11 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
   solver_.add_clause({sat::pos(t), sat::pos(var_a), sat::neg(var_b)});
   solver_.add_clause({sat::pos(t), sat::neg(var_a), sat::pos(var_b)});
 
+  emit_cone_fingerprint(network_, a, b, a, b, options_.strategy_code,
+                        /*output_proof=*/false);
+#ifndef SIMGEN_NO_TELEMETRY
+  solver_.set_introspection_context(a, b, /*output_proof=*/false);
+#endif
   util::Stopwatch watch;
   watch.start();
   sat::Result verdict;
@@ -106,6 +151,9 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
                    static_cast<double>(solver_.stats().conflicts.value()));
   }
   watch.stop();
+#ifndef SIMGEN_NO_TELEMETRY
+  solver_.clear_introspection_context();
+#endif
   ++totals_.sat_calls;
   totals_.sat_seconds += watch.seconds();
   static obs::Counter& sat_calls = obs::counter("sweep.sat_calls");
@@ -439,11 +487,20 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
       solver.add_clause({sat::pos(t), sat::pos(var_a), sat::neg(var_b)});
       solver.add_clause({sat::pos(t), sat::neg(var_a), sat::pos(var_b)});
 
+      emit_cone_fingerprint(network_, task.rep, task.cand, task.rep, task.cand,
+                            options_.strategy_code, /*output_proof=*/false);
+#ifndef SIMGEN_NO_TELEMETRY
+      solver.set_introspection_context(task.rep, task.cand,
+                                       /*output_proof=*/false);
+#endif
       util::Stopwatch solve_watch;
       solve_watch.start();
       out.verdict = solver.solve({sat::pos(t)});
       solve_watch.stop();
       out.solve_seconds = solve_watch.seconds();
+#ifndef SIMGEN_NO_TELEMETRY
+      solver.clear_introspection_context();
+#endif
 
       if (obs::journal_enabled()) {
         // Fresh solver: absolute stats are already per-call deltas, and

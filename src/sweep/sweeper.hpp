@@ -64,7 +64,38 @@ struct SweepOptions {
   /// resolved, SAT calls, ETA) during run(). Printed at info level and
   /// journaled as kHeartbeat events; 0 disables.
   double progress_interval = 0.0;
+  /// Guided-simulation strategy arm (core::Strategy numeric value) that
+  /// produced the classes being swept. Purely observational: recorded as
+  /// the sub-code of every kConeFingerprint journal event so the SAT
+  /// hardness report can bucket solve cost by arm.
+  std::uint8_t strategy_code = 0;
 };
+
+/// Structural fingerprint of the combined transitive-fanin cone of up to
+/// two roots — the shape handed to the SAT solver for one call, captured
+/// so the hardness report can correlate solve cost with cone structure.
+struct ConeFingerprint {
+  std::uint64_t support = 0;  ///< Distinct PIs in the cone.
+  std::uint64_t nodes = 0;    ///< Distinct internal (LUT) nodes, roots included.
+  std::uint64_t depth = 0;    ///< Max logic level over the roots.
+};
+
+/// Walks the combined fanin cone of \p a (and \p b unless kNullNode).
+[[nodiscard]] ConeFingerprint fingerprint_cone(const net::Network& network,
+                                               net::NodeId a,
+                                               net::NodeId b = net::kNullNode);
+
+/// Journals one kConeFingerprint event for the SAT call keyed by
+/// (\p journal_a, \p journal_b, \p output_proof) — the same key the
+/// adjacent kSatCall event carries, so the inspector joins them without
+/// relying on event adjacency. The cone is fingerprinted from the roots
+/// \p root_a / \p root_b (for candidate pairs these equal the journal
+/// key; for output proofs the key is the PO ordinal while the root is
+/// the miter PO node). No-op when no journal is recording.
+void emit_cone_fingerprint(const net::Network& network, net::NodeId root_a,
+                           net::NodeId root_b, std::uint64_t journal_a,
+                           std::uint64_t journal_b, std::uint8_t strategy_code,
+                           bool output_proof);
 
 struct SweepResult {
   std::uint64_t sat_calls = 0;

@@ -119,6 +119,11 @@ struct ThreadPool::Impl {
     std::atomic<std::uint64_t> queue_depth_sum{0};
     std::atomic<std::uint64_t> max_queue_depth{0};
     std::atomic<std::uint64_t> task_us_sum{0};
+    /// Timestamp (profile_now_ns) when this worker last became idle, or 0
+    /// while it is inside a task body. Lives here — not as a worker_loop
+    /// local — so settle_idle() can close the open idle interval after
+    /// the last task of a run (the §13 trailing-idle tail).
+    std::atomic<std::uint64_t> idle_since{0};
     std::array<std::atomic<std::uint64_t>, WorkerProfile::kNumLatencyBuckets>
         task_us_buckets{};
   };
@@ -248,7 +253,8 @@ struct ThreadPool::Impl {
     set_thread_worker_index(static_cast<int>(self));
     std::uint64_t seen_epoch = 0;
 #ifndef SIMGEN_NO_TELEMETRY
-    std::uint64_t idle_since = profile_now_ns();
+    counters[self].idle_since.store(profile_now_ns(),
+                                    std::memory_order_relaxed);
 #endif
     while (true) {
       const std::function<void(std::size_t, unsigned)>* fn = nullptr;
@@ -280,8 +286,16 @@ struct ThreadPool::Impl {
         const std::size_t task = item.task;
 #ifndef SIMGEN_NO_TELEMETRY
         const std::uint64_t task_begin = profile_now_ns();
-        counters[self].idle_ns.fetch_add(task_begin - idle_since,
-                                         std::memory_order_relaxed);
+        {
+          // exchange(0) marks the worker busy; settle_idle() may have
+          // already closed part of this interval, in which case the
+          // stamp it left behind is where our accounting resumes.
+          const std::uint64_t idle_since = counters[self].idle_since.exchange(
+              0, std::memory_order_relaxed);
+          if (idle_since != 0 && task_begin > idle_since)
+            counters[self].idle_ns.fetch_add(task_begin - idle_since,
+                                             std::memory_order_relaxed);
+        }
 #endif
         try {
           (*fn)(task, self);
@@ -305,7 +319,7 @@ struct ThreadPool::Impl {
           mine.task_us_sum.fetch_add(dur_us, std::memory_order_relaxed);
           mine.task_us_buckets[latency_bucket_of(dur_us)].fetch_add(
               1, std::memory_order_relaxed);
-          idle_since = task_end;
+          mine.idle_since.store(task_end, std::memory_order_relaxed);
         }
 #endif
         LockGuard lock(mutex);
@@ -395,6 +409,26 @@ PoolProfile ThreadPool::profile() const {
 
 std::size_t ThreadPool::pending_tasks() const noexcept {
   return impl_->pending_live.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::settle_idle() const noexcept {
+  const std::uint64_t now = profile_now_ns();
+  for (Impl::WorkerCounters& worker : impl_->counters) {
+    const std::uint64_t since =
+        worker.idle_since.exchange(now, std::memory_order_relaxed);
+    if (since != 0) {
+      if (now > since)
+        worker.idle_ns.fetch_add(now - since, std::memory_order_relaxed);
+    } else {
+      // The worker is inside a task body: it owes no idle time, so undo
+      // the stamp we just planted — unless the task finished in between,
+      // in which case the worker's own end-stamp already replaced it and
+      // must win.
+      std::uint64_t expected = now;
+      worker.idle_since.compare_exchange_strong(expected, 0,
+                                                std::memory_order_relaxed);
+    }
+  }
 }
 #endif  // SIMGEN_NO_TELEMETRY
 

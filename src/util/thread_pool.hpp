@@ -104,6 +104,16 @@ class ThreadPool {
   /// Tasks of the current batch not yet finished (queued + in flight);
   /// 0 between batches. Readable asynchronously (heartbeats, watchdog).
   [[nodiscard]] std::size_t pending_tasks() const noexcept;
+
+  /// Closes every worker's open idle interval — the tail since its last
+  /// task ended (or since worker start, if it never ran one) — folding
+  /// it into idle_ns as if the interval ended now. Without this, the
+  /// trailing idle after a worker's final task is never accounted and
+  /// utilization reads high for workers that finished early. Idempotent
+  /// (settled time is never double-counted) and safe while a batch runs
+  /// (a worker mid-task is left untouched), but meant to be called
+  /// between batches, right before a final profile() snapshot.
+  void settle_idle() const noexcept;
 #endif
 
  private:

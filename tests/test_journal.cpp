@@ -4,6 +4,7 @@
 /// metrics registry, and the watchdog's flush-on-signal guarantee.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -68,6 +69,17 @@ std::vector<JournalEvent> sample_events() {
   push(EventKind::kPhaseEnd, static_cast<std::uint8_t>(PhaseId::kRandomSim), 0,
        0, 20, 9, 0, 0, 120);
   push(EventKind::kPhaseBegin, static_cast<std::uint8_t>(PhaseId::kSweep), 0);
+  // Format-2 solver introspection around the (7, 9) call: fingerprint
+  // before the solve, milestones and the rollup inside it, the kSatCall
+  // after — the emission order the inspector's join relies on.
+  push(EventKind::kConeFingerprint, /*arm=*/2, 7, 9, /*support=*/6,
+       /*nodes=*/11, /*depth=*/4);
+  push(EventKind::kSolverRestart, 0, 7, 9, /*ordinal=*/1, /*conflicts=*/2,
+       /*learnt db=*/3);
+  push(EventKind::kSolverReduce, 0, 7, 9, /*deleted=*/2, /*before=*/3,
+       /*after=*/1);
+  push(EventKind::kSolverSolveStats, 0, 7, 9, /*learnt=*/3, /*lbd sum=*/6,
+       /*lbd max=*/3, /*restarts=*/1);
   push(EventKind::kSatCall, static_cast<std::uint8_t>(SatVerdict::kUnsat), 7, 9,
        3, 50, 12, obs::pack_cone_learned(11, 3), 40);
   push(EventKind::kCertified, 1, 7, 9, 6, 8, 90, 0, 10);
@@ -161,6 +173,51 @@ TEST(JournalFile, SchedulerKindsRoundTripThroughJsonl) {
   EXPECT_STREQ(obs::kind_name(EventKind::kTaskRun), "task_run");
   EXPECT_STREQ(obs::kind_name(EventKind::kWorkerStats), "worker_stats");
   EXPECT_STREQ(obs::kind_name(EventKind::kResourceSample), "resource_sample");
+}
+
+TEST(JournalFile, SolverIntrospectionKindsRoundTripThroughJsonl) {
+  // The format-2 solver-introspection kinds must survive the text format
+  // exactly like the scheduler kinds: kind_name() on the way out, the
+  // string registry on the way back in.
+  std::vector<JournalEvent> events;
+  const auto push = [&](EventKind kind, std::uint8_t code, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t v0, std::uint64_t v1,
+                        std::uint64_t v2, std::uint64_t v3,
+                        std::uint16_t flags) {
+    JournalEvent event;
+    event.t_ns = (events.size() + 1) * 500;
+    event.kind = kind;
+    event.code = code;
+    event.a = a;
+    event.b = b;
+    event.v0 = v0;
+    event.v1 = v1;
+    event.v2 = v2;
+    event.v3 = v3;
+    event.flags = flags;
+    events.push_back(event);
+  };
+  push(EventKind::kConeFingerprint, 1, 40, 77, 9, 31, 6, 0, 0);
+  push(EventKind::kSolverRestart, 0, 40, 77, 1, 100, 64, 0, 0);
+  push(EventKind::kSolverReduce, 0, 40, 77, 32, 64, 32, 0, 0);
+  push(EventKind::kSolverBudget, 0, 40, 77, 1000, 1000, 0, 0, 0);
+  push(EventKind::kSolverSolveStats, 0, 12, 0, 5, 14, 6, 2, /*flags=*/1);
+
+  const std::string path = temp_path("introspection_kinds.jsonl");
+  ASSERT_TRUE(obs::write_journal_file(path, events));
+  std::vector<JournalEvent> loaded;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_file(path, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(loaded[i], events[i]) << "event " << i;
+  EXPECT_STREQ(obs::kind_name(EventKind::kConeFingerprint),
+               "cone_fingerprint");
+  EXPECT_STREQ(obs::kind_name(EventKind::kSolverRestart), "solver_restart");
+  EXPECT_STREQ(obs::kind_name(EventKind::kSolverReduce), "solver_reduce");
+  EXPECT_STREQ(obs::kind_name(EventKind::kSolverBudget), "solver_budget");
+  EXPECT_STREQ(obs::kind_name(EventKind::kSolverSolveStats),
+               "solver_solve_stats");
 }
 
 TEST(JournalFile, BinaryToleratesTruncatedTail) {
@@ -269,6 +326,73 @@ TEST(JournalCheck, RejectsUnattributedClassSplit) {
   EXPECT_TRUE(obs::check_journal(created, &error)) << error;
 }
 
+TEST(JournalCheck, RejectsMalformedSolverIntrospectionEvents) {
+  // --check must catch truncated or corrupted format-2 events: each kind
+  // carries invariants a correct emitter can never violate.
+  std::string error;
+  std::vector<JournalEvent> events(1);
+
+  events[0].kind = EventKind::kSolverRestart;
+  events[0].v0 = 0;  // Ordinals are 1-based.
+  events[0].v1 = 5;
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("1-based"), std::string::npos) << error;
+  events[0].v0 = 6;  // More restarts than conflicts is impossible.
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("exceeds conflict count"), std::string::npos) << error;
+  events[0].v0 = 2;
+  EXPECT_TRUE(obs::check_journal(events, &error)) << error;
+
+  events[0] = JournalEvent{};
+  events[0].kind = EventKind::kSolverReduce;
+  events[0].v0 = 30;  // Deleted more clauses than the DB held.
+  events[0].v1 = 20;
+  events[0].v2 = 10;
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("deleted more clauses"), std::string::npos) << error;
+  events[0].v0 = 5;
+  events[0].v2 = 25;  // A reduction cannot grow the DB.
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("grew the learnt DB"), std::string::npos) << error;
+  events[0].v2 = 15;
+  EXPECT_TRUE(obs::check_journal(events, &error)) << error;
+
+  events[0] = JournalEvent{};
+  events[0].kind = EventKind::kSolverBudget;
+  events[0].v0 = 0;  // A budget hit implies a nonzero limit.
+  events[0].v1 = 10;
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("without a conflict limit"), std::string::npos)
+      << error;
+  events[0].v0 = 20;  // Giving up before the limit is not a budget hit.
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("before the conflict limit"), std::string::npos)
+      << error;
+  events[0].v1 = 20;
+  EXPECT_TRUE(obs::check_journal(events, &error)) << error;
+
+  events[0] = JournalEvent{};
+  events[0].kind = EventKind::kSolverSolveStats;
+  events[0].v0 = 4;  // Every LBD is >= 1, so the sum bounds the count.
+  events[0].v1 = 2;
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("LBD sum below learnt count"), std::string::npos)
+      << error;
+  events[0].v1 = 10;
+  events[0].v2 = 11;  // One clause's LBD cannot exceed the sum of all.
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("LBD max exceeds LBD sum"), std::string::npos)
+      << error;
+  events[0].v0 = 0;  // LBD fields on a solve that learned nothing.
+  events[0].v1 = 5;
+  events[0].v2 = 2;
+  EXPECT_FALSE(obs::check_journal(events, &error));
+  EXPECT_NE(error.find("without learnt clauses"), std::string::npos) << error;
+  events[0].v1 = 0;
+  events[0].v2 = 0;
+  EXPECT_TRUE(obs::check_journal(events, &error)) << error;
+}
+
 TEST(JournalReportTest, AggregatesSampleSequence) {
   const obs::JournalReport report = obs::build_report(sample_events());
   EXPECT_EQ(report.num_events, sample_events().size());
@@ -306,14 +430,55 @@ TEST(JournalReportTest, AggregatesSampleSequence) {
   EXPECT_EQ(sweep_phase.total_us, 900u);
   EXPECT_FALSE(report.folded.empty());
 
+  // Solver-introspection totals and the per-call join.
+  EXPECT_EQ(report.cone_fingerprints, 1u);
+  EXPECT_EQ(report.solver_restarts, 1u);
+  EXPECT_EQ(report.solver_reduces, 1u);
+  EXPECT_EQ(report.reduce_deleted, 2u);
+  EXPECT_EQ(report.solver_solve_stats, 1u);
+  EXPECT_EQ(report.lbd_count, 3u);
+  EXPECT_EQ(report.lbd_sum, 6u);
+  EXPECT_EQ(report.lbd_max, 3u);
+  ASSERT_EQ(report.restart_timeline.size(), 1u);
+  EXPECT_EQ(report.restart_timeline[0].a, 7u);
+  EXPECT_EQ(report.restart_timeline[0].ordinal, 1u);
+  const auto joined =
+      std::find_if(report.calls.begin(), report.calls.end(),
+                   [](const obs::SatCallRecord& call) {
+                     return call.a == 7 && call.b == 9 && !call.output_proof;
+                   });
+  ASSERT_NE(joined, report.calls.end());
+  EXPECT_TRUE(joined->has_fingerprint);
+  EXPECT_EQ(joined->strategy_arm, 2u);
+  EXPECT_EQ(joined->cone_support, 6u);
+  EXPECT_EQ(joined->cone_nodes, 11u);
+  EXPECT_EQ(joined->cone_depth, 4u);
+  EXPECT_TRUE(joined->has_solve_stats);
+  EXPECT_EQ(joined->restarts, 1u);
+  EXPECT_EQ(joined->reduces, 1u);
+  EXPECT_EQ(joined->lbd_sum, 6u);
+  EXPECT_EQ(joined->lbd_max, 3u);
+  // The third call (output proof, pair key (3, 0, flags=1)) saw no
+  // introspection events and must not inherit the (7, 9) join.
+  const auto untouched =
+      std::find_if(report.calls.begin(), report.calls.end(),
+                   [](const obs::SatCallRecord& call) {
+                     return call.output_proof;
+                   });
+  ASSERT_NE(untouched, report.calls.end());
+  EXPECT_FALSE(untouched->has_fingerprint);
+  EXPECT_FALSE(untouched->has_solve_stats);
+
   // All writers accept the report without choking.
   std::ostringstream out;
   const obs::InspectOptions options;
   obs::write_text_report(out, report, options);
   obs::write_timeline(out, report, 0, options);
   obs::write_folded_stacks(out, report, options);
+  obs::write_sat_report(out, report, options);
   obs::write_html_report(out, report, options);
   EXPECT_NE(out.str().find("pattern effectiveness"), std::string::npos);
+  EXPECT_NE(out.str().find("SAT hardness"), std::string::npos);
   EXPECT_NE(out.str().find("<html"), std::string::npos);
 }
 
@@ -437,6 +602,24 @@ TEST(JournalIntegration, CertifiedCecTotalsMatchRegistry) {
   EXPECT_EQ(report.certified_ok, delta.counter_value("sweep.certified_unsat"));
   EXPECT_EQ(report.class_split, delta.counter_value("eq.splits"));
   EXPECT_EQ(report.pattern_splits, delta.counter_value("eq.splits"));
+
+  // Format-2 solver introspection: every milestone the solvers counted
+  // into the registry also reached the journal, and every solve carried
+  // its fingerprint and rollup.
+  EXPECT_EQ(report.solver_restarts, delta.counter_value("sat.restarts"));
+  EXPECT_EQ(report.solver_reduces, delta.counter_value("sat.db_reductions"));
+  EXPECT_EQ(report.lbd_count, delta.counter_value("sat.learned_clauses"))
+      << "every learnt clause of a context-tagged solve records one LBD";
+  EXPECT_EQ(report.cone_fingerprints, report.sat_calls)
+      << "every SAT call is preceded by exactly one cone fingerprint";
+  EXPECT_EQ(report.solver_solve_stats, report.sat_calls)
+      << "every SAT call ends with exactly one solve-stats rollup";
+  EXPECT_GT(report.lbd_sum, 0u);
+  for (const obs::SatCallRecord& call : report.calls) {
+    EXPECT_TRUE(call.has_fingerprint)
+        << "call (" << call.a << ", " << call.b << ") missed its join";
+    EXPECT_TRUE(call.has_solve_stats);
+  }
 
   // Journal totals == the CecResult the caller saw.
   EXPECT_EQ(report.sat_calls,

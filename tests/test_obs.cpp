@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <chrono>
 #include <cmath>
@@ -76,6 +77,39 @@ TEST(Histogram, ObserveTracksCountSumBuckets) {
   EXPECT_EQ(histogram.buckets()[3], 2u);  // values 4..7
   histogram.reset();
   EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Histogram, PercentileInterpolatesInsideLog2Buckets) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.percentile(0.5), 0u);  // empty distribution
+
+  histogram.observe(0);
+  EXPECT_EQ(histogram.percentile(0.5), 0u);  // bucket 0 is exact
+  EXPECT_EQ(histogram.percentile(1.0), 0u);
+
+  histogram.reset();
+  for (int i = 0; i < 3; ++i) histogram.observe(10);  // bucket [8, 15]
+  // Ranks 1..3 spread evenly across the bucket's value range: 8, 10, 12.
+  EXPECT_EQ(histogram.percentile(0.0), 8u);  // q == 0 degenerates to min
+  EXPECT_EQ(histogram.percentile(0.5), 10u);
+  EXPECT_EQ(histogram.percentile(1.0), 12u);
+}
+
+TEST(Histogram, BucketPercentileIsTheSharedEstimator) {
+  // The free function behind Histogram::percentile, the pool-profile
+  // exporter, and the --sat report tables; one estimator so p50/p90/p99
+  // mean the same thing everywhere.
+  std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+  EXPECT_EQ(bucket_percentile(buckets.data(), buckets.size(), 0.5), 0u);
+  buckets[Histogram::bucket_of(0)] += 1;
+  buckets[Histogram::bucket_of(1)] += 1;
+  buckets[Histogram::bucket_of(1000)] += 1;  // lands in [512, 1023]
+  EXPECT_EQ(bucket_percentile(buckets.data(), buckets.size(), 0.0), 0u);
+  EXPECT_EQ(bucket_percentile(buckets.data(), buckets.size(), 0.5), 1u);
+  EXPECT_EQ(bucket_percentile(buckets.data(), buckets.size(), 1.0), 512u);
+  // Out-of-range quantiles clamp rather than misbehave.
+  EXPECT_EQ(bucket_percentile(buckets.data(), buckets.size(), -1.0), 0u);
+  EXPECT_EQ(bucket_percentile(buckets.data(), buckets.size(), 2.0), 512u);
 }
 
 TEST(Stopwatch, LapMeasuresSinceLastLap) {

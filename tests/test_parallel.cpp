@@ -526,6 +526,38 @@ TEST(PoolProfiling, JournalTotalsAreThreadCountInvariant) {
   EXPECT_EQ(lane_tasks, four.task_runs)
       << "every task run must land on exactly one worker lane";
 }
+
+TEST(SatIntrospection, JournalTotalsAreThreadCountInvariant) {
+  // The format-2 solver-introspection events come from cone-local
+  // solvers whose solves are pure functions of their task, so every
+  // introspection total — restarts, reductions, learnt/LBD rollups,
+  // fingerprints — depends only on the circuit, never on pool width or
+  // interleaving.
+  const net::Network network = parallel_bench();
+  const obs::JournalReport two = profiled_sweep_report(network, 2);
+  const obs::JournalReport four = profiled_sweep_report(network, 4);
+
+  EXPECT_GT(two.cone_fingerprints, 0u);
+  EXPECT_EQ(two.cone_fingerprints, four.cone_fingerprints);
+  EXPECT_EQ(two.solver_solve_stats, four.solver_solve_stats);
+  EXPECT_EQ(two.solver_restarts, four.solver_restarts);
+  EXPECT_EQ(two.solver_reduces, four.solver_reduces);
+  EXPECT_EQ(two.solver_budget_hits, four.solver_budget_hits);
+  EXPECT_EQ(two.reduce_deleted, four.reduce_deleted);
+  EXPECT_EQ(two.conflicts, four.conflicts);
+  EXPECT_EQ(two.learned, four.learned);
+  EXPECT_EQ(two.lbd_count, four.lbd_count);
+  EXPECT_EQ(two.lbd_sum, four.lbd_sum);
+  EXPECT_EQ(two.lbd_max, four.lbd_max);
+
+  // One fingerprint and one rollup bracket every solve at any width.
+  EXPECT_EQ(two.cone_fingerprints, two.sat_calls);
+  EXPECT_EQ(two.solver_solve_stats, two.sat_calls);
+  for (const obs::SatCallRecord& call : four.calls) {
+    EXPECT_TRUE(call.has_fingerprint);
+    EXPECT_TRUE(call.has_solve_stats);
+  }
+}
 #endif  // SIMGEN_NO_TELEMETRY
 
 // ---------------------------------------------------------------------------

@@ -109,6 +109,13 @@ TEST(WorkerLanes, TextLanesParseBackToTheReport) {
   EXPECT_EQ(workers, report.lanes.size());
   EXPECT_EQ(header_tasks, report.task_runs);
 
+  // The pooled task-latency percentile line (present whenever any lane
+  // recorded a task) sits between the header and the lanes.
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("task latency: p50 ", 0), 0u) << line;
+  EXPECT_NE(line.find("p90"), std::string::npos) << line;
+  EXPECT_NE(line.find("p99"), std::string::npos) << line;
+
   std::size_t parsed = 0;
   while (std::getline(in, line)) {
     unsigned long long worker = 0, tasks = 0, steals_ok = 0, steals_try = 0,
@@ -201,6 +208,26 @@ TEST(PoolProfile, BusyTimeCoversTheTaskBodies) {
   const util::WorkerProfile totals = pool.profile().totals();
   EXPECT_GE(totals.busy_ns, 8ull * 2'000'000) << "8 tasks x 2ms sleeps";
   EXPECT_GE(totals.task_us_sum, 8ull * 2'000);
+}
+
+TEST(PoolProfile, SettleIdleClosesTheTrailingIdleTail) {
+  util::ThreadPool pool(2);
+  pool.run_tasks(8, [](std::size_t, unsigned) {});
+  const util::WorkerProfile before = pool.profile().totals();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  pool.settle_idle();
+  const util::WorkerProfile after = pool.profile().totals();
+  // Both workers sat through the sleep; settle_idle() folds that tail
+  // into idle_ns (the DESIGN.md section 13 trailing-idle caveat).
+  EXPECT_GE(after.idle_ns - before.idle_ns, 2ull * 15'000'000)
+      << "two workers x at least half of a 30ms sleep each";
+  EXPECT_EQ(after.busy_ns, before.busy_ns)
+      << "settling idle must never touch busy time";
+  EXPECT_EQ(after.tasks, before.tasks);
+  // Idempotent: an immediate second settle adds (nearly) nothing.
+  pool.settle_idle();
+  const util::WorkerProfile again = pool.profile().totals();
+  EXPECT_LT(again.idle_ns - after.idle_ns, 10'000'000u);
 }
 
 TEST(PoolProfile, PendingTasksIsVisibleMidBatch) {

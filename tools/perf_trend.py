@@ -15,7 +15,15 @@ A cell regresses when
   * wall_seconds  > median * (1 + --band) + --atol-seconds, or
   * pool_utilization drops more than --util-band below its median
     (only gated when the baseline median is at least --util-floor, i.e.
-    when the run actually exercised the profiled thread pool).
+    when the run actually exercised the profiled thread pool), or
+  * any --gate FIELD[:BAND[:ATOL]] field exceeds its own
+    median * (1 + BAND) + ATOL (BAND/ATOL default to --band and
+    --atol-seconds). --gate is repeatable and works for any numeric
+    BENCH_*.json field where higher is worse — CI uses it to watch
+    sat_wall_seconds. A gate whose field is missing from this run's
+    JSON, or absent from every history row in the window (history
+    predating the field), is skipped with a printed notice, never an
+    error.
 
 Getting faster (or more utilized) is never a failure. With no usable
 history the run seeds the baseline and passes. A regressed run is NOT
@@ -40,7 +48,7 @@ EXTRA_KEYS = ("peak_rss_mb", "pool_tasks", "pool_steal_successes",
               "sat_calls", "num_threads")
 
 
-def load_cells(candidate_dir):
+def load_cells(candidate_dir, gate_fields=()):
     """Maps 'benchmark__strategy' -> recorded metrics for one run."""
     cells = {}
     for path in sorted(candidate_dir.glob("BENCH_*.json")):
@@ -50,11 +58,29 @@ def load_cells(candidate_dir):
             raise SystemExit(f"error: cannot read {path}: {error}")
         name = path.stem[len("BENCH_"):]
         cell = {}
-        for key in (WALL_KEY, UTIL_KEY) + EXTRA_KEYS:
+        for key in (WALL_KEY, UTIL_KEY) + EXTRA_KEYS + tuple(gate_fields):
             if key in data:
                 cell[key] = data[key]
         cells[name] = cell
     return cells
+
+
+def parse_gate(spec, default_band, default_atol):
+    """'FIELD[:BAND[:ATOL]]' -> (field, band, atol)."""
+    parts = spec.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise SystemExit(f"error: bad --gate spec '{spec}' "
+                         f"(want FIELD[:BAND[:ATOL]])")
+    band, atol = default_band, default_atol
+    try:
+        if len(parts) > 1 and parts[1]:
+            band = float(parts[1])
+        if len(parts) > 2 and parts[2]:
+            atol = float(parts[2])
+    except ValueError:
+        raise SystemExit(f"error: bad --gate spec '{spec}': BAND and ATOL "
+                         f"must be numbers")
+    return parts[0], band, atol
 
 
 def read_history(path):
@@ -112,6 +138,13 @@ def main():
     parser.add_argument("--util-floor", type=float, default=0.05,
                         help="gate utilization only when its baseline median "
                              "is at least this (default 0.05)")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="FIELD[:BAND[:ATOL]]",
+                        help="additionally gate a numeric BENCH json field "
+                             "(higher is worse) against its rolling median; "
+                             "repeatable. BAND/ATOL default to --band and "
+                             "--atol-seconds. Missing fields are skipped "
+                             "with a notice.")
     parser.add_argument("--label", default="",
                         help="free-form tag recorded with this run (e.g. a "
                              "commit hash)")
@@ -122,11 +155,15 @@ def main():
                         help="gate only; leave the history untouched")
     args = parser.parse_args()
 
+    gates = [parse_gate(spec, args.band, args.atol_seconds)
+             for spec in args.gate]
+
     if not args.candidate_dir.is_dir():
         print(f"error: candidate directory {args.candidate_dir} does not "
               f"exist", file=sys.stderr)
         return 1
-    cells = load_cells(args.candidate_dir)
+    cells = load_cells(args.candidate_dir,
+                       gate_fields=[field for field, _, _ in gates])
     if not cells:
         print(f"error: no BENCH_*.json files in {args.candidate_dir}",
               file=sys.stderr)
@@ -161,6 +198,29 @@ def main():
                       f"dropped more than {args.util_band:.2f} below its "
                       f"median {base_util:.2f}")
                 regressions += 1
+        for field, band, atol in gates:
+            value = cell.get(field)
+            if not isinstance(value, (int, float)):
+                print(f"notice     {name}: no '{field}' in this run's json; "
+                      f"gate skipped")
+                continue
+            base = baseline_median(history, name, field, args.window)
+            if base is None:
+                if history:
+                    print(f"notice     {name}: no '{field}' baseline in the "
+                          f"last {args.window} runs (history predates the "
+                          f"field?); gate skipped")
+                continue
+            gated += 1
+            limit = base * (1.0 + band) + atol
+            if value > limit:
+                print(f"REGRESSION {name}: {field} {value:.3f} > "
+                      f"{limit:.3f} (median {base:.3f} of last "
+                      f"{args.window}, band {band:.0%} +{atol})")
+                regressions += 1
+            else:
+                print(f"ok         {name}: {field} {value:.3f} "
+                      f"(median {base:.3f}, limit {limit:.3f})")
 
     if gated == 0:
         print(f"no usable baseline in {history_path} yet; seeding it with "
