@@ -43,6 +43,11 @@ unsigned& num_threads_storage() {
   return threads;
 }
 
+bool& inprocess_storage() {
+  static bool enabled = true;
+  return enabled;
+}
+
 }  // namespace
 
 void set_progress_interval(double seconds) {
@@ -56,6 +61,10 @@ void set_num_threads(unsigned num_threads) {
 }
 
 unsigned num_threads() { return num_threads_storage(); }
+
+void set_inprocess(bool enabled) { inprocess_storage() = enabled; }
+
+bool inprocess() { return inprocess_storage(); }
 
 void for_each_cell(std::size_t count,
                    const std::function<void(std::size_t)>& fn) {
@@ -106,6 +115,7 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
       << "  \"sat_conflicts\": " << metrics.sat_conflicts << ",\n"
       << "  \"sat_propagations\": " << metrics.sat_propagations << ",\n"
       << "  \"sat_restarts\": " << metrics.sat_restarts << ",\n"
+      << "  \"inprocess_runs\": " << metrics.inprocess_runs << ",\n"
       << "  \"proven\": " << metrics.proven << ",\n"
       << "  \"disproven\": " << metrics.disproven << ",\n"
       << "  \"unresolved\": " << metrics.unresolved << ",\n"
@@ -134,6 +144,7 @@ TelemetryCli::TelemetryCli(int& argc, char** argv) : cli_(argc, argv) {
   argc = out;
   set_progress_interval(cli_.progress_interval());
   set_num_threads(cli_.num_threads());
+  set_inprocess(cli_.inprocess());
 }
 
 FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strategy,
@@ -169,6 +180,7 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
     sweep_options.seed = config.seed;
     sweep_options.conflict_limit = config.sat_conflict_limit;
     sweep_options.progress_interval = progress_interval();
+    sweep_options.inprocess = inprocess();
     // Benches parallelize across cells (see for_each_cell), so each flow
     // keeps the sequential engine: metrics stay byte-identical to a
     // single-thread run and workers are never nested.
@@ -186,6 +198,7 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
     metrics.sat_conflicts = solver_stats.conflicts.value();
     metrics.sat_propagations = solver_stats.propagations.value();
     metrics.sat_restarts = solver_stats.restarts.value();
+    metrics.inprocess_runs = sweep_result.inprocess_runs;
   }
   flow_watch.stop();
   metrics.wall_seconds = flow_watch.seconds();

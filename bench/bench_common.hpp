@@ -37,6 +37,8 @@ struct FlowMetrics {
   std::uint64_t sat_conflicts = 0;
   std::uint64_t sat_propagations = 0;
   std::uint64_t sat_restarts = 0;
+  /// Solver inprocessing runs during the sweep (0 with --no-inprocess).
+  std::uint64_t inprocess_runs = 0;
   std::uint64_t proven = 0;
   std::uint64_t disproven = 0;
   std::uint64_t unresolved = 0;  ///< Conflict-limited pairs (if capped).
@@ -91,6 +93,13 @@ void set_progress_interval(double seconds);
 /// single-thread run. Only the wall-clock fields see scheduling noise.
 void set_num_threads(unsigned num_threads);
 [[nodiscard]] unsigned num_threads();
+
+/// Solver inprocessing toggle for the bench drivers (same storage pattern
+/// as the progress interval); set false by TelemetryCli's --no-inprocess.
+/// Forwarded into SweepOptions::inprocess by run_strategy_flow, so an
+/// inprocessing-on vs -off A/B needs only the flag, no rebuild.
+void set_inprocess(bool enabled);
+[[nodiscard]] bool inprocess();
 
 /// Runs fn(0), ..., fn(count - 1), sharding the calls across the
 /// --threads worker pool when more than one thread is requested. Cells

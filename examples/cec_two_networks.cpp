@@ -207,6 +207,7 @@ int main(int argc, char** argv) {
   options.guided_strategy = core::Strategy::kAiDcMffc;
   options.sweep.progress_interval = telemetry.progress_interval();
   options.num_threads = telemetry.num_threads();
+  options.sweep.inprocess = telemetry.inprocess();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--certify") == 0) {
       options.certify = true;

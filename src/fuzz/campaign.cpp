@@ -183,6 +183,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
       pair_options.arm = arm;
       pair_options.certify = options.certify;
       pair_options.num_threads = options.num_threads;
+      pair_options.inprocess_differential = options.inprocess_differential;
 
       const auto check_mutant = [&](const Mutant& mutant,
                                     const char* tag) {

@@ -54,6 +54,9 @@ struct CampaignOptions {
   /// engine with this many workers (see PairOracleOptions::num_threads);
   /// verdict-log bytes are unchanged while the engines agree.
   unsigned num_threads = 1;
+  /// Cross-check every sweeping oracle with inprocessing toggled on/off
+  /// (see PairOracleOptions::inprocess_differential).
+  bool inprocess_differential = false;
   /// Where to write repro artifacts; empty disables writing.
   std::string artifact_dir;
   GenProfile profile;

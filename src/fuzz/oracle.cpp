@@ -63,10 +63,15 @@ const char* verdict_str(const sweep::CecResult& verdict) {
 /// expected verdict. With \p cross_check_threads > 1 the same check is
 /// rerun on the parallel engine and the two verdicts must agree — the
 /// differential leg that pins the parallel sweeper to the sequential one.
+/// With \p cross_check_inprocess the check is also rerun with solver
+/// inprocessing disabled; the passes are equivalence-preserving, so any
+/// verdict drift (or a counterexample that stops simulating to a
+/// difference) is an inprocessing soundness bug.
 OracleResult run_cec_oracle(std::string name, const Network& base,
                             const Mutant& mutant,
                             const sweep::CecOptions& options,
-                            unsigned cross_check_threads = 1) {
+                            unsigned cross_check_threads = 1,
+                            bool cross_check_inprocess = false) {
   OracleResult result;
   result.name = std::move(name);
   try {
@@ -105,6 +110,32 @@ OracleResult run_cec_oracle(std::string name, const Network& base,
         result.pass = false;
         result.detail =
             "parallel engine counterexample does not simulate to a difference";
+        return result;
+      }
+    }
+    if (cross_check_inprocess) {
+      sweep::CecOptions plain_options = options;
+      plain_options.sweep.inprocess = !options.sweep.inprocess;
+      const sweep::CecResult plain_verdict =
+          sweep::check_equivalence(base, mutant.network, plain_options);
+      if (plain_verdict.equivalent != verdict.equivalent ||
+          plain_verdict.undecided != verdict.undecided) {
+        result.pass = false;
+        result.detail = std::string("inprocess=") +
+                        (plain_options.sweep.inprocess ? "on" : "off") +
+                        " verdict " + verdict_str(plain_verdict) +
+                        " disagrees with inprocess=" +
+                        (options.sweep.inprocess ? "on" : "off") + " " +
+                        verdict_str(verdict) + " [" + mutant.description + "]";
+        return result;
+      }
+      if (!plain_verdict.equivalent &&
+          !counterexample_valid(base, mutant.network,
+                                plain_verdict.counterexample)) {
+        result.pass = false;
+        result.detail = std::string("inprocess=") +
+                        (plain_options.sweep.inprocess ? "on" : "off") +
+                        " counterexample does not simulate to a difference";
         return result;
       }
     }
@@ -232,19 +263,19 @@ std::vector<OracleResult> check_pair(const Network& base,
       results.push_back(run_cec_oracle(
           "cec[" + std::string(core::strategy_name(arm)) + "]", base, mutant,
           arm_options(arm, options.seed, options.certify),
-          options.num_threads));
+          options.num_threads, options.inprocess_differential));
   } else {
     results.push_back(run_cec_oracle(
         "cec[" + std::string(core::strategy_name(options.arm)) + "]", base,
         mutant, arm_options(options.arm, options.seed, options.certify),
-        options.num_threads));
+        options.num_threads, options.inprocess_differential));
   }
 
   // Plain SAT miter.
   results.push_back(run_cec_oracle(
       "sat-miter", base, mutant,
       sat_miter_options(options.seed, options.certify),
-      options.num_threads));
+      options.num_threads, options.inprocess_differential));
 
   // BDD engine. Node-limit blow-up is a pass (the engine is *allowed* to
   // give up), but a completed wrong verdict is a mismatch.

@@ -54,6 +54,12 @@ struct PairOracleOptions {
   /// oracle failure. Oracle names and verdict-log bytes stay identical to
   /// a single-thread campaign while both engines agree.
   unsigned num_threads = 1;
+  /// Rerun every sweeping oracle with solver inprocessing toggled (on vs
+  /// off) and fail on any verdict disagreement or non-simulating
+  /// counterexample. The inprocessing passes are equivalence-preserving,
+  /// so the two runs must agree on every pair; like num_threads, oracle
+  /// names and verdict-log bytes are unchanged while they do.
+  bool inprocess_differential = false;
 };
 
 /// Simulates \p network on one input vector; returns the PO value bits.

@@ -21,9 +21,10 @@ namespace {
 constexpr char kMagic[8] = {'S', 'G', 'J', 'R', 'N', 'L', '0', '1'};
 /// Version history: 1 = original event set (kinds 0..15); 2 = solver
 /// introspection kinds (kSolverRestart/kSolverReduce/kSolverBudget/
-/// kConeFingerprint/kSolverSolveStats). The event layout is unchanged, so the reader
+/// kConeFingerprint/kSolverSolveStats); 3 = inprocessing milestone
+/// (kSolverInprocess). The event layout is unchanged, so the reader
 /// accepts every version from 1 up to this.
-constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kFormatVersion = 3;
 
 /// 32-byte binary file header; everything after it is raw little-endian
 /// JournalEvent records.
@@ -97,6 +98,7 @@ const char* kind_name(EventKind kind) noexcept {
     case EventKind::kSolverBudget: return "solver_budget";
     case EventKind::kConeFingerprint: return "cone_fingerprint";
     case EventKind::kSolverSolveStats: return "solver_solve_stats";
+    case EventKind::kSolverInprocess: return "solver_inprocess";
   }
   return "?";
 }
@@ -432,7 +434,7 @@ namespace {
 
 EventKind kind_from_name(std::string_view name) {
   for (std::uint8_t k = 0;
-       k <= static_cast<std::uint8_t>(EventKind::kSolverSolveStats); ++k) {
+       k <= static_cast<std::uint8_t>(EventKind::kSolverInprocess); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == kind_name(kind)) return kind;
   }

@@ -105,6 +105,15 @@ enum class EventKind : std::uint8_t {
                            ///< v0=learnt clauses this solve, v1=LBD sum,
                            ///< v2=LBD max, v3=restarts this solve, flags
                            ///< bit0 = output proof.
+  // --- Inprocessing (format version >= 3) -------------------------------
+  kSolverInprocess = 21,  ///< One inprocessing run between restarts,
+                          ///< joined like the other solver milestones:
+                          ///< a,b=target pair, v0=clauses deleted,
+                          ///< v1=clauses strengthened (self-subsumption +
+                          ///< vivification), v2=failed-literal units,
+                          ///< v3=(substituted vars << 32) | eliminated
+                          ///< vars, dur_us=run wall time, flags bit0 =
+                          ///< output proof.
 };
 
 /// Verdict codes for kSatCall (mirrors sat::Result's meaning without

@@ -50,6 +50,10 @@ TelemetryCli::TelemetryCli(int& argc, char** argv) {
       num_threads_ = static_cast<unsigned>(value);
       continue;
     }
+    if (std::strcmp(argv[i], "--no-inprocess") == 0) {
+      inprocess_ = false;
+      continue;
+    }
     argv[out++] = argv[i];
   }
   argc = out;

@@ -16,6 +16,10 @@
 ///                          0 = one per hardware thread); read back via
 ///                          num_threads() and forwarded by the driver into
 ///                          SweepOptions/CecOptions::num_threads
+///   --no-inprocess         disable solver inprocessing (the escape hatch
+///                          for the plain-CDCL behaviour); read back via
+///                          inprocess() and forwarded by the driver into
+///                          SweepOptions::inprocess
 /// Construction registers the exit finalizer and (when any output or a
 /// timeout is requested) the signal watchdog, so the requested files are
 /// valid even if the run is interrupted. The destructor writes them on
@@ -49,6 +53,8 @@ class TelemetryCli {
   /// Value of --threads (sweep worker threads; default 1 = sequential,
   /// 0 = auto-detect the hardware concurrency).
   [[nodiscard]] unsigned num_threads() const noexcept { return num_threads_; }
+  /// False when --no-inprocess was given (solver inprocessing disabled).
+  [[nodiscard]] bool inprocess() const noexcept { return inprocess_; }
 
  private:
   std::string trace_out_;
@@ -57,6 +63,7 @@ class TelemetryCli {
   double progress_interval_ = 0.0;
   double timeout_seconds_ = 0.0;
   unsigned num_threads_ = 1;
+  bool inprocess_ = true;
 };
 
 }  // namespace simgen::obs

@@ -1,0 +1,37 @@
+#include "sat/arena.hpp"
+
+namespace simgen::sat {
+
+ClauseRef ClauseArena::alloc(std::span<const Lit> lits, bool learnt) {
+  assert(lits.size() >= 2);
+  const auto ref = static_cast<ClauseRef>(mem_.size());
+  mem_.push_back((static_cast<std::uint32_t>(lits.size()) << 3) |
+                 (learnt ? 4u : 0u));
+  mem_.push_back(0);  // activity / relocation slot
+  for (const Lit lit : lits) mem_.push_back(lit.code());
+  return ref;
+}
+
+void ClauseArena::copy_lits(ClauseRef ref, std::vector<Lit>& out) const {
+  const std::uint32_t count = size(ref);
+  out.reserve(out.size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(lit(ref, i));
+}
+
+void ClauseArena::reloc(ClauseRef& ref, ClauseArena& to) {
+  if ((mem_[ref] & 1u) != 0) {  // already moved: header word 1 holds the target
+    ref = mem_[ref + 1];
+    return;
+  }
+  assert(!garbage(ref));
+  const std::uint32_t count = size(ref);
+  const auto target = static_cast<ClauseRef>(to.mem_.size());
+  to.mem_.push_back(mem_[ref]);
+  for (std::uint32_t i = 0; i <= count; ++i)
+    to.mem_.push_back(mem_[ref + 1 + i]);
+  mem_[ref] |= 1u;
+  mem_[ref + 1] = target;
+  ref = target;
+}
+
+}  // namespace simgen::sat

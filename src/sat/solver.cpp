@@ -5,7 +5,11 @@
 #include <cmath>
 
 #include "obs/journal.hpp"
+#include "sat/inprocess.hpp"
 #include "sat/proof.hpp"
+#ifndef SIMGEN_NO_TELEMETRY
+#include "util/stopwatch.hpp"
+#endif
 
 namespace simgen::sat {
 namespace {
@@ -39,6 +43,14 @@ SolverStats::SolverStats(obs::register_t)
       learned_clauses("sat.learned_clauses"),
       deleted_clauses("sat.deleted_clauses"),
       db_reductions("sat.db_reductions"),
+      inprocess_runs("sat.inprocess.runs"),
+      inprocess_deleted("sat.inprocess.deleted_clauses"),
+      inprocess_strengthened("sat.inprocess.strengthened_clauses"),
+      inprocess_vivified("sat.inprocess.vivified_clauses"),
+      inprocess_failed_literals("sat.inprocess.failed_literals"),
+      inprocess_substituted("sat.inprocess.substituted_vars"),
+      inprocess_eliminated("sat.inprocess.eliminated_vars"),
+      inprocess_resolvents("sat.inprocess.bve_resolvents"),
       learned_clause_size("sat.learned_clause_size"),
       learned_clause_lbd("sat.learned_clause_lbd") {}
 
@@ -50,61 +62,131 @@ Var Solver::new_var() {
   phase_.push_back(false);
   level_.push_back(0);
   reason_.push_back(kNoReason);
+  var_flags_.push_back(0);
   activity_.push_back(0.0);
   heap_position_.push_back(kNotInHeap);
   seen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   heap_insert(var);
   return var;
 }
 
-Solver::ClauseRef Solver::alloc_clause(std::vector<Lit> literals, bool learnt) {
-  ClauseRef ref;
-  if (!free_list_.empty()) {
-    ref = free_list_.back();
-    free_list_.pop_back();
-    clauses_[ref].lits = std::move(literals);
-    clauses_[ref].activity = 0.0;
-    clauses_[ref].learnt = learnt;
-    clauses_[ref].deleted = false;
-  } else {
-    ref = static_cast<ClauseRef>(clauses_.size());
-    clauses_.push_back(Clause{std::move(literals), 0.0, learnt, false});
-  }
+void Solver::set_frozen(Var var, bool frozen) noexcept {
+  if (frozen)
+    var_flags_[var] |= kFlagFrozen;
+  else
+    var_flags_[var] &= static_cast<std::uint8_t>(~kFlagFrozen);
+}
+
+ClauseRef Solver::install_clause(std::span<const Lit> literals, bool learnt) {
+  const ClauseRef ref = arena_.alloc(literals, learnt);
   (learnt ? learnt_clauses_ : problem_clauses_).push_back(ref);
+  attach_clause(ref);
   return ref;
 }
 
-void Solver::free_clause(ClauseRef ref) {
-  clauses_[ref].deleted = true;
-  clauses_[ref].lits.clear();
-  clauses_[ref].lits.shrink_to_fit();
-  free_list_.push_back(ref);
-}
-
 void Solver::attach_clause(ClauseRef ref) {
-  const auto& lits = clauses_[ref].lits;
-  assert(lits.size() >= 2);
-  watches_[(~lits[0]).code()].push_back(Watcher{ref, lits[1]});
-  watches_[(~lits[1]).code()].push_back(Watcher{ref, lits[0]});
+  const Lit l0 = arena_.lit(ref, 0);
+  const Lit l1 = arena_.lit(ref, 1);
+  if (arena_.size(ref) == 2) {
+    bin_watches_[(~l0).code()].push_back(BinWatcher{l1, ref});
+    bin_watches_[(~l1).code()].push_back(BinWatcher{l0, ref});
+  } else {
+    watches_[(~l0).code()].push_back(Watcher{ref, l1});
+    watches_[(~l1).code()].push_back(Watcher{ref, l0});
+  }
 }
 
 void Solver::detach_clause(ClauseRef ref) {
-  const auto& lits = clauses_[ref].lits;
-  for (int w = 0; w < 2; ++w) {
-    auto& list = watches_[(~lits[w]).code()];
-    const auto it = std::find_if(list.begin(), list.end(),
-                                 [&](const Watcher& watcher) { return watcher.clause == ref; });
-    assert(it != list.end());
-    *it = list.back();
-    list.pop_back();
+  const Lit l0 = arena_.lit(ref, 0);
+  const Lit l1 = arena_.lit(ref, 1);
+  if (arena_.size(ref) == 2) {
+    for (const Lit watched : {l0, l1}) {
+      auto& list = bin_watches_[(~watched).code()];
+      const auto it = std::find_if(
+          list.begin(), list.end(),
+          [&](const BinWatcher& watcher) { return watcher.ref == ref; });
+      assert(it != list.end());
+      *it = list.back();
+      list.pop_back();
+    }
+  } else {
+    for (const Lit watched : {l0, l1}) {
+      auto& list = watches_[(~watched).code()];
+      const auto it = std::find_if(
+          list.begin(), list.end(),
+          [&](const Watcher& watcher) { return watcher.clause == ref; });
+      assert(it != list.end());
+      *it = list.back();
+      list.pop_back();
+    }
   }
+}
+
+void Solver::delete_clause(ClauseRef ref) {
+  if (proof_) {
+    lits_scratch_.clear();
+    arena_.copy_lits(ref, lits_scratch_);
+    proof_->on_delete(lits_scratch_);
+  }
+  detach_clause(ref);
+  arena_.free(ref);
+}
+
+void Solver::compact_clause_lists() {
+  const auto drop_garbage = [&](std::vector<ClauseRef>& list) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](ClauseRef ref) { return arena_.garbage(ref); }),
+               list.end());
+  };
+  drop_garbage(problem_clauses_);
+  drop_garbage(learnt_clauses_);
+}
+
+void Solver::garbage_collect() {
+  compact_clause_lists();
+  ClauseArena to;
+  to.reserve_words(arena_.size_words() - arena_.wasted_words());
+  for (auto& list : bin_watches_)
+    for (auto& watcher : list) arena_.reloc(watcher.ref, to);
+  for (auto& list : watches_)
+    for (auto& watcher : list) arena_.reloc(watcher.clause, to);
+  for (const Lit lit : trail_) {
+    ClauseRef& reason = reason_[lit.var()];
+    if (reason == kNoReason) continue;
+    // Level-0 propagations can outlive their reason clause (inprocessing
+    // may delete it); analyze never expands level 0, so just drop it.
+    if (arena_.garbage(reason)) {
+      reason = kNoReason;
+      continue;
+    }
+    arena_.reloc(reason, to);
+  }
+  for (ClauseRef& ref : problem_clauses_) arena_.reloc(ref, to);
+  for (ClauseRef& ref : learnt_clauses_) arena_.reloc(ref, to);
+  arena_ = std::move(to);
+}
+
+void Solver::garbage_collect_if_needed() {
+  if (arena_.size_words() > 4096 &&
+      arena_.wasted_words() * 4 > arena_.size_words())
+    garbage_collect();
 }
 
 bool Solver::add_clause(std::span<const Lit> literals) {
   if (!ok_) return false;
   backtrack(0);
+  // A clause over a BVE-eliminated variable reverts that elimination
+  // first (the saved clauses come back), so incremental callers never
+  // see an inconsistent variable. Frozen variables are never eliminated,
+  // which keeps this path cold in the sweeping flow.
+  for (const Lit lit : literals)
+    if ((var_flags_[lit.var()] & kFlagEliminated) != 0)
+      restore_eliminated(lit.var());
+  if (!ok_) return false;
   if (proof_) proof_->on_axiom(literals);
 
   // Normalize: sort, drop duplicates and level-0 false literals, detect
@@ -139,7 +221,7 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     if (!ok_ && proof_) proof_->on_lemma({});
     return ok_;
   }
-  attach_clause(alloc_clause(std::move(cleaned), /*learnt=*/false));
+  install_clause(cleaned, /*learnt=*/false);
   return true;
 }
 
@@ -149,12 +231,34 @@ void Solver::enqueue(Lit lit, ClauseRef reason) {
   level_[lit.var()] = decision_level();
   reason_[lit.var()] = reason;
   trail_.push_back(lit);
+  // A literal propagated at level 0 is permanent, but its derivation is
+  // only as durable as the reason clause — which inprocessing or learnt-DB
+  // reduction may delete later. Materialize it as a unit lemma (RUP via
+  // the reason clause plus earlier root units) so every later RUP check
+  // sees it no matter what happens to the deriving clauses.
+  if (proof_ != nullptr && reason != kNoReason && decision_level() == 0) {
+    const Lit unit[1] = {lit};
+    proof_->on_lemma(std::span<const Lit>(unit, 1));
+  }
 }
 
-Solver::ClauseRef Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
     stats_.propagations.inc();
+
+    // Binary implication graph first: each edge is 8 bytes in the watch
+    // list itself, so binary propagation (and binary conflicts) never
+    // touch clause memory.
+    for (const BinWatcher& watcher : bin_watches_[p.code()]) {
+      const LBool v = value(watcher.other);
+      if (v == LBool::kFalse) {
+        propagate_head_ = trail_.size();
+        return watcher.ref;
+      }
+      if (v == LBool::kUndef) enqueue(watcher.other, watcher.ref);
+    }
+
     auto& watch_list = watches_[p.code()];
     std::size_t keep = 0;
     for (std::size_t i = 0; i < watch_list.size(); ++i) {
@@ -164,23 +268,25 @@ Solver::ClauseRef Solver::propagate() {
         watch_list[keep++] = watcher;
         continue;
       }
-      Clause& clause = clauses_[watcher.clause];
-      auto& lits = clause.lits;
+      const ClauseRef ref = watcher.clause;
       // Put the falsified literal at position 1.
       const Lit false_lit = ~p;
-      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
-      assert(lits[1] == false_lit);
+      if (arena_.lit(ref, 0) == false_lit) arena_.swap_lits(ref, 0, 1);
+      assert(arena_.lit(ref, 1) == false_lit);
       // First watch satisfied?
-      if (lits[0] != watcher.blocker && value(lits[0]) == LBool::kTrue) {
-        watch_list[keep++] = Watcher{watcher.clause, lits[0]};
+      const Lit first = arena_.lit(ref, 0);
+      if (first != watcher.blocker && value(first) == LBool::kTrue) {
+        watch_list[keep++] = Watcher{ref, first};
         continue;
       }
       // Look for a replacement watch.
+      const std::uint32_t size = arena_.size(ref);
       bool moved = false;
-      for (std::size_t k = 2; k < lits.size(); ++k) {
-        if (value(lits[k]) != LBool::kFalse) {
-          std::swap(lits[1], lits[k]);
-          watches_[(~lits[1]).code()].push_back(Watcher{watcher.clause, lits[0]});
+      for (std::uint32_t k = 2; k < size; ++k) {
+        const Lit candidate = arena_.lit(ref, k);
+        if (value(candidate) != LBool::kFalse) {
+          arena_.swap_lits(ref, 1, k);
+          watches_[(~candidate).code()].push_back(Watcher{ref, first});
           moved = true;
           break;
         }
@@ -188,15 +294,15 @@ Solver::ClauseRef Solver::propagate() {
       if (moved) continue;
       // Clause is unit or conflicting.
       watch_list[keep++] = watcher;
-      if (value(lits[0]) == LBool::kFalse) {
+      if (value(first) == LBool::kFalse) {
         // Conflict: salvage the remaining watchers and report.
         for (std::size_t k = i + 1; k < watch_list.size(); ++k)
           watch_list[keep++] = watch_list[k];
         watch_list.resize(keep);
         propagate_head_ = trail_.size();
-        return watcher.clause;
+        return ref;
       }
-      enqueue(lits[0], watcher.clause);
+      enqueue(first, ref);
     }
     watch_list.resize(keep);
   }
@@ -215,12 +321,13 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt_out,
   ClauseRef reason = conflict;
   do {
     assert(reason != kNoReason);
-    Clause& clause = clauses_[reason];
-    if (clause.learnt) bump_clause(clause);
-    // Skip lits[0] on the follow-up iterations: it is the literal p whose
-    // reason we are expanding.
-    for (std::size_t i = p_valid ? 1 : 0; i < clause.lits.size(); ++i) {
-      const Lit q = clause.lits[i];
+    if (arena_.learnt(reason)) bump_clause(reason);
+    const std::uint32_t size = arena_.size(reason);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const Lit q = arena_.lit(reason, i);
+      // Skip the literal whose reason we are expanding (clause order in
+      // the arena is arbitrary for binary reasons).
+      if (p_valid && q.var() == p.var()) continue;
       if (seen_[q.var()] || level_[q.var()] == 0) continue;
       seen_[q.var()] = true;
       analyze_clear_.push_back(q);
@@ -277,9 +384,11 @@ bool Solver::literal_redundant(Lit lit, std::uint32_t abstract_levels) {
     const Lit current = analyze_stack_.back();
     analyze_stack_.pop_back();
     assert(reason_[current.var()] != kNoReason);
-    const Clause& clause = clauses_[reason_[current.var()]];
-    for (std::size_t i = 1; i < clause.lits.size(); ++i) {
-      const Lit q = clause.lits[i];
+    const ClauseRef reason = reason_[current.var()];
+    const std::uint32_t size = arena_.size(reason);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const Lit q = arena_.lit(reason, i);
+      if (q.var() == current.var()) continue;
       if (seen_[q.var()] || level_[q.var()] == 0) continue;
       if (reason_[q.var()] == kNoReason ||
           ((1u << (level_[q.var()] & 31u)) & abstract_levels) == 0) {
@@ -298,6 +407,10 @@ bool Solver::literal_redundant(Lit lit, std::uint32_t abstract_levels) {
 }
 
 void Solver::backtrack(unsigned target_level) {
+  // Any backtrack below the memoized assumption prefix invalidates the
+  // part above the target (see assumption_prefix_intact_).
+  if (target_level < assumption_prefix_intact_)
+    assumption_prefix_intact_ = target_level;
   if (decision_level() <= target_level) return;
   const std::size_t lim = trail_lim_[target_level];
   for (std::size_t i = trail_.size(); i-- > lim;) {
@@ -305,7 +418,7 @@ void Solver::backtrack(unsigned target_level) {
     phase_[var] = assigns_[var] == LBool::kTrue;
     assigns_[var] = LBool::kUndef;
     reason_[var] = kNoReason;
-    if (!heap_contains(var)) heap_insert(var);
+    if (decidable(var) && !heap_contains(var)) heap_insert(var);
   }
   trail_.resize(lim);
   trail_lim_.resize(target_level);
@@ -315,7 +428,8 @@ void Solver::backtrack(unsigned target_level) {
 Lit Solver::pick_branch_literal() {
   while (!heap_.empty()) {
     const Var var = heap_pop();
-    if (assigns_[var] == LBool::kUndef) return Lit(var, !phase_[var]);
+    if (assigns_[var] == LBool::kUndef && decidable(var))
+      return Lit(var, !phase_[var]);
   }
   return Lit::from_code(~std::uint32_t{0} - 1);  // sentinel: all assigned
 }
@@ -326,22 +440,20 @@ void Solver::reduce_learnt_db() {
   // current assignments and binary clauses.
   std::sort(learnt_clauses_.begin(), learnt_clauses_.end(),
             [&](ClauseRef a, ClauseRef b) {
-              return clauses_[a].activity < clauses_[b].activity;
+              return arena_.activity(a) < arena_.activity(b);
             });
   const auto is_locked = [&](ClauseRef ref) {
-    const auto& lits = clauses_[ref].lits;
-    return value(lits[0]) == LBool::kTrue && reason_[lits[0].var()] == ref;
+    const Lit first = arena_.lit(ref, 0);
+    return value(first) == LBool::kTrue && reason_[first.var()] == ref;
   };
   std::size_t kept = 0;
   const std::size_t target_deletions = learnt_clauses_.size() / 2;
   std::size_t deleted = 0;
   for (std::size_t i = 0; i < learnt_clauses_.size(); ++i) {
     const ClauseRef ref = learnt_clauses_[i];
-    if (deleted < target_deletions && clauses_[ref].lits.size() > 2 &&
+    if (deleted < target_deletions && arena_.size(ref) > 2 &&
         !is_locked(ref)) {
-      if (proof_) proof_->on_delete(clauses_[ref].lits);
-      detach_clause(ref);
-      free_clause(ref);
+      delete_clause(ref);
       ++deleted;
       stats_.deleted_clauses.inc();
     } else {
@@ -350,6 +462,7 @@ void Solver::reduce_learnt_db() {
   }
   learnt_clauses_.resize(kept);
   stats_.db_reductions.inc();
+  garbage_collect_if_needed();
 #ifndef SIMGEN_NO_TELEMETRY
   emit_introspection_reduce(deleted, size_before, kept);
 #else
@@ -366,10 +479,13 @@ void Solver::bump_var(Var var) {
   if (heap_contains(var)) heap_sift_up(heap_position_[var]);
 }
 
-void Solver::bump_clause(Clause& clause) {
-  clause.activity += clause_activity_increment_;
-  if (clause.activity > 1e20) {
-    for (ClauseRef ref : learnt_clauses_) clauses_[ref].activity *= 1e-20;
+void Solver::bump_clause(ClauseRef ref) {
+  const float updated =
+      arena_.activity(ref) + static_cast<float>(clause_activity_increment_);
+  arena_.set_activity(ref, updated);
+  if (updated > 1e20f) {
+    for (ClauseRef learnt : learnt_clauses_)
+      arena_.set_activity(learnt, arena_.activity(learnt) * 1e-20f);
     clause_activity_increment_ *= 1e-20;
   }
 }
@@ -422,6 +538,75 @@ void Solver::heap_sift_down(std::size_t index) {
   heap_position_[var] = static_cast<std::uint32_t>(index);
 }
 
+bool Solver::maybe_inprocess() {
+  if (!inprocess_config_.enabled || !ok_) return ok_;
+  if (conflicts_since_inprocess_ < inprocess_config_.conflict_interval)
+    return true;
+  if (problem_clauses_.empty() && learnt_clauses_.empty()) return true;
+  backtrack(0);
+#ifndef SIMGEN_NO_TELEMETRY
+  util::Stopwatch watch;
+  watch.start();
+#endif
+  Inprocessor inprocessor(*this);
+  ok_ = inprocessor.run();
+  conflicts_since_inprocess_ = 0;
+  stats_.inprocess_runs.inc();
+  compact_clause_lists();
+  garbage_collect_if_needed();
+#ifndef SIMGEN_NO_TELEMETRY
+  watch.stop();
+  const InprocessRunTally& tally = inprocessor.tally();
+  emit_introspection_inprocess(
+      tally.deleted_clauses, tally.strengthened_clauses + tally.vivified_clauses,
+      tally.failed_literals, tally.substituted_vars, tally.eliminated_vars,
+      static_cast<std::uint64_t>(watch.seconds() * 1e6));
+#endif
+  return ok_;
+}
+
+void Solver::restore_eliminated(Var var) {
+  backtrack(0);
+  var_flags_[var] &= static_cast<std::uint8_t>(~kFlagEliminated);
+  if (decidable(var) && assigns_[var] == LBool::kUndef && !heap_contains(var))
+    heap_insert(var);
+  // Re-add the clauses BVE removed for this variable. add_clause re-emits
+  // them as axioms (they were axioms of the original formula modulo
+  // earlier equivalence-preserving rewrites) and recursively restores any
+  // other eliminated variable they mention.
+  for (auto& entry : reconstruction_) {
+    if (entry.dead || entry.substitution) continue;
+    if (entry.witness.var() != var) continue;
+    entry.dead = true;
+    if (!add_clause(entry.clause)) return;
+  }
+}
+
+void Solver::extend_model() {
+  // Witness reconstruction in reverse order: BVE entries flip the
+  // eliminated variable when their saved clause came out unsatisfied
+  // (at most one polarity can need the flip — see DESIGN.md section 15);
+  // substitution entries copy the representative's value.
+  for (auto it = reconstruction_.rbegin(); it != reconstruction_.rend(); ++it) {
+    if (it->dead) continue;
+    if (it->substitution) {
+      const Lit target = it->witness;
+      const Lit rep = it->clause[1];
+      model_[target.var()] =
+          (model_[rep.var()] != rep.negated()) != target.negated();
+      continue;
+    }
+    bool satisfied = false;
+    for (const Lit lit : it->clause) {
+      if (model_[lit.var()] != lit.negated()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) model_[it->witness.var()] = !it->witness.negated();
+  }
+}
+
 Result Solver::search() {
   std::uint64_t restart_count = 0;
   std::uint64_t conflicts_until_restart = kRestartBase * luby(restart_count);
@@ -434,6 +619,7 @@ Result Solver::search() {
       stats_.conflicts.inc();
       ++conflicts_this_solve_;
       ++conflicts_since_restart;
+      ++conflicts_since_inprocess_;
       if (decision_level() == 0) {
         // Refuted outright: the empty clause is propagation-derivable.
         if (proof_) proof_->on_lemma({});
@@ -460,9 +646,8 @@ Result Solver::search() {
       if (learnt.size() == 1) {
         enqueue(learnt[0], kNoReason);
       } else {
-        const ClauseRef ref = alloc_clause(learnt, /*learnt=*/true);
-        attach_clause(ref);
-        bump_clause(clauses_[ref]);
+        const ClauseRef ref = install_clause(learnt, /*learnt=*/true);
+        bump_clause(ref);
         enqueue(learnt[0], ref);
       }
       stats_.learned_clauses.inc();
@@ -497,6 +682,10 @@ Result Solver::search() {
       conflicts_since_restart = 0;
       conflicts_until_restart = kRestartBase * luby(restart_count);
       backtrack(0);
+      // Inprocessing slot: between restarts, at decision level 0.
+      if (!maybe_inprocess()) {
+        return Result::kUnsat;
+      }
 #ifndef SIMGEN_NO_TELEMETRY
       ++restarts_this_solve_;
       emit_introspection_restart(restarts_this_solve_);
@@ -527,7 +716,27 @@ Result Solver::search() {
 Result Solver::solve(std::span<const Lit> assumptions) {
   stats_.solve_calls.inc();
   if (!ok_) return Result::kUnsat;
-  backtrack(0);
+  // Assumptions over BVE-eliminated variables revert the elimination (the
+  // satellite case "eliminated variable appears in the query assumptions"
+  // is prevented inside BVE itself, which skips the current assumption
+  // set — this handles stale assumptions from earlier solves).
+  for (const Lit assumption : assumptions)
+    if ((var_flags_[assumption.var()] & kFlagEliminated) != 0)
+      restore_eliminated(assumption.var());
+  if (!ok_) return Result::kUnsat;
+
+  // Memoized assumption prefix: keep the already-established leading
+  // decision levels when the new assumption sequence starts the same way,
+  // skipping their re-propagation entirely.
+  unsigned reuse = 0;
+  const auto comparable = static_cast<unsigned>(
+      std::min(assumptions.size(), assumptions_.size()));
+  const unsigned max_reuse = std::min(assumption_prefix_intact_, comparable);
+  while (reuse < max_reuse && assumptions_[reuse] == assumptions[reuse])
+    ++reuse;
+  backtrack(reuse);
+  assumption_prefix_intact_ = reuse;
+
   assumptions_.assign(assumptions.begin(), assumptions.end());
   conflicts_this_solve_ = 0;
 #ifndef SIMGEN_NO_TELEMETRY
@@ -538,17 +747,36 @@ Result Solver::solve(std::span<const Lit> assumptions) {
 #endif
   max_learnt_ = std::max<std::size_t>(1000, problem_clauses_.size() / 3);
 
+  if (!maybe_inprocess()) return Result::kUnsat;
+
   const Result result = search();
 #ifndef SIMGEN_NO_TELEMETRY
   emit_introspection_solve_stats();
 #endif
   if (result == Result::kSat) {
-    model_.assign(num_vars(), false);
-    for (Var var{0}; var < num_vars(); ++var)
-      model_[var] = assigns_[var] == LBool::kUndef ? phase_[var]
-                                                   : assigns_[var] == LBool::kTrue;
+    if (reconstruction_.empty()) {
+      // No eliminated/substituted variables to reconstruct: serve the
+      // model lazily from assigns_/phase_ (see model_value) and skip
+      // the O(num_vars) materialization. SAT sweeping takes this path
+      // on every call — its encoder freezes all variables, so the
+      // reconstruction stack never grows.
+      model_lazy_ = true;
+    } else {
+      model_lazy_ = false;
+      model_.assign(num_vars(), false);
+      for (Var var{0}; var < num_vars(); ++var)
+        model_[var] = assigns_[var] == LBool::kUndef
+                          ? phase_[var]
+                          : assigns_[var] == LBool::kTrue;
+      extend_model();
+    }
   }
-  backtrack(0);
+  // Keep the established assumption levels on the trail for the next
+  // solve; everything deeper (search decisions) is undone.
+  const unsigned keep = std::min(
+      decision_level(), static_cast<unsigned>(assumptions_.size()));
+  backtrack(keep);
+  assumption_prefix_intact_ = keep;
   return result;
 }
 
@@ -608,6 +836,19 @@ void Solver::emit_introspection_solve_stats() {
                     lbd_count_this_solve_, lbd_sum_this_solve_,
                     lbd_max_this_solve_, restarts_this_solve_, 0,
                     probe_flags_);
+}
+
+void Solver::emit_introspection_inprocess(std::uint64_t deleted,
+                                          std::uint64_t strengthened,
+                                          std::uint64_t units,
+                                          std::uint64_t substituted,
+                                          std::uint64_t eliminated,
+                                          std::uint64_t duration_us) {
+  if (!probe_active_ || !obs::journal_enabled()) return;
+  obs::journal_emit(obs::EventKind::kSolverInprocess, 0, probe_a_, probe_b_,
+                    deleted, strengthened, units,
+                    (substituted << 32) | (eliminated & 0xffffffffull),
+                    static_cast<std::uint32_t>(duration_us), probe_flags_);
 }
 
 #endif  // SIMGEN_NO_TELEMETRY

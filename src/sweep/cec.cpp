@@ -215,6 +215,11 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
       if (obs::journal_enabled()) task_watch.start();
       sat::Solver solver;
       solver.set_conflict_limit(sweep_options.output_proof_conflict_limit);
+      if (!sweep_options.inprocess) {
+        sat::InprocessConfig config = solver.inprocess_config();
+        config.enabled = false;
+        solver.set_inprocess_config(config);
+      }
       std::unique_ptr<check::Certifier> certifier;
       if (sweep_options.certify)
         certifier = std::make_unique<check::Certifier>(solver);

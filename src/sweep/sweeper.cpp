@@ -76,6 +76,11 @@ Sweeper::Sweeper(const net::Network& network, SweepOptions options)
       encoder_(network, solver_),
       rng_(util::splitmix64(options.seed) ^ 0x5feebull) {
   solver_.set_conflict_limit(options_.conflict_limit);
+  if (!options_.inprocess) {
+    sat::InprocessConfig config = solver_.inprocess_config();
+    config.enabled = false;
+    solver_.set_inprocess_config(config);
+  }
 }
 
 void Sweeper::certify_unsat(std::span<const sat::Lit> assumptions,
@@ -131,6 +136,7 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
   // Fresh miter variable t <-> (a xor b); one solve call per pair, as the
   // paper counts SAT calls.
   const sat::Var t = solver_.new_var();
+  solver_.set_frozen(t);  // pinned by later solves; BVE must not touch it
   solver_.add_clause({sat::neg(t), sat::pos(var_a), sat::pos(var_b)});
   solver_.add_clause({sat::neg(t), sat::neg(var_a), sat::neg(var_b)});
   solver_.add_clause({sat::pos(t), sat::pos(var_a), sat::neg(var_b)});
@@ -144,6 +150,7 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
   util::Stopwatch watch;
   watch.start();
   sat::Result verdict;
+  const std::uint64_t inprocess_before = solver_.stats().inprocess_runs.value();
   {
     obs::Span solve_span("sweep.sat_solve");
     verdict = solver_.solve({sat::pos(t)});
@@ -151,6 +158,8 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
                    static_cast<double>(solver_.stats().conflicts.value()));
   }
   watch.stop();
+  totals_.inprocess_runs +=
+      solver_.stats().inprocess_runs.value() - inprocess_before;
 #ifndef SIMGEN_NO_TELEMETRY
   solver_.clear_introspection_context();
 #endif
@@ -400,6 +409,7 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
     sat::Result verdict = sat::Result::kUnknown;
     bool certified_ok = true;
     double solve_seconds = 0.0;
+    std::uint64_t inprocess_runs = 0;
     /// SAT only: node value words of the resimulated counterexample batch
     /// (indexed by NodeId), ready for EquivClasses::refine.
     std::vector<sim::PatternWord> values;
@@ -457,6 +467,11 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
 
       sat::Solver solver;
       solver.set_conflict_limit(options_.conflict_limit);
+      if (!options_.inprocess) {
+        sat::InprocessConfig config = solver.inprocess_config();
+        config.enabled = false;
+        solver.set_inprocess_config(config);
+      }
       // Attached before the encoder so the certifier mirrors every clause.
       std::unique_ptr<check::Certifier> certifier;
       if (options_.certify)
@@ -482,6 +497,7 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
       }
 
       const sat::Var t = solver.new_var();
+      solver.set_frozen(t);
       solver.add_clause({sat::neg(t), sat::pos(var_a), sat::pos(var_b)});
       solver.add_clause({sat::neg(t), sat::neg(var_a), sat::neg(var_b)});
       solver.add_clause({sat::pos(t), sat::pos(var_a), sat::neg(var_b)});
@@ -498,6 +514,8 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
       out.verdict = solver.solve({sat::pos(t)});
       solve_watch.stop();
       out.solve_seconds = solve_watch.seconds();
+      // Fresh solver per task: the absolute counter is this task's count.
+      out.inprocess_runs = solver.stats().inprocess_runs.value();
 #ifndef SIMGEN_NO_TELEMETRY
       solver.clear_introspection_context();
 #endif
@@ -575,6 +593,7 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
       PairOutcome& out = outcomes[index];
       ++totals_.sat_calls;
       totals_.sat_seconds += out.solve_seconds;
+      totals_.inprocess_runs += out.inprocess_runs;
       static obs::Counter& sat_calls = obs::counter("sweep.sat_calls");
       sat_calls.inc();
       switch (out.verdict) {
@@ -695,6 +714,7 @@ SweepResult Sweeper::delta_since(const SweepResult& before) const {
   delta.disproven -= before.disproven;
   delta.unresolved -= before.unresolved;
   delta.certified_unsat -= before.certified_unsat;
+  delta.inprocess_runs -= before.inprocess_runs;
   delta.sat_seconds -= before.sat_seconds;
   delta.resimulations -= before.resimulations;
   delta.proven_pairs.erase(delta.proven_pairs.begin(),

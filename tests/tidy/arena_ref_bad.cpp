@@ -1,0 +1,16 @@
+// simgen-arena-ref fixture: MUST produce the diagnostic.
+// Naming sat::ClauseRef or sat::ClauseArena outside src/sat reaches into
+// the packed-arena representation; every written occurrence below should
+// be flagged.
+#include "sat/arena.hpp"
+
+namespace demo {
+
+simgen::sat::ClauseRef stash = 0;  // ref held across solver calls
+
+unsigned first_literal(const simgen::sat::ClauseArena& arena,  // arena param
+                       simgen::sat::ClauseRef ref) {           // ref param
+  return arena.lit(ref, 0).code();
+}
+
+}  // namespace demo

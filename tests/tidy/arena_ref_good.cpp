@@ -1,0 +1,22 @@
+// simgen-arena-ref fixture: MUST be clean.
+// The same work through the Solver public API — clauses go in by
+// literal span, verdicts and models come out by value; no arena types
+// appear (the solver's own headers mention them, but those expansions
+// are inside src/sat and exempt).
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace demo {
+
+bool tiny_query() {
+  simgen::sat::Solver solver;
+  const simgen::sat::Var a = solver.new_var();
+  const simgen::sat::Var b = solver.new_var();
+  const std::vector<simgen::sat::Lit> clause = {simgen::sat::pos(a),
+                                                simgen::sat::neg(b)};
+  solver.add_clause(clause);
+  return solver.solve() == simgen::sat::Result::kSat;
+}
+
+}  // namespace demo

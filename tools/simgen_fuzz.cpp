@@ -20,6 +20,9 @@
 ///                   AI+DC+MFFC, AI+DC+SCOAP)
 ///   --all-arms      run every arm on every pair (slow, max coverage)
 ///   --no-certify    skip DRAT certification of UNSAT verdicts
+///   --inprocess-diff  rerun every sweeping oracle with solver
+///                   inprocessing toggled on/off and fail on any verdict
+///                   disagreement (the inprocessing differential leg)
 ///   --no-shrink     keep full-size repro artifacts
 ///   --out-dir DIR   write repro artifacts here (default: fuzz-artifacts)
 ///   --log FILE      also write the verdict log to FILE
@@ -51,7 +54,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--iters N] [--seconds T] [--arm NAME]"
                " [--all-arms]\n"
-               "       [--no-certify] [--no-shrink] [--out-dir DIR]"
+               "       [--no-certify] [--inprocess-diff] [--no-shrink]"
+               " [--out-dir DIR]"
                " [--log FILE] [--quiet]\n"
                "       %s --replay repro.blif\n"
                "       %s --shrink-demo [--seed S]\n",
@@ -170,6 +174,8 @@ int main(int argc, char** argv) {
       options.all_arms = true;
     } else if (std::strcmp(argv[i], "--no-certify") == 0) {
       options.certify = false;
+    } else if (std::strcmp(argv[i], "--inprocess-diff") == 0) {
+      options.inprocess_differential = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(argv[i], "--out-dir") == 0) {

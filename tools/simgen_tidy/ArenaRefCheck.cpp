@@ -1,0 +1,55 @@
+//===--- ArenaRefCheck.cpp - simgen-tidy ---------------------------------===//
+#include "ArenaRefCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace simgen_tidy {
+
+namespace {
+
+/// True when \p Loc expands inside the solver subsystem itself, where
+/// the arena representation is fair game.
+bool inSatSubsystem(SourceLocation Loc, const SourceManager &SM) {
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  return File.contains("src/sat/") || File.contains("src\\sat\\");
+}
+
+}  // namespace
+
+void ArenaRefCheck::registerMatchers(MatchFinder *Finder) {
+  // Any written occurrence of the ref typedef or the arena class: locals,
+  // parameters, return types, members, template arguments. auto-deduced
+  // refs escape the net, but a ref can only flow in from an explicitly
+  // typed source, which is where the diagnostic lands.
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(typedefNameDecl(
+                  hasName("::simgen::sat::ClauseRef"))))))
+          .bind("use"),
+      this);
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(cxxRecordDecl(
+                  hasName("::simgen::sat::ClauseArena"))))))
+          .bind("use"),
+      this);
+}
+
+void ArenaRefCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Use = Result.Nodes.getNodeAs<TypeLoc>("use");
+  if (Use == nullptr) return;
+  const SourceLocation Loc = Use->getBeginLoc();
+  if (Loc.isInvalid()) return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (SM.isInSystemHeader(Loc)) return;
+  if (inSatSubsystem(Loc, SM)) return;
+
+  diag(Loc,
+       "raw clause arena reference outside src/sat: ClauseRefs dangle at "
+       "the next arena collection; use the sat::Solver public API instead");
+}
+
+}  // namespace simgen_tidy

@@ -14,6 +14,7 @@
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
+#include "ArenaRefCheck.h"
 #include "IdTypeMixingCheck.h"
 #include "JournalEventLayoutCheck.h"
 #include "NoNakedMutexCheck.h"
@@ -25,6 +26,7 @@ class SimGenTidyModule : public clang::tidy::ClangTidyModule {
  public:
   void addCheckFactories(
       clang::tidy::ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<ArenaRefCheck>("simgen-arena-ref");
     Factories.registerCheck<IdTypeMixingCheck>("simgen-id-type-mixing");
     Factories.registerCheck<JournalEventLayoutCheck>(
         "simgen-journal-event-layout");
