@@ -109,6 +109,7 @@ bool write_flow_metrics_json(const FlowMetrics& metrics) {
       << "  \"cost_after_random\": " << metrics.cost_after_random << ",\n"
       << "  \"cost\": " << metrics.cost << ",\n"
       << "  \"sim_seconds\": " << metrics.sim_seconds << ",\n"
+      << "  \"sim_wall_seconds\": " << metrics.sim_wall_seconds << ",\n"
       << "  \"sat_calls\": " << metrics.sat_calls << ",\n"
       << "  \"sat_seconds\": " << metrics.sat_seconds << ",\n"
       << "  \"sat_wall_seconds\": " << metrics.sat_wall_seconds << ",\n"
@@ -202,6 +203,9 @@ FlowMetrics run_strategy_flow(const net::Network& network, core::Strategy strate
   }
   flow_watch.stop();
   metrics.wall_seconds = flow_watch.seconds();
+  // Kernel-only simulation wall time accumulated across every phase that
+  // touched this flow's simulator (random, guided, cex resimulation).
+  metrics.sim_wall_seconds = simulator.kernel_seconds();
   // Resource/scheduler context at flow end. All of these read 0 under
   // SIMGEN_NO_TELEMETRY (dummy instruments), keeping the JSON schema
   // identical in both builds.

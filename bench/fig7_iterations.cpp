@@ -32,7 +32,6 @@ Trace run_trace(const net::Network& network, Mode mode) {
   Trace trace;
   sim::Simulator simulator(network);
   sim::EquivClasses classes = sim::EquivClasses::over_luts(network);
-  util::Rng rng(1);
   util::Stopwatch watch;
   watch.start();
 
@@ -46,7 +45,7 @@ Trace run_trace(const net::Network& network, Mode mode) {
     // the scope every split would be logged as PatternSource::kNone and
     // sweep_inspect --check would reject the journal.
     const obs::PatternScope scope(obs::PatternSource::kRandom, /*patterns=*/0);
-    simulator.simulate_random_word(rng);
+    simulator.simulate_random_word(1, iteration);
     classes.refine(simulator);
     const std::uint64_t cost = classes.cost();
     trace.cost.push_back(cost);

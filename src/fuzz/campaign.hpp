@@ -57,6 +57,10 @@ struct CampaignOptions {
   /// Cross-check every sweeping oracle with inprocessing toggled on/off
   /// (see PairOracleOptions::inprocess_differential).
   bool inprocess_differential = false;
+  /// Width-sweep differential: rerun every sweeping oracle under every
+  /// available SIMD kernel at block widths 1 and 8 and demand
+  /// byte-identical results (see PairOracleOptions::kernel_sweep).
+  bool kernel_sweep = false;
   /// Where to write repro artifacts; empty disables writing.
   std::string artifact_dir;
   GenProfile profile;

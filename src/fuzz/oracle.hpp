@@ -60,6 +60,14 @@ struct PairOracleOptions {
   /// so the two runs must agree on every pair; like num_threads, oracle
   /// names and verdict-log bytes are unchanged while they do.
   bool inprocess_differential = false;
+  /// Width-sweep differential: rerun every sweeping oracle under every
+  /// available simulation kernel (scalar/AVX2/AVX-512) at block widths 1
+  /// and 8 and demand *byte-identical* results — verdict, counterexample
+  /// bits, outputs proven, and every sweep count. The wide data path is
+  /// contractually invisible (DESIGN.md "Wide simulation"), so any drift
+  /// is a kernel or refinement-ordering bug. Unavailable ISAs are
+  /// skipped, keeping the campaign green on any host.
+  bool kernel_sweep = false;
 };
 
 /// Simulates \p network on one input vector; returns the PO value bits.

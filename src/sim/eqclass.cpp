@@ -26,10 +26,31 @@ EquivClasses EquivClasses::over_luts(const net::Network& network) {
 }
 
 std::size_t EquivClasses::refine(const Simulator& simulator) {
-  return refine(simulator.values());
+  std::size_t splits = 0;
+  const std::size_t valid = simulator.valid_words();
+  for (std::size_t w = 0; w < valid; ++w) {
+    // Journal width is the whole block: one refine(simulator) call is one
+    // "pattern batch" of `valid` words, however many word passes it takes.
+    splits += refine_impl(
+        [&](net::NodeId node) { return simulator.value_word(node, w); },
+        valid);
+  }
+  return splits;
+}
+
+std::size_t EquivClasses::refine_word(const Simulator& simulator,
+                                      std::size_t w) {
+  return refine_impl(
+      [&](net::NodeId node) { return simulator.value_word(node, w); }, 1);
 }
 
 std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
+  return refine_impl([&](net::NodeId node) { return node_values[node]; }, 1);
+}
+
+template <typename ValueOf>
+std::size_t EquivClasses::refine_impl(ValueOf&& value_of,
+                                      std::uint64_t width_words) {
   std::size_t splits = 0;
   const bool journal = obs::journal_enabled();
   const auto source =
@@ -37,14 +58,33 @@ std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
   std::vector<std::vector<net::NodeId>> next;
   next.reserve(classes_.size());
   std::unordered_map<PatternWord, std::size_t> bucket_of;
+  // Linear scan beats hashing for the small classes that dominate after
+  // the first few rounds; the keys vector is kept in first-occurrence
+  // order, so both paths produce identical bucket numbering.
+  constexpr std::size_t kLinearScanLimit = 32;
+  std::vector<PatternWord> keys;
   for (auto& members : classes_) {
-    bucket_of.clear();
     std::vector<std::vector<net::NodeId>> buckets;
-    for (net::NodeId node : members) {
-      const PatternWord word = node_values[node];
-      const auto [it, inserted] = bucket_of.emplace(word, buckets.size());
-      if (inserted) buckets.emplace_back();
-      buckets[it->second].push_back(node);
+    if (members.size() <= kLinearScanLimit) {
+      keys.clear();
+      for (net::NodeId node : members) {
+        const PatternWord word = value_of(node);
+        std::size_t bucket = 0;
+        while (bucket < keys.size() && keys[bucket] != word) ++bucket;
+        if (bucket == keys.size()) {
+          keys.push_back(word);
+          buckets.emplace_back();
+        }
+        buckets[bucket].push_back(node);
+      }
+    } else {
+      bucket_of.clear();
+      for (net::NodeId node : members) {
+        const PatternWord word = value_of(node);
+        const auto [it, inserted] = bucket_of.emplace(word, buckets.size());
+        if (inserted) buckets.emplace_back();
+        buckets[it->second].push_back(node);
+      }
     }
     if (buckets.size() > 1) {
       ++splits;
@@ -68,7 +108,9 @@ std::size_t EquivClasses::refine(std::span<const PatternWord> node_values) {
   refine_calls.inc();
   split_count.inc(splits);
   obs::set_gauge("eq.classes_live", static_cast<double>(classes_.size()));
-  if (journal) obs::PatternScope::record_refine(splits, classes_.size(), cost());
+  if (journal)
+    obs::PatternScope::record_refine(splits, classes_.size(), cost(),
+                                     width_words);
   return splits;
 }
 

@@ -1,0 +1,159 @@
+#include "sim/pattern_block.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace simgen::sim {
+namespace {
+
+/// Widest kernel the build compiled in *and* the running CPU executes.
+SimKernel detect_best_kernel() noexcept {
+#if defined(SIMGEN_SIM_HAVE_AVX512)
+  if (__builtin_cpu_supports("avx512f")) return SimKernel::kAvx512;
+#endif
+#if defined(SIMGEN_SIM_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimKernel::kAvx2;
+#endif
+  return SimKernel::kScalar;
+}
+
+SimKernel best_kernel() noexcept {
+  static const SimKernel kernel = detect_best_kernel();
+  return kernel;
+}
+
+/// Parse SIMGEN_SIM_KERNEL once; an unavailable or unparseable request
+/// falls back (with one warning) instead of failing, so a pinned script
+/// still runs on hardware without the ISA.
+SimKernel env_kernel() noexcept {
+  static const SimKernel kernel = [] {
+    const char* env = std::getenv("SIMGEN_SIM_KERNEL");
+    if (env == nullptr || *env == '\0') return best_kernel();
+    const std::string_view text(env);
+    SimKernel requested = SimKernel::kAuto;
+    if (text == "scalar") requested = SimKernel::kScalar;
+    else if (text == "avx2") requested = SimKernel::kAvx2;
+    else if (text == "avx512") requested = SimKernel::kAvx512;
+    else if (text == "auto") return best_kernel();
+    else {
+      util::warnf(
+          "ignoring invalid SIMGEN_SIM_KERNEL=%s (want scalar|avx2|avx512)",
+          env);
+      return best_kernel();
+    }
+    if (sim_kernel_available(requested)) return requested;
+    util::warnf("SIMGEN_SIM_KERNEL=%s unavailable on this CPU/build; using %s",
+                env, std::string(sim_kernel_name(best_kernel())).c_str());
+    return best_kernel();
+  }();
+  return kernel;
+}
+
+std::size_t env_block_words() noexcept {
+  static const std::size_t words = [] {
+    const char* env = std::getenv("SIMGEN_SIM_BLOCK_WORDS");
+    if (env == nullptr || *env == '\0') return std::size_t{8};
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 1 || parsed > 64) {
+      util::warnf(
+          "ignoring invalid SIMGEN_SIM_BLOCK_WORDS=%s (want 1-64); using 8",
+          env);
+      return std::size_t{8};
+    }
+    return static_cast<std::size_t>(parsed);
+  }();
+  return words;
+}
+
+std::atomic<SimKernel> g_kernel_override{SimKernel::kAuto};
+std::atomic<std::size_t> g_block_words_override{0};
+
+}  // namespace
+
+std::string_view sim_kernel_name(SimKernel kernel) noexcept {
+  switch (kernel) {
+    case SimKernel::kAuto: return "auto";
+    case SimKernel::kScalar: return "scalar";
+    case SimKernel::kAvx2: return "avx2";
+    case SimKernel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+std::size_t sim_kernel_width_bits(SimKernel kernel) noexcept {
+  switch (kernel) {
+    case SimKernel::kAuto: return 0;
+    case SimKernel::kScalar: return 64;
+    case SimKernel::kAvx2: return 256;
+    case SimKernel::kAvx512: return 512;
+  }
+  return 0;
+}
+
+bool sim_kernel_available(SimKernel kernel) noexcept {
+  switch (kernel) {
+    case SimKernel::kAuto:
+    case SimKernel::kScalar:
+      return true;
+    case SimKernel::kAvx2:
+#if defined(SIMGEN_SIM_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimKernel::kAvx512:
+#if defined(SIMGEN_SIM_HAVE_AVX512)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimKernel default_sim_kernel() noexcept {
+  const SimKernel override = g_kernel_override.load(std::memory_order_relaxed);
+  if (override != SimKernel::kAuto) return override;
+  return env_kernel();
+}
+
+void set_default_sim_kernel(SimKernel kernel) noexcept {
+  if (kernel != SimKernel::kAuto && !sim_kernel_available(kernel)) {
+    util::warnf("set_default_sim_kernel(%s) unavailable; keeping %s",
+                std::string(sim_kernel_name(kernel)).c_str(),
+                std::string(sim_kernel_name(default_sim_kernel())).c_str());
+    return;
+  }
+  g_kernel_override.store(kernel, std::memory_order_relaxed);
+}
+
+std::size_t default_block_words() noexcept {
+  const std::size_t override =
+      g_block_words_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  return env_block_words();
+}
+
+void set_default_block_words(std::size_t words) noexcept {
+  if (words > 64) words = 64;
+  g_block_words_override.store(words, std::memory_order_relaxed);
+}
+
+ScopedSimConfig::ScopedSimConfig(SimKernel kernel,
+                                 std::size_t block_words) noexcept
+    : saved_kernel_(g_kernel_override.load(std::memory_order_relaxed)),
+      saved_words_(g_block_words_override.load(std::memory_order_relaxed)) {
+  set_default_sim_kernel(kernel);
+  set_default_block_words(block_words);
+}
+
+ScopedSimConfig::~ScopedSimConfig() {
+  g_kernel_override.store(saved_kernel_, std::memory_order_relaxed);
+  g_block_words_override.store(saved_words_, std::memory_order_relaxed);
+}
+
+}  // namespace simgen::sim

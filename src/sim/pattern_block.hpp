@@ -1,0 +1,83 @@
+/// \file pattern_block.hpp
+/// \brief Wide simulation blocks: configuration and kernel dispatch.
+///
+/// A *pattern block* is the simulator's unit of work: W consecutive
+/// 64-bit pattern words per node (so one block carries 64*W input
+/// vectors). The block evaluation loop is compiled three times — a
+/// portable scalar version, an AVX2 version (256-bit lanes, 4 words per
+/// op) and an AVX-512 version (512-bit lanes, 8 words per op) — and the
+/// kernel is chosen at runtime from CPUID, an environment override, or an
+/// explicit per-simulator request. All three kernels compute pure bitwise
+/// algebra over the same words in the same order, so their results are
+/// bit-identical by construction; the property suite
+/// (test_sim_kernels.cpp) and the fuzzer's --kernel-sweep oracle enforce
+/// it continuously.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace simgen::sim {
+
+/// Which compiled evaluation kernel a Simulator uses.
+enum class SimKernel : std::uint8_t {
+  kAuto = 0,    ///< Resolve at construction: env override, then best ISA.
+  kScalar = 1,  ///< Portable 64-bit loop; always available.
+  kAvx2 = 2,    ///< 256-bit lanes (4 words per op).
+  kAvx512 = 3,  ///< 512-bit lanes (8 words per op).
+};
+
+/// Human-readable kernel name ("scalar", "avx2", "avx512", "auto").
+[[nodiscard]] std::string_view sim_kernel_name(SimKernel kernel) noexcept;
+
+/// Lane width in bits of one kernel op (64 / 256 / 512; 0 for kAuto).
+[[nodiscard]] std::size_t sim_kernel_width_bits(SimKernel kernel) noexcept;
+
+/// True when \p kernel was compiled in *and* the running CPU supports it.
+/// kScalar is always available; kAuto is reported available.
+[[nodiscard]] bool sim_kernel_available(SimKernel kernel) noexcept;
+
+/// The kernel kAuto resolves to: the SIMGEN_SIM_KERNEL environment
+/// variable ("scalar" / "avx2" / "avx512") when set and available, else
+/// the widest available ISA. An unavailable request falls back to the
+/// widest available kernel with a one-time warning, never an error, so a
+/// pinned CI environment still runs on older hardware.
+[[nodiscard]] SimKernel default_sim_kernel() noexcept;
+
+/// Process-wide override of what kAuto resolves to (kAuto = back to the
+/// environment/CPUID default). Used by the kernel-sweep fuzz oracle and
+/// the ISA property tests; reads are atomic, so setting it while another
+/// thread *constructs* a Simulator is safe (construction snapshots the
+/// value; running simulators are unaffected).
+void set_default_sim_kernel(SimKernel kernel) noexcept;
+
+/// Words per pattern block (W) a default-constructed Simulator uses: the
+/// SIMGEN_SIM_BLOCK_WORDS environment variable when set (clamped to
+/// [1, 64]), else 8 (512 bits — one AVX-512 op or two AVX2 ops per node
+/// per logic op). Class partitions, sweep verdicts, and journal totals
+/// are invariant under W (see DESIGN.md section 16), so this is purely a
+/// throughput/memory knob.
+[[nodiscard]] std::size_t default_block_words() noexcept;
+
+/// Process-wide override of the default block width (0 = back to the
+/// environment default). Same atomicity contract as
+/// set_default_sim_kernel.
+void set_default_block_words(std::size_t words) noexcept;
+
+/// RAII save/restore of both process-wide simulation defaults; the
+/// kernel-sweep oracle brackets each differential rerun with one of
+/// these so a throw cannot leak an override into later iterations.
+class ScopedSimConfig {
+ public:
+  ScopedSimConfig(SimKernel kernel, std::size_t block_words) noexcept;
+  ~ScopedSimConfig();
+  ScopedSimConfig(const ScopedSimConfig&) = delete;
+  ScopedSimConfig& operator=(const ScopedSimConfig&) = delete;
+
+ private:
+  SimKernel saved_kernel_;
+  std::size_t saved_words_;
+};
+
+}  // namespace simgen::sim

@@ -1,0 +1,47 @@
+/// \file sim_kernel_avx2.cpp
+/// \brief AVX2 instantiation of the simulation kernel (256-bit lanes).
+///
+/// Compiled with -mavx2 (per-source flag in src/CMakeLists.txt); the
+/// dispatcher only calls run_tape_avx2 after __builtin_cpu_supports
+/// confirmed the ISA, so the unconditional intrinsics here are safe.
+#if defined(SIMGEN_SIM_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "sim/sim_kernel_body.hpp"
+#include "sim/sim_tape.hpp"
+
+namespace simgen::sim::detail {
+namespace {
+
+struct Avx2Traits {
+  static constexpr std::size_t kWords = 4;
+  using Reg = __m256i;
+  static Reg zero() noexcept { return _mm256_setzero_si256(); }
+  static Reg ones() noexcept {
+    return _mm256_set1_epi64x(static_cast<long long>(~0ull));
+  }
+  static Reg load(const std::uint64_t* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, Reg r) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), r);
+  }
+  static Reg and_(Reg a, Reg b) noexcept { return _mm256_and_si256(a, b); }
+  static Reg andnot(Reg a, Reg b) noexcept {
+    return _mm256_andnot_si256(a, b);  // ~a & b
+  }
+  static Reg or_(Reg a, Reg b) noexcept { return _mm256_or_si256(a, b); }
+};
+
+}  // namespace
+
+void run_tape_avx2(const Tape& tape, const std::uint64_t* pi_blocks,
+                   std::uint64_t* values, std::size_t block_words,
+                   std::size_t words) {
+  run_tape<Avx2Traits>(tape, pi_blocks, values, block_words, words);
+}
+
+}  // namespace simgen::sim::detail
+
+#endif  // SIMGEN_SIM_HAVE_AVX2

@@ -1,0 +1,47 @@
+/// \file sim_kernel_avx512.cpp
+/// \brief AVX-512 instantiation of the simulation kernel (512-bit lanes).
+///
+/// Compiled with -mavx512f (per-source flag in src/CMakeLists.txt); only
+/// foundation bitwise ops are used, so AVX-512F alone suffices. The
+/// dispatcher gates calls on __builtin_cpu_supports("avx512f").
+#if defined(SIMGEN_SIM_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include "sim/sim_kernel_body.hpp"
+#include "sim/sim_tape.hpp"
+
+namespace simgen::sim::detail {
+namespace {
+
+struct Avx512Traits {
+  static constexpr std::size_t kWords = 8;
+  using Reg = __m512i;
+  static Reg zero() noexcept { return _mm512_setzero_si512(); }
+  static Reg ones() noexcept {
+    return _mm512_set1_epi64(static_cast<long long>(~0ull));
+  }
+  static Reg load(const std::uint64_t* p) noexcept {
+    return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+  }
+  static void store(std::uint64_t* p, Reg r) noexcept {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), r);
+  }
+  static Reg and_(Reg a, Reg b) noexcept { return _mm512_and_si512(a, b); }
+  static Reg andnot(Reg a, Reg b) noexcept {
+    return _mm512_andnot_si512(a, b);  // ~a & b
+  }
+  static Reg or_(Reg a, Reg b) noexcept { return _mm512_or_si512(a, b); }
+};
+
+}  // namespace
+
+void run_tape_avx512(const Tape& tape, const std::uint64_t* pi_blocks,
+                     std::uint64_t* values, std::size_t block_words,
+                     std::size_t words) {
+  run_tape<Avx512Traits>(tape, pi_blocks, values, block_words, words);
+}
+
+}  // namespace simgen::sim::detail
+
+#endif  // SIMGEN_SIM_HAVE_AVX512

@@ -1,0 +1,101 @@
+/// \file sim_kernel_body.hpp
+/// \brief Shared kernel body, instantiated once per ISA translation unit.
+///
+/// Each sim_kernel_*.cpp defines a vector-traits struct V and
+/// instantiates run_tape<V>. Because the algebra is purely bitwise
+/// (AND/ANDNOT/OR/NOT over 64-bit words), every instantiation produces
+/// bit-identical value rows; the ISAs differ only in how many words one
+/// register op covers (V::kWords). Rows are processed in vector-width
+/// chunks while they fit into the requested word count, then a scalar
+/// tail finishes the remainder, so a kernel never computes (or reads)
+/// words beyond `words` — lane content past the valid prefix stays
+/// unspecified under every ISA alike.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/sim_tape.hpp"
+
+namespace simgen::sim::detail {
+
+/// Portable one-word "vector": the scalar fallback traits and the shared
+/// tail for the wide kernels.
+struct ScalarTraits {
+  static constexpr std::size_t kWords = 1;
+  using Reg = std::uint64_t;
+  static Reg zero() noexcept { return 0; }
+  static Reg ones() noexcept { return ~std::uint64_t{0}; }
+  static Reg load(const std::uint64_t* p) noexcept { return *p; }
+  static void store(std::uint64_t* p, Reg r) noexcept { *p = r; }
+  static Reg and_(Reg a, Reg b) noexcept { return a & b; }
+  // andnot(a, b) == ~a & b, matching the SIMD intrinsics' operand order.
+  static Reg andnot(Reg a, Reg b) noexcept { return ~a & b; }
+  static Reg or_(Reg a, Reg b) noexcept { return a | b; }
+};
+
+/// Evaluate one LUT row chunk at word offset `w` using traits V.
+template <class V>
+inline void eval_lut_chunk(const Tape& tape, const TapeOp& op,
+                           const std::uint64_t* values,
+                           std::uint64_t* dst_row, std::size_t block_words,
+                           std::size_t w) noexcept {
+  typename V::Reg acc = V::zero();
+  for (std::uint32_t c = op.cube_begin; c != op.cube_end; ++c) {
+    const TapeCube& cube = tape.cubes[c];
+    typename V::Reg term = V::ones();
+    for (std::uint32_t l = cube.lit_begin; l != cube.lit_end; ++l) {
+      const TapeLit lit = tape.lits[l];
+      const typename V::Reg fanin =
+          V::load(values + std::size_t{tape_lit_node(lit)} * block_words + w);
+      term = tape_lit_complemented(lit) ? V::andnot(fanin, term)
+                                        : V::and_(fanin, term);
+    }
+    acc = V::or_(acc, term);
+  }
+  V::store(dst_row + w, acc);
+}
+
+template <class V>
+void run_tape(const Tape& tape, const std::uint64_t* pi_blocks,
+              std::uint64_t* values, std::size_t block_words,
+              std::size_t words) noexcept {
+  for (const TapeOp& op : tape.ops) {
+    std::uint64_t* dst_row = values + std::size_t{op.dst} * block_words;
+    switch (op.kind) {
+      case TapeOp::Kind::kConst0:
+        for (std::size_t w = 0; w < words; ++w) dst_row[w] = 0;
+        break;
+      case TapeOp::Kind::kConst1:
+        for (std::size_t w = 0; w < words; ++w) dst_row[w] = ~std::uint64_t{0};
+        break;
+      case TapeOp::Kind::kPi: {
+        const std::uint64_t* src_row =
+            pi_blocks + std::size_t{op.src} * block_words;
+        for (std::size_t w = 0; w < words; ++w) dst_row[w] = src_row[w];
+        break;
+      }
+      case TapeOp::Kind::kCopy: {
+        const std::uint64_t* src_row =
+            values + std::size_t{op.src} * block_words;
+        for (std::size_t w = 0; w < words; ++w) dst_row[w] = src_row[w];
+        break;
+      }
+      case TapeOp::Kind::kLut: {
+        std::size_t w = 0;
+        if constexpr (V::kWords > 1) {
+          for (; w + V::kWords <= words; w += V::kWords) {
+            eval_lut_chunk<V>(tape, op, values, dst_row, block_words, w);
+          }
+        }
+        for (; w < words; ++w) {
+          eval_lut_chunk<ScalarTraits>(tape, op, values, dst_row, block_words,
+                                       w);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace simgen::sim::detail

@@ -1,0 +1,14 @@
+/// \file sim_kernel_scalar.cpp
+/// \brief Portable scalar instantiation of the simulation kernel.
+#include "sim/sim_kernel_body.hpp"
+#include "sim/sim_tape.hpp"
+
+namespace simgen::sim::detail {
+
+void run_tape_scalar(const Tape& tape, const std::uint64_t* pi_blocks,
+                     std::uint64_t* values, std::size_t block_words,
+                     std::size_t words) {
+  run_tape<ScalarTraits>(tape, pi_blocks, values, block_words, words);
+}
+
+}  // namespace simgen::sim::detail

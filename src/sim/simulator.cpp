@@ -1,59 +1,174 @@
 #include "sim/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace simgen::sim {
+namespace {
 
-Simulator::Simulator(const net::Network& network)
+detail::KernelFn kernel_fn_for(SimKernel kernel) noexcept {
+  switch (kernel) {
+#if defined(SIMGEN_SIM_HAVE_AVX512)
+    case SimKernel::kAvx512: return &detail::run_tape_avx512;
+#endif
+#if defined(SIMGEN_SIM_HAVE_AVX2)
+    case SimKernel::kAvx2: return &detail::run_tape_avx2;
+#endif
+    default: return &detail::run_tape_scalar;
+  }
+}
+
+}  // namespace
+
+Simulator::Simulator(const net::Network& network, std::size_t block_words,
+                     SimKernel kernel)
     : network_(network),
-      on_covers_(network.num_nodes()),
-      values_(network.num_nodes(), 0) {
-  network_.for_each_lut([&](net::NodeId id) {
-    on_covers_[id] = tt::isop(network_.node(id).function);
+      block_words_(block_words == 0 ? default_block_words() : block_words),
+      kernel_(kernel == SimKernel::kAuto ? default_sim_kernel() : kernel) {
+  if (block_words_ > 64) block_words_ = 64;
+  if (!sim_kernel_available(kernel_)) {
+    util::warnf("Simulator: kernel %s unavailable; using %s",
+                std::string(sim_kernel_name(kernel_)).c_str(),
+                std::string(sim_kernel_name(default_sim_kernel())).c_str());
+    kernel_ = default_sim_kernel();
+  }
+  kernel_fn_ = kernel_fn_for(kernel_);
+  values_.assign(network.num_nodes() * block_words_, 0);
+  pi_scratch_.assign(network.num_pis() * block_words_, 0);
+  build_tape();
+  obs::set_gauge("sim.block_words", static_cast<double>(block_words_));
+  obs::set_gauge("sim.kernel_width_bits",
+                 static_cast<double>(sim_kernel_width_bits(kernel_)));
+}
+
+/// Flattens the network into the evaluation tape: one op per node in
+/// topological (creation) order, LUT covers expanded into the flat
+/// cube/literal tables with literals pre-resolved to fanin node indices.
+/// The kernels then run with zero network accesses.
+void Simulator::build_tape() {
+  tape_.ops.reserve(network_.num_nodes());
+  std::uint32_t pi_index = 0;
+  network_.for_each_node([&](net::NodeId id) {
+    const net::Node& node = network_.node(id);
+    detail::TapeOp op;
+    op.dst = static_cast<std::uint32_t>(id);
+    switch (node.kind) {
+      case net::NodeKind::kPi:
+        op.kind = detail::TapeOp::Kind::kPi;
+        op.src = pi_index++;
+        break;
+      case net::NodeKind::kConstant:
+        op.kind = node.constant_value ? detail::TapeOp::Kind::kConst1
+                                      : detail::TapeOp::Kind::kConst0;
+        break;
+      case net::NodeKind::kPo:
+        op.kind = detail::TapeOp::Kind::kCopy;
+        op.src = static_cast<std::uint32_t>(node.fanins[0]);
+        break;
+      case net::NodeKind::kLut: {
+        op.kind = detail::TapeOp::Kind::kLut;
+        op.cube_begin = static_cast<std::uint32_t>(tape_.cubes.size());
+        const tt::Cover cover = tt::isop(node.function);
+        for (const tt::Cube& cube : cover.cubes) {
+          detail::TapeCube tape_cube;
+          tape_cube.lit_begin = static_cast<std::uint32_t>(tape_.lits.size());
+          for (unsigned v = 0; v < node.fanins.size(); ++v) {
+            if (!cube.has_literal(v)) continue;
+            // literal_value(v) selects the fanin word, else its complement
+            // (the pre-tape evaluator's `term &= value ? w : ~w`).
+            tape_.lits.push_back(detail::make_tape_lit(
+                static_cast<std::uint32_t>(node.fanins[v]),
+                !cube.literal_value(v)));
+          }
+          tape_cube.lit_end = static_cast<std::uint32_t>(tape_.lits.size());
+          tape_.cubes.push_back(tape_cube);
+        }
+        op.cube_end = static_cast<std::uint32_t>(tape_.cubes.size());
+        break;
+      }
+    }
+    tape_.ops.push_back(op);
   });
+}
+
+void Simulator::simulate_block(std::span<const PatternWord> pi_blocks,
+                               std::size_t valid_words) {
+  if (pi_blocks.size() != network_.num_pis() * block_words_)
+    throw std::invalid_argument("Simulator: wrong PI block size");
+  if (valid_words == 0 || valid_words > block_words_)
+    throw std::invalid_argument("Simulator: valid_words out of range");
+  words_.inc(valid_words);
+  blocks_.inc();
+  kernel_watch_.resume();
+  kernel_fn_(tape_, pi_blocks.data(), values_.data(), block_words_,
+             valid_words);
+  kernel_watch_.stop();
+  valid_words_ = valid_words;
+  observed_word_ = 0;
+  compat_dirty_ = true;
 }
 
 void Simulator::simulate_word(std::span<const PatternWord> pi_words) {
   if (pi_words.size() != network_.num_pis())
     throw std::invalid_argument("Simulator: wrong number of PI words");
-  words_.inc();
-  std::size_t pi_index = 0;
-  network_.for_each_node([&](net::NodeId id) {
-    const net::Node& node = network_.node(id);
-    switch (node.kind) {
-      case net::NodeKind::kPi:
-        values_[id] = pi_words[pi_index++];
-        break;
-      case net::NodeKind::kConstant:
-        values_[id] = node.constant_value ? ~PatternWord{0} : PatternWord{0};
-        break;
-      case net::NodeKind::kPo:
-        values_[id] = values_[node.fanins[0]];
-        break;
-      case net::NodeKind::kLut: {
-        // OR of cube evaluations: each cube is the AND of its literals'
-        // (possibly complemented) fanin words.
-        PatternWord result = 0;
-        for (const tt::Cube& cube : on_covers_[id].cubes) {
-          PatternWord term = ~PatternWord{0};
-          for (unsigned v = 0; v < node.fanins.size(); ++v) {
-            if (!cube.has_literal(v)) continue;
-            const PatternWord w = values_[node.fanins[v]];
-            term &= cube.literal_value(v) ? w : ~w;
-          }
-          result |= term;
-        }
-        values_[id] = result;
-        break;
-      }
-    }
-  });
+  for (std::size_t pi = 0; pi < pi_words.size(); ++pi)
+    pi_scratch_[pi * block_words_] = pi_words[pi];
+  simulate_block(pi_scratch_, 1);
 }
 
-void Simulator::simulate_random_word(util::Rng& rng) {
-  pi_scratch_.resize(network_.num_pis());
-  for (auto& word : pi_scratch_) word = rng();
-  simulate_word(pi_scratch_);
+PatternWord Simulator::random_pattern_word(std::uint64_t seed,
+                                           std::uint64_t pi_index,
+                                           std::uint64_t word_index) noexcept {
+  // Three splitmix64 rounds keyed on (seed, pi, word) independently: the
+  // stream constant decorrelates the axes so adjacent PIs/words share no
+  // affine structure. Pinned by SimulatorTest.RandomPatternWordsArePinned
+  // — changing this function re-keys every random pattern in the system
+  // (costs/baselines), so treat it as a wire format.
+  const std::uint64_t stream =
+      util::splitmix64(seed ^ 0x53696d47656e2121ull) ^
+      util::splitmix64((pi_index + 1) * 0x9e3779b97f4a7c15ull);
+  return util::splitmix64(stream ^
+                          util::splitmix64(word_index ^ 0xd1b54a32d192ed03ull));
+}
+
+void Simulator::simulate_random_block(std::uint64_t seed,
+                                      std::uint64_t first_word_index,
+                                      std::size_t valid_words) {
+  if (valid_words == 0 || valid_words > block_words_)
+    throw std::invalid_argument("Simulator: valid_words out of range");
+  const std::size_t num_pis = network_.num_pis();
+  for (std::size_t pi = 0; pi < num_pis; ++pi)
+    for (std::size_t w = 0; w < valid_words; ++w)
+      pi_scratch_[pi * block_words_ + w] =
+          random_pattern_word(seed, pi, first_word_index + w);
+  simulate_block(pi_scratch_, valid_words);
+}
+
+void Simulator::simulate_random_word(std::uint64_t seed,
+                                     std::uint64_t word_index) {
+  simulate_random_block(seed, word_index, 1);
+}
+
+std::span<const PatternWord> Simulator::values() const {
+  if (compat_dirty_) {
+    compat_values_.resize(network_.num_nodes());
+    for (std::size_t node = 0; node < compat_values_.size(); ++node)
+      compat_values_[node] = values_[node * block_words_ + observed_word_];
+    compat_dirty_ = false;
+  }
+  return compat_values_;
+}
+
+void Simulator::set_observed_word(std::size_t w) {
+  if (w >= valid_words_)
+    throw std::out_of_range("Simulator: observed word beyond valid words");
+  if (w != observed_word_) {
+    observed_word_ = w;
+    compat_dirty_ = true;
+  }
 }
 
 }  // namespace simgen::sim

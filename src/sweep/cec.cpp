@@ -117,25 +117,37 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
   };
 
   // Phase 1: random simulation. Any nonzero miter output word is already
-  // a counterexample — report it without touching the solver.
-  util::Rng rng(options.seed);
+  // a counterexample — report it without touching the solver. Rounds are
+  // simulated a block at a time but refined and scanned one word at a
+  // time, with word w of the block being global round `round + w` keyed
+  // only by (seed, pi, round): partitions, journals, and the first
+  // counterexample found are identical at every block width.
   obs::Span random_span("cec.random_sim");
   {
     obs::PhaseScope random_phase(obs::PhaseId::kRandomSim);
-    for (std::size_t round = 0; round < options.random_rounds; ++round) {
-      obs::PatternScope batch(obs::PatternSource::kRandom, 0);
-      simulator.simulate_random_word(rng);
-      classes.refine(simulator);
-      for (net::NodeId po : miter.network.pos()) {
-        const sim::PatternWord word = simulator.value(po);
-        if (word != 0) {
-          const auto bit = static_cast<unsigned>(std::countr_zero(word));
-          result.counterexample = pattern_of_bit(simulator, bit);
-          result.equivalent = false;
-          total.stop();
-          result.total_seconds = total.seconds();
-          journal_run_end(result);
-          return result;
+    std::size_t round = 0;
+    while (round < options.random_rounds) {
+      const std::size_t chunk =
+          std::min(simulator.block_words(), options.random_rounds - round);
+      simulator.simulate_random_block(options.seed, round, chunk);
+      for (std::size_t w = 0; w < chunk; ++w) {
+        {
+          obs::PatternScope batch(obs::PatternSource::kRandom, 0);
+          classes.refine_word(simulator, w);
+        }
+        simulator.set_observed_word(w);
+        ++round;
+        for (net::NodeId po : miter.network.pos()) {
+          const sim::PatternWord word = simulator.value_word(po, w);
+          if (word != 0) {
+            const auto bit = static_cast<unsigned>(std::countr_zero(word));
+            result.counterexample = pattern_of_bit(simulator, bit);
+            result.equivalent = false;
+            total.stop();
+            result.total_seconds = total.seconds();
+            journal_run_end(result);
+            return result;
+          }
         }
       }
     }
@@ -378,7 +390,8 @@ CecResult check_equivalence(const net::Network& a, const net::Network& b,
             obs::saturate_us(watch.seconds()), /*flags=*/1);
       }
       if (verdict == sat::Result::kSat) {
-        result.counterexample = sweeper.last_model_vector();
+        result.counterexample =
+            sweeper.last_model_vector(static_cast<std::uint64_t>(po));
         if (!violates(simulator, result.counterexample))
           throw std::logic_error("cec: SAT counterexample failed re-simulation");
         result.equivalent = false;

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -24,6 +25,37 @@ obs::SatVerdict to_verdict(sat::Result result) noexcept {
     case sat::Result::kUnknown: return obs::SatVerdict::kUnknown;
   }
   return obs::SatVerdict::kUnknown;
+}
+
+/// One counterexample as simulation words: pattern 0 is the SAT model
+/// (unencoded PIs filled from \p rng, so every PI has a deterministic
+/// value — nothing is inherited from whatever pattern occupied the word
+/// before), patterns 1..63 optionally flip one random PI each (1-distance
+/// neighbours, cf. Mishchenko et al.). Shared by the sequential engine
+/// and the parallel workers; \p rng must be freshly seeded per witness
+/// (Sweeper::witness_seed or the task stream) to keep witnesses
+/// history-independent.
+std::vector<sim::PatternWord> build_witness_words(const net::Network& network,
+                                                  const sat::CnfEncoder& encoder,
+                                                  const sat::Solver& solver,
+                                                  bool distance_one_fill,
+                                                  util::Rng& rng) {
+  const std::size_t num_pis = network.num_pis();
+  std::vector<sim::PatternWord> words(num_pis, 0);
+  for (std::size_t i = 0; i < num_pis; ++i) {
+    const net::NodeId pi = network.pis()[i];
+    const bool bit = encoder.is_encoded(pi)
+                         ? solver.model_value(encoder.var_of(pi))
+                         : rng.flip();
+    if (bit) words[i] = ~sim::PatternWord{0};
+  }
+  if (distance_one_fill && num_pis > 0) {
+    for (unsigned pattern = 1; pattern < 64; ++pattern) {
+      const std::size_t flip = rng.below(num_pis);
+      words[flip] ^= sim::PatternWord{1} << pattern;
+    }
+  }
+  return words;
 }
 
 }  // namespace
@@ -73,8 +105,7 @@ Sweeper::Sweeper(const net::Network& network, SweepOptions options)
       options_(options),
       certifier_(options.certify ? std::make_unique<check::Certifier>(solver_)
                                  : nullptr),
-      encoder_(network, solver_),
-      rng_(util::splitmix64(options.seed) ^ 0x5feebull) {
+      encoder_(network, solver_) {
   solver_.set_conflict_limit(options_.conflict_limit);
   if (!options_.inprocess) {
     sat::InprocessConfig config = solver_.inprocess_config();
@@ -220,35 +251,31 @@ sat::Result Sweeper::check_pair(net::NodeId a, net::NodeId b) {
   return verdict;
 }
 
-std::vector<bool> Sweeper::last_model_vector() {
+std::uint64_t Sweeper::witness_seed(std::uint64_t a,
+                                    std::uint64_t b) const noexcept {
+  return util::splitmix64(options_.seed ^ 0x5feeb001dull) ^
+         util::splitmix64((a + 1) * 0x9e3779b97f4a7c15ull) ^
+         util::splitmix64((b + 2) * 0xbf58476d1ce4e5b9ull);
+}
+
+std::vector<bool> Sweeper::last_model_vector(std::uint64_t salt) {
+  util::Rng rng(witness_seed(salt, ~std::uint64_t{0}));
   std::vector<bool> vector(network_.num_pis());
   for (std::size_t i = 0; i < network_.num_pis(); ++i) {
     const net::NodeId pi = network_.pis()[i];
     vector[i] = encoder_.is_encoded(pi)
                     ? solver_.model_value(encoder_.var_of(pi))
-                    : rng_.flip();
+                    : rng.flip();
   }
   return vector;
 }
 
-void Sweeper::resimulate_counterexample(const std::vector<bool>& vector,
-                                        sim::EquivClasses& classes,
-                                        sim::Simulator& simulator) {
-  const std::size_t num_pis = network_.num_pis();
-  std::vector<sim::PatternWord> words(num_pis, 0);
-  for (std::size_t i = 0; i < num_pis; ++i)
-    if (vector[i]) words[i] = ~sim::PatternWord{0};
-  if (options_.distance_one_fill && num_pis > 0) {
-    // Patterns 1..63 flip one random PI each: cheap neighbourhood
-    // exploration around the counterexample (1-distance vectors).
-    for (unsigned pattern = 1; pattern < 64; ++pattern) {
-      const std::size_t flip = rng_.below(num_pis);
-      words[flip] ^= sim::PatternWord{1} << pattern;
-    }
-  }
+void Sweeper::resimulate_counterexample(
+    std::span<const sim::PatternWord> pi_words, sim::EquivClasses& classes,
+    sim::Simulator& simulator) {
   {
     obs::PatternScope scope(obs::PatternSource::kCounterexample, 1);
-    simulator.simulate_word(words);
+    simulator.simulate_word(pi_words);
     classes.refine(simulator);
   }
   ++totals_.resimulations;
@@ -297,11 +324,18 @@ SweepResult Sweeper::run(sim::EquivClasses& classes, sim::Simulator& simulator) 
         // Proven equivalent: merge the candidate into the representative.
         classes.remove_node(candidate);
         break;
-      case sat::Result::kSat:
+      case sat::Result::kSat: {
         // Counterexample: by construction it distinguishes the pair, so
-        // refinement is guaranteed to make progress on this class.
-        resimulate_counterexample(last_model_vector(), classes, simulator);
+        // refinement is guaranteed to make progress on this class. The
+        // witness stream is keyed per pair, like the parallel engine's
+        // per-task streams.
+        util::Rng rng(witness_seed(representative, candidate));
+        resimulate_counterexample(
+            build_witness_words(network_, encoder_, solver_,
+                                options_.distance_one_fill, rng),
+            classes, simulator);
         break;
+      }
       case sat::Result::kUnknown:
         classes.remove_node(candidate);
         break;
@@ -392,9 +426,6 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
   // Declared after the pool so it unregisters (and exports the pool.*
   // metrics plus per-worker journal rollups) before the pool dies.
   const obs::PoolProfileScope pool_scope(pool);
-  // One lazily constructed simulator per worker for counterexample
-  // resimulation: slot w is touched only by worker w, so no locking.
-  std::vector<std::unique_ptr<sim::Simulator>> worker_sims(pool.num_threads());
 
   // One candidate pair discharged on one worker with one throwaway
   // cone-local solver. The outcome is a pure function of the task fields
@@ -410,9 +441,39 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
     bool certified_ok = true;
     double solve_seconds = 0.0;
     std::uint64_t inprocess_runs = 0;
-    /// SAT only: node value words of the resimulated counterexample batch
-    /// (indexed by NodeId), ready for EquivClasses::refine.
-    std::vector<sim::PatternWord> values;
+    /// SAT only: counterexample PI words (one per PI, in PI order),
+    /// packed into the coordinator's wide resimulation block below.
+    std::vector<sim::PatternWord> witness;
+  };
+
+  // Batched counterexample resimulation: SAT witnesses accumulate into
+  // one staging block (word w of PI row i at staging[i*W + w]) and a
+  // single wide simulate pass splits classes for up to W disproofs at
+  // once. Determinism contract: the staging block is flushed before any
+  // class mutation (UNSAT merge, UNKNOWN drop) and refined word-by-word
+  // in task order, so the sequence of partition operations — and the
+  // journal it produces — is exactly the block_words == 1 sequence. The
+  // staging buffer is zeroed after every flush so no lane can leak a
+  // previous batch's patterns.
+  const std::size_t block_words = simulator.block_words();
+  const std::size_t num_pis = network_.num_pis();
+  std::vector<sim::PatternWord> cex_staging(num_pis * block_words, 0);
+  std::size_t cex_pending = 0;
+  const auto flush_witnesses = [&] {
+    if (cex_pending == 0) return;
+    simulator.simulate_block(cex_staging, cex_pending);
+    for (std::size_t w = 0; w < cex_pending; ++w) {
+      {
+        obs::PatternScope scope(obs::PatternSource::kCounterexample, 1);
+        classes.refine_word(simulator, w);
+      }
+      ++totals_.resimulations;
+      static obs::Counter& resims = obs::counter("sweep.resimulations");
+      resims.inc();
+      obs::Tracer::instance().instant("sweep.counterexample");
+    }
+    std::fill(cex_staging.begin(), cex_staging.end(), sim::PatternWord{0});
+    cex_pending = 0;
   };
 
   // Monotone across rounds so every task in the whole run draws from its
@@ -550,30 +611,13 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
                             obs::saturate_us(certify_watch.seconds()));
         }
       } else if (out.verdict == sat::Result::kSat) {
-        // Build the counterexample word exactly like the sequential
+        // Build the counterexample words exactly like the sequential
         // engine (model bits, random fill for unencoded PIs, 1-distance
-        // neighbours) but from the task's own random stream.
+        // neighbours) but from the task's own random stream. The worker
+        // only builds the PI words; the coordinator batch-resimulates.
         util::Rng rng(task.rng_seed);
-        const std::size_t num_pis = network_.num_pis();
-        std::vector<sim::PatternWord> words(num_pis, 0);
-        for (std::size_t i = 0; i < num_pis; ++i) {
-          const net::NodeId pi = network_.pis()[i];
-          const bool bit = encoder.is_encoded(pi)
-                               ? solver.model_value(encoder.var_of(pi))
-                               : rng.flip();
-          if (bit) words[i] = ~sim::PatternWord{0};
-        }
-        if (options_.distance_one_fill && num_pis > 0) {
-          for (unsigned pattern = 1; pattern < 64; ++pattern) {
-            const std::size_t flip = rng.below(num_pis);
-            words[flip] ^= sim::PatternWord{1} << pattern;
-          }
-        }
-        if (!worker_sims[worker])
-          worker_sims[worker] = std::make_unique<sim::Simulator>(network_);
-        worker_sims[worker]->simulate_word(words);
-        const auto values = worker_sims[worker]->values();
-        out.values.assign(values.begin(), values.end());
+        out.witness = build_witness_words(network_, encoder, solver,
+                                          options_.distance_one_fill, rng);
       }
 
       if (obs::journal_enabled()) {
@@ -598,6 +642,9 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
       sat_calls.inc();
       switch (out.verdict) {
         case sat::Result::kUnsat: {
+          // Pending witnesses precede this merge in task order; apply
+          // them before the partition mutates.
+          flush_witnesses();
           if (options_.certify) {
             if (!out.certified_ok)
               throw std::logic_error(
@@ -621,17 +668,14 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
           ++totals_.disproven;
           static obs::Counter& disproven = obs::counter("sweep.disproven");
           disproven.inc();
-          {
-            obs::PatternScope scope(obs::PatternSource::kCounterexample, 1);
-            classes.refine(std::span<const sim::PatternWord>(out.values));
-          }
-          ++totals_.resimulations;
-          static obs::Counter& resims = obs::counter("sweep.resimulations");
-          resims.inc();
-          obs::Tracer::instance().instant("sweep.counterexample");
+          for (std::size_t i = 0; i < num_pis; ++i)
+            cex_staging[i * block_words + cex_pending] = out.witness[i];
+          ++cex_pending;
+          if (cex_pending == block_words) flush_witnesses();
           break;
         }
         case sat::Result::kUnknown: {
+          flush_witnesses();
           ++totals_.unresolved;
           static obs::Counter& unresolved = obs::counter("sweep.unresolved");
           unresolved.inc();
@@ -640,6 +684,9 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
         }
       }
     }
+    // Trailing witnesses of the round (the paper's Eq. 5 cost and the
+    // next round's pair snapshot must see every split).
+    flush_witnesses();
 
     const std::uint64_t live = classes.num_live_nodes();
     const std::uint64_t resolved = initial_live - live;
@@ -699,7 +746,6 @@ SweepResult Sweeper::run_parallel(sim::EquivClasses& classes,
     }
   }
 
-  (void)simulator;  // per-worker simulators resimulate counterexamples
   progress.end();
   phase.set_result(classes.cost(), classes.num_classes());
   span.arg("sat_calls",

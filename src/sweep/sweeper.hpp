@@ -26,7 +26,6 @@
 #include "sat/solver.hpp"
 #include "sim/eqclass.hpp"
 #include "sim/simulator.hpp"
-#include "util/rng.hpp"
 
 namespace simgen::sweep {
 
@@ -132,9 +131,13 @@ class Sweeper {
   /// for SAT, leaves the counterexample accessible via last_model_vector().
   sat::Result check_pair(net::NodeId a, net::NodeId b);
 
-  /// PI vector of the last SAT verdict; unconstrained PIs are filled with
-  /// random bits (seeded, reproducible).
-  [[nodiscard]] std::vector<bool> last_model_vector();
+  /// PI vector of the last SAT verdict. PIs outside the solved cone
+  /// (unencoded) are filled with random bits drawn from a stream keyed
+  /// only by (options.seed, salt) — never from shared sweeper state — so
+  /// the same solve yields byte-identical witnesses regardless of what
+  /// was solved before it. Callers pass a distinct salt per logical
+  /// witness (the CEC output path uses the PO id).
+  [[nodiscard]] std::vector<bool> last_model_vector(std::uint64_t salt = 0);
 
   [[nodiscard]] sat::Solver& solver() noexcept { return solver_; }
   [[nodiscard]] sat::CnfEncoder& encoder() noexcept { return encoder_; }
@@ -156,7 +159,17 @@ class Sweeper {
                      bool output_proof = false);
 
  private:
-  void resimulate_counterexample(const std::vector<bool>& vector,
+  /// Seed of the deterministic witness stream for one SAT outcome: a pure
+  /// function of (options.seed, a, b). The pre-block sweeper drew witness
+  /// fill bits from the shared member Rng, which made every witness
+  /// depend on how many draws *earlier* pairs had consumed — disprove an
+  /// unrelated pair first and the next witness changed bytes. Keying the
+  /// stream per call removes that history dependence (regression:
+  /// SweeperTest.WitnessIsHistoryIndependent).
+  [[nodiscard]] std::uint64_t witness_seed(std::uint64_t a,
+                                           std::uint64_t b) const noexcept;
+
+  void resimulate_counterexample(std::span<const sim::PatternWord> pi_words,
                                  sim::EquivClasses& classes,
                                  sim::Simulator& simulator);
 
@@ -177,7 +190,6 @@ class Sweeper {
   // attached before the encoder (or anything else) can add clauses.
   std::unique_ptr<check::Certifier> certifier_;
   sat::CnfEncoder encoder_;
-  util::Rng rng_;
   SweepResult totals_;  ///< Accumulated across run() and check_pair() calls.
 };
 

@@ -117,9 +117,8 @@ TEST(NetworkBdd, MatchesSimulationOnGeneratedCircuit) {
   NetworkBdds bdds(manager, network);
 
   sim::Simulator simulator(network);
-  util::Rng rng(17);
-  for (int round = 0; round < 4; ++round) {
-    simulator.simulate_random_word(rng);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    simulator.simulate_random_word(17, round);
     for (const net::NodeId po : network.pos()) {
       const NodeRef f = bdds.build(po);
       for (unsigned pattern = 0; pattern < 64; pattern += 7) {

@@ -36,9 +36,8 @@ TEST(Miter, XorOutputsAreZeroForIdenticalNetworks) {
   EXPECT_EQ(miter.network.num_pis(), 2u);
   EXPECT_EQ(miter.network.num_pos(), 1u);
   sim::Simulator sim(miter.network);
-  util::Rng rng(3);
-  for (int round = 0; round < 4; ++round) {
-    sim.simulate_random_word(rng);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    sim.simulate_random_word(3, round);
     EXPECT_EQ(sim.value(miter.network.pos()[0]), sim::PatternWord{0});
   }
 }

@@ -184,8 +184,7 @@ TEST(Lint, EqclassChecksFireOnCorruptPartitions) {
 TEST(Lint, EqclassHomogeneityNeedsMatchingSignatures) {
   const Network network = make_fixture();
   sim::Simulator simulator(network);
-  util::Rng rng(7);
-  simulator.simulate_random_word(rng);
+  simulator.simulate_random_word(7, 0);
   // g1 = a & b and g2 = g1 ^ c differ on random patterns with
   // overwhelming probability; a class holding both is not homogeneous.
   auto classes = sim::EquivClasses::from_classes({{NodeId{3}, NodeId{4}}});

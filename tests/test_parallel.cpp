@@ -193,9 +193,8 @@ TEST(ParallelSweep, ProvenPairsAreSound) {
   const net::Network network = parallel_bench();
   const sweep::SweepResult result = run_sweep(network, 4);
   sim::Simulator simulator(network);
-  util::Rng rng(5);
-  for (int round = 0; round < 32; ++round) {
-    simulator.simulate_random_word(rng);
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    simulator.simulate_random_word(5, round);
     for (const auto& [x, y] : result.proven_pairs)
       ASSERT_EQ(simulator.value(x), simulator.value(y))
           << "proven pair disagrees under simulation";

@@ -18,6 +18,14 @@
 ///    recognize permuted clauses (order-dependent hash + exact vector
 ///    compare), flagging sound proofs as corrupt on any instance big
 ///    enough to trigger learnt-clause reduction.
+///  * witness_stale_lanes.blif — counterexample resimulation drew its
+///    witness fill bits from shared sweeper state (so witness bytes
+///    depended on what was disproven earlier) and the batched wide
+///    resimulation staging could carry stale pattern lanes between
+///    batches; four random-resistant near-miss pairs force back-to-back
+///    SAT disproofs with an UNSAT merge in between, and the replay's
+///    width-sweep leg demands byte-identical results at every kernel and
+///    block width.
 #include <gtest/gtest.h>
 
 #include <algorithm>

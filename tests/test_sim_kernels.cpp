@@ -1,0 +1,145 @@
+// Cross-ISA property tests for the wide simulation kernels: the scalar,
+// AVX2, and AVX-512 kernels are instantiations of one bitwise template
+// (see src/sim/sim_kernel_body.hpp), so they must produce byte-identical
+// value blocks on every network — and EquivClasses::refine partitions
+// must be invariant in both the kernel and the block width. Kernels the
+// CPU (or the build) lacks are skipped gracefully, so the suite is green
+// on any x86-64 and on non-x86 hosts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/gen.hpp"
+#include "network/network.hpp"
+#include "sim/eqclass.hpp"
+#include "sim/pattern_block.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace simgen::sim {
+namespace {
+
+constexpr std::size_t kBlockWords = 8;
+
+std::vector<PatternWord> random_block(util::Rng& rng, std::size_t num_pis) {
+  std::vector<PatternWord> block(num_pis * kBlockWords);
+  for (auto& w : block) w = rng();
+  return block;
+}
+
+class SimKernelEquivalence : public ::testing::TestWithParam<SimKernel> {
+ protected:
+  void SetUp() override {
+    if (!sim_kernel_available(GetParam()))
+      GTEST_SKIP() << sim_kernel_name(GetParam())
+                   << " kernel unavailable on this CPU/build";
+  }
+};
+
+// 1000 random K-LUT networks: the ISA kernel's whole value block must
+// equal the scalar kernel's, bit for bit, including partially valid
+// blocks (the kernels compute exactly `valid` words; lanes past the tail
+// are never read or written).
+TEST_P(SimKernelEquivalence, MatchesScalarOnRandomNetworks) {
+  util::Rng rng(0xC0FFEEu);
+  fuzz::GenProfile profile;
+  for (int round = 0; round < 1000; ++round) {
+    const fuzz::LutGenOptions options = fuzz::random_lut_options(rng, profile);
+    const net::Network network = fuzz::random_lut_network(rng, options);
+    const std::vector<PatternWord> block = random_block(rng, network.num_pis());
+    const std::size_t valid = 1 + rng.below(kBlockWords);
+
+    Simulator scalar(network, kBlockWords, SimKernel::kScalar);
+    Simulator vector(network, kBlockWords, GetParam());
+    ASSERT_EQ(vector.kernel(), GetParam());
+    scalar.simulate_block(block, valid);
+    vector.simulate_block(block, valid);
+    bool mismatch = false;
+    network.for_each_node([&](net::NodeId id) {
+      for (std::size_t w = 0; w < valid && !mismatch; ++w) {
+        if (scalar.value_word(id, w) != vector.value_word(id, w)) {
+          mismatch = true;
+          ADD_FAILURE() << "round " << round << " node " << id << " word " << w
+                        << ": scalar " << scalar.value_word(id, w) << " vs "
+                        << sim_kernel_name(GetParam()) << " "
+                        << vector.value_word(id, w);
+        }
+      }
+    });
+    ASSERT_FALSE(mismatch) << "first divergence at round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Isas, SimKernelEquivalence,
+                         ::testing::Values(SimKernel::kAvx2,
+                                           SimKernel::kAvx512),
+                         [](const auto& param_info) {
+                           return std::string(sim_kernel_name(param_info.param));
+                         });
+
+std::vector<std::vector<net::NodeId>> partition_after_random_sim(
+    const net::Network& network, SimKernel kernel, std::size_t block_words,
+    std::size_t rounds) {
+  Simulator simulator(network, block_words, kernel);
+  EquivClasses classes = EquivClasses::over_luts(network);
+  std::size_t round = 0;
+  while (round < rounds) {
+    const std::size_t chunk = std::min(block_words, rounds - round);
+    simulator.simulate_random_block(31, round, chunk);
+    for (std::size_t w = 0; w < chunk; ++w) classes.refine_word(simulator, w);
+    round += chunk;
+  }
+  std::vector<std::vector<net::NodeId>> partition;
+  for (std::size_t c = 0; c < classes.num_classes(); ++c) {
+    const auto members = classes.class_members(ClassId{c});
+    partition.emplace_back(members.begin(), members.end());
+  }
+  return partition;
+}
+
+// The refinement partition must be a function of (network, seed, round
+// count) alone — never of the kernel or the block width. This is the
+// width-sweep oracle's unit-test face.
+TEST(SimKernelPartitions, RefineIsKernelAndWidthInvariant) {
+  util::Rng rng(0xBEEFu);
+  fuzz::GenProfile profile;
+  for (int round = 0; round < 50; ++round) {
+    const fuzz::LutGenOptions options = fuzz::random_lut_options(rng, profile);
+    const net::Network network = fuzz::random_lut_network(rng, options);
+    const auto baseline =
+        partition_after_random_sim(network, SimKernel::kScalar, 1, 13);
+    for (const SimKernel kernel :
+         {SimKernel::kScalar, SimKernel::kAvx2, SimKernel::kAvx512}) {
+      if (!sim_kernel_available(kernel)) continue;
+      for (const std::size_t width : {std::size_t{1}, std::size_t{3},
+                                      std::size_t{8}}) {
+        const auto partition =
+            partition_after_random_sim(network, kernel, width, 13);
+        ASSERT_EQ(partition, baseline)
+            << "partition diverged: kernel " << sim_kernel_name(kernel)
+            << " width " << width << " round " << round;
+      }
+    }
+  }
+}
+
+// ScopedSimConfig must swap the process defaults in and restore them on
+// scope exit, including the unavailable-kernel fallback path.
+TEST(SimKernelConfig, ScopedConfigRestoresDefaults) {
+  const SimKernel before_kernel = default_sim_kernel();
+  const std::size_t before_words = default_block_words();
+  {
+    ScopedSimConfig scoped(SimKernel::kScalar, 3);
+    EXPECT_EQ(default_sim_kernel(), SimKernel::kScalar);
+    EXPECT_EQ(default_block_words(), 3u);
+    const net::Network empty;
+    EXPECT_EQ(Simulator(empty).kernel(), SimKernel::kScalar);
+    EXPECT_EQ(Simulator(empty).block_words(), 3u);
+  }
+  EXPECT_EQ(default_sim_kernel(), before_kernel);
+  EXPECT_EQ(default_block_words(), before_words);
+}
+
+}  // namespace
+}  // namespace simgen::sim

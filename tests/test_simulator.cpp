@@ -121,12 +121,87 @@ TEST(Simulator, RandomWordIsDeterministicPerSeed) {
   network.add_pi();
   network.add_pi();
   Simulator sim_a(network), sim_b(network);
-  util::Rng rng_a(5), rng_b(5);
-  sim_a.simulate_random_word(rng_a);
-  sim_b.simulate_random_word(rng_b);
+  sim_a.simulate_random_word(5, 0);
+  sim_b.simulate_random_word(5, 0);
   network.for_each_node([&](net::NodeId id) {
     EXPECT_EQ(sim_a.value(id), sim_b.value(id));
   });
+}
+
+// Regression for the shared-Rng pattern bug: the pre-block simulator drew
+// per-PI words in PI-iteration order from one stateful stream, so PI k's
+// word depended on how many PIs preceded it (add a PI, every stream
+// shifts). The stream is now a pure function of (seed, pi, word); these
+// literals are the wire format — a change here invalidates every recorded
+// journal and BENCH baseline, so the values are pinned exactly.
+TEST(Simulator, RandomPatternWordsArePinned) {
+  EXPECT_EQ(Simulator::random_pattern_word(1, 0, 0), 0x175908fd57ef17d4ull);
+  EXPECT_EQ(Simulator::random_pattern_word(1, 0, 1), 0xa08062515ec0383full);
+  EXPECT_EQ(Simulator::random_pattern_word(1, 1, 0), 0xe6e29ade503943b5ull);
+  EXPECT_EQ(Simulator::random_pattern_word(2, 0, 0), 0xa9e63eb20004b826ull);
+  EXPECT_EQ(Simulator::random_pattern_word(1, 0, 7), 0x3d04a7294ada0a35ull);
+  EXPECT_EQ(Simulator::random_pattern_word(42, 3, 5), 0xa74ed2867793e04eull);
+}
+
+// The fix itself: PI k's pattern stream must not depend on the other PIs.
+// Under the old shared-Rng scheme adding a PI ahead of k shifted k's
+// stream by one draw.
+TEST(Simulator, PiStreamsAreIndependentOfPiCount) {
+  net::Network small;
+  const net::NodeId a_small = small.add_pi();
+  net::Network big;
+  big.add_pi();  // extra PI ahead of the one under test
+  const net::NodeId a_big = big.add_pi();
+  Simulator sim_small(small), sim_big(big);
+  sim_small.simulate_random_word(9, 4);
+  sim_big.simulate_random_word(9, 4);
+  // Both networks see PI index 0 / 1 respectively; index 1's stream in
+  // `big` must match nothing in `small`, while the *indexed* streams are
+  // stable: pi 0 draws the same word in both networks.
+  EXPECT_EQ(sim_small.value(a_small), Simulator::random_pattern_word(9, 0, 4));
+  EXPECT_EQ(sim_big.value(a_big), Simulator::random_pattern_word(9, 1, 4));
+}
+
+TEST(Simulator, RandomBlockMatchesWordByWordRounds) {
+  benchgen::CircuitSpec spec;
+  spec.name = "sim_block_check";
+  spec.num_gates = 200;
+  const net::Network network =
+      mapping::map_to_luts(benchgen::generate_circuit(spec));
+  Simulator wide(network, /*block_words=*/8);
+  Simulator narrow(network, /*block_words=*/1);
+  wide.simulate_random_block(7, /*first_word_index=*/0, /*valid_words=*/8);
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    narrow.simulate_random_word(7, w);
+    network.for_each_node([&](net::NodeId id) {
+      ASSERT_EQ(wide.value_word(id, w), narrow.value(id))
+          << "node " << id << " word " << w;
+    });
+  }
+}
+
+TEST(Simulator, ObservedWordSelectsCompatView) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  Simulator sim(network, /*block_words=*/4);
+  const std::vector<PatternWord> block{10, 20, 30, 40};
+  sim.simulate_block(block, /*valid_words=*/4);
+  EXPECT_EQ(sim.value(a), PatternWord{10});  // resets to word 0
+  sim.set_observed_word(2);
+  EXPECT_EQ(sim.value(a), PatternWord{30});
+  EXPECT_EQ(sim.values()[a], PatternWord{30});
+  EXPECT_THROW(sim.set_observed_word(4), std::out_of_range);
+}
+
+TEST(Simulator, PartialBlockOnlyValidatesRequestedWords) {
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  Simulator sim(network, /*block_words=*/4);
+  const std::vector<PatternWord> block{1, 2, 0, 0};
+  sim.simulate_block(block, /*valid_words=*/2);
+  EXPECT_EQ(sim.valid_words(), 2u);
+  EXPECT_EQ(sim.value_word(a, 1), PatternWord{2});
+  EXPECT_THROW(sim.set_observed_word(2), std::out_of_range);
 }
 
 }  // namespace

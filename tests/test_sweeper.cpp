@@ -80,9 +80,8 @@ TEST(Sweeper, RunEmptiesAllClasses) {
 
   // Soundness: every proven pair must agree on thousands of random
   // patterns.
-  util::Rng rng(5);
-  for (int round = 0; round < 32; ++round) {
-    simulator.simulate_random_word(rng);
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    simulator.simulate_random_word(5, round);
     for (const auto& [x, y] : result.proven_pairs)
       ASSERT_EQ(simulator.value(x), simulator.value(y))
           << "proven pair disagrees under simulation";
@@ -186,6 +185,46 @@ TEST(Sweeper, EqualityClausesAccelerateLaterProofs) {
   EXPECT_EQ(sweeper.check_pair(g1, g2), sat::Result::kUnsat);
   EXPECT_EQ(sweeper.check_pair(n1, n2), sat::Result::kUnsat);
   EXPECT_EQ(sweeper.totals().proven_equivalent, 2u);
+}
+
+TEST(Sweeper, WitnessIsHistoryIndependent) {
+  // Regression: last_model_vector() used to fill PIs outside the solved
+  // cone from a shared member Rng, so a witness's bytes depended on how
+  // many draws earlier extractions had consumed — reading the same
+  // verdict twice gave two different witnesses, and disproving an
+  // unrelated pair first shifted every later witness. The fill stream is
+  // now a pure function of (options.seed, salt).
+  net::Network network;
+  const net::NodeId a = network.add_pi();
+  const net::NodeId b = network.add_pi();
+  network.add_pi();  // outside the solved cone: exercises the random fill
+  network.add_pi();
+  const std::array<net::NodeId, 2> fab{a, b};
+  const net::NodeId g1 = network.add_lut(fab, tt::TruthTable::and_gate(2));
+  const net::NodeId g2 = network.add_lut(fab, tt::TruthTable::or_gate(2));
+  network.add_po(g1);
+  network.add_po(g2);
+
+  Sweeper sweeper(network, SweepOptions{});
+  ASSERT_EQ(sweeper.check_pair(g1, g2), sat::Result::kSat);
+  const std::vector<bool> first = sweeper.last_model_vector();
+  ASSERT_EQ(first.size(), 4u);
+  // Same verdict, same salt: byte-identical on every read (the old code
+  // advanced the shared Rng between these two calls).
+  EXPECT_EQ(sweeper.last_model_vector(), first);
+  // Distinct salts get distinct fill streams but identical cone bits.
+  const std::vector<bool> salted = sweeper.last_model_vector(7);
+  EXPECT_EQ(salted[0], first[0]);
+  EXPECT_EQ(salted[1], first[1]);
+  EXPECT_EQ(sweeper.last_model_vector(7), salted);
+
+  // A fresh sweeper that burns an unrelated extraction first must still
+  // reproduce the same witness for the same (seed, salt).
+  Sweeper warmed(network, SweepOptions{});
+  ASSERT_EQ(warmed.check_pair(g1, g2), sat::Result::kSat);
+  (void)warmed.last_model_vector(99);  // old code: this shifted the stream
+  EXPECT_EQ(warmed.last_model_vector(), first)
+      << "witness bytes depend on extraction history";
 }
 
 TEST(Sweeper, EveryStrategyArmIsDeterministicForAFixedSeed) {

@@ -23,6 +23,9 @@
 ///   --inprocess-diff  rerun every sweeping oracle with solver
 ///                   inprocessing toggled on/off and fail on any verdict
 ///                   disagreement (the inprocessing differential leg)
+///   --kernel-sweep  rerun every sweeping oracle under every available
+///                   SIMD kernel at block widths 1 and 8 and fail unless
+///                   the results are byte-identical (the width-sweep leg)
 ///   --no-shrink     keep full-size repro artifacts
 ///   --out-dir DIR   write repro artifacts here (default: fuzz-artifacts)
 ///   --log FILE      also write the verdict log to FILE
@@ -54,8 +57,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed S] [--iters N] [--seconds T] [--arm NAME]"
                " [--all-arms]\n"
-               "       [--no-certify] [--inprocess-diff] [--no-shrink]"
-               " [--out-dir DIR]"
+               "       [--no-certify] [--inprocess-diff] [--kernel-sweep]"
+               " [--no-shrink] [--out-dir DIR]"
                " [--log FILE] [--quiet]\n"
                "       %s --replay repro.blif\n"
                "       %s --shrink-demo [--seed S]\n",
@@ -176,6 +179,8 @@ int main(int argc, char** argv) {
       options.certify = false;
     } else if (std::strcmp(argv[i], "--inprocess-diff") == 0) {
       options.inprocess_differential = true;
+    } else if (std::strcmp(argv[i], "--kernel-sweep") == 0) {
+      options.kernel_sweep = true;
     } else if (std::strcmp(argv[i], "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(argv[i], "--out-dir") == 0) {
